@@ -1,0 +1,79 @@
+"""Ablation benchmarks: the design choices behind H3DFact's numbers.
+
+Regenerates the design-space evidence DESIGN.md calls out: the
+stochasticity window (noise scale), the VTGT threshold calibration, the
+ADC-resolution trade, and the 2D-vs-3D thermal comparison of Sec. V-C.
+"""
+
+import pytest
+
+from repro.experiments.ablation import AblationConfig, run_ablation
+from repro.experiments import Fig5Config, run_fig5
+from repro.thermal.comparison import compare_with_2d
+
+
+@pytest.fixture(scope="module")
+def ablation_result(emit):
+    config = AblationConfig(
+        dim=1024,
+        num_factors=3,
+        codebook_size=64,
+        trials=8,
+        max_iterations=1500,
+        noise_scales=(0.0, 0.5, 1.0, 4.0),
+        pass_counts=(1.0, 4.0, 16.0),
+        adc_bits=(2, 4, 8),
+    )
+    result = run_ablation(config)
+    emit("")
+    emit(result.render())
+    return result
+
+
+def test_noise_window(ablation_result):
+    """Stochasticity helps in a window: zero and extreme noise both lose."""
+    sweep = {p.parameter: p.accuracy for p in ablation_result.noise_sweep}
+    assert sweep[1.0] >= sweep[0.0]
+    assert sweep[1.0] >= sweep[4.0]
+
+
+def test_threshold_calibration_matters(ablation_result):
+    sweep = {p.parameter: p.accuracy for p in ablation_result.threshold_sweep}
+    assert sweep[4.0] >= max(sweep.values()) - 0.15
+
+
+def test_adc_resolution_window(ablation_result):
+    sweep = {p.parameter: p.accuracy for p in ablation_result.adc_sweep}
+    # 4-bit is the design point; 2-bit loses signal fidelity.
+    assert sweep[4.0] >= sweep[2.0]
+
+
+def test_thermal_2d_comparison():
+    fig5 = run_fig5(Fig5Config(grid=24))
+    comparison = compare_with_2d(fig5.report, grid=24)
+    print()
+    print(comparison.render())
+    # Paper: 2D at ~44 C, stack at 46.8-47.8 C -> stacking adds a few C.
+    assert comparison.die_2d_max_c == pytest.approx(44.0, abs=2.0)
+    assert comparison.h3d_report.stack_max_c > comparison.die_2d_max_c
+
+
+def test_benchmark_ablation_point(benchmark, ablation_result, emit):
+    # ablation_result regenerates and prints the full sweep tables; the
+    # 2D-vs-3D thermal comparison prints alongside.
+    assert ablation_result.noise_sweep
+    fig5 = run_fig5(Fig5Config(grid=20))
+    comparison = compare_with_2d(fig5.report, grid=20)
+    emit("")
+    emit(comparison.render())
+    config = AblationConfig(
+        dim=512,
+        codebook_size=16,
+        trials=4,
+        max_iterations=300,
+        noise_scales=(1.0,),
+        pass_counts=(4.0,),
+        adc_bits=(4,),
+    )
+    result = benchmark.pedantic(lambda: run_ablation(config), rounds=2, iterations=1)
+    assert result.noise_sweep[0].accuracy >= 0.5

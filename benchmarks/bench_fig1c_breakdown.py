@@ -1,0 +1,56 @@
+"""Benchmark regenerating Fig. 1c: op breakdown + baseline accuracy cliff.
+
+Run with ``pytest benchmarks/bench_fig1c_breakdown.py --benchmark-only``.
+The benchmark times one profiled resonator run; the printed report is the
+figure's content.
+"""
+
+import pytest
+
+from repro.experiments import Fig1cConfig, run_fig1c
+
+CONFIG = Fig1cConfig(
+    dim=1024,
+    profile_codebook_size=64,
+    profile_iterations=30,
+    scaling_sizes=(8, 16, 32, 64, 128),
+    scaling_trials=10,
+    scaling_max_iterations=300,
+)
+
+
+@pytest.fixture(scope="module")
+def fig1c_result(emit):
+    result = run_fig1c(CONFIG)
+    emit("")
+    emit(result.render())
+    return result
+
+
+def test_fig1c_mvm_dominates(fig1c_result):
+    assert fig1c_result.mvm_op_fraction > 0.7
+
+
+def test_fig1c_accuracy_cliff(fig1c_result):
+    accuracies = fig1c_result.baseline_accuracy
+    assert accuracies[8] > accuracies[128]
+
+
+def bench_profiled_run():
+    config = Fig1cConfig(
+        dim=1024,
+        profile_codebook_size=64,
+        profile_iterations=10,
+        scaling_sizes=(8,),
+        scaling_trials=2,
+        scaling_max_iterations=50,
+    )
+    return run_fig1c(config)
+
+
+def test_benchmark_fig1c(benchmark, fig1c_result):
+    # fig1c_result regenerates and prints the figure's data; the benchmark
+    # times a reduced profiled run.
+    result = benchmark.pedantic(bench_profiled_run, rounds=3, iterations=1)
+    assert result.mvm_op_fraction > 0.5
+    assert fig1c_result.mvm_op_fraction > 0.5

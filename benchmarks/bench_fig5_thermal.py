@@ -1,0 +1,34 @@
+"""Benchmark regenerating Fig. 5: thermal map of the 3-tier stack."""
+
+import pytest
+
+from repro.experiments import Fig5Config, run_fig5
+
+
+@pytest.fixture(scope="module")
+def fig5_result(emit):
+    result = run_fig5(Fig5Config(grid=30))
+    emit("")
+    emit(result.render())
+    return result
+
+
+def test_fig5_range_near_paper(fig5_result):
+    report = fig5_result.report
+    assert 44.0 < report.stack_min_c < 49.0
+    assert 45.0 < report.stack_max_c < 52.0
+
+
+def test_fig5_southern_gradient(fig5_result):
+    assert fig5_result.report.south_north_delta_c["tier2"] > 0
+
+
+def test_fig5_retention(fig5_result):
+    assert fig5_result.report.retention_ok
+
+
+def test_benchmark_thermal_solve(benchmark, fig5_result):
+    # fig5_result regenerates and prints the Fig. 5 map at full grid.
+    assert fig5_result.report.stack_max_c > 25.0
+    result = benchmark(lambda: run_fig5(Fig5Config(grid=20)))
+    assert result.report.stack_max_c > 25.0

@@ -1,0 +1,51 @@
+"""Benchmark regenerating Fig. 6: ADC precision + testchip validation."""
+
+import pytest
+
+from repro.experiments import Fig6aConfig, Fig6bConfig, run_fig6a, run_fig6b
+
+
+@pytest.fixture(scope="module")
+def fig6a_result(emit):
+    result = run_fig6a(
+        Fig6aConfig(dim=1024, codebook_size=64, trials=20, max_iterations=400)
+    )
+    emit("")
+    emit(result.render())
+    return result
+
+
+@pytest.fixture(scope="module")
+def fig6b_result(emit):
+    result = run_fig6b(Fig6bConfig(trials=60, max_iterations=40))
+    emit("")
+    emit(result.render())
+    return result
+
+
+def test_fig6a_low_precision_leads(fig6a_result):
+    curve4 = fig6a_result.curves[4]
+    curve8 = fig6a_result.curves[8]
+    mid = slice(30, 300)
+    assert curve4[mid].mean() >= curve8[mid].mean() - 0.05
+
+
+def test_fig6b_99_within_budget(fig6b_result):
+    assert fig6b_result.accuracy_at_25 >= 0.95
+
+
+def test_fig6b_one_shot_above_chance(fig6b_result):
+    # Whole-object exact decode after a single sweep (strictest metric).
+    assert fig6b_result.one_shot_accuracy > 0.4
+
+
+def test_benchmark_fig6b(benchmark, fig6a_result, fig6b_result):
+    # The two fixtures regenerate and print the Fig. 6a/6b series.
+    assert fig6b_result.accuracy_at_25 > 0.5
+    assert 4 in fig6a_result.curves
+    result = benchmark.pedantic(
+        lambda: run_fig6b(Fig6bConfig(trials=10, max_iterations=30)),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.accuracy_at_25 > 0.5

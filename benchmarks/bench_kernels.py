@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the library's core kernels (not a paper artifact).
+
+Useful for tracking regressions in the primitives every experiment relies
+on: crossbar MVMs, the CIM backend similarity chain, one resonator sweep,
+and the thermal solve.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cim import CrossbarArray
+from repro.core import CIMBackend, H3DFact
+from repro.resonator import ExactBackend, FactorizationProblem, ResonatorNetwork
+from repro.vsa import Codebook
+
+
+@pytest.fixture(scope="module")
+def codebook():
+    return Codebook.random("c", 1024, 256, rng=0)
+
+
+def test_benchmark_exact_similarity(benchmark, codebook):
+    backend = ExactBackend()
+    query = codebook.vector(0)
+    benchmark(lambda: backend.similarity(codebook, query))
+
+
+def test_benchmark_cim_similarity(benchmark, codebook):
+    backend = CIMBackend(rng=0)
+    query = codebook.vector(0)
+    benchmark(lambda: backend.similarity(codebook, query))
+
+
+def test_benchmark_crossbar_mvm(benchmark):
+    xb = CrossbarArray(256, 256, rng=0)
+    rng = np.random.default_rng(1)
+    weights = 2 * rng.integers(0, 2, size=(256, 256), dtype=np.int8) - 1
+    xb.program(weights)
+    x = 2 * rng.integers(0, 2, size=256, dtype=np.int8) - 1
+    benchmark(lambda: xb.mvm(x))
+
+
+def test_benchmark_resonator_sweep(benchmark):
+    problem = FactorizationProblem.random(1024, 4, 64, rng=0)
+    network = ResonatorNetwork(problem.codebooks, max_iterations=1, rng=0)
+    benchmark(lambda: network.factorize(problem.product, max_iterations=1))
+
+
+def test_benchmark_engine_factorize_small(benchmark):
+    engine = H3DFact(rng=0)
+    problem = FactorizationProblem.random(1024, 3, 8, rng=1)
+
+    def run():
+        return engine.factorize(problem, max_iterations=200)
+
+    result = benchmark(run)
+    assert result.iterations >= 1

@@ -1,0 +1,22 @@
+"""Shared benchmark fixtures.
+
+``emit`` prints straight to the terminal, bypassing pytest's output
+capture, so the regenerated paper tables/series are visible in the
+``pytest benchmarks/ --benchmark-only`` output (and in bench_output.txt).
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def emit(pytestconfig):
+    capmanager = pytestconfig.pluginmanager.getplugin("capturemanager")
+
+    def _emit(text: str) -> None:
+        if capmanager is not None:
+            with capmanager.global_and_fixture_disabled():
+                print(text)
+        else:  # pragma: no cover - capture always present under pytest
+            print(text)
+
+    return _emit

@@ -1,0 +1,61 @@
+"""Beyond perception: the Sec. V-E extension applications.
+
+Demonstrates the three cognitive workloads the paper cites as future
+directions, all running on the same H3DFact engine: analogical reasoning
+(Kanerva's "dollar of Mexico"), holographic tree search, and symbolic
+integer factorization.
+
+Run:  python examples/extensions.py
+"""
+
+from repro.apps import AnalogyEngine, IntegerFactorizer, TreePathDecoder
+from repro.apps.integer import primes_below
+
+
+def demo_analogy() -> None:
+    print("== analogical reasoning ==")
+    engine = AnalogyEngine(
+        roles=("capital", "currency", "language"),
+        fillers=(
+            "paris", "euro", "french",
+            "mexico-city", "peso", "spanish",
+        ),
+        dim=2048,
+        rng=0,
+    )
+    france = engine.encode_record(
+        "france", {"capital": "paris", "currency": "euro", "language": "french"}
+    )
+    mexico = engine.encode_record(
+        "mexico",
+        {"capital": "mexico-city", "currency": "peso", "language": "spanish"},
+    )
+    answer = engine.analogy(france, "euro", mexico)
+    print(f"  'euro' is to France as '{answer}' is to Mexico")
+    print(f"  capital of mexico: {engine.filler_of(mexico, 'capital')}")
+
+
+def demo_tree() -> None:
+    print("== holographic tree search ==")
+    decoder = TreePathDecoder(depth=5, branching=4, dim=1024, rng=1)
+    choices = [2, 0, 3, 1, 2]
+    path = decoder.encode_path(choices)
+    decoded, iterations = decoder.decode_path(path)
+    print(
+        f"  tree with {decoder.num_leaves} leaves: path {choices} "
+        f"decoded as {decoded} in {iterations} resonator iterations"
+    )
+
+
+def demo_integer() -> None:
+    print("== symbolic integer factorization ==")
+    factorizer = IntegerFactorizer(primes_below(100), dim=1024, rng=2)
+    for n in (13 * 47, 89 * 97, 29 * 29):
+        result = factorizer.factor_number(n)
+        print(f"  {n} = {result[0]} x {result[1]}")
+
+
+if __name__ == "__main__":
+    demo_analogy()
+    demo_tree()
+    demo_integer()

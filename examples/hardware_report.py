@@ -1,0 +1,59 @@
+"""Hardware deep-dive: Table III, floorplans, thermal map, PCM comparison.
+
+Prints the full PPA roll-up for the three iso-capacity designs, the
+per-tier area and energy breakdowns behind the headline numbers, the
+Fig. 5 thermal analysis, and the modeled cost of a single factorization.
+
+Run:  python examples/hardware_report.py
+"""
+
+from repro.arch.designs import h3d_design
+from repro.core import H3DFact
+from repro.experiments import Table3Config, run_table3
+from repro.floorplan import h3d_floorplans
+from repro.hwmodel import AreaModel, EnergyModel
+from repro.resonator import FactorizationProblem
+
+
+def main() -> None:
+    # Table III + PCM comparison.
+    result = run_table3(Table3Config())
+    print(result.render())
+
+    # Component-level breakdowns behind the table.
+    design = h3d_design()
+    print()
+    print(AreaModel().evaluate(design).report())
+    print()
+    print(EnergyModel().evaluate(design).report())
+
+    # Floorplan summary (Fig. 4).
+    engine = H3DFact.default(rng=0)
+    plans = h3d_floorplans(engine.ppa().energy)
+    print("\nFloorplans (Fig. 4):")
+    for name, plan in plans.items():
+        print(
+            f"  {name}: {plan.width_mm:.3f} x {plan.height_mm:.3f} mm, "
+            f"{len(plan.blocks)} blocks, utilization "
+            f"{100 * plan.utilization:.0f} %, power "
+            f"{1e3 * plan.total_power_w:.2f} mW "
+            f"(south share {100 * plan.south_power_fraction():.0f} %)"
+        )
+
+    # Thermal analysis (Fig. 5).
+    print()
+    report = engine.thermal(grid=30)
+    print(report.render())
+
+    # Modeled cost of one factorization run.
+    problem = FactorizationProblem.random(1024, 4, 16, rng=3)
+    run = engine.factorize_with_report(problem, max_iterations=600)
+    print(
+        f"\none factorization (F=4, M=16): {run.result.iterations} iterations"
+        f" -> {run.cycles} cycles, {run.hardware_microseconds:.1f} us, "
+        f"{1e9 * run.hardware_joules:.1f} nJ on the modeled chip"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""H3DFact reproduction: holographic factorization on heterogeneous 3D CIM.
+
+Public API entry points:
+
+* :class:`repro.resonator.FactorizationProblem` / ``ResonatorNetwork`` -
+  the factorization algorithm.
+* :class:`repro.core.H3DFact` - the full engine (resonator + RRAM noise +
+  architecture + PPA/thermal reporting).
+* :mod:`repro.experiments` - one driver per paper table/figure.
+"""
+
+from repro.errors import ReproError
+from repro.resonator.network import (
+    FactorizationProblem,
+    FactorizationResult,
+    ResonatorNetwork,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "__version__",
+    "FactorizationProblem",
+    "FactorizationResult",
+    "ResonatorNetwork",
+]

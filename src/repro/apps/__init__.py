@@ -1,0 +1,20 @@
+"""Extension applications (Sec. V-E).
+
+The paper positions H3DFact beyond visual perception: "factorization plays
+a fundamental role in perception and cognition (e.g., analogical reasoning,
+tree search, and integer factorization)".  This package implements those
+three extensions on top of the same engine:
+
+* :mod:`repro.apps.analogy` - role-filler analogical reasoning over bound
+  key-value records;
+* :mod:`repro.apps.tree` - decoding a path through a tree encoded with
+  permuted per-level choices;
+* :mod:`repro.apps.integer` - factoring the holographic encoding of a
+  composite number back into its factor encodings.
+"""
+
+from repro.apps.analogy import AnalogyEngine, Record
+from repro.apps.integer import IntegerFactorizer
+from repro.apps.tree import TreePathDecoder
+
+__all__ = ["AnalogyEngine", "Record", "IntegerFactorizer", "TreePathDecoder"]

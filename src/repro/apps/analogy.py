@@ -1,0 +1,130 @@
+"""Analogical reasoning with holographic role-filler records.
+
+The classic VSA demonstration ("What is the dollar of Mexico?", Kanerva):
+a record binds role vectors to filler vectors and superposes the pairs,
+
+    record = (role_1 (*) filler_1) [+] (role_2 (*) filler_2) [+] ...
+
+Unbinding a *filler* from one record yields that record's role, and
+unbinding that role from another record yields the analogous filler.  The
+engine answers ``analogy(record_a, filler_a, record_b) -> filler_b`` with
+cleanup against the filler codebook; the factorizer is the general tool
+when the query requires decomposing a *product* of roles instead of a
+single binding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CodebookError, DimensionError
+from repro.utils.rng import RandomState, as_rng
+from repro.vsa.codebook import Codebook
+from repro.vsa.ops import DEFAULT_DTYPE, bind, bundle, sign_with_tiebreak
+
+
+@dataclass
+class Record:
+    """One bound role-filler record (e.g. a country description)."""
+
+    name: str
+    vector: np.ndarray
+    assignment: Dict[str, str]
+
+
+class AnalogyEngine:
+    """Builds records over shared role/filler codebooks and answers queries.
+
+    Parameters
+    ----------
+    roles:
+        Role names (``"capital"``, ``"currency"``, ...).
+    fillers:
+        The universe of filler labels across all roles.
+    dim:
+        Hypervector dimension.
+    """
+
+    def __init__(
+        self,
+        roles: Sequence[str],
+        fillers: Sequence[str],
+        *,
+        dim: int = 1024,
+        rng: RandomState = None,
+    ) -> None:
+        if not roles or not fillers:
+            raise CodebookError("roles and fillers must be non-empty")
+        generator = as_rng(rng)
+        self.role_book = Codebook.random(
+            "roles", dim, len(roles), rng=generator, labels=list(roles)
+        )
+        self.filler_book = Codebook.random(
+            "fillers", dim, len(fillers), rng=generator, labels=list(fillers)
+        )
+        self._roles = {name: i for i, name in enumerate(roles)}
+        self._fillers = {name: i for i, name in enumerate(fillers)}
+        self._rng = generator
+
+    @property
+    def dim(self) -> int:
+        return self.role_book.dim
+
+    # -- record construction ---------------------------------------------------
+
+    def encode_record(self, name: str, assignment: Dict[str, str]) -> Record:
+        """Superpose the role (*) filler bindings of ``assignment``."""
+        if not assignment:
+            raise CodebookError(f"record {name!r} needs at least one pair")
+        bindings: List[np.ndarray] = []
+        for role, filler in assignment.items():
+            if role not in self._roles:
+                raise CodebookError(f"unknown role {role!r}")
+            if filler not in self._fillers:
+                raise CodebookError(f"unknown filler {filler!r}")
+            bindings.append(
+                bind(
+                    self.role_book.vector(self._roles[role]),
+                    self.filler_book.vector(self._fillers[filler]),
+                )
+            )
+        vector = bundle(bindings, rng=self._rng)
+        return Record(name=name, vector=vector, assignment=dict(assignment))
+
+    # -- queries -----------------------------------------------------------------
+
+    def filler_of(self, record: Record, role: str) -> str:
+        """Direct lookup: unbind a role, clean up against fillers."""
+        if role not in self._roles:
+            raise CodebookError(f"unknown role {role!r}")
+        unbound = bind(record.vector, self.role_book.vector(self._roles[role]))
+        index, _ = self.filler_book.cleanup(unbound)
+        return self.filler_book.label(index)
+
+    def role_of(self, record: Record, filler: str) -> str:
+        """Reverse lookup: unbind a filler, clean up against roles."""
+        if filler not in self._fillers:
+            raise CodebookError(f"unknown filler {filler!r}")
+        unbound = bind(
+            record.vector, self.filler_book.vector(self._fillers[filler])
+        )
+        index, _ = self.role_book.cleanup(unbound)
+        return self.role_book.label(index)
+
+    def analogy(self, record_a: Record, filler_a: str, record_b: Record) -> str:
+        """"``filler_a`` is to ``record_a`` as X is to ``record_b``" -> X.
+
+        Computed in superposition without symbolic intermediate steps:
+        ``record_b (*) record_a (*) filler_a`` carries the answer filler
+        plus cross-talk, exactly Kanerva's "dollar of Mexico" construction.
+        """
+        query = bind(
+            record_b.vector,
+            record_a.vector,
+            self.filler_book.vector(self._fillers[filler_a]),
+        )
+        index, _ = self.filler_book.cleanup(query)
+        return self.filler_book.label(index)

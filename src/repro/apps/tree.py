@@ -1,0 +1,107 @@
+"""Tree search by factorization: decoding a path through a decision tree.
+
+A depth-``L`` path with branching factor ``B`` is encoded as the binding of
+its per-level choices, each level protected by the permutation operation
+(Sec. II-A's sequence-encoding primitive):
+
+    path = rho^0(c_0) (*) rho^1(c_1) (*) ... (*) rho^(L-1)(c_{L-1})
+
+Because ``rho^l`` applied to a codebook is itself a valid codebook, this is
+exactly a factorization problem with one codebook per tree level - the
+resonator searches *all* ``B^L`` leaves in superposition instead of walking
+the tree node by node, the "tree search" use-case of Sec. V-E.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.engine import H3DFact
+from repro.errors import CodebookError, ConfigurationError
+from repro.utils.rng import RandomState, as_rng
+from repro.vsa.codebook import Codebook, CodebookSet
+from repro.vsa.ops import DEFAULT_DTYPE, permute
+
+
+class TreePathDecoder:
+    """Encodes and decodes tree paths holographically.
+
+    Parameters
+    ----------
+    depth:
+        Number of levels (choices along a path).
+    branching:
+        Choices per level.
+    dim:
+        Hypervector dimension.
+    engine:
+        Factorizer; defaults to the stochastic H3DFact engine.
+    """
+
+    def __init__(
+        self,
+        depth: int,
+        branching: int,
+        *,
+        dim: int = 1024,
+        engine: Optional[H3DFact] = None,
+        rng: RandomState = None,
+    ) -> None:
+        if depth < 1:
+            raise ConfigurationError(f"depth must be >= 1, got {depth}")
+        if branching < 2:
+            raise ConfigurationError(f"branching must be >= 2, got {branching}")
+        generator = as_rng(rng)
+        self.depth = depth
+        self.branching = branching
+        #: One base codebook of branch choices, shared across levels.
+        self.base = Codebook.random("choices", dim, branching, rng=generator)
+        #: Level codebooks: the base codebook permuted by the level index.
+        level_books = []
+        for level in range(depth):
+            matrix = np.stack(
+                [
+                    permute(self.base.matrix[:, b], level)
+                    for b in range(branching)
+                ],
+                axis=1,
+            ).astype(DEFAULT_DTYPE)
+            level_books.append(Codebook(f"level{level}", matrix))
+        self.codebooks = CodebookSet(level_books)
+        self.engine = engine if engine is not None else H3DFact(rng=generator)
+
+    @property
+    def num_leaves(self) -> int:
+        return self.branching**self.depth
+
+    def encode_path(self, choices: Sequence[int]) -> np.ndarray:
+        """Bind the per-level (permuted) choice vectors into a path vector."""
+        if len(choices) != self.depth:
+            raise CodebookError(
+                f"{len(choices)} choices for a depth-{self.depth} tree"
+            )
+        for choice in choices:
+            if not 0 <= choice < self.branching:
+                raise CodebookError(
+                    f"choice {choice} out of range [0, {self.branching})"
+                )
+        return self.codebooks.compose(list(choices))
+
+    def decode_path(
+        self,
+        path_vector: np.ndarray,
+        *,
+        max_iterations: int = 500,
+    ) -> Tuple[List[int], int]:
+        """Factorize a path vector back into per-level choices.
+
+        Returns the decoded choices and the iterations used.
+        """
+        result = self.engine.factorize(
+            np.asarray(path_vector),
+            codebooks=self.codebooks,
+            max_iterations=max_iterations,
+        )
+        return list(result.indices), result.iterations

@@ -1,0 +1,41 @@
+"""H3DFact architecture: tiers, interconnects, mapping, dataflow, designs."""
+
+from repro.arch.controller import ActivationController, PowerState
+from repro.arch.designs import (
+    Design,
+    DesignStyle,
+    h3d_design,
+    hybrid_2d_design,
+    sram_2d_design,
+)
+from repro.arch.interconnect import (
+    HybridBondSpec,
+    InterconnectBudget,
+    TSVSpec,
+    tsv_count_for_array,
+)
+from repro.arch.mapping import STEP_NAMES, WorkloadMapping
+from repro.arch.stack import H3DStack
+from repro.arch.tier import Tier, TierKind
+from repro.arch.dataflow import DataflowSimulator, IterationTiming
+
+__all__ = [
+    "ActivationController",
+    "PowerState",
+    "Design",
+    "DesignStyle",
+    "h3d_design",
+    "hybrid_2d_design",
+    "sram_2d_design",
+    "HybridBondSpec",
+    "InterconnectBudget",
+    "TSVSpec",
+    "tsv_count_for_array",
+    "STEP_NAMES",
+    "WorkloadMapping",
+    "H3DStack",
+    "Tier",
+    "TierKind",
+    "DataflowSimulator",
+    "IterationTiming",
+]

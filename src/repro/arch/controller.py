@@ -1,0 +1,120 @@
+"""Tier activation control: WL level shifters and power gating.
+
+Because tier-2 and tier-3 share one set of peripherals through common
+vertical interconnects, only one RRAM tier may drive the shared bit/source
+lines at a time (Sec. IV-A).  Activation is implemented by powering the
+wordline level shifters of exactly one RRAM tier; the other tier's cells
+must contribute no column current (full shutdown).  The controller enforces
+this invariant and tracks switching activity for the energy model.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError, MappingError
+
+
+class PowerState(enum.Enum):
+    """Power modes of an RRAM tier (Sec. III-A power-off modes)."""
+
+    ACTIVE = "active"
+    STANDBY = "standby"  # powered, WL shifters off
+    SHUTDOWN = "shutdown"  # fully power-gated
+
+
+class ActivationController:
+    """Ensures the single-active-RRAM-tier invariant.
+
+    Parameters
+    ----------
+    rram_tiers:
+        Names of the RRAM tiers sharing peripherals (e.g. ``["tier2",
+        "tier3"]``).
+    switch_cycles:
+        Clock cycles consumed by a tier switch (level-shifter enable +
+        settling); consumed by the dataflow simulator.
+    """
+
+    def __init__(self, rram_tiers: Sequence[str], *, switch_cycles: int = 2) -> None:
+        if not rram_tiers:
+            raise ConfigurationError("controller needs at least one RRAM tier")
+        if len(set(rram_tiers)) != len(rram_tiers):
+            raise ConfigurationError(f"duplicate tier names: {rram_tiers}")
+        if switch_cycles < 0:
+            raise ConfigurationError(
+                f"switch_cycles must be non-negative, got {switch_cycles}"
+            )
+        self.rram_tiers = list(rram_tiers)
+        self.switch_cycles = switch_cycles
+        self._states: Dict[str, PowerState] = {
+            name: PowerState.STANDBY for name in self.rram_tiers
+        }
+        self.switches = 0
+        self.history: List[Optional[str]] = []
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def active_tier(self) -> Optional[str]:
+        for name, state in self._states.items():
+            if state is PowerState.ACTIVE:
+                return name
+        return None
+
+    def state(self, tier: str) -> PowerState:
+        self._check_tier(tier)
+        return self._states[tier]
+
+    # -- commands ----------------------------------------------------------------
+
+    def activate(self, tier: str) -> int:
+        """Activate ``tier``; deactivates any other active tier first.
+
+        Returns the cycle cost of the operation (0 when already active).
+        """
+        self._check_tier(tier)
+        current = self.active_tier
+        if current == tier:
+            return 0
+        if current is not None:
+            self._states[current] = PowerState.STANDBY
+        self._states[tier] = PowerState.ACTIVE
+        self.switches += 1
+        self.history.append(tier)
+        return self.switch_cycles
+
+    def deactivate_all(self) -> None:
+        for name in self.rram_tiers:
+            if self._states[name] is PowerState.ACTIVE:
+                self._states[name] = PowerState.STANDBY
+        self.history.append(None)
+
+    def shutdown(self, tier: str) -> None:
+        """Fully power-gate ``tier`` (it cannot be active)."""
+        self._check_tier(tier)
+        self._states[tier] = PowerState.SHUTDOWN
+
+    def wake(self, tier: str) -> None:
+        self._check_tier(tier)
+        if self._states[tier] is PowerState.SHUTDOWN:
+            self._states[tier] = PowerState.STANDBY
+
+    def assert_invariant(self) -> None:
+        """Raise if more than one RRAM tier is active."""
+        active = [
+            name
+            for name, state in self._states.items()
+            if state is PowerState.ACTIVE
+        ]
+        if len(active) > 1:
+            raise MappingError(
+                f"single-active-tier invariant violated: {active} all active"
+            )
+
+    def _check_tier(self, tier: str) -> None:
+        if tier not in self._states:
+            raise MappingError(
+                f"unknown RRAM tier {tier!r}; known: {self.rram_tiers}"
+            )

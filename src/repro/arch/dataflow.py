@@ -1,0 +1,196 @@
+"""Cycle-level dataflow simulation of the factorization pipeline.
+
+Simulates one resonator sweep (steps I-IV of Fig. 3 for every factor) over
+a batch, honouring:
+
+* the single-active-RRAM-tier constraint - similarity (tier-3) and
+  projection (tier-2) MVMs cannot overlap, and switching tiers costs
+  level-shifter cycles;
+* SRAM buffering (Sec. IV-A) - tier-1 buffers ADC outputs so a whole
+  batch of similarity results can be produced before the stack switches to
+  the projection tier, instead of thrashing the tiers per batch element;
+* per-step latencies from the array geometry (row phases x ADC cycles).
+
+The simulator returns an :class:`IterationTiming` whose cycle counts feed
+the throughput model and whose buffer/activation statistics are asserted in
+tests (the batch-size > 1 motivation of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.arch.mapping import WorkloadMapping
+from repro.arch.stack import H3DStack
+from repro.arch.tier import TierKind
+from repro.cim.sram.buffer import SRAMBuffer
+from repro.errors import ConfigurationError, MappingError
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class StepLatency:
+    """Cycle cost of each pipeline step for one factor of one element."""
+
+    unbind: int = 1
+    similarity: int = 69
+    convert: int = 2
+    projection: int = 69
+
+    def __post_init__(self) -> None:
+        for name in ("unbind", "similarity", "convert", "projection"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} latency must be positive")
+
+    @classmethod
+    def from_geometry(
+        cls,
+        *,
+        rows: int = 256,
+        parallel_rows: int = 32,
+        adc_cycles: int = 8,
+        pipeline_overhead: int = 5,
+        input_bits: int = 1,
+    ) -> "StepLatency":
+        """Derive the MVM interval from array geometry.
+
+        ``ceil(rows / parallel_rows)`` row phases, each taking one ADC
+        conversion slot, plus fixed pipeline overhead; multi-bit inputs
+        (the 4-bit projection operands) run bit-serially.
+        """
+        phases = int(np.ceil(rows / parallel_rows))
+        mvm = phases * adc_cycles + pipeline_overhead
+        return cls(
+            unbind=1,
+            similarity=mvm,
+            convert=2,
+            projection=mvm * input_bits,
+        )
+
+
+@dataclass
+class IterationTiming:
+    """Result of simulating one sweep over a batch."""
+
+    total_cycles: int
+    tier_switches: int
+    buffer_peak: int
+    cycles_per_step: Dict[str, int]
+    batch: int
+    factors: int
+
+    @property
+    def cycles_per_element(self) -> float:
+        return self.total_cycles / self.batch if self.batch else 0.0
+
+
+class DataflowSimulator:
+    """Schedules one resonator sweep on a stack under a mapping."""
+
+    def __init__(
+        self,
+        stack: H3DStack,
+        mapping: WorkloadMapping,
+        *,
+        latency: StepLatency = StepLatency(),
+        buffer_capacity: Optional[int] = None,
+    ) -> None:
+        self.stack = stack
+        self.mapping = mapping
+        self.latency = latency
+        self.buffer_capacity = buffer_capacity
+
+    def simulate_sweep(self, *, batch: int = 1, factors: int = 4) -> IterationTiming:
+        """Simulate steps I-IV for ``factors`` factors over ``batch`` inputs.
+
+        Strategy (the paper's batching rationale): for each factor, run
+        *all* batch elements' unbind + similarity first (tier-3 stays
+        active), buffering ADC words in SRAM; then switch once to tier-2
+        and drain the buffer through projection.  Without the buffer the
+        stack would have to switch tiers twice per batch element.
+        """
+        check_positive("batch", batch)
+        check_positive("factors", factors)
+        buffer_needed = batch  # one similarity word per element per factor
+        capacity = (
+            self.buffer_capacity if self.buffer_capacity is not None else buffer_needed
+        )
+        if capacity < buffer_needed:
+            raise MappingError(
+                f"SRAM buffer of {capacity} entries cannot hold a batch of "
+                f"{buffer_needed} similarity words; increase buffer capacity "
+                "or reduce batch size"
+            )
+        buffer = SRAMBuffer(capacity, entry_bits=4 * 256)
+
+        cycles = 0
+        per_step: Dict[str, int] = {name: 0 for name in ("unbind", "similarity", "convert", "projection", "switch")}
+        controller = self.stack.controller
+        distinct_tiers = self.mapping.uses_distinct_rram_tiers()
+
+        for _ in range(factors):
+            # Phase A: unbind + similarity for the whole batch on tier-3.
+            sim_tier = self.mapping.assignment["similarity"]
+            if controller is not None and self.mapping.tier_for(
+                "similarity"
+            ).kind is TierKind.RRAM_CIM:
+                switch = self.stack.activate_rram(sim_tier)
+                cycles += switch
+                per_step["switch"] += switch
+            for element in range(batch):
+                cycles += self.latency.unbind
+                per_step["unbind"] += self.latency.unbind
+                cycles += self.latency.similarity
+                per_step["similarity"] += self.latency.similarity
+                cycles += self.latency.convert
+                per_step["convert"] += self.latency.convert
+                buffer.push(element, np.empty(0))
+            # Phase B: drain buffer through projection on tier-2.
+            proj_tier = self.mapping.assignment["projection"]
+            if controller is not None and self.mapping.tier_for(
+                "projection"
+            ).kind is TierKind.RRAM_CIM:
+                switch = self.stack.activate_rram(proj_tier)
+                cycles += switch
+                per_step["switch"] += switch
+            while not buffer.empty:
+                buffer.pop()
+                cycles += self.latency.projection
+                per_step["projection"] += self.latency.projection
+            if controller is not None:
+                controller.assert_invariant()
+
+        switches = controller.switches if controller is not None else 0
+        return IterationTiming(
+            total_cycles=cycles,
+            tier_switches=switches,
+            buffer_peak=buffer.peak_occupancy,
+            cycles_per_step=per_step,
+            batch=batch,
+            factors=factors,
+        )
+
+    def naive_sweep_cycles(self, *, batch: int = 1, factors: int = 4) -> int:
+        """Cycle count WITHOUT SRAM buffering (tier switch per element).
+
+        Used by the ablation benchmark to quantify the buffering benefit.
+        """
+        check_positive("batch", batch)
+        check_positive("factors", factors)
+        switch_cost = (
+            self.stack.controller.switch_cycles
+            if self.stack.controller is not None
+            and self.mapping.uses_distinct_rram_tiers()
+            else 0
+        )
+        per_element = (
+            self.latency.unbind
+            + self.latency.similarity
+            + self.latency.convert
+            + self.latency.projection
+            + 2 * switch_cost
+        )
+        return per_element * batch * factors

@@ -1,0 +1,227 @@
+"""Prebuilt designs: the three iso-capacity configurations of Table III.
+
+All three designs share compute resources - eight 256 x 256 CIM arrays plus
+identical digital support - so the comparison isolates the integration
+style (Sec. V-B "We maintain identical computing resources and parameters
+across all these designs"):
+
+* **SRAM-2D** - everything on one 16 nm die; MVMs in deterministic SRAM
+  CIM; no ADCs (digital accumulation), no TSVs.
+* **Hybrid-2D** - one 40 nm die combining RRAM CIM arrays with digital
+  logic; RRAM forces the whole die onto the legacy node.
+* **H3D** - the paper's 3-tier stack: 2 x 40 nm RRAM tiers (4 arrays
+  each) over a 16 nm digital tier; 1024 shared column ADCs; 5120 TSVs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.arch.mapping import WorkloadMapping
+from repro.arch.stack import H3DStack
+from repro.arch.tier import Tier, TierKind, digital_tier, rram_tier
+from repro.errors import ConfigurationError
+
+
+class DesignStyle(enum.Enum):
+    SRAM_2D = "sram-2d"
+    HYBRID_2D = "hybrid-2d"
+    H3D = "h3d"
+
+
+@dataclass(frozen=True)
+class Design:
+    """A complete hardware configuration for the PPA model.
+
+    Attributes mirror the "Hardware Resource" columns of Table III.
+    """
+
+    name: str
+    style: DesignStyle
+    stack: H3DStack
+    mapping: WorkloadMapping
+    adc_bits: int
+    adc_count: int
+    #: Batch size the SRAM buffer is provisioned for.
+    batch_size: int = 100
+    #: Human-readable operation styles (Table III columns).
+    unbinding_operation: str = "SRAM Digital"
+    mvm_operation: str = "RRAM CIM"
+
+    def __post_init__(self) -> None:
+        if self.adc_bits < 0 or self.adc_count < 0:
+            raise ConfigurationError("ADC resources must be non-negative")
+        if self.batch_size <= 0:
+            raise ConfigurationError(
+                f"batch_size must be positive, got {self.batch_size}"
+            )
+
+    # -- resource roll-ups (Table III bookkeeping) ---------------------------
+
+    @property
+    def tsv_count(self) -> int:
+        return self.stack.tsv_count()
+
+    @property
+    def total_arrays(self) -> int:
+        return sum(
+            t.arrays
+            for t in self.stack.tiers.values()
+            if t.kind in (TierKind.RRAM_CIM, TierKind.SRAM_CIM)
+        )
+
+    @property
+    def array_rows(self) -> int:
+        for tier in self.stack.tiers.values():
+            if tier.arrays:
+                return tier.array_rows
+        return 0
+
+    @property
+    def array_cols(self) -> int:
+        for tier in self.stack.tiers.values():
+            if tier.arrays:
+                return tier.array_cols
+        return 0
+
+    @property
+    def total_cells(self) -> int:
+        return sum(t.cells for t in self.stack.tiers.values())
+
+    @property
+    def technology_summary(self) -> Dict[str, Optional[int]]:
+        """Node assignment per role (the three Technology columns)."""
+        rram_nodes = {
+            t.node_nm for t in self.stack.tiers.values() if t.kind is TierKind.RRAM_CIM
+        }
+        digital_nodes = {
+            t.node_nm for t in self.stack.tiers.values() if t.kind is TierKind.DIGITAL
+        }
+        return {
+            "rram_nm": rram_nodes.pop() if rram_nodes else None,
+            "rram_peripheral_nm": digital_nodes.copy().pop() if digital_nodes else None,
+            "digital_nm": digital_nodes.pop() if digital_nodes else None,
+        }
+
+
+#: Shared design parameters (Sec. IV-A: d = 256, f = 4).
+ARRAY_ROWS = 256
+ARRAY_COLS = 256
+ARRAYS_PER_TIER = 4
+RRAM_TIERS = 2
+
+
+def h3d_design(
+    *,
+    adc_bits: int = 4,
+    arrays_per_tier: int = ARRAYS_PER_TIER,
+    rows: int = ARRAY_ROWS,
+    cols: int = ARRAY_COLS,
+    batch_size: int = 100,
+) -> Design:
+    """The paper's 3-tier heterogeneous design (Table III row 3)."""
+    tiers = [
+        digital_tier("tier1", "unbinding, ADC, SRAM, control", node_nm=16),
+        rram_tier("tier2", "projection", arrays=arrays_per_tier, rows=rows, cols=cols),
+        rram_tier("tier3", "similarity", arrays=arrays_per_tier, rows=rows, cols=cols),
+    ]
+    stack = H3DStack(tiers)
+    mapping = WorkloadMapping.h3dfact({t.name: t for t in tiers})
+    return Design(
+        name="3-Tier H3D",
+        style=DesignStyle.H3D,
+        stack=stack,
+        mapping=mapping,
+        adc_bits=adc_bits,
+        adc_count=arrays_per_tier * cols,  # shared between the RRAM tiers
+        batch_size=batch_size,
+        unbinding_operation="SRAM Digital",
+        mvm_operation="RRAM CIM",
+    )
+
+
+def hybrid_2d_design(
+    *,
+    adc_bits: int = 4,
+    arrays: int = ARRAYS_PER_TIER * RRAM_TIERS,
+    rows: int = ARRAY_ROWS,
+    cols: int = ARRAY_COLS,
+    batch_size: int = 100,
+) -> Design:
+    """Monolithic 40 nm RRAM/SRAM hybrid (Table III row 2).
+
+    All modules share the 40 nm node because the RRAM process anchors the
+    die; iso-capacity means the same eight arrays in one plane.
+    """
+    regions = [
+        Tier(
+            name="cim",
+            kind=TierKind.RRAM_CIM,
+            node_nm=40,
+            role="similarity + projection",
+            arrays=arrays,
+            array_rows=rows,
+            array_cols=cols,
+        ),
+        Tier(name="digital", kind=TierKind.DIGITAL, node_nm=40, role="unbinding, ADC, SRAM"),
+    ]
+    stack = H3DStack(regions, planar=True)
+    mapping = WorkloadMapping.monolithic(
+        {t.name: t for t in regions}, cim_tier="cim", digital_tier="digital"
+    )
+    return Design(
+        name="Hybrid 2D",
+        style=DesignStyle.HYBRID_2D,
+        stack=stack,
+        mapping=mapping,
+        adc_bits=adc_bits,
+        adc_count=ARRAYS_PER_TIER * cols,  # MUX-shared sensing (Sec. III-B)
+        batch_size=batch_size,
+        unbinding_operation="SRAM Digital",
+        mvm_operation="RRAM CIM",
+    )
+
+
+def sram_2d_design(
+    *,
+    arrays: int = ARRAYS_PER_TIER * RRAM_TIERS,
+    rows: int = ARRAY_ROWS,
+    cols: int = ARRAY_COLS,
+    batch_size: int = 100,
+) -> Design:
+    """Fully digital 16 nm SRAM design (Table III row 1).
+
+    MVMs run in SRAM CIM with digital accumulation (-1's counters), so the
+    design needs no ADCs and is fully deterministic - which is also why its
+    factorization accuracy is the lowest of the three (no stochasticity to
+    break limit cycles).
+    """
+    regions = [
+        Tier(
+            name="cim",
+            kind=TierKind.SRAM_CIM,
+            node_nm=16,
+            role="similarity + projection",
+            arrays=arrays,
+            array_rows=rows,
+            array_cols=cols,
+        ),
+        Tier(name="digital", kind=TierKind.DIGITAL, node_nm=16, role="unbinding, SRAM"),
+    ]
+    stack = H3DStack(regions, planar=True)
+    mapping = WorkloadMapping.monolithic(
+        {t.name: t for t in regions}, cim_tier="cim", digital_tier="digital"
+    )
+    return Design(
+        name="SRAM 2D",
+        style=DesignStyle.SRAM_2D,
+        stack=stack,
+        mapping=mapping,
+        adc_bits=0,
+        adc_count=0,
+        batch_size=batch_size,
+        unbinding_operation="SRAM Digital",
+        mvm_operation="SRAM CIM",
+    )

@@ -1,0 +1,153 @@
+"""Tier-to-tier interconnect model: TSVs and hybrid bonding.
+
+Geometry follows Table I of the paper (in line with H3DAtten and AMD
+3D V-Cache).  The model provides:
+
+* the per-array TSV count rule of Sec. IV-B - an ``X x Y`` RRAM array
+  needs ``X`` wordline + ``Y`` bitline + ``Y/2`` sourceline TSVs (source
+  lines are shared per column pair);
+* electrical parasitics (coaxial TSV capacitance, via resistance) that
+  feed the timing model's frequency penalty;
+* area overheads (keep-out at the TSV pitch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.units import um
+from repro.utils.validation import check_positive
+
+#: Vacuum permittivity (F/m) and SiO2 relative permittivity.
+_EPSILON_0 = 8.854e-12
+_EPSILON_SIO2 = 3.9
+#: Copper resistivity (ohm m).
+_RHO_CU = 1.7e-8
+
+
+@dataclass(frozen=True)
+class TSVSpec:
+    """Through-silicon via geometry (Table I defaults)."""
+
+    diameter_um: float = 2.0
+    pitch_um: float = 4.0
+    oxide_thickness_nm: float = 100.0
+    height_um: float = 10.0
+
+    def __post_init__(self) -> None:
+        check_positive("diameter_um", self.diameter_um)
+        check_positive("pitch_um", self.pitch_um)
+        check_positive("oxide_thickness_nm", self.oxide_thickness_nm)
+        check_positive("height_um", self.height_um)
+        if self.pitch_um < self.diameter_um:
+            raise ConfigurationError(
+                f"TSV pitch ({self.pitch_um} um) must be at least the "
+                f"diameter ({self.diameter_um} um)"
+            )
+
+    @property
+    def capacitance(self) -> float:
+        """Coaxial oxide capacitance of one TSV in farads.
+
+        ``C = eps * 2 pi h / ln((r + t_ox) / r)`` for a cylindrical
+        conductor of radius ``r`` and oxide thickness ``t_ox``.
+        """
+        radius = um(self.diameter_um) / 2.0
+        t_ox = self.oxide_thickness_nm * 1e-9
+        return (
+            _EPSILON_0
+            * _EPSILON_SIO2
+            * 2.0
+            * np.pi
+            * um(self.height_um)
+            / np.log((radius + t_ox) / radius)
+        )
+
+    @property
+    def resistance(self) -> float:
+        """DC resistance of the copper via in ohms."""
+        radius = um(self.diameter_um) / 2.0
+        return _RHO_CU * um(self.height_um) / (np.pi * radius**2)
+
+    @property
+    def keepout_area(self) -> float:
+        """Silicon area consumed per TSV (pitch-squared keep-out), m^2."""
+        return um(self.pitch_um) ** 2
+
+
+@dataclass(frozen=True)
+class HybridBondSpec:
+    """Face-to-face hybrid bonding geometry (Table I defaults)."""
+
+    pitch_um: float = 10.0
+    thickness_um: float = 3.0
+
+    def __post_init__(self) -> None:
+        check_positive("pitch_um", self.pitch_um)
+        check_positive("thickness_um", self.thickness_um)
+
+    @property
+    def capacitance(self) -> float:
+        """Parallel-plate estimate of one bond pad's capacitance (F).
+
+        Pad radius ~ pitch/4; dielectric thickness = bond thickness.
+        Hybrid bonds are much less capacitive than TSVs, which is why the
+        frequency penalty is dominated by the TSV legs.
+        """
+        pad_radius = um(self.pitch_um) / 4.0
+        area = np.pi * pad_radius**2
+        return _EPSILON_0 * _EPSILON_SIO2 * area / um(self.thickness_um)
+
+    @property
+    def keepout_area(self) -> float:
+        return um(self.pitch_um) ** 2
+
+
+def tsv_count_for_array(rows: int, cols: int) -> int:
+    """TSVs connecting one RRAM array to its off-tier peripherals.
+
+    Sec. IV-B: ``X`` wordlines + ``Y`` bitlines + ``Y/2`` sourcelines.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ConfigurationError(
+            f"array dimensions must be positive, got {rows}x{cols}"
+        )
+    return rows + cols + cols // 2
+
+
+@dataclass(frozen=True)
+class InterconnectBudget:
+    """Total vertical-interconnect resources of a design."""
+
+    tsv_count: int
+    bond_count: int
+    tsv: TSVSpec = TSVSpec()
+    bond: HybridBondSpec = HybridBondSpec()
+
+    def __post_init__(self) -> None:
+        if self.tsv_count < 0 or self.bond_count < 0:
+            raise ConfigurationError(
+                "interconnect counts must be non-negative, got "
+                f"{self.tsv_count} TSVs / {self.bond_count} bonds"
+            )
+
+    @property
+    def total_tsv_area(self) -> float:
+        """Keep-out silicon area of all TSVs (m^2)."""
+        return self.tsv_count * self.tsv.keepout_area
+
+    @property
+    def total_capacitance(self) -> float:
+        """Aggregate vertical-interconnect capacitance (F)."""
+        return (
+            self.tsv_count * self.tsv.capacitance
+            + self.bond_count * self.bond.capacitance
+        )
+
+    @property
+    def per_signal_capacitance(self) -> float:
+        """Capacitance loading one signal path (one TSV + one bond), F."""
+        return self.tsv.capacitance + self.bond.capacitance

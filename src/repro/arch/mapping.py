@@ -1,0 +1,114 @@
+"""Workload mapping: factorization steps onto stack tiers.
+
+Fig. 3 partitions one resonator update into four steps:
+
+=====  ============================  =================  ==========
+step   operation                     H3D tier           signal
+=====  ============================  =================  ==========
+I      unbinding (XNOR)              tier-1 digital     1-bit dig.
+II     similarity MVM                tier-3 RRAM        analog I
+III    ADC + buffering               tier-1 digital     4-bit dig.
+IV     projection MVM + sign         tier-2 RRAM        1-bit dig.
+=====  ============================  =================  ==========
+
+A :class:`WorkloadMapping` assigns each step to a tier and validates the
+assignment against the tier capabilities (MVMs need CIM tiers, digital
+steps need the digital tier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.arch.tier import Tier, TierKind
+from repro.errors import MappingError
+
+#: The four dataflow steps of Fig. 3, in execution order.
+STEP_NAMES: Tuple[str, ...] = ("unbind", "similarity", "convert", "projection")
+
+#: Which tier kinds may execute each step.
+_ALLOWED_KINDS = {
+    "unbind": (TierKind.DIGITAL,),
+    "similarity": (TierKind.RRAM_CIM, TierKind.SRAM_CIM),
+    "convert": (TierKind.DIGITAL,),
+    "projection": (TierKind.RRAM_CIM, TierKind.SRAM_CIM),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadMapping:
+    """Assignment of factorization steps to named tiers."""
+
+    assignment: Dict[str, str]
+    tiers: Dict[str, Tier]
+
+    def __post_init__(self) -> None:
+        missing = set(STEP_NAMES) - set(self.assignment)
+        if missing:
+            raise MappingError(f"mapping misses steps: {sorted(missing)}")
+        unknown = set(self.assignment) - set(STEP_NAMES)
+        if unknown:
+            raise MappingError(f"mapping has unknown steps: {sorted(unknown)}")
+        for step, tier_name in self.assignment.items():
+            if tier_name not in self.tiers:
+                raise MappingError(
+                    f"step {step!r} mapped to unknown tier {tier_name!r}"
+                )
+            tier = self.tiers[tier_name]
+            if tier.kind not in _ALLOWED_KINDS[step]:
+                raise MappingError(
+                    f"step {step!r} cannot run on tier {tier_name!r} of kind "
+                    f"{tier.kind.value}"
+                )
+
+    @classmethod
+    def h3dfact(cls, tiers: Dict[str, Tier]) -> "WorkloadMapping":
+        """The paper's canonical 3-tier mapping."""
+        return cls(
+            assignment={
+                "unbind": "tier1",
+                "similarity": "tier3",
+                "convert": "tier1",
+                "projection": "tier2",
+            },
+            tiers=tiers,
+        )
+
+    @classmethod
+    def monolithic(cls, tiers: Dict[str, Tier], cim_tier: str,
+                   digital_tier: str) -> "WorkloadMapping":
+        """2D mapping: one CIM region + one digital region on a single die."""
+        return cls(
+            assignment={
+                "unbind": digital_tier,
+                "similarity": cim_tier,
+                "convert": digital_tier,
+                "projection": cim_tier,
+            },
+            tiers=tiers,
+        )
+
+    def tier_for(self, step: str) -> Tier:
+        if step not in self.assignment:
+            raise MappingError(f"unknown step {step!r}")
+        return self.tiers[self.assignment[step]]
+
+    @property
+    def rram_steps(self) -> List[str]:
+        """Steps that execute on RRAM tiers (drive tier activation)."""
+        return [
+            step
+            for step in STEP_NAMES
+            if self.tiers[self.assignment[step]].kind is TierKind.RRAM_CIM
+        ]
+
+    def uses_distinct_rram_tiers(self) -> bool:
+        """True when similarity and projection live on different RRAM tiers."""
+        sim = self.assignment["similarity"]
+        proj = self.assignment["projection"]
+        return (
+            sim != proj
+            and self.tiers[sim].kind is TierKind.RRAM_CIM
+            and self.tiers[proj].kind is TierKind.RRAM_CIM
+        )

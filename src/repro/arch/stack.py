@@ -1,0 +1,136 @@
+"""The 3D stack: tiers + interconnect + activation control."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.controller import ActivationController
+from repro.arch.interconnect import (
+    HybridBondSpec,
+    InterconnectBudget,
+    TSVSpec,
+    tsv_count_for_array,
+)
+from repro.arch.mapping import WorkloadMapping
+from repro.arch.tier import Tier, TierKind
+from repro.errors import ConfigurationError, MappingError
+
+
+class H3DStack:
+    """A vertically integrated stack of tiers.
+
+    Responsible for the structural bookkeeping the PPA model needs:
+    per-tier resources, TSV/bond counts, and the activation controller
+    shared by the RRAM tiers.
+
+    Parameters
+    ----------
+    tiers:
+        Tiers ordered bottom (tier-1) to top.
+    tsv / bond:
+        Interconnect geometry (Table I defaults).
+    planar:
+        When True the "tiers" are regions of a single 2D die (the Table III
+        baseline designs): no vertical interconnect exists and ``is_3d`` is
+        False, but mapping/activation semantics are unchanged.
+    """
+
+    def __init__(
+        self,
+        tiers: Sequence[Tier],
+        *,
+        tsv: TSVSpec = TSVSpec(),
+        bond: HybridBondSpec = HybridBondSpec(),
+        planar: bool = False,
+    ) -> None:
+        self.planar = planar
+        if not tiers:
+            raise ConfigurationError("stack requires at least one tier")
+        names = [tier.name for tier in tiers]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate tier names: {names}")
+        self.tiers: Dict[str, Tier] = {tier.name: tier for tier in tiers}
+        self.order: List[str] = names
+        self.tsv_spec = tsv
+        self.bond_spec = bond
+        rram_names = [t.name for t in tiers if t.kind is TierKind.RRAM_CIM]
+        self.controller: Optional[ActivationController] = (
+            ActivationController(rram_names) if rram_names else None
+        )
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def num_tiers(self) -> int:
+        return len(self.order)
+
+    @property
+    def is_3d(self) -> bool:
+        return self.num_tiers > 1 and not self.planar
+
+    @property
+    def rram_tiers(self) -> List[Tier]:
+        return [t for t in self.tiers.values() if t.kind is TierKind.RRAM_CIM]
+
+    def tier(self, name: str) -> Tier:
+        if name not in self.tiers:
+            raise MappingError(f"unknown tier {name!r}; have {self.order}")
+        return self.tiers[name]
+
+    # -- interconnect ------------------------------------------------------------
+
+    def tsv_count(self) -> int:
+        """Total TSVs: each RRAM array connects its WL/BL/SL off-tier.
+
+        2D designs have no vertical interconnect; a 3D stack pays the
+        Sec. IV-B per-array count for every array on every RRAM tier
+        (tiers share the peripheral *circuits*, but each tier's lines
+        still need their own vertical connections to reach them).
+        """
+        if not self.is_3d:
+            return 0
+        total = 0
+        for tier in self.rram_tiers:
+            total += tier.arrays * tsv_count_for_array(
+                tier.array_rows, tier.array_cols
+            )
+        return total
+
+    def bond_count(self) -> int:
+        """Hybrid bond pads: one per TSV landing on the face-to-face edge."""
+        if not self.is_3d:
+            return 0
+        # One F2F interface in the 3-tier mix of F2F/F2B (Sec. IV-C); its
+        # signal count matches one tier's worth of TSVs.
+        per_tier = self.tsv_count() // max(len(self.rram_tiers), 1)
+        return per_tier
+
+    def interconnect(self) -> InterconnectBudget:
+        return InterconnectBudget(
+            tsv_count=self.tsv_count(),
+            bond_count=self.bond_count(),
+            tsv=self.tsv_spec,
+            bond=self.bond_spec,
+        )
+
+    # -- activation -----------------------------------------------------------------
+
+    def activate_rram(self, tier_name: str) -> int:
+        """Activate one RRAM tier (cycle cost returned); enforces invariant."""
+        if self.controller is None:
+            raise MappingError("stack has no RRAM tiers to activate")
+        cycles = self.controller.activate(tier_name)
+        self.controller.assert_invariant()
+        return cycles
+
+    @property
+    def active_rram_tier(self) -> Optional[str]:
+        return self.controller.active_tier if self.controller else None
+
+    def __repr__(self) -> str:
+        layers = ", ".join(
+            f"{name}({self.tiers[name].node_nm}nm {self.tiers[name].kind.value})"
+            for name in self.order
+        )
+        return f"H3DStack([{layers}])"

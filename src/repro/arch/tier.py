@@ -1,0 +1,100 @@
+"""Tier descriptors for the 3D stack.
+
+H3DFact's stack (Fig. 3): tier-3 (top) and tier-2 are 40 nm RRAM CIM dies;
+tier-1 (bottom) is a 16 nm digital die holding the RRAM peripherals, SRAM
+and logic.  A :class:`Tier` records what lives on a die and in which
+technology; the PPA and thermal models consume these descriptors.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+
+class TierKind(enum.Enum):
+    """What kind of compute a tier carries."""
+
+    RRAM_CIM = "rram_cim"
+    DIGITAL = "digital"
+    SRAM_CIM = "sram_cim"
+
+
+#: Technology nodes used by the paper's designs (nm).
+SUPPORTED_NODES = (40, 16)
+
+
+@dataclass(frozen=True)
+class Tier:
+    """One die in the stack.
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. ``"tier3"``.
+    kind:
+        Compute style of the die.
+    node_nm:
+        Technology node; RRAM requires the legacy 40 nm node (programming
+        voltages), digital scales to 16 nm.
+    role:
+        Which factorization kernel the tier executes (Fig. 3 left).
+    arrays / array_rows / array_cols:
+        CIM array resources on this tier (0 for purely digital tiers).
+    """
+
+    name: str
+    kind: TierKind
+    node_nm: int
+    role: str
+    arrays: int = 0
+    array_rows: int = 0
+    array_cols: int = 0
+
+    def __post_init__(self) -> None:
+        if self.node_nm not in SUPPORTED_NODES:
+            raise ConfigurationError(
+                f"node_nm must be one of {SUPPORTED_NODES}, got {self.node_nm}"
+            )
+        if self.kind in (TierKind.RRAM_CIM, TierKind.SRAM_CIM):
+            if self.arrays <= 0 or self.array_rows <= 0 or self.array_cols <= 0:
+                raise ConfigurationError(
+                    f"CIM tier {self.name!r} needs positive array geometry, got "
+                    f"{self.arrays}x({self.array_rows}x{self.array_cols})"
+                )
+        if self.kind is TierKind.RRAM_CIM and self.node_nm != 40:
+            raise ConfigurationError(
+                "RRAM tiers must use the legacy 40 nm node (programming "
+                f"voltage support); got {self.node_nm} nm for {self.name!r}"
+            )
+
+    @property
+    def cells(self) -> int:
+        """Total memory cells on the tier."""
+        return self.arrays * self.array_rows * self.array_cols
+
+    @property
+    def is_rram(self) -> bool:
+        return self.kind is TierKind.RRAM_CIM
+
+
+def rram_tier(name: str, role: str, *, arrays: int = 4, rows: int = 256,
+              cols: int = 256) -> Tier:
+    """Convenience constructor for a 40 nm RRAM CIM tier."""
+    return Tier(
+        name=name,
+        kind=TierKind.RRAM_CIM,
+        node_nm=40,
+        role=role,
+        arrays=arrays,
+        array_rows=rows,
+        array_cols=cols,
+    )
+
+
+def digital_tier(name: str, role: str, *, node_nm: int = 16) -> Tier:
+    """Convenience constructor for the digital peripheral/SRAM tier."""
+    return Tier(name=name, kind=TierKind.DIGITAL, node_nm=node_nm, role=role)

@@ -1,0 +1,51 @@
+"""Compute-in-memory primitives: RRAM crossbars, SRAM digital units, ADCs.
+
+The subpackages model the circuit blocks of Fig. 2:
+
+* :mod:`repro.cim.rram` - the analog RRAM tiers (device statistics,
+  differential crossbar MVM, current sensing with Rsense/VTGT).
+* :mod:`repro.cim.sram` - the digital tier-1 blocks (XNOR unbinding,
+  -1's counter + adder, SRAM buffering).
+* :mod:`repro.cim.adc` / :mod:`repro.cim.dac` - the converters between the
+  analog and digital domains.
+"""
+
+from repro.cim.adc import SARADC
+from repro.cim.dac import WordlineDriver
+from repro.cim.quantization import (
+    dead_zone,
+    quantize_codes,
+    reconstruct,
+    uniform_quantize,
+)
+from repro.cim.rram import (
+    CrossbarArray,
+    NoiseParameters,
+    ProgrammingModel,
+    RRAMDeviceModel,
+    SensingPath,
+)
+from repro.cim.sram import (
+    NegOnesCounter,
+    SRAMArray,
+    SRAMBuffer,
+    XNORUnbindUnit,
+)
+
+__all__ = [
+    "SARADC",
+    "WordlineDriver",
+    "dead_zone",
+    "quantize_codes",
+    "reconstruct",
+    "uniform_quantize",
+    "CrossbarArray",
+    "NoiseParameters",
+    "ProgrammingModel",
+    "RRAMDeviceModel",
+    "SensingPath",
+    "NegOnesCounter",
+    "SRAMArray",
+    "SRAMBuffer",
+    "XNORUnbindUnit",
+]

@@ -1,0 +1,108 @@
+"""SAR ADC model (the per-column converters on tier-1).
+
+H3DFact assigns each RRAM column a 4-bit SAR ADC built in the 16 nm digital
+tier (Sec. IV-B); Fig. 6a compares against an 8-bit design.  The model
+covers the quantization transfer function, optional comparator noise and
+static gain/offset calibration error, and exposes the conversion latency
+and energy figures the architecture model consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cim.quantization import dead_zone, quantize_codes, reconstruct
+from repro.errors import ConfigurationError
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_positive
+
+
+class SARADC:
+    """Successive-approximation ADC over a unipolar input range.
+
+    Parameters
+    ----------
+    bits:
+        Resolution.  The paper's design point is 4; the comparison point in
+        Fig. 6a is 8.
+    comparator_noise_lsb:
+        RMS comparator noise in LSBs, adding decision dither near code
+        boundaries.  Real SAR comparators sit around 0.1-0.5 LSB.
+    gain_error / offset_error_lsb:
+        Static calibration residues ("Calibrated ADC" blocks in Fig. 4b
+        null most, but not all, of these).
+    sample_cycles:
+        Conversion latency in clock cycles: one sampling cycle plus one
+        bit-decision cycle per bit (plus margin) for a SAR loop.
+    """
+
+    def __init__(
+        self,
+        bits: int = 4,
+        *,
+        comparator_noise_lsb: float = 0.0,
+        gain_error: float = 0.0,
+        offset_error_lsb: float = 0.0,
+        rng: RandomState = None,
+    ) -> None:
+        if not isinstance(bits, (int, np.integer)) or not 1 <= bits <= 16:
+            raise ConfigurationError(f"bits must be in [1, 16], got {bits!r}")
+        check_positive("comparator_noise_lsb", comparator_noise_lsb, allow_zero=True)
+        self.bits = int(bits)
+        self.comparator_noise_lsb = comparator_noise_lsb
+        self.gain_error = gain_error
+        self.offset_error_lsb = offset_error_lsb
+        self._rng = as_rng(rng)
+
+    # -- behaviour ------------------------------------------------------------
+
+    @property
+    def deterministic(self) -> bool:
+        return self.comparator_noise_lsb == 0.0
+
+    @property
+    def levels(self) -> int:
+        return (1 << self.bits) - 1
+
+    def lsb(self, full_scale: float) -> float:
+        check_positive("full_scale", full_scale)
+        return full_scale / self.levels
+
+    def dead_zone(self, full_scale: float) -> float:
+        """Input magnitude below which the output code is 0."""
+        return dead_zone(bits=self.bits, full_scale=full_scale)
+
+    def codes(self, values: np.ndarray, *, full_scale: float) -> np.ndarray:
+        """Digital output codes for analog ``values``."""
+        values = np.asarray(values, dtype=np.float64)
+        effective = values * (1.0 + self.gain_error)
+        if self.offset_error_lsb:
+            effective = effective + self.offset_error_lsb * self.lsb(full_scale)
+        if self.comparator_noise_lsb > 0:
+            noise = self._rng.normal(
+                0.0, self.comparator_noise_lsb * self.lsb(full_scale), values.shape
+            )
+            effective = effective + noise
+        return quantize_codes(effective, bits=self.bits, full_scale=full_scale)
+
+    def convert(self, values: np.ndarray, *, full_scale: float) -> np.ndarray:
+        """End-to-end transfer: quantize then reconstruct to physical units.
+
+        This is the method the resonator backends call: the reconstructed
+        value is what the projection tier effectively sees after the 4-bit
+        digital word crosses the TSVs (Fig. 3, step III).
+        """
+        codes = self.codes(values, full_scale=full_scale)
+        return reconstruct(codes, bits=self.bits, full_scale=full_scale)
+
+    # -- costs (consumed by repro.hwmodel) ----------------------------------------
+
+    @property
+    def sample_cycles(self) -> int:
+        """Clock cycles per conversion: sample + 1/bit + sync margin."""
+        return self.bits + 2
+
+    def __repr__(self) -> str:
+        return f"SARADC(bits={self.bits})"

@@ -1,0 +1,82 @@
+"""Wordline drivers: applying bipolar inputs to RRAM rows.
+
+Bipolar inputs need no multi-bit DAC: a ``+1`` drives the read voltage in
+the positive phase and a ``-1`` in the negated phase (two-phase differential
+read).  Multi-bit inputs - the 4-bit similarity words driving the
+projection tier - are applied bit-serially over ``bits`` phases with
+digital shift-and-add after conversion, which is why the projection MVM
+costs ``bits`` row passes in the timing model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionError
+from repro.utils.validation import check_bipolar, check_positive
+
+
+class WordlineDriver:
+    """Drives one array's wordlines; tracks activation statistics.
+
+    Parameters
+    ----------
+    rows:
+        Number of wordlines (array rows).
+    read_voltage:
+        Read voltage amplitude in volts; 0.2 V is typical for 40 nm HfOx
+        arrays (large enough to sense, small enough not to disturb).
+    max_parallel_rows:
+        Rows drivable simultaneously; sensing headroom limits full-array
+        activation, so large MVMs run in row chunks (this is the ``8 row
+        phases`` of the 69-cycle MVM interval in the timing model).
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        *,
+        read_voltage: float = 0.2,
+        max_parallel_rows: int = 32,
+    ) -> None:
+        if rows <= 0:
+            raise ConfigurationError(f"rows must be positive, got {rows}")
+        check_positive("read_voltage", read_voltage)
+        if max_parallel_rows <= 0:
+            raise ConfigurationError(
+                f"max_parallel_rows must be positive, got {max_parallel_rows}"
+            )
+        self.rows = rows
+        self.read_voltage = read_voltage
+        self.max_parallel_rows = max_parallel_rows
+        self.activations = 0
+
+    def row_phases(self, active_rows: int) -> int:
+        """Number of sequential row groups needed for ``active_rows``."""
+        if active_rows <= 0:
+            return 0
+        return int(np.ceil(active_rows / self.max_parallel_rows))
+
+    def bipolar_voltages(self, inputs: np.ndarray) -> np.ndarray:
+        """Row voltages (two-phase differential collapsed to signed volts)."""
+        inputs = np.asarray(inputs)
+        if inputs.shape != (self.rows,):
+            raise DimensionError(
+                f"inputs shape {inputs.shape} does not match rows ({self.rows},)"
+            )
+        check_bipolar("wordline inputs", inputs)
+        self.activations += 1
+        return inputs.astype(np.float64) * self.read_voltage
+
+    def bit_serial_phases(self, bits: int) -> int:
+        """Phases to apply a ``bits``-wide digital input bit-serially."""
+        if bits <= 0:
+            raise ConfigurationError(f"bits must be positive, got {bits}")
+        return bits
+
+    def __repr__(self) -> str:
+        return (
+            f"WordlineDriver(rows={self.rows}, "
+            f"read_voltage={self.read_voltage}, "
+            f"max_parallel_rows={self.max_parallel_rows})"
+        )

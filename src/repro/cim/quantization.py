@@ -1,0 +1,55 @@
+"""Uniform quantization helpers shared by the ADC and backend models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+
+def _check(bits: int, full_scale: float) -> None:
+    if not isinstance(bits, (int, np.integer)) or bits < 1:
+        raise ConfigurationError(f"bits must be a positive integer, got {bits!r}")
+    check_positive("full_scale", float(full_scale))
+
+
+def quantize_codes(
+    values: np.ndarray, *, bits: int, full_scale: float
+) -> np.ndarray:
+    """Map non-negative ``values`` to integer codes ``0 .. 2^bits - 1``.
+
+    Uniform mid-tread quantization over ``[0, full_scale]``; values above
+    full scale clip to the top code (the converter saturates).
+    """
+    _check(bits, full_scale)
+    levels = (1 << bits) - 1
+    clipped = np.clip(np.asarray(values, dtype=np.float64), 0.0, full_scale)
+    return np.round(clipped / full_scale * levels).astype(np.int64)
+
+
+def reconstruct(codes: np.ndarray, *, bits: int, full_scale: float) -> np.ndarray:
+    """Convert integer codes back to physical values (code * LSB)."""
+    _check(bits, full_scale)
+    levels = (1 << bits) - 1
+    return np.asarray(codes, dtype=np.float64) * (full_scale / levels)
+
+
+def uniform_quantize(
+    values: np.ndarray, *, bits: int, full_scale: float
+) -> np.ndarray:
+    """Quantize and immediately reconstruct (the end-to-end ADC transfer)."""
+    codes = quantize_codes(values, bits=bits, full_scale=full_scale)
+    return reconstruct(codes, bits=bits, full_scale=full_scale)
+
+
+def dead_zone(*, bits: int, full_scale: float) -> float:
+    """Largest input that still quantizes to code 0 (half an LSB).
+
+    The similarity dead zone is the sparsifying nonlinearity that makes the
+    4-bit converter *help* convergence (Fig. 6a): inputs below half an LSB
+    vanish from the projection entirely.
+    """
+    _check(bits, full_scale)
+    levels = (1 << bits) - 1
+    return 0.5 * full_scale / levels

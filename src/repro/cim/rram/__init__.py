@@ -1,0 +1,16 @@
+"""RRAM tier models: devices, programming, crossbar MVM, current sensing."""
+
+from repro.cim.rram.device import RRAMDeviceModel
+from repro.cim.rram.noise import NoiseParameters
+from repro.cim.rram.programming import ProgrammingModel, ProgrammingReport
+from repro.cim.rram.crossbar import CrossbarArray
+from repro.cim.rram.sensing import SensingPath
+
+__all__ = [
+    "RRAMDeviceModel",
+    "NoiseParameters",
+    "ProgrammingModel",
+    "ProgrammingReport",
+    "CrossbarArray",
+    "SensingPath",
+]

@@ -1,0 +1,224 @@
+"""Differential RRAM crossbar executing bipolar MVMs.
+
+Each bipolar matrix entry maps to a differential conductance pair: ``+1``
+as ``(g_on, g_off)``, ``-1`` as ``(g_off, g_on)``.  A bipolar input of
+``+/-1`` on row ``i`` drives ``+/-V_read``; the differential column
+current is then
+
+    dI_j = V_read * (g_on - g_off) * sum_i w_ij * x_i  + noise terms,
+
+i.e. the similarity in units of ``V_read * delta_g``.  The class simulates
+this at device granularity: programming variability is drawn once per
+:meth:`program` call, read noise per MVM.  It is the ground-truth model the
+fast statistical backend (:class:`repro.resonator.StochasticThresholdBackend`
+and :class:`repro.core.CIMBackend`) is validated against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.cim.rram.device import RRAMDeviceModel
+from repro.cim.rram.sensing import SensingPath
+from repro.errors import ConfigurationError, DimensionError
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_bipolar, check_positive
+
+
+class CrossbarArray:
+    """One RRAM subarray (``rows x cols`` cells, differential columns).
+
+    Parameters
+    ----------
+    rows / cols:
+        Array geometry; the paper's subarrays are 256 x 256.
+    device:
+        RRAM technology corner.
+    read_voltage:
+        Wordline read amplitude in volts.
+    sensing:
+        Optional sensing path applied by :meth:`read_similarity`.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        *,
+        device: Optional[RRAMDeviceModel] = None,
+        read_voltage: float = 0.1,
+        sensing: Optional[SensingPath] = None,
+        rng: RandomState = None,
+    ) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ConfigurationError(
+                f"array dimensions must be positive, got {rows}x{cols}"
+            )
+        check_positive("read_voltage", read_voltage)
+        self.rows = rows
+        self.cols = cols
+        self.device = device if device is not None else RRAMDeviceModel()
+        self.read_voltage = read_voltage
+        self.sensing = sensing
+        self._rng = as_rng(rng)
+        self._g_pos: Optional[np.ndarray] = None
+        self._g_neg: Optional[np.ndarray] = None
+        self._weights: Optional[np.ndarray] = None
+
+    # -- programming -------------------------------------------------------------
+
+    @property
+    def programmed(self) -> bool:
+        return self._g_pos is not None
+
+    @property
+    def weights(self) -> np.ndarray:
+        if self._weights is None:
+            raise ConfigurationError("crossbar has not been programmed")
+        return self._weights
+
+    def program(self, weights: np.ndarray, *, rng: RandomState = None) -> None:
+        """Program a bipolar weight matrix into differential pairs.
+
+        Programming variability is sampled here and *frozen* until the next
+        :meth:`program` call - matching hardware, where arrays are written
+        once per workload and read millions of times.
+        """
+        weights = np.asarray(weights)
+        if weights.shape != (self.rows, self.cols):
+            raise DimensionError(
+                f"weights shape {weights.shape} does not match array "
+                f"({self.rows}, {self.cols})"
+            )
+        check_bipolar("crossbar weights", weights)
+        generator = as_rng(rng) if rng is not None else self._rng
+        positive = weights > 0
+        target_pos = np.where(positive, self.device.g_on, self.device.g_off)
+        target_neg = np.where(positive, self.device.g_off, self.device.g_on)
+        self._g_pos = self.device.program(target_pos, rng=generator)
+        self._g_neg = self.device.program(target_neg, rng=generator)
+        self._weights = weights.copy()
+
+    # -- compute -----------------------------------------------------------------
+
+    def column_currents(
+        self, inputs: np.ndarray, *, rng: RandomState = None
+    ) -> np.ndarray:
+        """Differential column currents for bipolar ``inputs`` (one read).
+
+        Samples fresh read noise on every call: this is the per-read
+        stochasticity that the factorizer exploits.
+        """
+        if not self.programmed:
+            raise ConfigurationError("crossbar has not been programmed")
+        inputs = np.asarray(inputs)
+        if inputs.shape != (self.rows,):
+            raise DimensionError(
+                f"inputs shape {inputs.shape} does not match rows "
+                f"({self.rows},)"
+            )
+        check_bipolar("crossbar inputs", inputs)
+        generator = as_rng(rng) if rng is not None else self._rng
+        g_pos = self.device.read_noise(self._g_pos, rng=generator)
+        g_neg = self.device.read_noise(self._g_neg, rng=generator)
+        voltages = inputs.astype(np.float64) * self.read_voltage
+        return voltages @ (g_pos - g_neg)
+
+    def similarity_scale(self) -> float:
+        """Current corresponding to one unit of similarity."""
+        return self.read_voltage * self.device.delta_g
+
+    def mvm(self, inputs: np.ndarray, *, rng: RandomState = None) -> np.ndarray:
+        """Bipolar MVM in similarity units (signed, un-thresholded)."""
+        currents = self.column_currents(inputs, rng=rng)
+        return currents / self.similarity_scale()
+
+    def mvm_phased(
+        self,
+        inputs: np.ndarray,
+        *,
+        parallel_rows: int = 32,
+        rng: RandomState = None,
+    ) -> np.ndarray:
+        """Bipolar MVM executed in row phases with digital accumulation.
+
+        Sensing headroom limits how many rows can drive a column at once
+        (the 8 x 32-row phases of the 69-cycle MVM interval in the timing
+        model): each phase activates ``parallel_rows`` wordlines, converts
+        the partial sums, and the digital tier accumulates.  Noiseless
+        phased reads equal the full-array read exactly; with noise, the
+        per-phase read-noise samples are independent, so the accumulated
+        error grows by ``sqrt(phases)`` relative to one full read - a cost
+        already folded into the aggregate noise presets.
+        """
+        if not self.programmed:
+            raise ConfigurationError("crossbar has not been programmed")
+        if parallel_rows <= 0:
+            raise ConfigurationError(
+                f"parallel_rows must be positive, got {parallel_rows}"
+            )
+        inputs = np.asarray(inputs)
+        if inputs.shape != (self.rows,):
+            raise DimensionError(
+                f"inputs shape {inputs.shape} does not match rows "
+                f"({self.rows},)"
+            )
+        check_bipolar("crossbar inputs", inputs)
+        generator = as_rng(rng) if rng is not None else self._rng
+        accumulated = np.zeros(self.cols, dtype=np.float64)
+        for start in range(0, self.rows, parallel_rows):
+            stop = min(start + parallel_rows, self.rows)
+            g_pos = self.device.read_noise(self._g_pos[start:stop], rng=generator)
+            g_neg = self.device.read_noise(self._g_neg[start:stop], rng=generator)
+            voltages = inputs[start:stop].astype(np.float64) * self.read_voltage
+            accumulated += voltages @ (g_pos - g_neg)
+        return accumulated / self.similarity_scale()
+
+    def read_similarity(
+        self, inputs: np.ndarray, *, rng: RandomState = None
+    ) -> np.ndarray:
+        """MVM through the sensing path (rectified + VTGT-thresholded).
+
+        Returns similarity units; requires a :class:`SensingPath`.
+        """
+        if self.sensing is None:
+            raise ConfigurationError(
+                "read_similarity requires a SensingPath; use mvm() for raw reads"
+            )
+        currents = self.column_currents(inputs, rng=rng)
+        voltages = self.sensing.sense(currents)
+        return voltages / (self.sensing.r_sense * self.similarity_scale())
+
+    # -- analysis ----------------------------------------------------------------
+
+    def expected_error_sigma(self) -> float:
+        """Predicted RMS similarity error per column for random inputs.
+
+        Each device contributes conductance error from programming
+        (relative ``sigma_p``, frozen) and read noise (relative ``sigma_r``,
+        fresh per read).  For bipolar inputs the per-cell current error has
+        RMS ``V * g * sigma`` with ``g in {g_on, g_off}``; summing the
+        independent contributions of the ``2 * rows`` devices of a
+        differential column and normalizing by ``V * delta_g`` gives
+
+            sigma_sim = sqrt(rows * (g_on^2 + g_off^2) *
+                             (sigma_p^2 + sigma_r^2)) / delta_g.
+
+        Tests validate the simulated error against this closed form, and
+        the fast statistical backend consumes it via
+        :meth:`NoiseParameters.similarity_sigma
+        <repro.cim.rram.noise.NoiseParameters.similarity_sigma>`.
+        """
+        dev = self.device
+        per_pair_var = (dev.g_on**2 + dev.g_off**2) * (
+            dev.sigma_program**2 + dev.sigma_read**2
+        )
+        return float(np.sqrt(self.rows * per_pair_var) / dev.delta_g)
+
+    def __repr__(self) -> str:
+        return (
+            f"CrossbarArray({self.rows}x{self.cols}, "
+            f"programmed={self.programmed})"
+        )

@@ -1,0 +1,125 @@
+"""Statistical model of a 40 nm HfOx RRAM cell.
+
+Captures the device-level behaviour that matters to the factorizer:
+
+* two programmable states (LRS ``g_on`` / HRS ``g_off``) whose *programmed*
+  conductance varies lognormally from cell to cell (cycle-to-cycle and
+  device-to-device variation aggregated);
+* per-read Gaussian current noise (thermal + RTN + sensing PVT);
+* rare stuck-at faults (forming failures, worn cells);
+* retention drift accelerated above ~100 C (the paper's thermal analysis,
+  Fig. 5, checks tier temperatures stay far below that).
+
+Nominal conductances follow the 40 nm macro of Spetalnick et al.
+(ISSCC 2022 [25]); variability magnitudes follow Yu et al.'s HfOx
+switching-variation model [27].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class RRAMDeviceModel:
+    """Parameters of one RRAM technology corner.
+
+    Attributes
+    ----------
+    g_on / g_off:
+        Low/high-resistance-state conductances in Siemens.  The defaults
+        (40 uS / 2.5 uS) give an ON/OFF ratio of 16, in line with 40 nm
+        HfOx arrays after write-verify.
+    sigma_program:
+        Lognormal sigma of programmed conductance (relative).
+    sigma_read:
+        Relative RMS of per-read current noise.
+    p_stuck_on / p_stuck_off:
+        Probability that a cell is stuck at LRS/HRS regardless of
+        programming.
+    retention_temp_c:
+        Temperature above which retention degrades (HfOx: ~100 C [33]).
+    """
+
+    g_on: float = 40e-6
+    g_off: float = 2.5e-6
+    sigma_program: float = 0.08
+    sigma_read: float = 0.03
+    p_stuck_on: float = 0.0005
+    p_stuck_off: float = 0.001
+    retention_temp_c: float = 100.0
+
+    def __post_init__(self) -> None:
+        check_positive("g_on", self.g_on)
+        check_positive("g_off", self.g_off)
+        if self.g_on <= self.g_off:
+            raise ConfigurationError(
+                f"g_on ({self.g_on}) must exceed g_off ({self.g_off})"
+            )
+        check_positive("sigma_program", self.sigma_program, allow_zero=True)
+        check_positive("sigma_read", self.sigma_read, allow_zero=True)
+        check_probability("p_stuck_on", self.p_stuck_on)
+        check_probability("p_stuck_off", self.p_stuck_off)
+
+    # -- derived figures -------------------------------------------------------
+
+    @property
+    def on_off_ratio(self) -> float:
+        return self.g_on / self.g_off
+
+    @property
+    def delta_g(self) -> float:
+        """Conductance difference encoding one bipolar unit."""
+        return self.g_on - self.g_off
+
+    # -- sampling ----------------------------------------------------------------
+
+    def program(
+        self, targets: np.ndarray, rng: RandomState = None
+    ) -> np.ndarray:
+        """Sample programmed conductances for target states.
+
+        ``targets`` holds desired conductances (``g_on`` or ``g_off``);
+        the result applies lognormal programming variability and stuck-at
+        faults.
+        """
+        generator = as_rng(rng)
+        targets = np.asarray(targets, dtype=np.float64)
+        if self.sigma_program > 0:
+            spread = generator.lognormal(
+                mean=0.0, sigma=self.sigma_program, size=targets.shape
+            )
+        else:
+            spread = 1.0
+        programmed = targets * spread
+        if self.p_stuck_on > 0 or self.p_stuck_off > 0:
+            roll = generator.random(size=targets.shape)
+            programmed = np.where(roll < self.p_stuck_on, self.g_on, programmed)
+            programmed = np.where(
+                (roll >= self.p_stuck_on)
+                & (roll < self.p_stuck_on + self.p_stuck_off),
+                self.g_off,
+                programmed,
+            )
+        return programmed
+
+    def read_noise(
+        self, conductances: np.ndarray, rng: RandomState = None
+    ) -> np.ndarray:
+        """Per-read multiplicative noise sample for ``conductances``."""
+        if self.sigma_read == 0:
+            return np.asarray(conductances, dtype=np.float64)
+        generator = as_rng(rng)
+        conductances = np.asarray(conductances, dtype=np.float64)
+        noise = generator.normal(0.0, self.sigma_read, size=conductances.shape)
+        return conductances * (1.0 + noise)
+
+    def retention_ok(self, temperature_c: float) -> bool:
+        """True when the operating temperature preserves retention."""
+        return temperature_c < self.retention_temp_c

@@ -1,0 +1,88 @@
+"""Current-sensing path: Rsense, VTGT threshold and rectification.
+
+Fig. 2a's sensing chain: the selected column's differential current flows
+through a sensing resistor (Rsense, for PVT immunity); the resulting
+voltage is compared against the adjustable target voltage VTGT, and
+supra-threshold values are forwarded to the SAR ADC.  Two behaviours of
+this chain shape the factorization dynamics:
+
+* only the *positive* differential current produces a supra-reference
+  voltage (rectification), and
+* VTGT acts as a programmable similarity threshold - the knob the paper
+  adjusts for the testchip validation (Sec. V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SensingPath:
+    """Converts differential column current to a thresholded voltage.
+
+    Attributes
+    ----------
+    r_sense:
+        Sensing resistance in ohms.  The default (150 ohm) keeps a
+        full-array differential read (up to ~1400 similarity units at
+        0.1 V / 37.5 uS unit current) below the 0.8 V supply.
+    v_target:
+        VTGT threshold voltage; sensed voltages below it read as zero.
+        :class:`repro.core.CIMBackend` retunes this per codebook through
+        the adaptive threshold policy.
+    v_supply:
+        AVDD of the sensing path; sensed voltages clip here.
+    rectify:
+        Whether sub-zero differential currents are suppressed (standard
+        single-ended sensing of the positive leg).
+    """
+
+    r_sense: float = 150.0
+    v_target: float = 0.04
+    v_supply: float = 0.8
+    rectify: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("r_sense", self.r_sense)
+        check_positive("v_target", self.v_target, allow_zero=True)
+        check_positive("v_supply", self.v_supply)
+        if self.v_target >= self.v_supply:
+            raise ConfigurationError(
+                f"v_target ({self.v_target}) must be below v_supply "
+                f"({self.v_supply})"
+            )
+
+    def sense_voltage(self, currents: np.ndarray) -> np.ndarray:
+        """Voltage across Rsense for differential column ``currents``."""
+        voltages = np.asarray(currents, dtype=np.float64) * self.r_sense
+        if self.rectify:
+            voltages = np.maximum(voltages, 0.0)
+        return np.minimum(voltages, self.v_supply)
+
+    def apply_threshold(self, voltages: np.ndarray) -> np.ndarray:
+        """Zero voltages below VTGT (the comparator gate)."""
+        voltages = np.asarray(voltages, dtype=np.float64)
+        return np.where(voltages >= self.v_target, voltages, 0.0)
+
+    def sense(self, currents: np.ndarray) -> np.ndarray:
+        """Full chain: current -> Rsense voltage -> VTGT gate."""
+        return self.apply_threshold(self.sense_voltage(currents))
+
+    def with_threshold(self, v_target: float) -> "SensingPath":
+        """Copy of this path with a re-tuned VTGT (the paper's knob)."""
+        return SensingPath(
+            r_sense=self.r_sense,
+            v_target=v_target,
+            v_supply=self.v_supply,
+            rectify=self.rectify,
+        )
+
+    def current_for_voltage(self, voltage: float) -> float:
+        """Differential current that produces ``voltage`` at the sense node."""
+        return voltage / self.r_sense

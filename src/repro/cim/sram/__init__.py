@@ -1,0 +1,8 @@
+"""Digital tier-1 building blocks: SRAM storage, XNOR unbinding, counters."""
+
+from repro.cim.sram.array import SRAMArray
+from repro.cim.sram.buffer import SRAMBuffer
+from repro.cim.sram.counter import NegOnesCounter
+from repro.cim.sram.xnor import XNORUnbindUnit
+
+__all__ = ["SRAMArray", "SRAMBuffer", "NegOnesCounter", "XNORUnbindUnit"]

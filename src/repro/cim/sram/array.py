@@ -1,0 +1,98 @@
+"""SRAM array model: storage with word-granular access accounting.
+
+Tier-1 integrates SRAM for two roles (Sec. IV-A): register files /
+working-set storage for the digital units, and the batch buffer
+(:class:`repro.cim.sram.buffer.SRAMBuffer`).  The model tracks accesses so
+the energy model can charge per-read/per-write costs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionError
+from repro.utils.validation import check_positive
+
+
+class SRAMArray:
+    """Word-addressable SRAM macro.
+
+    Parameters
+    ----------
+    words:
+        Number of addressable words.
+    word_bits:
+        Width of each word in bits.
+    """
+
+    def __init__(self, words: int, word_bits: int = 32) -> None:
+        if words <= 0:
+            raise ConfigurationError(f"words must be positive, got {words}")
+        if word_bits <= 0:
+            raise ConfigurationError(f"word_bits must be positive, got {word_bits}")
+        self.words = words
+        self.word_bits = word_bits
+        self._storage = np.zeros(words, dtype=np.int64)
+        self._valid = np.zeros(words, dtype=bool)
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.words * self.word_bits
+
+    def _check_address(self, address: int) -> int:
+        if not 0 <= address < self.words:
+            raise DimensionError(
+                f"address {address} out of range [0, {self.words})"
+            )
+        return address
+
+    def _check_value(self, value: int) -> int:
+        limit = 1 << self.word_bits
+        if not -(limit // 2) <= value < limit:
+            raise ConfigurationError(
+                f"value {value} does not fit in {self.word_bits} bits"
+            )
+        return int(value)
+
+    def write(self, address: int, value: int) -> None:
+        self._check_address(address)
+        self._storage[address] = self._check_value(value)
+        self._valid[address] = True
+        self.writes += 1
+
+    def read(self, address: int) -> int:
+        self._check_address(address)
+        if not self._valid[address]:
+            raise ConfigurationError(f"read of unwritten address {address}")
+        self.reads += 1
+        return int(self._storage[address])
+
+    def write_block(self, start: int, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.int64)
+        if start < 0 or start + values.size > self.words:
+            raise DimensionError(
+                f"block [{start}, {start + values.size}) exceeds array size "
+                f"{self.words}"
+            )
+        for value in values:
+            self._check_value(int(value))
+        self._storage[start : start + values.size] = values
+        self._valid[start : start + values.size] = True
+        self.writes += values.size
+
+    def read_block(self, start: int, count: int) -> np.ndarray:
+        if start < 0 or start + count > self.words:
+            raise DimensionError(
+                f"block [{start}, {start + count}) exceeds array size "
+                f"{self.words}"
+            )
+        if not self._valid[start : start + count].all():
+            raise ConfigurationError(
+                f"block read of unwritten addresses in [{start}, {start + count})"
+            )
+        self.reads += count
+        return self._storage[start : start + count].copy()

@@ -1,0 +1,94 @@
+"""SRAM batch buffer: decouples the similarity and projection tiers.
+
+Sec. IV-A: with batch sizes > 1, tier-3 may still be producing similarity
+results for one batch element while tier-2 needs inputs for another; since
+only one RRAM tier can be active at a time (shared peripherals), tier-1
+buffers ADC outputs in SRAM.  The buffer is a bounded FIFO of similarity
+words; the dataflow simulator uses its occupancy to schedule tier
+activations, and tests verify the single-active-tier invariant holds for
+any batch size.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+
+class SRAMBuffer:
+    """Bounded FIFO of fixed-width entries with peak-occupancy tracking.
+
+    Parameters
+    ----------
+    capacity_entries:
+        Maximum simultaneously buffered entries (sized so one factorization
+        batch of 4-bit similarity vectors fits; see
+        :meth:`required_capacity`).
+    entry_bits:
+        Storage cost of one entry in bits (for the area model).
+    """
+
+    def __init__(self, capacity_entries: int, entry_bits: int) -> None:
+        if capacity_entries <= 0:
+            raise ConfigurationError(
+                f"capacity_entries must be positive, got {capacity_entries}"
+            )
+        if entry_bits <= 0:
+            raise ConfigurationError(
+                f"entry_bits must be positive, got {entry_bits}"
+            )
+        self.capacity_entries = capacity_entries
+        self.entry_bits = entry_bits
+        self._fifo: Deque[Tuple[int, np.ndarray]] = deque()
+        self.peak_occupancy = 0
+        self.total_pushes = 0
+
+    @staticmethod
+    def required_capacity(batch_size: int, num_factors: int) -> int:
+        """Entries needed to buffer one similarity sweep of a whole batch."""
+        if batch_size <= 0 or num_factors <= 0:
+            raise ConfigurationError(
+                "batch_size and num_factors must be positive, got "
+                f"{batch_size} and {num_factors}"
+            )
+        return batch_size * num_factors
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.capacity_entries * self.entry_bits
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def full(self) -> bool:
+        return self.occupancy >= self.capacity_entries
+
+    @property
+    def empty(self) -> bool:
+        return not self._fifo
+
+    def push(self, tag: int, payload: np.ndarray) -> None:
+        """Store one similarity word (raises when full - backpressure)."""
+        if self.full:
+            raise ConfigurationError(
+                f"buffer overflow: capacity {self.capacity_entries} reached"
+            )
+        self._fifo.append((tag, np.asarray(payload)))
+        self.total_pushes += 1
+        self.peak_occupancy = max(self.peak_occupancy, self.occupancy)
+
+    def pop(self) -> Tuple[int, np.ndarray]:
+        """Retrieve the oldest entry (raises when empty)."""
+        if self.empty:
+            raise ConfigurationError("buffer underflow: pop from empty buffer")
+        return self._fifo.popleft()
+
+    def __len__(self) -> int:
+        return self.occupancy

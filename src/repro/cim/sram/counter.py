@@ -1,0 +1,69 @@
+"""The -1's counter + adder: bipolar accumulation in digital logic.
+
+Sec. III-A notes that existing VSA arrays map bipolar elements to single
+bits and therefore cannot accumulate signed quantities.  H3DFact pairs each
+array with a "-1's counter" and adder: for a bipolar dot product over ``n``
+elements with ``k`` mismatches (i.e. ``k`` product terms equal to -1),
+
+    dot = (n - k) - k = n - 2k,
+
+so counting the -1 terms (a popcount after XNOR) plus one subtraction
+reproduces the signed similarity exactly.  The SRAM-2D baseline design
+computes *all* its MVMs this way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.utils.validation import check_bipolar
+
+
+class NegOnesCounter:
+    """Digital bipolar dot-product engine (XNOR + popcount + adder)."""
+
+    def __init__(self, width: int) -> None:
+        if width <= 0:
+            raise DimensionError(f"width must be positive, got {width}")
+        self.width = width
+        self.dot_products = 0
+
+    def count_neg_ones(self, a: np.ndarray, b: np.ndarray) -> int:
+        """Number of element pairs whose product is -1 (the mismatches)."""
+        a = check_bipolar("a", np.asarray(a))
+        b = check_bipolar("b", np.asarray(b))
+        if a.shape != (self.width,) or b.shape != (self.width,):
+            raise DimensionError(
+                f"operands must have shape ({self.width},), got "
+                f"{a.shape} and {b.shape}"
+            )
+        return int(np.count_nonzero(a != b))
+
+    def dot(self, a: np.ndarray, b: np.ndarray) -> int:
+        """Signed bipolar dot product via the counter identity."""
+        mismatches = self.count_neg_ones(a, b)
+        self.dot_products += 1
+        return self.width - 2 * mismatches
+
+    def similarity_vector(self, matrix: np.ndarray, query: np.ndarray) -> np.ndarray:
+        """Column-wise dot products ``matrix^T query`` (the digital MVM).
+
+        The SRAM CIM baseline evaluates one column per counter per cycle
+        group; this models the arithmetic (costs live in the timing model).
+        """
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[0] != self.width:
+            raise DimensionError(
+                f"matrix shape {matrix.shape} incompatible with width "
+                f"{self.width}"
+            )
+        query = check_bipolar("query", np.asarray(query))
+        if query.shape != (self.width,):
+            raise DimensionError(
+                f"query shape {query.shape} does not match width "
+                f"({self.width},)"
+            )
+        mismatches = (matrix != query[:, None]).sum(axis=0)
+        self.dot_products += matrix.shape[1]
+        return self.width - 2 * mismatches.astype(np.int64)

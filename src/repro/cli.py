@@ -1,0 +1,143 @@
+"""Command-line interface: ``h3dfact <experiment> [options]``.
+
+Runs any of the paper's experiments and prints the same rows/series the
+paper reports.  ``h3dfact all`` runs everything at default scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    AblationConfig,
+    Fig1cConfig,
+    Fig5Config,
+    Fig6aConfig,
+    Fig6bConfig,
+    Fig7Config,
+    Table2Config,
+    Table3Config,
+    run_ablation,
+    run_fig1c,
+    run_fig5,
+    run_fig6a,
+    run_fig6b,
+    run_fig7,
+    run_table2,
+    run_table3,
+)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="h3dfact",
+        description="H3DFact (DATE 2024) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig1c", help="operation breakdown + accuracy scaling")
+    _add_common(p)
+
+    p = sub.add_parser("table2", help="accuracy and operational capacity")
+    _add_common(p)
+    p.add_argument("--trials", type=int, default=None)
+    p.add_argument("--full", action="store_true", help="paper-scale grid")
+
+    p = sub.add_parser("table3", help="hardware PPA comparison")
+    p.add_argument(
+        "--measure-accuracy",
+        action="store_true",
+        help="re-measure the accuracy column instead of the snapshot",
+    )
+
+    p = sub.add_parser("fig5", help="thermal analysis")
+    p.add_argument("--grid", type=int, default=30)
+
+    p = sub.add_parser("fig6a", help="ADC precision convergence")
+    _add_common(p)
+    p.add_argument("--trials", type=int, default=None)
+
+    p = sub.add_parser("fig6b", help="RRAM testchip noise validation")
+    _add_common(p)
+    p.add_argument("--trials", type=int, default=None)
+
+    p = sub.add_parser("fig7", help="RAVEN perception task")
+    _add_common(p)
+    p.add_argument("--train-panels", type=int, default=None)
+    p.add_argument("--test-panels", type=int, default=None)
+
+    p = sub.add_parser("ablation", help="design-choice sweeps")
+    _add_common(p)
+    p.add_argument("--trials", type=int, default=None)
+
+    sub.add_parser("all", help="run every experiment at default scale")
+    return parser
+
+
+def _run_one(command: str, args: argparse.Namespace) -> str:
+    if command == "fig1c":
+        return run_fig1c(Fig1cConfig(seed=args.seed)).render()
+    if command == "table2":
+        if getattr(args, "full", False):
+            config = Table2Config.paper()
+        else:
+            config = Table2Config(seed=args.seed)
+        if args.trials is not None:
+            config.trials = args.trials
+        return run_table2(config).render()
+    if command == "table3":
+        return run_table3(
+            Table3Config(measure_accuracy=args.measure_accuracy)
+        ).render()
+    if command == "fig5":
+        return run_fig5(Fig5Config(grid=args.grid)).render()
+    if command == "fig6a":
+        config = Fig6aConfig(seed=args.seed)
+        if args.trials is not None:
+            config.trials = args.trials
+        return run_fig6a(config).render()
+    if command == "fig6b":
+        config = Fig6bConfig(seed=args.seed)
+        if args.trials is not None:
+            config.trials = args.trials
+        return run_fig6b(config).render()
+    if command == "fig7":
+        config = Fig7Config(seed=args.seed)
+        if args.train_panels is not None:
+            config.train_panels = args.train_panels
+        if args.test_panels is not None:
+            config.test_panels = args.test_panels
+        return run_fig7(config).render()
+    if command == "ablation":
+        config = AblationConfig(seed=args.seed)
+        if args.trials is not None:
+            config.trials = args.trials
+        return run_ablation(config).render()
+    raise ValueError(f"unknown command {command!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "all":
+        outputs = []
+        defaults = build_parser()
+        for command in ("fig1c", "table2", "table3", "fig5", "fig6a", "fig6b", "fig7"):
+            sub_args = defaults.parse_args([command])
+            outputs.append(f"===== {command} =====")
+            outputs.append(_run_one(command, sub_args))
+            outputs.append("")
+        print("\n".join(outputs))
+        return 0
+    print(_run_one(args.command, args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

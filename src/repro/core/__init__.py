@@ -1,0 +1,30 @@
+"""The H3DFact engine: factorization on the modeled hardware.
+
+:class:`H3DFact` ties together the resonator algorithm, the CIM read-out
+statistics, the architecture/PPA models and the thermal analysis behind one
+object - the library's main entry point:
+
+>>> from repro.core import H3DFact
+>>> from repro import FactorizationProblem
+>>> engine = H3DFact.default(rng=0)
+>>> problem = FactorizationProblem.random(1024, 4, 16, rng=1)
+>>> result = engine.factorize(problem)
+>>> result.correct
+True
+"""
+
+from repro.core.cim_backend import CIMBackend
+from repro.core.engine import (
+    BatchEngineReport,
+    EngineReport,
+    H3DFact,
+    baseline_network,
+)
+
+__all__ = [
+    "CIMBackend",
+    "H3DFact",
+    "EngineReport",
+    "BatchEngineReport",
+    "baseline_network",
+]

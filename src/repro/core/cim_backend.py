@@ -1,0 +1,129 @@
+"""Statistical CIM backend: the RRAM read-out chain at algorithm speed.
+
+Device-granular crossbar simulation (:class:`repro.cim.CrossbarArray`)
+costs one Gaussian per cell per read - prohibitive inside capacity sweeps
+with millions of MVMs.  This backend reproduces the same *read-out
+statistics* at one Gaussian per output:
+
+1. additive Gaussian noise with sigma from a
+   :class:`~repro.cim.rram.noise.NoiseParameters` preset (validated against
+   the crossbar's closed-form column error in the integration tests);
+2. a static per-column offset, frozen per trial (``begin_trial`` resamples
+   it - physically, re-programming the arrays);
+3. rectification (single-ended current sensing);
+4. the adaptive VTGT threshold
+   (:class:`~repro.resonator.stochastic.ThresholdPolicy`);
+5. the per-column SAR ADC (:class:`~repro.cim.adc.SARADC`).
+
+The projection MVM receives the reconstructed ADC codes (the 4-bit words
+that cross the TSVs in step III of Fig. 3) and adds tier-2 read noise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cim.adc import SARADC
+from repro.cim.rram.noise import NoiseParameters
+from repro.resonator.backends import ExactBackend, MVMBackend
+from repro.resonator.stochastic import ThresholdPolicy
+from repro.utils.rng import RandomState, as_rng
+from repro.vsa.codebook import Codebook
+
+
+class CIMBackend(MVMBackend):
+    """H3DFact similarity/projection MVMs with hardware statistics.
+
+    Parameters
+    ----------
+    noise:
+        Aggregate read-out noise preset (default: the testchip calibration).
+    adc:
+        Per-column converter (default 4-bit SAR, the design point).
+    policy:
+        VTGT calibration; ``None`` disables thresholding.
+    adc_full_scale_zscore:
+        Converter range in crosstalk sigmas (see
+        :class:`~repro.resonator.stochastic.StochasticThresholdBackend`).
+    projection_noise:
+        Whether the projection tier adds read noise too (it is RRAM as
+        well); the sign activation absorbs almost all of it.
+    """
+
+    deterministic = False
+
+    def __init__(
+        self,
+        *,
+        noise: Optional[NoiseParameters] = None,
+        adc: Optional[SARADC] = None,
+        policy: Optional[ThresholdPolicy] = ThresholdPolicy(),
+        adc_full_scale_zscore: float = 8.0,
+        projection_noise: bool = True,
+        rng: RandomState = None,
+    ) -> None:
+        self.noise = noise if noise is not None else NoiseParameters.testchip()
+        self.adc = adc if adc is not None else SARADC(bits=4)
+        self.policy = policy
+        self.adc_full_scale_zscore = adc_full_scale_zscore
+        self.projection_noise = projection_noise
+        self._rng = as_rng(rng)
+        self._exact = ExactBackend()
+        self._offsets: Dict[int, np.ndarray] = {}
+        self.deterministic = not self.noise.stochastic and self.adc.deterministic
+
+    # -- trial lifecycle ----------------------------------------------------
+
+    def begin_trial(self) -> None:
+        """Resample static column offsets (arrays re-programmed)."""
+        self._offsets.clear()
+
+    def _offset_for(self, codebook: Codebook) -> Optional[np.ndarray]:
+        if self.noise.offset_z == 0:
+            return None
+        key = id(codebook)
+        if key not in self._offsets:
+            sigma = self.noise.offset_sigma(codebook.dim)
+            self._offsets[key] = self._rng.normal(
+                0.0, sigma, size=codebook.size
+            ).astype(np.float32)
+        return self._offsets[key]
+
+    # -- MVMs ------------------------------------------------------------------
+
+    def similarity(self, codebook: Codebook, query: np.ndarray) -> np.ndarray:
+        values = self._exact.similarity(codebook, query)
+        sqrt_dim = np.sqrt(codebook.dim)
+        if self.noise.sigma_z > 0:
+            values = values + self._rng.normal(
+                0.0, self.noise.similarity_sigma(codebook.dim), size=values.shape
+            ).astype(np.float32)
+        offsets = self._offset_for(codebook)
+        if offsets is not None:
+            values = values + offsets
+        values = np.maximum(values, 0.0)  # single-ended sensing
+        if self.policy is not None:
+            threshold = self.policy.threshold(
+                codebook.dim, codebook.size, self.noise.sigma_z
+            )
+            values = np.where(values >= threshold, values, 0.0)
+        full_scale = self.adc_full_scale_zscore * sqrt_dim
+        return self.adc.convert(values, full_scale=full_scale)
+
+    def project(self, codebook: Codebook, weights: np.ndarray) -> np.ndarray:
+        values = self._exact.project(codebook, weights)
+        if self.projection_noise and self.noise.sigma_z > 0:
+            # Tier-2 read noise referenced to the projection output scale.
+            scale = self.noise.sigma_z * np.sqrt(codebook.size)
+            values = values + self._rng.normal(
+                0.0, scale, size=values.shape
+            ).astype(np.float32)
+        return values
+
+    def __repr__(self) -> str:
+        return (
+            f"CIMBackend(noise={self.noise.name!r}, adc={self.adc!r}, "
+            f"policy={self.policy!r})"
+        )

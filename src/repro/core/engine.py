@@ -1,0 +1,302 @@
+"""The H3DFact engine: end-to-end factorization + hardware reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.arch.dataflow import DataflowSimulator, StepLatency
+from repro.arch.designs import Design, h3d_design
+from repro.cim.adc import SARADC
+from repro.cim.rram.noise import NoiseParameters
+from repro.core.cim_backend import CIMBackend
+from repro.errors import ConfigurationError
+from repro.hwmodel import calibration as cal
+from repro.hwmodel.metrics import DesignMetrics, evaluate_design
+from repro.resonator.activations import SignActivation
+from repro.resonator.network import (
+    FactorizationProblem,
+    FactorizationResult,
+    ResonatorNetwork,
+)
+from repro.resonator.stochastic import RectifiedBackend, ThresholdPolicy
+from repro.thermal.analysis import ThermalReport, analyze_h3d
+from repro.utils.rng import RandomState, as_rng
+from repro.vsa.codebook import CodebookSet
+
+
+@dataclass
+class EngineReport:
+    """Hardware-level summary of one factorization run on the engine."""
+
+    result: FactorizationResult
+    #: Clock cycles consumed (iterations x sweep cycles from the dataflow).
+    cycles: int
+    #: Wall-clock on the modeled hardware (cycles / clock).
+    hardware_seconds: float
+    #: Energy on the modeled hardware.
+    hardware_joules: float
+
+    @property
+    def hardware_microseconds(self) -> float:
+        return 1e6 * self.hardware_seconds
+
+
+@dataclass
+class BatchEngineReport:
+    """Hardware-level summary of a pipelined batch (Sec. IV-A batching)."""
+
+    results: List["FactorizationResult"]
+    cycles: int
+    hardware_seconds: float
+    hardware_joules: float
+    #: Amortized cycles per batch element (shrinks with batch size).
+    cycles_per_element: float
+
+    @property
+    def batch(self) -> int:
+        return len(self.results)
+
+    @property
+    def accuracy(self) -> float:
+        known = [r.correct for r in self.results if r.correct is not None]
+        if not known:
+            return float("nan")
+        return sum(known) / len(known)
+
+
+def baseline_network(
+    codebooks: CodebookSet,
+    *,
+    max_iterations: int = 1000,
+    rng: RandomState = None,
+) -> ResonatorNetwork:
+    """The paper's baseline: deterministic rectified resonator network [9].
+
+    Shares the rectifying current-sensing front end with H3DFact but has
+    no noise, no threshold and full-precision similarities; limit-cycle
+    detection is enabled (a deterministic trajectory that repeats can
+    never recover).
+    """
+    return ResonatorNetwork(
+        codebooks,
+        backend=RectifiedBackend(),
+        activation=SignActivation("positive"),
+        max_iterations=max_iterations,
+        rng=rng,
+    )
+
+
+class H3DFact:
+    """Holographic factorization on the modeled H3D hardware.
+
+    Parameters
+    ----------
+    design:
+        Hardware configuration (default: the paper's 3-tier design).
+    noise:
+        RRAM read-out statistics (default: the testchip calibration, the
+        configuration every headline result uses).
+    adc_bits:
+        Similarity converter resolution (4 = design point, 8 = Fig. 6a
+        comparison).
+    threshold_policy:
+        VTGT calibration rule.
+    max_iterations:
+        Default sweep budget per factorization.
+    """
+
+    def __init__(
+        self,
+        *,
+        design: Optional[Design] = None,
+        noise: Optional[NoiseParameters] = None,
+        adc_bits: int = 4,
+        threshold_policy: Optional[ThresholdPolicy] = None,
+        max_iterations: int = 1000,
+        rng: RandomState = None,
+    ) -> None:
+        if max_iterations <= 0:
+            raise ConfigurationError(
+                f"max_iterations must be positive, got {max_iterations}"
+            )
+        self.design = design if design is not None else h3d_design(adc_bits=adc_bits)
+        self.noise = noise if noise is not None else NoiseParameters.testchip()
+        self.adc_bits = adc_bits
+        self.threshold_policy = (
+            threshold_policy if threshold_policy is not None else ThresholdPolicy()
+        )
+        self.max_iterations = max_iterations
+        self._rng = as_rng(rng)
+        self._metrics: Optional[DesignMetrics] = None
+
+    @classmethod
+    def default(cls, *, rng: RandomState = None) -> "H3DFact":
+        """The paper's design point: testchip noise + 4-bit ADC."""
+        return cls(rng=rng)
+
+    # -- factorization -------------------------------------------------------
+
+    def make_backend(self, *, rng: RandomState = None) -> CIMBackend:
+        """Fresh backend with independent noise streams."""
+        return CIMBackend(
+            noise=self.noise,
+            adc=SARADC(bits=self.adc_bits),
+            policy=self.threshold_policy,
+            rng=rng if rng is not None else self._rng,
+        )
+
+    def make_network(
+        self,
+        codebooks: CodebookSet,
+        *,
+        max_iterations: Optional[int] = None,
+        rng: RandomState = None,
+    ) -> ResonatorNetwork:
+        """Resonator network wired to this engine's CIM backend."""
+        generator = as_rng(rng) if rng is not None else self._rng
+        return ResonatorNetwork(
+            codebooks,
+            backend=self.make_backend(rng=generator),
+            activation=SignActivation("random", rng=generator),
+            max_iterations=max_iterations or self.max_iterations,
+            rng=generator,
+        )
+
+    def factorize(
+        self,
+        problem: Union[FactorizationProblem, np.ndarray],
+        *,
+        codebooks: Optional[CodebookSet] = None,
+        max_iterations: Optional[int] = None,
+        stable_decode_window: Optional[int] = None,
+    ) -> FactorizationResult:
+        """Factorize a problem (or a raw product vector + codebooks).
+
+        ``stable_decode_window`` enables the early exit for noisy products
+        (see :meth:`ResonatorNetwork.factorize`); exact products terminate
+        on the solved check regardless.
+        """
+        if isinstance(problem, FactorizationProblem):
+            network = self.make_network(
+                problem.codebooks, max_iterations=max_iterations
+            )
+            return network.factorize(
+                problem.product,
+                true_indices=problem.true_indices,
+                stable_decode_window=stable_decode_window,
+            )
+        if codebooks is None:
+            raise ConfigurationError(
+                "factorize() with a raw product vector requires codebooks"
+            )
+        network = self.make_network(codebooks, max_iterations=max_iterations)
+        return network.factorize(
+            np.asarray(problem), stable_decode_window=stable_decode_window
+        )
+
+    def factorize_with_report(
+        self,
+        problem: FactorizationProblem,
+        *,
+        max_iterations: Optional[int] = None,
+    ) -> EngineReport:
+        """Factorize and attach modeled hardware time/energy costs."""
+        result = self.factorize(problem, max_iterations=max_iterations)
+        metrics = self.ppa()
+        # One sweep = 2 MVMs per factor (similarity + projection).
+        latency = StepLatency.from_geometry(
+            rows=self.design.array_rows,
+            parallel_rows=cal.ROWS_PER_PHASE,
+            adc_cycles=cal.ADC_SLOT_CYCLES,
+            pipeline_overhead=cal.PIPELINE_OVERHEAD_CYCLES,
+            input_bits=self.adc_bits,
+        )
+        simulator = DataflowSimulator(
+            self.design.stack, self.design.mapping, latency=latency
+        )
+        timing = simulator.simulate_sweep(
+            batch=1, factors=problem.codebooks.num_factors
+        )
+        cycles = timing.total_cycles * result.iterations
+        seconds = cycles / metrics.timing.frequency_hz
+        joules = metrics.energy.total_power_w * seconds
+        return EngineReport(
+            result=result,
+            cycles=cycles,
+            hardware_seconds=seconds,
+            hardware_joules=joules,
+        )
+
+    def factorize_batch(
+        self,
+        problems: Sequence[FactorizationProblem],
+        *,
+        max_iterations: Optional[int] = None,
+    ) -> "BatchEngineReport":
+        """Factorize a batch with SRAM-buffered pipelining cost accounting.
+
+        Sec. IV-A's batch operation: tier-1's SRAM buffers let the stack
+        run a whole batch's similarity MVMs before switching to the
+        projection tier, so the per-element hardware cost shrinks with the
+        batch size.  Algorithmically the trials stay independent; the
+        report combines their results with the pipelined hardware cost.
+        """
+        if not problems:
+            raise ConfigurationError("factorize_batch() needs at least one problem")
+        factors = problems[0].codebooks.num_factors
+        for problem in problems:
+            if problem.codebooks.num_factors != factors:
+                raise ConfigurationError(
+                    "all problems in a batch must share the factor count"
+                )
+        results = [
+            self.factorize(problem, max_iterations=max_iterations)
+            for problem in problems
+        ]
+        metrics = self.ppa()
+        latency = StepLatency.from_geometry(
+            rows=self.design.array_rows,
+            parallel_rows=cal.ROWS_PER_PHASE,
+            adc_cycles=cal.ADC_SLOT_CYCLES,
+            pipeline_overhead=cal.PIPELINE_OVERHEAD_CYCLES,
+            input_bits=self.adc_bits,
+        )
+        simulator = DataflowSimulator(
+            self.design.stack,
+            self.design.mapping,
+            latency=latency,
+            buffer_capacity=max(len(problems), self.design.batch_size),
+        )
+        sweep = simulator.simulate_sweep(batch=len(problems), factors=factors)
+        # The batch advances in lockstep until the longest trial finishes.
+        max_sweeps = max(result.iterations for result in results)
+        cycles = sweep.total_cycles * max_sweeps
+        seconds = cycles / metrics.timing.frequency_hz
+        return BatchEngineReport(
+            results=results,
+            cycles=cycles,
+            hardware_seconds=seconds,
+            hardware_joules=metrics.energy.total_power_w * seconds,
+            cycles_per_element=sweep.cycles_per_element * max_sweeps,
+        )
+
+    # -- hardware reporting -------------------------------------------------------
+
+    def ppa(self) -> DesignMetrics:
+        """Area / timing / energy metrics of the configured design (cached)."""
+        if self._metrics is None:
+            self._metrics = evaluate_design(self.design)
+        return self._metrics
+
+    def thermal(self, **kwargs) -> ThermalReport:
+        """Fig. 5 thermal analysis of the configured design."""
+        return analyze_h3d(self.ppa().energy, **kwargs)
+
+    def __repr__(self) -> str:
+        return (
+            f"H3DFact(design={self.design.name!r}, noise={self.noise.name!r}, "
+            f"adc_bits={self.adc_bits})"
+        )

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the H3DFact reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters."""
+
+
+class DimensionError(ConfigurationError):
+    """Array shapes or vector dimensionalities do not match expectations."""
+
+
+class CodebookError(ReproError):
+    """A codebook lookup or construction failed."""
+
+
+class ConvergenceError(ReproError):
+    """A factorization run could not satisfy its convergence contract."""
+
+
+class MappingError(ReproError):
+    """A workload could not be mapped onto the hardware architecture."""
+
+
+class HardwareModelError(ReproError):
+    """The PPA (power/performance/area) model received invalid inputs."""
+
+
+class ThermalModelError(ReproError):
+    """The thermal solver received an invalid stack or power map."""
+
+
+class PerceptionError(ReproError):
+    """The perception front-end or dataset generation failed."""

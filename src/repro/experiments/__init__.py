@@ -1,0 +1,56 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation.
+
+Each driver exposes a ``run(config) -> result`` function and a result
+``render()`` that prints the same rows/series the paper reports.  Default
+configurations are sized for interactive wall-clock; set
+``H3DFACT_FULL=1`` (or pass a full config) for paper-scale grids.
+"""
+
+from repro.experiments.runner import ExperimentResult, full_scale
+from repro.experiments.fig1c import Fig1cConfig, Fig1cResult, run_fig1c
+from repro.experiments.table2 import Table2Config, Table2Result, run_table2
+from repro.experiments.table3 import Table3Config, Table3Result, run_table3
+from repro.experiments.fig5 import Fig5Config, Fig5Result, run_fig5
+from repro.experiments.fig6 import (
+    Fig6aConfig,
+    Fig6aResult,
+    Fig6bConfig,
+    Fig6bResult,
+    run_fig6a,
+    run_fig6b,
+)
+from repro.experiments.fig7 import Fig7Config, Fig7Result, run_fig7
+from repro.experiments.ablation import (
+    AblationConfig,
+    AblationResult,
+    run_ablation,
+)
+
+__all__ = [
+    "AblationConfig",
+    "AblationResult",
+    "run_ablation",
+    "ExperimentResult",
+    "full_scale",
+    "Fig1cConfig",
+    "Fig1cResult",
+    "run_fig1c",
+    "Table2Config",
+    "Table2Result",
+    "run_table2",
+    "Table3Config",
+    "Table3Result",
+    "run_table3",
+    "Fig5Config",
+    "Fig5Result",
+    "run_fig5",
+    "Fig6aConfig",
+    "Fig6aResult",
+    "Fig6bConfig",
+    "Fig6bResult",
+    "run_fig6a",
+    "run_fig6b",
+    "Fig7Config",
+    "Fig7Result",
+    "run_fig7",
+]

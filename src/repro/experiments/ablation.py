@@ -1,0 +1,156 @@
+"""Ablations of the H3DFact design choices.
+
+Three sweeps quantify the design-space decisions the paper motivates but
+does not tabulate; the ablation bench regenerates them:
+
+* **noise scale** - device stochasticity is useful in a window: too little
+  fails to break limit cycles, too much destroys the similarity signal
+  (Sec. III-C / Fig. 2b);
+* **VTGT pass count** - the adaptive threshold's target number of
+  supra-threshold candidates controls the sparsity of the search
+  superposition (Sec. V-D's threshold adjustment);
+* **ADC resolution** - end-to-end accuracy/latency across 2-8 bits
+  (generalizes Fig. 6a beyond the two published points).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cim.rram.noise import NoiseParameters
+from repro.core.engine import H3DFact
+from repro.resonator.batch import factorize_batch
+from repro.resonator.stochastic import ThresholdPolicy
+from repro.utils.rng import as_rng
+
+
+@dataclass
+class AblationConfig:
+    dim: int = 1024
+    num_factors: int = 3
+    codebook_size: int = 64
+    trials: int = 12
+    max_iterations: int = 2000
+    noise_scales: Tuple[float, ...] = (0.0, 0.25, 0.5, 1.0, 2.0, 4.0)
+    pass_counts: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0)
+    adc_bits: Tuple[int, ...] = (2, 3, 4, 6, 8)
+    seed: int = 0
+
+
+@dataclass
+class SweepPoint:
+    parameter: float
+    accuracy: float
+    mean_iterations: float
+
+
+@dataclass
+class AblationResult:
+    noise_sweep: List[SweepPoint]
+    threshold_sweep: List[SweepPoint]
+    adc_sweep: List[SweepPoint]
+    config: AblationConfig
+    elapsed_seconds: float
+
+    @staticmethod
+    def _render_sweep(title: str, points: List[SweepPoint], label: str) -> List[str]:
+        lines = [title]
+        for point in points:
+            lines.append(
+                f"  {label}={point.parameter:<6g} accuracy "
+                f"{100 * point.accuracy:5.1f} %  mean iters "
+                f"{point.mean_iterations:7.1f}"
+            )
+        return lines
+
+    def render(self) -> str:
+        lines: List[str] = []
+        lines += self._render_sweep(
+            "Ablation - read-out noise scale (x testchip sigma)",
+            self.noise_sweep,
+            "scale",
+        )
+        lines += self._render_sweep(
+            "Ablation - VTGT target pass count", self.threshold_sweep, "k"
+        )
+        lines += self._render_sweep(
+            "Ablation - ADC resolution", self.adc_sweep, "bits"
+        )
+        return "\n".join(lines)
+
+    def best_noise_scale(self) -> float:
+        return max(
+            self.noise_sweep, key=lambda p: (p.accuracy, -p.mean_iterations)
+        ).parameter
+
+
+def _run_point(
+    engine_factory, config: AblationConfig, seed_offset: int
+) -> Tuple[float, float]:
+    batch = factorize_batch(
+        engine_factory,
+        dim=config.dim,
+        num_factors=config.num_factors,
+        codebook_size=config.codebook_size,
+        trials=config.trials,
+        rng=config.seed + seed_offset,
+        check_correct_every=2,
+    )
+    return batch.accuracy, batch.statistics.mean_iterations
+
+
+def run_ablation(config: Optional[AblationConfig] = None) -> AblationResult:
+    config = config or AblationConfig()
+    start = time.perf_counter()
+
+    noise_sweep: List[SweepPoint] = []
+    for scale in config.noise_scales:
+        noise = NoiseParameters.testchip().scaled(scale)
+        engine = H3DFact(noise=noise, rng=config.seed)
+        accuracy, iterations = _run_point(
+            lambda p: engine.make_network(
+                p.codebooks, max_iterations=config.max_iterations
+            ),
+            config,
+            seed_offset=1,
+        )
+        noise_sweep.append(SweepPoint(scale, accuracy, iterations))
+
+    threshold_sweep: List[SweepPoint] = []
+    for pass_count in config.pass_counts:
+        engine = H3DFact(
+            threshold_policy=ThresholdPolicy(target_pass_count=pass_count),
+            rng=config.seed,
+        )
+        accuracy, iterations = _run_point(
+            lambda p: engine.make_network(
+                p.codebooks, max_iterations=config.max_iterations
+            ),
+            config,
+            seed_offset=2,
+        )
+        threshold_sweep.append(SweepPoint(pass_count, accuracy, iterations))
+
+    adc_sweep: List[SweepPoint] = []
+    for bits in config.adc_bits:
+        engine = H3DFact(adc_bits=bits, rng=config.seed)
+        accuracy, iterations = _run_point(
+            lambda p: engine.make_network(
+                p.codebooks, max_iterations=config.max_iterations
+            ),
+            config,
+            seed_offset=3,
+        )
+        adc_sweep.append(SweepPoint(float(bits), accuracy, iterations))
+
+    return AblationResult(
+        noise_sweep=noise_sweep,
+        threshold_sweep=threshold_sweep,
+        adc_sweep=adc_sweep,
+        config=config,
+        elapsed_seconds=time.perf_counter() - start,
+    )

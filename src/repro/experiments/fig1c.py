@@ -1,0 +1,104 @@
+"""Fig. 1c: operation-time breakdown and baseline accuracy scaling.
+
+Two characterizations motivate the CIM design:
+
+* the similarity + projection MVMs dominate factorization compute
+  (~80 % of time), measured here with the op-level profiler;
+* the deterministic baseline's accuracy collapses as the problem size
+  grows (the limit-cycle problem), measured as accuracy vs codebook size.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.engine import baseline_network
+from repro.resonator.batch import factorize_batch
+from repro.resonator.network import FactorizationProblem, ResonatorNetwork
+from repro.resonator.profiler import ResonatorProfiler
+from repro.utils.rng import as_rng
+
+
+@dataclass
+class Fig1cConfig:
+    dim: int = 1024
+    num_factors: int = 3
+    profile_codebook_size: int = 64
+    profile_iterations: int = 50
+    scaling_sizes: Tuple[int, ...] = (8, 16, 32, 64, 128)
+    scaling_trials: int = 15
+    scaling_max_iterations: int = 500
+    seed: int = 0
+
+
+@dataclass
+class Fig1cResult:
+    time_fractions: Dict[str, float]
+    op_fractions: Dict[str, float]
+    mvm_time_fraction: float
+    mvm_op_fraction: float
+    baseline_accuracy: Dict[int, float]
+    elapsed_seconds: float
+
+    def render(self) -> str:
+        lines = ["Fig. 1c - operation breakdown (paper: MVM ~80 % of time)"]
+        for name, frac in sorted(
+            self.time_fractions.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(
+                f"  {name:<12} {100 * frac:5.1f} % time  "
+                f"{100 * self.op_fractions.get(name, 0.0):5.1f} % ops"
+            )
+        lines.append(
+            f"  MVM share: {100 * self.mvm_time_fraction:.1f} % time / "
+            f"{100 * self.mvm_op_fraction:.1f} % ops"
+        )
+        lines.append("Fig. 1c - baseline accuracy vs problem size (the cliff)")
+        for size, acc in self.baseline_accuracy.items():
+            lines.append(f"  M={size:<4} accuracy {100 * acc:5.1f} %")
+        return "\n".join(lines)
+
+
+def run_fig1c(config: Fig1cConfig = Fig1cConfig()) -> Fig1cResult:
+    start = time.perf_counter()
+    rng = as_rng(config.seed)
+
+    # Part 1: profile one deterministic run at a moderate size.
+    problem = FactorizationProblem.random(
+        config.dim, config.num_factors, config.profile_codebook_size, rng=rng
+    )
+    network = baseline_network(
+        problem.codebooks, max_iterations=config.profile_iterations, rng=rng
+    )
+    profiler = ResonatorProfiler()
+    network.profiler = profiler
+    network.detect_cycles = False  # profile a fixed iteration count
+    network.factorize(problem.product, max_iterations=config.profile_iterations)
+
+    # Part 2: baseline accuracy vs codebook size.
+    accuracy: Dict[int, float] = {}
+    for size in config.scaling_sizes:
+        batch = factorize_batch(
+            lambda p: baseline_network(
+                p.codebooks, max_iterations=config.scaling_max_iterations
+            ),
+            dim=config.dim,
+            num_factors=config.num_factors,
+            codebook_size=size,
+            trials=config.scaling_trials,
+            rng=rng,
+        )
+        accuracy[size] = batch.accuracy
+
+    counts = profiler.op_counts()
+    total_ops = sum(counts.counts.values()) or 1
+    return Fig1cResult(
+        time_fractions=profiler.time_fractions(),
+        op_fractions={k: v / total_ops for k, v in counts.counts.items()},
+        mvm_time_fraction=profiler.mvm_time_fraction(),
+        mvm_op_fraction=profiler.mvm_op_fraction(),
+        baseline_accuracy=accuracy,
+        elapsed_seconds=time.perf_counter() - start,
+    )

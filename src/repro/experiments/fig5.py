@@ -1,0 +1,44 @@
+"""Fig. 5: thermal analysis of the 3D stack."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.designs import h3d_design
+from repro.hwmodel.metrics import evaluate_design
+from repro.thermal.analysis import ThermalReport, analyze_h3d
+
+
+@dataclass
+class Fig5Config:
+    grid: int = 30
+    domain_mm: float = 1.03
+    ambient_c: float = 25.0
+    h_top: float = 1000.0
+
+
+@dataclass
+class Fig5Result:
+    report: ThermalReport
+    elapsed_seconds: float
+
+    def render(self) -> str:
+        return "\n".join(
+            [self.report.render(), "", self.report.ascii_map("tier3")]
+        )
+
+
+def run_fig5(config: Optional[Fig5Config] = None) -> Fig5Result:
+    config = config or Fig5Config()
+    start = time.perf_counter()
+    metrics = evaluate_design(h3d_design())
+    report = analyze_h3d(
+        metrics.energy,
+        domain_mm=config.domain_mm,
+        grid=config.grid,
+        ambient_c=config.ambient_c,
+        h_top=config.h_top,
+    )
+    return Fig5Result(report=report, elapsed_seconds=time.perf_counter() - start)

@@ -1,0 +1,188 @@
+"""Fig. 6: ADC-precision convergence (a) and testchip validation (b).
+
+* **Fig. 6a**: with the similarity path quantized to 4 bits, factorization
+  converges to 99 % accuracy in ~10 iterations where the 8-bit design
+  needs ~30 - lower precision adds quantization stochasticity that breaks
+  limit cycles sooner.
+* **Fig. 6b**: with noise statistics extracted from the 40 nm RRAM
+  testchip, the factorizer reaches >96 % accuracy one-shot and 99 % after
+  ~25 iterations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cim.rram.noise import NoiseParameters
+from repro.core.engine import H3DFact
+from repro.resonator.metrics import accuracy_curve
+from repro.resonator.network import FactorizationProblem
+from repro.utils.rng import as_rng
+
+
+@dataclass
+class Fig6aConfig:
+    """Operating point where limit-cycle escape dominates convergence.
+
+    The 4-bit advantage comes from quantization dither helping escapes,
+    so it shows at sizes beyond the deterministic comfort zone (M = 64 at
+    F = 3), not at tiny problems where extra precision wins.
+    """
+
+    dim: int = 1024
+    num_factors: int = 3
+    codebook_size: int = 64
+    trials: int = 40
+    max_iterations: int = 500
+    adc_bits: Tuple[int, ...] = (4, 8)
+    #: Headline crossing; the paper's 99 % needs thousands of trials to
+    #: estimate stably, so the default tracks the 90 % crossing (the curve
+    #: itself is rendered either way).
+    target_accuracy: float = 0.90
+    seed: int = 0
+
+
+@dataclass
+class Fig6aResult:
+    #: Accuracy-vs-iteration curve per ADC resolution.
+    curves: Dict[int, np.ndarray]
+    iterations_to_target: Dict[int, Optional[int]]
+    elapsed_seconds: float
+
+    def render(self) -> str:
+        lines = ["Fig. 6a - convergence vs ADC precision"]
+        for bits, iters in self.iterations_to_target.items():
+            label = "not reached" if iters is None else f"{iters} iterations"
+            lines.append(f"  {bits}-bit ADC: target accuracy at {label}")
+        lines.append(
+            "  (paper: 4-bit converges ~3x sooner - 10 vs 30 iterations)"
+        )
+        checkpoints = (10, 30, 60, 100, 200, 400)
+        header = "  iter:   " + "".join(f"{c:>7}" for c in checkpoints)
+        lines.append(header)
+        for bits, curve in self.curves.items():
+            row = f"  {bits}-bit: "
+            for checkpoint in checkpoints:
+                if checkpoint <= len(curve):
+                    row += f"{100 * curve[checkpoint - 1]:6.1f}%"
+                else:
+                    row += "      -"
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def run_fig6a(config: Optional[Fig6aConfig] = None) -> Fig6aResult:
+    config = config or Fig6aConfig()
+    start = time.perf_counter()
+    curves: Dict[int, np.ndarray] = {}
+    to_target: Dict[int, Optional[int]] = {}
+    for bits in config.adc_bits:
+        rng = as_rng(config.seed)
+        engine = H3DFact(adc_bits=bits, rng=rng)
+        results = []
+        for _ in range(config.trials):
+            problem = FactorizationProblem.random(
+                config.dim, config.num_factors, config.codebook_size, rng=rng
+            )
+            network = engine.make_network(
+                problem.codebooks, max_iterations=config.max_iterations
+            )
+            results.append(
+                network.factorize(
+                    problem.product, true_indices=problem.true_indices
+                )
+            )
+        curve = accuracy_curve(results, config.max_iterations)
+        curves[bits] = curve
+        reached = np.nonzero(curve >= config.target_accuracy)[0]
+        to_target[bits] = int(reached[0]) + 1 if reached.size else None
+    return Fig6aResult(
+        curves=curves,
+        iterations_to_target=to_target,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+@dataclass
+class Fig6bConfig:
+    """Perception-scale workload (small codebooks, the Fig. 7 regime)."""
+
+    dim: int = 1024
+    num_factors: int = 4
+    codebook_size: int = 4
+    trials: int = 80
+    max_iterations: int = 40
+    #: Re-initialize the state every this many sweeps when unsolved -
+    #: the controller's stall recovery (fresh superposition costs one
+    #: digital pass).  The cumulative sweep count is what the curve uses.
+    restart_period: int = 8
+    seed: int = 0
+
+
+@dataclass
+class Fig6bResult:
+    curve: np.ndarray
+    one_shot_accuracy: float
+    accuracy_at_25: float
+    iterations_to_99: Optional[int]
+    elapsed_seconds: float
+
+    def render(self) -> str:
+        label = (
+            "not reached"
+            if self.iterations_to_99 is None
+            else f"{self.iterations_to_99} iterations"
+        )
+        return "\n".join(
+            [
+                "Fig. 6b - 40 nm RRAM testchip noise validation",
+                f"  single-sweep accuracy: {100 * self.one_shot_accuracy:.1f} % "
+                "(paper one-shot: > 96 %; see EXPERIMENTS.md on the metric)",
+                f"  accuracy at 25 iterations: {100 * self.accuracy_at_25:.1f} %",
+                f"  99 % accuracy at: {label} (paper: ~25 iterations)",
+            ]
+        )
+
+
+def run_fig6b(config: Optional[Fig6bConfig] = None) -> Fig6bResult:
+    config = config or Fig6bConfig()
+    start = time.perf_counter()
+    rng = as_rng(config.seed)
+    engine = H3DFact(noise=NoiseParameters.testchip(), rng=rng)
+    first_correct: List[Optional[int]] = []
+    for _ in range(config.trials):
+        problem = FactorizationProblem.random(
+            config.dim, config.num_factors, config.codebook_size, rng=rng
+        )
+        total = 0
+        solved_at: Optional[int] = None
+        while total < config.max_iterations:
+            segment = min(config.restart_period, config.max_iterations - total)
+            network = engine.make_network(
+                problem.codebooks, max_iterations=segment
+            )
+            result = network.factorize(
+                problem.product, true_indices=problem.true_indices
+            )
+            if result.correct and result.first_correct_iteration is not None:
+                solved_at = total + result.first_correct_iteration
+                break
+            total += result.iterations
+        first_correct.append(solved_at)
+    curve = np.zeros(config.max_iterations)
+    for solved in first_correct:
+        if solved is not None:
+            curve[min(solved, config.max_iterations) - 1 :] += 1
+    curve /= config.trials
+    reached = np.nonzero(curve >= 0.99)[0]
+    return Fig6bResult(
+        curve=curve,
+        one_shot_accuracy=float(curve[0]),
+        accuracy_at_25=float(curve[min(24, config.max_iterations - 1)]),
+        iterations_to_99=int(reached[0]) + 1 if reached.size else None,
+        elapsed_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,52 @@
+"""Shared experiment infrastructure."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field, is_dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+
+def full_scale() -> bool:
+    """True when paper-scale grids were requested via ``H3DFACT_FULL=1``."""
+    return os.environ.get("H3DFACT_FULL", "0") not in ("", "0", "false", "no")
+
+
+@dataclass
+class ExperimentResult:
+    """Envelope for saving any experiment outcome to JSON."""
+
+    experiment: str
+    config: Dict[str, Any]
+    data: Dict[str, Any]
+    elapsed_seconds: float
+    created_unix: float = field(default_factory=time.time)
+
+    def save(self, path: Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(asdict(self), indent=2, default=_jsonable))
+        return path
+
+    @classmethod
+    def wrap(
+        cls, experiment: str, config: Any, data: Dict[str, Any], elapsed: float
+    ) -> "ExperimentResult":
+        config_dict = asdict(config) if is_dataclass(config) else dict(config)
+        return cls(
+            experiment=experiment,
+            config=config_dict,
+            data=data,
+            elapsed_seconds=elapsed,
+        )
+
+
+def _jsonable(value: Any) -> Any:
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)

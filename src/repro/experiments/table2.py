@@ -1,0 +1,172 @@
+"""Table II: factorization accuracy and operational capacity.
+
+Compares the deterministic baseline resonator against the H3DFact
+configuration (testchip noise + VTGT threshold + 4-bit ADC) across problem
+sizes.  The paper's grid spans F in {3, 4} and M (the per-factor codebook
+size, labeled "D" in Table II) from 16 to 512; the default config trims the
+largest cells so the experiment runs in minutes - ``H3DFACT_FULL=1``
+restores the full grid (hours: the largest stochastic cells need millions
+of sweeps, exactly as the paper's iteration counts imply).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.engine import H3DFact, baseline_network
+from repro.experiments.runner import full_scale
+from repro.resonator.batch import factorize_batch
+from repro.resonator.metrics import BatchStatistics
+from repro.utils.rng import as_rng
+
+
+@dataclass
+class Table2Config:
+    dim: int = 1024
+    factor_counts: Tuple[int, ...] = (3, 4)
+    codebook_sizes: Tuple[int, ...] = (16, 32, 64, 128)
+    #: Per-(F, M) iteration caps for the stochastic runs; cells beyond the
+    #: cap report accuracy-at-cap (the paper ran orders of magnitude more).
+    max_iterations_baseline: int = 1000
+    max_iterations_h3d: int = 6000
+    trials: int = 20
+    target_accuracy: float = 0.99
+    seed: int = 0
+
+    @classmethod
+    def paper(cls) -> "Table2Config":
+        """The full Table II grid (long-running)."""
+        return cls(
+            codebook_sizes=(16, 32, 64, 128, 256, 512),
+            max_iterations_h3d=4_000_000,
+            trials=25,
+        )
+
+    @classmethod
+    def from_environment(cls) -> "Table2Config":
+        return cls.paper() if full_scale() else cls()
+
+
+@dataclass
+class Cell:
+    """One (design, F, M) grid cell."""
+
+    design: str
+    num_factors: int
+    codebook_size: int
+    stats: BatchStatistics
+
+    @property
+    def accuracy_pct(self) -> float:
+        return 100 * self.stats.accuracy
+
+    @property
+    def iterations_label(self) -> str:
+        value = self.stats.iterations_to_target
+        return "Fail" if value is None else f"{value:.0f}"
+
+
+@dataclass
+class Table2Result:
+    cells: List[Cell]
+    config: Table2Config
+    elapsed_seconds: float
+
+    def cell(self, design: str, num_factors: int, size: int) -> Cell:
+        for cell in self.cells:
+            if (
+                cell.design == design
+                and cell.num_factors == num_factors
+                and cell.codebook_size == size
+            ):
+                return cell
+        raise KeyError((design, num_factors, size))
+
+    def capacity(self, design: str, num_factors: int) -> int:
+        """Largest search space M^F at >= target accuracy."""
+        best = 0
+        for cell in self.cells:
+            if cell.design == design and cell.num_factors == num_factors:
+                if cell.stats.accuracy >= self.config.target_accuracy - 1e-9:
+                    best = max(best, cell.codebook_size**num_factors)
+        return best
+
+    def capacity_gain(self, num_factors: int) -> float:
+        base = self.capacity("baseline", num_factors)
+        h3d = self.capacity("h3d", num_factors)
+        if base == 0:
+            return float("inf") if h3d else 0.0
+        return h3d / base
+
+    def render(self) -> str:
+        lines = [
+            "Table II - accuracy (%) and iterations to reach 99 % accuracy",
+            f"{'M':>5} | "
+            + " | ".join(
+                f"F={f} base acc/it    F={f} H3D acc/it"
+                for f in self.config.factor_counts
+            ),
+        ]
+        for size in self.config.codebook_sizes:
+            parts = [f"{size:>5}"]
+            for f in self.config.factor_counts:
+                base = self.cell("baseline", f, size)
+                h3d = self.cell("h3d", f, size)
+                parts.append(
+                    f"{base.accuracy_pct:5.1f}/{base.iterations_label:>6}   "
+                    f"{h3d.accuracy_pct:5.1f}/{h3d.iterations_label:>6}"
+                )
+            lines.append(" | ".join(parts))
+        for f in self.config.factor_counts:
+            gain = self.capacity_gain(f)
+            label = "inf" if gain == float("inf") else f"{gain:.0f}x"
+            lines.append(
+                f"operational capacity gain (F={f}): {label} "
+                f"(paper: up to five orders of magnitude)"
+            )
+        return "\n".join(lines)
+
+
+def run_table2(config: Optional[Table2Config] = None) -> Table2Result:
+    config = config or Table2Config()
+    start = time.perf_counter()
+    rng = as_rng(config.seed)
+    cells: List[Cell] = []
+    for num_factors in config.factor_counts:
+        for size in config.codebook_sizes:
+            baseline_batch = factorize_batch(
+                lambda p: baseline_network(
+                    p.codebooks, max_iterations=config.max_iterations_baseline
+                ),
+                dim=config.dim,
+                num_factors=num_factors,
+                codebook_size=size,
+                trials=config.trials,
+                target_accuracy=config.target_accuracy,
+                rng=rng,
+            )
+            cells.append(
+                Cell("baseline", num_factors, size, baseline_batch.statistics)
+            )
+            engine = H3DFact(rng=rng)
+            h3d_batch = factorize_batch(
+                lambda p: engine.make_network(
+                    p.codebooks, max_iterations=config.max_iterations_h3d
+                ),
+                dim=config.dim,
+                num_factors=num_factors,
+                codebook_size=size,
+                trials=config.trials,
+                max_iterations=config.max_iterations_h3d,
+                target_accuracy=config.target_accuracy,
+                rng=rng,
+                check_correct_every=2,
+            )
+            cells.append(Cell("h3d", num_factors, size, h3d_batch.statistics))
+    return Table2Result(
+        cells=cells,
+        config=config,
+        elapsed_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,101 @@
+"""Table III: hardware resource and performance comparison.
+
+Thin wrapper over :mod:`repro.hwmodel.report` plus the PCM comparison;
+optionally re-measures the accuracy column live instead of using the
+snapshot in :mod:`repro.hwmodel.calibration`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.engine import H3DFact, baseline_network
+from repro.hwmodel.pcm_baseline import PCMComparison, compare_with_pcm
+from repro.hwmodel.report import Table3Report, build_table3
+from repro.resonator.batch import factorize_batch
+from repro.utils.rng import as_rng
+
+
+@dataclass
+class Table3Config:
+    #: Re-measure the accuracy column (slower) instead of the snapshot.
+    measure_accuracy: bool = False
+    #: Operating point for the accuracy measurement.
+    dim: int = 1024
+    num_factors: int = 4
+    codebook_size: int = 32
+    trials: int = 20
+    max_iterations: int = 4000
+    seed: int = 0
+
+
+@dataclass
+class Table3Result:
+    report: Table3Report
+    pcm: PCMComparison
+    measured_accuracy: Optional[Dict[str, float]]
+    elapsed_seconds: float
+
+    def render(self) -> str:
+        parts = [self.report.render(), "", self.pcm.render()]
+        if self.measured_accuracy is not None:
+            parts.append("")
+            parts.append(
+                "measured accuracy at the operating point: "
+                + ", ".join(
+                    f"{k}={100 * v:.1f}%" for k, v in self.measured_accuracy.items()
+                )
+            )
+        return "\n".join(parts)
+
+
+def measure_design_accuracy(config: Table3Config) -> Dict[str, float]:
+    """Accuracy at the Table III operating point for the three designs.
+
+    The SRAM-2D design runs the deterministic baseline (no stochasticity);
+    both RRAM designs share the testchip noise statistics.
+    """
+    rng = as_rng(config.seed)
+    deterministic = factorize_batch(
+        lambda p: baseline_network(
+            p.codebooks, max_iterations=config.max_iterations
+        ),
+        dim=config.dim,
+        num_factors=config.num_factors,
+        codebook_size=config.codebook_size,
+        trials=config.trials,
+        rng=rng,
+    )
+    engine = H3DFact(rng=rng)
+    stochastic = factorize_batch(
+        lambda p: engine.make_network(
+            p.codebooks, max_iterations=config.max_iterations
+        ),
+        dim=config.dim,
+        num_factors=config.num_factors,
+        codebook_size=config.codebook_size,
+        trials=config.trials,
+        rng=rng,
+        check_correct_every=2,
+    )
+    return {
+        "sram-2d": deterministic.accuracy,
+        "hybrid-2d": stochastic.accuracy,
+        "h3d": stochastic.accuracy,
+    }
+
+
+def run_table3(config: Optional[Table3Config] = None) -> Table3Result:
+    config = config or Table3Config()
+    start = time.perf_counter()
+    measured = measure_design_accuracy(config) if config.measure_accuracy else None
+    report = build_table3(accuracy_overrides=measured)
+    pcm = compare_with_pcm(report.metric("h3d"))
+    return Table3Result(
+        report=report,
+        pcm=pcm,
+        measured_accuracy=measured,
+        elapsed_seconds=time.perf_counter() - start,
+    )

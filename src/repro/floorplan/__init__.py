@@ -1,0 +1,7 @@
+"""Floorplans (Fig. 4) and power-density maps for thermal analysis."""
+
+from repro.floorplan.block import Block
+from repro.floorplan.plan import Floorplan, h3d_floorplans
+from repro.floorplan.powermap import power_density_map
+
+__all__ = ["Block", "Floorplan", "h3d_floorplans", "power_density_map"]

@@ -1,0 +1,74 @@
+"""Rectangular floorplan blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Block:
+    """An axis-aligned block: position + size in millimeters, power in watts.
+
+    The origin is the die's south-west corner; ``y`` grows northward, so a
+    block with small ``y`` sits at the southern edge (where Fig. 5 finds
+    the hotspot).
+    """
+
+    name: str
+    x_mm: float
+    y_mm: float
+    width_mm: float
+    height_mm: float
+    power_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.width_mm <= 0 or self.height_mm <= 0:
+            raise ConfigurationError(
+                f"block {self.name!r} must have positive size, got "
+                f"{self.width_mm} x {self.height_mm}"
+            )
+        if self.x_mm < 0 or self.y_mm < 0:
+            raise ConfigurationError(
+                f"block {self.name!r} must have non-negative origin"
+            )
+        if self.power_w < 0:
+            raise ConfigurationError(
+                f"block {self.name!r} has negative power {self.power_w}"
+            )
+
+    @property
+    def area_mm2(self) -> float:
+        return self.width_mm * self.height_mm
+
+    @property
+    def x2_mm(self) -> float:
+        return self.x_mm + self.width_mm
+
+    @property
+    def y2_mm(self) -> float:
+        return self.y_mm + self.height_mm
+
+    @property
+    def power_density_w_mm2(self) -> float:
+        return self.power_w / self.area_mm2
+
+    def overlaps(self, other: "Block", tolerance_mm: float = 1e-9) -> bool:
+        """True when the interiors intersect (shared edges are fine)."""
+        return not (
+            self.x2_mm <= other.x_mm + tolerance_mm
+            or other.x2_mm <= self.x_mm + tolerance_mm
+            or self.y2_mm <= other.y_mm + tolerance_mm
+            or other.y2_mm <= self.y_mm + tolerance_mm
+        )
+
+    def with_power(self, power_w: float) -> "Block":
+        return Block(
+            name=self.name,
+            x_mm=self.x_mm,
+            y_mm=self.y_mm,
+            width_mm=self.width_mm,
+            height_mm=self.height_mm,
+            power_w=power_w,
+        )

@@ -1,0 +1,291 @@
+"""Per-tier floorplans reproducing the Fig. 4 layouts.
+
+Each tier is a square die of equal outline (stacked dies must match); the
+block arrangement follows Fig. 4:
+
+* **RRAM tiers** (Fig. 4a): four subarrays in quadrants of the core, TSV
+  strips along the east/west edges, programming blocks along the north,
+  and the isolation/level-shifter + bias/DCAP + activation row along the
+  *south* - the high-power-density stripe that produces the southern
+  hotspot of Fig. 5.
+* **Digital tier-1** (Fig. 4b): calibrated ADC banks in the four corners,
+  the control/XNOR/adder spine through the middle, SRAM buffers on the
+  east/west flanks, TSV strips on the edges, IO along the south.
+
+Powers are assigned from an :class:`~repro.hwmodel.energy.EnergyBreakdown`
+so the thermal maps and the Table III power roll-up stay consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.floorplan.block import Block
+from repro.hwmodel.energy import EnergyBreakdown
+
+
+@dataclass
+class Floorplan:
+    """All blocks of one die."""
+
+    name: str
+    width_mm: float
+    height_mm: float
+    blocks: List[Block] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.width_mm <= 0 or self.height_mm <= 0:
+            raise ConfigurationError(
+                f"floorplan {self.name!r} must have positive size"
+            )
+        for block in self.blocks:
+            self._check_block(block)
+        self._check_overlaps()
+
+    def _check_block(self, block: Block) -> None:
+        if block.x2_mm > self.width_mm + 1e-9 or block.y2_mm > self.height_mm + 1e-9:
+            raise ConfigurationError(
+                f"block {block.name!r} exceeds die outline "
+                f"({self.width_mm} x {self.height_mm} mm)"
+            )
+
+    def _check_overlaps(self) -> None:
+        for i, a in enumerate(self.blocks):
+            for b in self.blocks[i + 1 :]:
+                if a.overlaps(b):
+                    raise ConfigurationError(
+                        f"blocks {a.name!r} and {b.name!r} overlap"
+                    )
+
+    @property
+    def area_mm2(self) -> float:
+        return self.width_mm * self.height_mm
+
+    @property
+    def utilization(self) -> float:
+        return sum(b.area_mm2 for b in self.blocks) / self.area_mm2
+
+    @property
+    def total_power_w(self) -> float:
+        return sum(b.power_w for b in self.blocks)
+
+    def block(self, name: str) -> Block:
+        for candidate in self.blocks:
+            if candidate.name == name:
+                return candidate
+        raise ConfigurationError(
+            f"no block named {name!r} in floorplan {self.name!r}"
+        )
+
+    def south_power_fraction(self) -> float:
+        """Share of die power in the southern half (the Fig. 5 gradient)."""
+        total = self.total_power_w
+        if total == 0:
+            return 0.0
+        south = sum(
+            b.power_w
+            for b in self.blocks
+            if (b.y_mm + b.y2_mm) / 2 < self.height_mm / 2
+        )
+        return south / total
+
+
+def _grid(die: float, frac: float) -> float:
+    return die * frac
+
+
+def rram_tier_floorplan(
+    name: str,
+    die_mm: float,
+    *,
+    array_power_w: float,
+    support_power_w: float,
+) -> Floorplan:
+    """Fig. 4a layout: arrays in quadrants, support row at the south."""
+    tsv_w = _grid(die_mm, 0.10)
+    south_h = _grid(die_mm, 0.18)
+    north_h = _grid(die_mm, 0.12)
+    core_w = die_mm - 2 * tsv_w
+    core_h = die_mm - south_h - north_h
+    array_w = core_w / 2
+    array_h = core_h / 2
+    per_array = array_power_w / 4
+    blocks = [
+        Block("tsv_west", 0.0, 0.0, tsv_w, die_mm, 0.0),
+        Block("tsv_east", die_mm - tsv_w, 0.0, tsv_w, die_mm, 0.0),
+        # Southern support stripe: level shifters + isolation + bias.
+        # Support power splits in proportion to block area (the stripe is
+        # one thermal entity; regulation losses spread along it).
+        Block(
+            "isolation_level_shifters",
+            tsv_w,
+            0.0,
+            core_w * 0.5,
+            south_h,
+            support_power_w * 0.50,
+        ),
+        Block(
+            "bias_dcap",
+            tsv_w + core_w * 0.5,
+            0.0,
+            core_w * 0.3,
+            south_h,
+            support_power_w * 0.30,
+        ),
+        Block(
+            "activation_unit",
+            tsv_w + core_w * 0.8,
+            0.0,
+            core_w * 0.2,
+            south_h,
+            support_power_w * 0.20,
+        ),
+        # Northern programming blocks (idle during factorization).
+        Block("rram_prog_west", tsv_w, die_mm - north_h, core_w / 2, north_h, 0.0),
+        Block(
+            "rram_prog_east",
+            tsv_w + core_w / 2,
+            die_mm - north_h,
+            core_w / 2,
+            north_h,
+            0.0,
+        ),
+    ]
+    for qy in range(2):
+        for qx in range(2):
+            blocks.append(
+                Block(
+                    f"rram_array_{qy}{qx}",
+                    tsv_w + qx * array_w,
+                    south_h + qy * array_h,
+                    array_w,
+                    array_h,
+                    per_array,
+                )
+            )
+    return Floorplan(name=name, width_mm=die_mm, height_mm=die_mm, blocks=blocks)
+
+
+def digital_tier_floorplan(
+    name: str,
+    die_mm: float,
+    *,
+    adc_power_w: float,
+    digital_power_w: float,
+    sram_power_w: float,
+    io_power_w: float,
+) -> Floorplan:
+    """Fig. 4b layout: ADC corners, control spine, SRAM flanks, IO south."""
+    tsv_w = _grid(die_mm, 0.08)
+    io_h = _grid(die_mm, 0.15)
+    core_w = die_mm - 2 * tsv_w
+    core_h = die_mm - io_h
+    adc_w = core_w * 0.38
+    adc_h = core_h * 0.30
+    spine_w = core_w - 2 * adc_w
+    per_adc = adc_power_w / 4
+    blocks = [
+        Block("tsv_west", 0.0, 0.0, tsv_w, die_mm, 0.0),
+        Block("tsv_east", die_mm - tsv_w, 0.0, tsv_w, die_mm, 0.0),
+        Block("io_c4", tsv_w, 0.0, core_w, io_h, io_power_w),
+        # Four calibrated-ADC banks (corners of the core).
+        Block("adc_sw", tsv_w, io_h, adc_w, adc_h, per_adc),
+        Block("adc_se", tsv_w + core_w - adc_w, io_h, adc_w, adc_h, per_adc),
+        Block(
+            "adc_nw", tsv_w, io_h + core_h - adc_h, adc_w, adc_h, per_adc
+        ),
+        Block(
+            "adc_ne",
+            tsv_w + core_w - adc_w,
+            io_h + core_h - adc_h,
+            adc_w,
+            adc_h,
+            per_adc,
+        ),
+        # Control / XNOR / adder spine between the ADC banks.
+        Block(
+            "ctrl_xnor_add",
+            tsv_w + adc_w,
+            io_h,
+            spine_w,
+            core_h,
+            digital_power_w,
+        ),
+        # SRAM buffers between the ADC banks on each flank.
+        Block(
+            "sram_buffer_west",
+            tsv_w,
+            io_h + adc_h,
+            adc_w,
+            core_h - 2 * adc_h,
+            sram_power_w / 2,
+        ),
+        Block(
+            "sram_buffer_east",
+            tsv_w + core_w - adc_w,
+            io_h + adc_h,
+            adc_w,
+            core_h - 2 * adc_h,
+            sram_power_w / 2,
+        ),
+    ]
+    return Floorplan(name=name, width_mm=die_mm, height_mm=die_mm, blocks=blocks)
+
+
+def h3d_floorplans(
+    energy: EnergyBreakdown,
+    *,
+    die_mm: Optional[float] = None,
+    footprint_mm2: float = 0.091,
+) -> Dict[str, Floorplan]:
+    """Floorplans for the three H3D tiers with consistent powers.
+
+    Power attribution: the array read power splits evenly between the two
+    RRAM tiers (each is active for one of the two MVMs per factor); the
+    static bias power of both tiers is always on; ADC/digital/SRAM/TSV
+    power lands on tier-1.
+    """
+    if die_mm is None:
+        die_mm = float(np.sqrt(footprint_mm2))
+    dynamic = energy.dynamic_fj_per_op
+    throughput = energy.throughput_ops
+
+    def watts(fj_per_op: float) -> float:
+        return fj_per_op * 1e-15 * throughput
+
+    rram_power = watts(dynamic.get("rram_read", 0.0))
+    adc_power = watts(dynamic.get("adc", 0.0))
+    digital_power = watts(dynamic.get("digital", 0.0))
+    tsv_power = watts(dynamic.get("tsv", 0.0))
+    static = energy.static_power_w
+    # Static split: tier-1 leakage ~30%, RRAM bias networks ~35% each.
+    tier1_static = 0.30 * static
+    rram_static = 0.35 * static
+
+    plans = {
+        "tier1": digital_tier_floorplan(
+            "tier1",
+            die_mm,
+            adc_power_w=adc_power + 0.3 * tier1_static,
+            digital_power_w=digital_power + tsv_power + 0.5 * tier1_static,
+            sram_power_w=0.15 * tier1_static + 0.0,
+            io_power_w=0.05 * tier1_static,
+        ),
+        "tier2": rram_tier_floorplan(
+            "tier2",
+            die_mm,
+            array_power_w=rram_power / 2,
+            support_power_w=rram_static,
+        ),
+        "tier3": rram_tier_floorplan(
+            "tier3",
+            die_mm,
+            array_power_w=rram_power / 2,
+            support_power_w=rram_static,
+        ),
+    }
+    return plans

@@ -1,0 +1,26 @@
+"""PPA (power / performance / area) models for the Table III designs."""
+
+from repro.hwmodel.area import AreaBreakdown, AreaModel
+from repro.hwmodel.energy import EnergyBreakdown, EnergyModel
+from repro.hwmodel.metrics import DesignMetrics, evaluate_design
+from repro.hwmodel.pcm_baseline import PCMFactorizerModel, compare_with_pcm
+from repro.hwmodel.report import Table3Report, build_table3
+from repro.hwmodel.technology import TechnologyNode, node
+from repro.hwmodel.timing import TimingModel, TimingReport
+
+__all__ = [
+    "AreaBreakdown",
+    "AreaModel",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "DesignMetrics",
+    "evaluate_design",
+    "PCMFactorizerModel",
+    "compare_with_pcm",
+    "Table3Report",
+    "build_table3",
+    "TechnologyNode",
+    "node",
+    "TimingModel",
+    "TimingReport",
+]

@@ -1,0 +1,161 @@
+"""Area model: per-tier component roll-up (NeuroSim-style).
+
+For each design the model itemizes every block of the Fig. 4 floorplans,
+sums per tier/region, applies the 3D stacking overhead to stacked tiers,
+and reports both the *footprint* (largest tier - what the package sees)
+and the *total silicon* (sum over tiers).  Table III quotes footprints;
+the 1.25x / 5.97x savings claims are footprint ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.arch.designs import Design, DesignStyle
+from repro.arch.tier import Tier, TierKind
+from repro.errors import HardwareModelError
+from repro.hwmodel import calibration as cal
+
+
+@dataclass
+class AreaBreakdown:
+    """Per-tier, per-component areas in mm^2."""
+
+    design_name: str
+    tiers: Dict[str, Dict[str, float]]
+
+    def tier_area(self, tier: str) -> float:
+        if tier not in self.tiers:
+            raise HardwareModelError(
+                f"unknown tier {tier!r}; have {sorted(self.tiers)}"
+            )
+        return sum(self.tiers[tier].values())
+
+    @property
+    def footprint_mm2(self) -> float:
+        """Die outline: the largest tier (stacked dies share the outline)."""
+        return max(self.tier_area(t) for t in self.tiers)
+
+    @property
+    def total_silicon_mm2(self) -> float:
+        return sum(self.tier_area(t) for t in self.tiers)
+
+    def component(self, name: str) -> float:
+        """Total area of one component class across tiers."""
+        return sum(blocks.get(name, 0.0) for blocks in self.tiers.values())
+
+    def report(self) -> str:
+        lines = [f"Area breakdown - {self.design_name}"]
+        for tier, blocks in self.tiers.items():
+            lines.append(f"  {tier}: {self.tier_area(tier):.4f} mm^2")
+            for name, area in sorted(blocks.items(), key=lambda kv: -kv[1]):
+                lines.append(f"    {name:<22} {area:.4f} mm^2")
+        lines.append(f"  footprint      {self.footprint_mm2:.4f} mm^2")
+        lines.append(f"  total silicon  {self.total_silicon_mm2:.4f} mm^2")
+        return "\n".join(lines)
+
+
+class AreaModel:
+    """Computes :class:`AreaBreakdown` for a :class:`~repro.arch.designs.Design`."""
+
+    def evaluate(self, design: Design) -> AreaBreakdown:
+        if design.style is DesignStyle.H3D:
+            tiers = self._h3d(design)
+        elif design.style is DesignStyle.HYBRID_2D:
+            tiers = self._hybrid_2d(design)
+        elif design.style is DesignStyle.SRAM_2D:
+            tiers = self._sram_2d(design)
+        else:  # pragma: no cover - enum is closed
+            raise HardwareModelError(f"unknown design style {design.style}")
+        return AreaBreakdown(design_name=design.name, tiers=tiers)
+
+    # -- shared component sizes ---------------------------------------------
+
+    @staticmethod
+    def _adc_area_mm2(design: Design, node_nm: int) -> float:
+        scale = cal.logic_area_scale(16, node_nm)
+        return design.adc_count * cal.ADC4_AREA_16NM_UM2 * scale * 1e-6
+
+    @staticmethod
+    def _buffer_area_mm2(design: Design, node_nm: int) -> float:
+        bits = design.batch_size * cal.BUFFER_WORD_COLS * cal.BUFFER_WORD_BITS
+        cell = cal.SRAM_BITCELL_UM2[node_nm]
+        return bits * cell / cal.SRAM_ARRAY_EFFICIENCY * 1e-6
+
+    @staticmethod
+    def _rram_cells_mm2(cells: int) -> float:
+        return cells * cal.RRAM_CELL_AREA_UM2 * 1e-6
+
+    @staticmethod
+    def _rram_support_mm2(arrays: int) -> float:
+        """Per-tier analog support blocks, sized for a 4-array tier."""
+        scale = arrays / 4.0
+        return scale * (
+            cal.RRAM_TIER_PROGRAMMING_MM2
+            + cal.RRAM_TIER_ISOLATION_LS_MM2
+            + cal.RRAM_TIER_BIAS_DCAP_MM2
+            + cal.RRAM_TIER_ACTIVATION_MM2
+        )
+
+    # -- designs --------------------------------------------------------------
+
+    def _h3d(self, design: Design) -> Dict[str, Dict[str, float]]:
+        overhead = 1.0 + cal.STACKING_AREA_OVERHEAD
+        tiers: Dict[str, Dict[str, float]] = {}
+        # Digital tier-1 (16 nm).
+        tier1 = {
+            "sar_adcs": self._adc_area_mm2(design, 16),
+            "sram_buffer": self._buffer_area_mm2(design, 16),
+            "rram_peripheral": cal.TIER1_RRAM_PERIPHERAL_MM2,
+            "xnor_control": cal.TIER1_XNOR_CONTROL_MM2,
+            "io_c4": cal.IO_REGION_MM2,
+        }
+        tiers["tier1"] = {k: v * overhead for k, v in tier1.items()}
+        # RRAM tiers (40 nm): cells + support + TSV strips.
+        per_tier_tsvs = design.tsv_count // max(len(design.stack.rram_tiers), 1)
+        tsv_area = per_tier_tsvs * design.stack.tsv_spec.keepout_area * 1e6
+        for tier in design.stack.rram_tiers:
+            blocks = {
+                "rram_cells": self._rram_cells_mm2(tier.cells),
+                "analog_support": self._rram_support_mm2(tier.arrays),
+                "tsv_strips": tsv_area,
+            }
+            tiers[tier.name] = {k: v * overhead for k, v in blocks.items()}
+        return tiers
+
+    def _hybrid_2d(self, design: Design) -> Dict[str, Dict[str, float]]:
+        cim_tier = next(
+            t for t in design.stack.tiers.values() if t.kind is TierKind.RRAM_CIM
+        )
+        die = {
+            "rram_cells": self._rram_cells_mm2(cim_tier.cells),
+            "analog_support": self._rram_support_mm2(cim_tier.arrays),
+            "sar_adcs": self._adc_area_mm2(design, 40),
+            "sram_buffer": self._buffer_area_mm2(design, 40),
+            "rram_peripheral": cal.TIER1_RRAM_PERIPHERAL_MM2
+            * cal.logic_area_scale(16, 40),
+            "xnor_control": cal.TIER1_XNOR_CONTROL_MM2
+            * cal.logic_area_scale(16, 40),
+            "io_c4": cal.IO_REGION_MM2,
+        }
+        return {"die": die}
+
+    def _sram_2d(self, design: Design) -> Dict[str, Dict[str, float]]:
+        cim_tier = next(
+            t for t in design.stack.tiers.values() if t.kind is TierKind.SRAM_CIM
+        )
+        cim_area = (
+            cim_tier.cells
+            * cal.SRAM_CIM_BITCELL_UM2
+            / cal.SRAM_CIM_EFFICIENCY
+            * 1e-6
+        )
+        die = {
+            "sram_cim_arrays": cim_area,
+            "adder_trees": cal.SRAM2D_ADDER_TREES_MM2,
+            "sram_buffer": self._buffer_area_mm2(design, 16),
+            "xnor_control": cal.TIER1_XNOR_CONTROL_MM2,
+            "io_c4": cal.IO_REGION_MM2,
+        }
+        return {"die": die}

@@ -1,0 +1,115 @@
+"""Energy model: dynamic per-op energy + static power -> TOPS/W.
+
+Component attribution per design style:
+
+* RRAM designs: array read energy (node-independent - both use 40 nm
+  arrays) + SAR conversions (node-dependent) + digital datapath
+  (node-dependent) + TSV signalling (H3D only).
+* SRAM-2D: digital CIM popcount energy (no analog accumulation, hence the
+  highest per-op dynamic energy) + datapath.
+* Static power: die leakage and - for the stack - the bias/regulation
+  networks of both RRAM tiers, which stay powered so the standby tier can
+  wake within a cycle (Sec. III-A power modes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.arch.designs import Design, DesignStyle
+from repro.errors import HardwareModelError
+from repro.hwmodel import calibration as cal
+from repro.hwmodel.timing import TimingModel, TimingReport
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-component dynamic energy (fJ/op) and static power (W)."""
+
+    design_name: str
+    dynamic_fj_per_op: Dict[str, float]
+    static_power_w: float
+    throughput_ops: float
+
+    @property
+    def total_fj_per_op(self) -> float:
+        return sum(self.dynamic_fj_per_op.values())
+
+    @property
+    def dynamic_power_w(self) -> float:
+        return self.total_fj_per_op * 1e-15 * self.throughput_ops
+
+    @property
+    def total_power_w(self) -> float:
+        return self.dynamic_power_w + self.static_power_w
+
+    @property
+    def tops_per_watt(self) -> float:
+        if self.total_power_w == 0:
+            return float("inf")
+        return self.throughput_ops / 1e12 / self.total_power_w
+
+    def report(self) -> str:
+        lines = [f"Energy breakdown - {self.design_name}"]
+        for name, energy in sorted(
+            self.dynamic_fj_per_op.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  {name:<16} {energy:6.2f} fJ/op")
+        lines.append(f"  dynamic power  {1e3 * self.dynamic_power_w:6.2f} mW")
+        lines.append(f"  static power   {1e3 * self.static_power_w:6.2f} mW")
+        lines.append(f"  efficiency     {self.tops_per_watt:6.1f} TOPS/W")
+        return "\n".join(lines)
+
+
+class EnergyModel:
+    """Computes :class:`EnergyBreakdown` for a design."""
+
+    def __init__(self, timing: TimingModel = TimingModel()) -> None:
+        self.timing = timing
+
+    def evaluate(self, design: Design, timing: TimingReport = None) -> EnergyBreakdown:
+        if timing is None:
+            timing = self.timing.evaluate(design)
+        if design.style is DesignStyle.SRAM_2D:
+            dynamic = {
+                "sram_cim": cal.SRAM_CIM_FJ_PER_OP,
+                "digital": cal.DIGITAL_FJ_PER_OP[16] * 0.5,
+            }
+            static = cal.STATIC_POWER_W["sram-2d"]
+        elif design.style is DesignStyle.HYBRID_2D:
+            dynamic = {
+                "rram_read": cal.RRAM_READ_FJ_PER_OP,
+                "adc": self._adc_fj_per_op(design, timing, node_nm=40),
+                "digital": cal.DIGITAL_FJ_PER_OP[40],
+            }
+            static = cal.STATIC_POWER_W["hybrid-2d"]
+        elif design.style is DesignStyle.H3D:
+            dynamic = {
+                "rram_read": cal.RRAM_READ_FJ_PER_OP,
+                "adc": self._adc_fj_per_op(design, timing, node_nm=16),
+                "digital": cal.DIGITAL_FJ_PER_OP[16],
+                "tsv": cal.TSV_FJ_PER_OP,
+            }
+            static = cal.STATIC_POWER_W["h3d"]
+        else:  # pragma: no cover - enum closed
+            raise HardwareModelError(f"unknown design style {design.style}")
+        return EnergyBreakdown(
+            design_name=design.name,
+            dynamic_fj_per_op=dynamic,
+            static_power_w=static,
+            throughput_ops=timing.throughput_ops,
+        )
+
+    @staticmethod
+    def _adc_fj_per_op(design: Design, timing: TimingReport, *, node_nm: int) -> float:
+        """Conversion energy amortized over the MVM's MAC ops."""
+        if design.adc_count == 0:
+            return 0.0
+        per_conv = cal.ADC4_CONV_FJ_16NM
+        if node_nm == 40:
+            per_conv *= cal.ADC_ENERGY_NODE_SCALE_40_TO_16
+        row_phases = -(-design.array_rows // cal.ROWS_PER_PHASE)
+        phases = row_phases * TimingModel.adc_sharing(design)
+        conversions = design.adc_count * max(phases, 1)
+        return per_conv * conversions / timing.ops_per_mvm

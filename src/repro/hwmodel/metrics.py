@@ -1,0 +1,100 @@
+"""Top-level design metrics: the Table III columns for one design."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.arch.designs import Design
+from repro.hwmodel import calibration as cal
+from repro.hwmodel.area import AreaBreakdown, AreaModel
+from repro.hwmodel.energy import EnergyBreakdown, EnergyModel
+from repro.hwmodel.timing import TimingModel, TimingReport
+
+
+@dataclass
+class DesignMetrics:
+    """All Table III performance columns for one design."""
+
+    design: Design
+    area: AreaBreakdown
+    timing: TimingReport
+    energy: EnergyBreakdown
+    accuracy: float
+
+    @property
+    def footprint_mm2(self) -> float:
+        return self.area.footprint_mm2
+
+    @property
+    def total_silicon_mm2(self) -> float:
+        return self.area.total_silicon_mm2
+
+    @property
+    def frequency_mhz(self) -> float:
+        return self.timing.frequency_hz / 1e6
+
+    @property
+    def throughput_tops(self) -> float:
+        return self.timing.throughput_ops / 1e12
+
+    @property
+    def compute_density_tops_mm2(self) -> float:
+        return self.throughput_tops / self.footprint_mm2
+
+    @property
+    def tops_per_watt(self) -> float:
+        return self.energy.tops_per_watt
+
+    @property
+    def power_mw(self) -> float:
+        return 1e3 * self.energy.total_power_w
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for the Table III report."""
+        tech = self.design.technology_summary
+        return {
+            "design": self.design.name,
+            "rram_nm": tech["rram_nm"],
+            "rram_peripheral_nm": tech["rram_peripheral_nm"],
+            "digital_nm": tech["digital_nm"],
+            "unbinding": self.design.unbinding_operation,
+            "mvm": self.design.mvm_operation,
+            "adc_count": self.design.adc_count,
+            "tsv_count": self.design.tsv_count,
+            "area_mm2": round(self.footprint_mm2, 3),
+            "frequency_mhz": round(self.frequency_mhz, 0),
+            "throughput_tops": round(self.throughput_tops, 2),
+            "compute_density_tops_mm2": round(self.compute_density_tops_mm2, 1),
+            "energy_efficiency_tops_w": round(self.tops_per_watt, 1),
+            "accuracy_pct": round(100 * self.accuracy, 1),
+        }
+
+
+def evaluate_design(
+    design: Design,
+    *,
+    accuracy: Optional[float] = None,
+    area_model: Optional[AreaModel] = None,
+    timing_model: Optional[TimingModel] = None,
+    energy_model: Optional[EnergyModel] = None,
+) -> DesignMetrics:
+    """Run the full PPA stack on one design.
+
+    ``accuracy`` defaults to the snapshot measured by the Table II bench
+    (see :data:`repro.hwmodel.calibration.DESIGN_ACCURACY`); pass a live
+    measurement to override.
+    """
+    area_model = area_model or AreaModel()
+    timing_model = timing_model or TimingModel()
+    energy_model = energy_model or EnergyModel(timing_model)
+    timing = timing_model.evaluate(design)
+    if accuracy is None:
+        accuracy = cal.DESIGN_ACCURACY.get(design.style.value, float("nan"))
+    return DesignMetrics(
+        design=design,
+        area=area_model.evaluate(design),
+        timing=timing,
+        energy=energy_model.evaluate(design, timing),
+        accuracy=accuracy,
+    )

@@ -1,0 +1,115 @@
+"""PCM in-memory factorizer comparator (Sec. V-B, vs. Langenegger et al. [15]).
+
+The Nature Nanotechnology in-memory factorizer maps each resonator MVM to a
+2D PCM crossbar on its own die, so every iteration shuttles data between
+dies and every conversion runs through slower on-die converters.  The
+paper's comparison is iso-silicon-area: H3DFact achieves 1.78x throughput
+and 1.48x energy efficiency at the same silicon budget.  This module models
+the PCM design with the same accounting style as the main designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.hwmodel import calibration as cal
+from repro.hwmodel.metrics import DesignMetrics
+
+
+@dataclass(frozen=True)
+class PCMFactorizerModel:
+    """Analytic PPA model of the 2D PCM factorizer.
+
+    Defaults reproduce the published comparison; every parameter can be
+    overridden for sensitivity studies.
+    """
+
+    frequency_hz: float = cal.PCM_FREQUENCY_HZ
+    mvm_interval_cycles: int = cal.PCM_MVM_INTERVAL_CYCLES
+    arrays_active: int = cal.PCM_ARRAYS_ACTIVE
+    array_rows: int = 256
+    array_cols: int = 256
+    energy_fj_per_op: float = cal.PCM_ENERGY_FJ_PER_OP
+    static_power_w: float = cal.PCM_STATIC_POWER_W
+    silicon_area_mm2: float = cal.PCM_AREA_MM2
+
+    def __post_init__(self) -> None:
+        if min(
+            self.frequency_hz,
+            self.mvm_interval_cycles,
+            self.arrays_active,
+            self.energy_fj_per_op,
+            self.silicon_area_mm2,
+        ) <= 0:
+            raise HardwareModelError("PCM model parameters must be positive")
+
+    @property
+    def ops_per_mvm(self) -> int:
+        return 2 * self.array_rows * self.array_cols * self.arrays_active
+
+    @property
+    def throughput_ops(self) -> float:
+        return self.ops_per_mvm / self.mvm_interval_cycles * self.frequency_hz
+
+    @property
+    def throughput_tops(self) -> float:
+        return self.throughput_ops / 1e12
+
+    @property
+    def power_w(self) -> float:
+        return (
+            self.energy_fj_per_op * 1e-15 * self.throughput_ops
+            + self.static_power_w
+        )
+
+    @property
+    def tops_per_watt(self) -> float:
+        return self.throughput_tops / self.power_w
+
+    @property
+    def compute_density_tops_mm2(self) -> float:
+        return self.throughput_tops / self.silicon_area_mm2
+
+
+@dataclass(frozen=True)
+class PCMComparison:
+    """Iso-area comparison outcome."""
+
+    throughput_ratio: float
+    efficiency_ratio: float
+    h3d_tops: float
+    pcm_tops: float
+    h3d_tops_w: float
+    pcm_tops_w: float
+
+    def render(self) -> str:
+        return (
+            "H3DFact vs PCM in-memory factorizer (iso-silicon-area)\n"
+            f"  throughput: {self.h3d_tops:.2f} vs {self.pcm_tops:.2f} TOPS "
+            f"-> {self.throughput_ratio:.2f}x (paper: 1.78x)\n"
+            f"  efficiency: {self.h3d_tops_w:.1f} vs {self.pcm_tops_w:.1f} "
+            f"TOPS/W -> {self.efficiency_ratio:.2f}x (paper: 1.48x)"
+        )
+
+
+def compare_with_pcm(
+    h3d_metrics: DesignMetrics,
+    pcm: PCMFactorizerModel = PCMFactorizerModel(),
+) -> PCMComparison:
+    """Compare evaluated H3D metrics against the PCM model at iso-area.
+
+    Iso-area scaling: the PCM design is granted the same total silicon as
+    the 3-tier stack; its throughput scales with the area ratio (more
+    parallel cores), its efficiency does not (per-op costs are intrinsic).
+    """
+    area_ratio = h3d_metrics.total_silicon_mm2 / pcm.silicon_area_mm2
+    pcm_tops = pcm.throughput_tops * area_ratio
+    return PCMComparison(
+        throughput_ratio=h3d_metrics.throughput_tops / pcm_tops,
+        efficiency_ratio=h3d_metrics.tops_per_watt / pcm.tops_per_watt,
+        h3d_tops=h3d_metrics.throughput_tops,
+        pcm_tops=pcm_tops,
+        h3d_tops_w=h3d_metrics.tops_per_watt,
+        pcm_tops_w=pcm.tops_per_watt,
+    )

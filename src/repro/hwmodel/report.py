@@ -1,0 +1,135 @@
+"""Table III report: side-by-side comparison of the three designs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.arch.designs import (
+    Design,
+    h3d_design,
+    hybrid_2d_design,
+    sram_2d_design,
+)
+from repro.errors import HardwareModelError
+from repro.hwmodel.metrics import DesignMetrics, evaluate_design
+
+#: Column order of the printed table (matches Table III).
+COLUMNS = (
+    "design",
+    "adc_count",
+    "tsv_count",
+    "area_mm2",
+    "frequency_mhz",
+    "throughput_tops",
+    "compute_density_tops_mm2",
+    "energy_efficiency_tops_w",
+    "accuracy_pct",
+)
+
+
+@dataclass
+class Table3Report:
+    """Evaluated metrics for all designs plus derived comparison ratios."""
+
+    metrics: List[DesignMetrics]
+
+    def __post_init__(self) -> None:
+        if not self.metrics:
+            raise HardwareModelError("report requires at least one design")
+        self._by_style = {m.design.style.value: m for m in self.metrics}
+
+    def metric(self, style: str) -> DesignMetrics:
+        if style not in self._by_style:
+            raise HardwareModelError(
+                f"no design of style {style!r}; have {sorted(self._by_style)}"
+            )
+        return self._by_style[style]
+
+    # -- headline ratios (abstract / Sec. V-B claims) ----------------------
+
+    @property
+    def footprint_saving_vs_hybrid(self) -> float:
+        """Paper: 5.9x less silicon footprint."""
+        return (
+            self.metric("hybrid-2d").footprint_mm2
+            / self.metric("h3d").footprint_mm2
+        )
+
+    @property
+    def footprint_saving_vs_sram(self) -> float:
+        """Paper: 1.25x."""
+        return (
+            self.metric("sram-2d").footprint_mm2 / self.metric("h3d").footprint_mm2
+        )
+
+    @property
+    def density_gain_vs_sram(self) -> float:
+        """Paper: 5.5x compute density (abstract) vs the hybrid 2D design."""
+        return (
+            self.metric("h3d").compute_density_tops_mm2
+            / self.metric("hybrid-2d").compute_density_tops_mm2
+        )
+
+    @property
+    def density_gain_vs_sram2d(self) -> float:
+        """H3D vs fully-SRAM 2D compute density (paper: 1.2x in Sec. V-B)."""
+        return (
+            self.metric("h3d").compute_density_tops_mm2
+            / self.metric("sram-2d").compute_density_tops_mm2
+        )
+
+    @property
+    def efficiency_gain_vs_sram(self) -> float:
+        """Paper: 1.2x energy efficiency vs the fully-SRAM design."""
+        return (
+            self.metric("h3d").tops_per_watt / self.metric("sram-2d").tops_per_watt
+        )
+
+    # -- rendering ----------------------------------------------------------
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [m.row() for m in self.metrics]
+
+    def render(self) -> str:
+        rows = self.rows()
+        widths = {
+            col: max(len(col), *(len(str(r[col])) for r in rows)) for col in COLUMNS
+        }
+        header = "  ".join(col.ljust(widths[col]) for col in COLUMNS)
+        lines = [header, "-" * len(header)]
+        for row in rows:
+            lines.append(
+                "  ".join(str(row[col]).ljust(widths[col]) for col in COLUMNS)
+            )
+        lines.append("")
+        lines.append(
+            f"footprint saving vs hybrid-2D: {self.footprint_saving_vs_hybrid:.2f}x"
+            f" (paper: 5.97x)"
+        )
+        lines.append(
+            f"footprint saving vs SRAM-2D:   {self.footprint_saving_vs_sram:.2f}x"
+            f" (paper: 1.25x)"
+        )
+        lines.append(
+            f"compute density vs hybrid-2D:  {self.density_gain_vs_sram:.2f}x"
+            f" (paper: 5.5x)"
+        )
+        lines.append(
+            f"energy efficiency vs SRAM-2D:  {self.efficiency_gain_vs_sram:.2f}x"
+            f" (paper: 1.2x)"
+        )
+        return "\n".join(lines)
+
+
+def build_table3(
+    *,
+    accuracy_overrides: Optional[Dict[str, float]] = None,
+) -> Table3Report:
+    """Evaluate the three Table III designs with the default models."""
+    overrides = accuracy_overrides or {}
+    designs = [sram_2d_design(), hybrid_2d_design(), h3d_design()]
+    metrics = [
+        evaluate_design(d, accuracy=overrides.get(d.style.value)) for d in designs
+    ]
+    return Table3Report(metrics=metrics)

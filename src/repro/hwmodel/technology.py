@@ -1,0 +1,36 @@
+"""Technology-node descriptors and scaling rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.hwmodel import calibration as cal
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """A CMOS node with the handful of parameters the models need."""
+
+    feature_nm: int
+    supply_v: float
+    sram_bitcell_um2: float
+
+    def logic_area_scale_to(self, other: "TechnologyNode") -> float:
+        """Area ratio when porting a logic block from this node to other."""
+        return cal.logic_area_scale(self.feature_nm, other.feature_nm)
+
+
+_NODES = {
+    16: TechnologyNode(feature_nm=16, supply_v=0.8, sram_bitcell_um2=cal.SRAM_BITCELL_UM2[16]),
+    40: TechnologyNode(feature_nm=40, supply_v=1.1, sram_bitcell_um2=cal.SRAM_BITCELL_UM2[40]),
+}
+
+
+def node(feature_nm: int) -> TechnologyNode:
+    """Look up a supported node (16 or 40 nm)."""
+    if feature_nm not in _NODES:
+        raise HardwareModelError(
+            f"unsupported node {feature_nm} nm; supported: {sorted(_NODES)}"
+        )
+    return _NODES[feature_nm]

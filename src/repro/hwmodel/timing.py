@@ -1,0 +1,119 @@
+"""Timing model: clock frequency, MVM interval and throughput.
+
+* 2D designs close timing at 200 MHz (Table III); the stack pays an RC
+  penalty on every signal that crosses a TSV + hybrid bond, computed from
+  the Table I geometry and the (deliberately weak) level-shifter drivers.
+* The MVM interval follows the array pipeline: ``ceil(rows/32)`` row
+  phases, one 8-cycle SAR slot per phase, 5 cycles of pipeline fill.
+  MUX-shared ADCs (the 2D hybrid's area compromise, Sec. III-B) multiply
+  the interval by the sharing factor.
+* Throughput counts 2 ops (multiply + add) per cell per MVM over the
+  simultaneously active arrays - 4 for H3D (single-active-tier), 8 for the
+  2D designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.designs import Design, DesignStyle
+from repro.errors import HardwareModelError
+from repro.hwmodel import calibration as cal
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Clock + throughput figures for one design."""
+
+    design_name: str
+    frequency_hz: float
+    mvm_interval_cycles: int
+    ops_per_mvm: int
+    active_arrays: int
+
+    @property
+    def throughput_ops(self) -> float:
+        """Sustained ops/s (the Table III Throughput column)."""
+        return self.ops_per_mvm / self.mvm_interval_cycles * self.frequency_hz
+
+    @property
+    def mvm_latency_s(self) -> float:
+        return self.mvm_interval_cycles / self.frequency_hz
+
+
+class TimingModel:
+    """Derives :class:`TimingReport` from a design's resources."""
+
+    def __init__(self, base_frequency_hz: float = cal.BASE_FREQUENCY_HZ) -> None:
+        if base_frequency_hz <= 0:
+            raise HardwareModelError(
+                f"base_frequency_hz must be positive, got {base_frequency_hz}"
+            )
+        self.base_frequency_hz = base_frequency_hz
+
+    # -- frequency ------------------------------------------------------------
+
+    def frequency(self, design: Design) -> float:
+        """Clock after the vertical-interconnect RC penalty (if stacked)."""
+        if not design.stack.is_3d:
+            return self.base_frequency_hz
+        interconnect = design.stack.interconnect()
+        extra_delay = (
+            cal.TSV_DRIVER_RESISTANCE_OHM * interconnect.per_signal_capacitance
+        )
+        period = 1.0 / self.base_frequency_hz + extra_delay
+        return 1.0 / period
+
+    # -- MVM interval ------------------------------------------------------------
+
+    def mvm_interval_cycles(self, design: Design) -> int:
+        rows = design.array_rows
+        if design.style is DesignStyle.SRAM_2D:
+            return int(
+                np.ceil(rows / cal.SRAM2D_ROWS_PER_CYCLE)
+                + cal.SRAM2D_TREE_LATENCY_CYCLES
+            )
+        phases = int(np.ceil(rows / cal.ROWS_PER_PHASE))
+        base = phases * cal.ADC_SLOT_CYCLES + cal.PIPELINE_OVERHEAD_CYCLES
+        return base * self.adc_sharing(design)
+
+    @staticmethod
+    def adc_sharing(design: Design) -> int:
+        """Columns per ADC (1 = private converter per column)."""
+        if design.adc_count == 0:
+            return 1
+        cim_cols = sum(
+            t.arrays * t.array_cols
+            for t in design.stack.tiers.values()
+            if t.arrays
+        )
+        active_cols = cim_cols
+        if design.style is DesignStyle.H3D:
+            # Only one RRAM tier reads at a time; its columns match the
+            # shared converter count exactly (per-column sensing).
+            active_cols = cim_cols // max(len(design.stack.rram_tiers), 1)
+        return max(1, active_cols // design.adc_count)
+
+    # -- throughput -----------------------------------------------------------------
+
+    @staticmethod
+    def active_arrays(design: Design) -> int:
+        if design.style is DesignStyle.H3D:
+            per_tier = design.total_arrays // max(
+                len(design.stack.rram_tiers), 1
+            )
+            return per_tier
+        return design.total_arrays
+
+    def evaluate(self, design: Design) -> TimingReport:
+        arrays = self.active_arrays(design)
+        ops_per_mvm = 2 * design.array_rows * design.array_cols * arrays
+        return TimingReport(
+            design_name=design.name,
+            frequency_hz=self.frequency(design),
+            mvm_interval_cycles=self.mvm_interval_cycles(design),
+            ops_per_mvm=ops_per_mvm,
+            active_arrays=arrays,
+        )

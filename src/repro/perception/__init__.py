@@ -1,0 +1,31 @@
+"""Holographic visual perception (Fig. 7): images -> attributes.
+
+The paper's neuro-symbolic demo pairs a neural network front-end (ResNet-18
+on RAVEN panels) with H3DFact: the network maps an image to an approximate
+product hypervector; the factorizer disentangles it into attribute vectors.
+This package substitutes the proprietary front-end with a synthetic
+RAVEN-style scene generator, a deterministic renderer, and a closed-form
+(ridge-regression) trained linear map from pixels to product vectors -
+producing exactly the artifact the factorizer consumes: a sign-clipped,
+imperfect product vector with front-end noise.
+"""
+
+from repro.perception.raven import (
+    RAVEN_ATTRIBUTES,
+    RavenDataset,
+    RavenPanel,
+)
+from repro.perception.features import FeatureExtractor, render_panel
+from repro.perception.frontend import LinearFrontend
+from repro.perception.pipeline import NeuroSymbolicPipeline, PerceptionReport
+
+__all__ = [
+    "RAVEN_ATTRIBUTES",
+    "RavenDataset",
+    "RavenPanel",
+    "FeatureExtractor",
+    "render_panel",
+    "LinearFrontend",
+    "NeuroSymbolicPipeline",
+    "PerceptionReport",
+]

@@ -1,0 +1,101 @@
+"""Synthetic RAVEN-style panels.
+
+RAVEN [34] panels contain objects described by type, size, color and
+position.  The generator produces single-object panels over the same
+attribute vocabulary; each panel carries its ground-truth
+:class:`~repro.vsa.scene.AttributeScene` so attribute-estimation accuracy
+(the Fig. 7 metric: 99.4 %) is directly measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import PerceptionError
+from repro.utils.rng import RandomState, as_rng
+from repro.vsa.scene import AttributeScene, AttributeSpec
+
+#: RAVEN single-object attribute vocabulary (types/sizes/colors follow the
+#: dataset's discretization; positions are the four quadrants).
+RAVEN_ATTRIBUTES: Tuple[AttributeSpec, ...] = (
+    AttributeSpec("type", ("triangle", "square", "pentagon", "hexagon", "circle")),
+    AttributeSpec("size", ("tiny", "small", "medium", "large")),
+    AttributeSpec("color", ("white", "light", "dark", "black")),
+    AttributeSpec("position", ("top-left", "top-right", "bottom-left", "bottom-right")),
+)
+
+
+@dataclass(frozen=True)
+class RavenPanel:
+    """One panel: the symbolic scene plus its rendered image."""
+
+    scene: AttributeScene
+    image: np.ndarray  # (H, W) float32 in [0, 1]
+
+    def __post_init__(self) -> None:
+        if self.image.ndim != 2:
+            raise PerceptionError(
+                f"panel image must be 2-D, got {self.image.ndim}-D"
+            )
+
+
+@dataclass
+class RavenDataset:
+    """A collection of panels with train/test helpers."""
+
+    panels: List[RavenPanel]
+
+    def __post_init__(self) -> None:
+        if not self.panels:
+            raise PerceptionError("dataset must contain at least one panel")
+
+    def __len__(self) -> int:
+        return len(self.panels)
+
+    def __getitem__(self, index: int) -> RavenPanel:
+        return self.panels[index]
+
+    @property
+    def images(self) -> np.ndarray:
+        return np.stack([p.image for p in self.panels])
+
+    @property
+    def scenes(self) -> List[AttributeScene]:
+        return [p.scene for p in self.panels]
+
+    def split(self, train_fraction: float) -> Tuple["RavenDataset", "RavenDataset"]:
+        if not 0.0 < train_fraction < 1.0:
+            raise PerceptionError(
+                f"train_fraction must be in (0, 1), got {train_fraction}"
+            )
+        cut = int(round(train_fraction * len(self.panels)))
+        cut = min(max(cut, 1), len(self.panels) - 1)
+        return RavenDataset(self.panels[:cut]), RavenDataset(self.panels[cut:])
+
+    @classmethod
+    def generate(
+        cls,
+        count: int,
+        *,
+        image_size: int = 32,
+        noise_std: float = 0.02,
+        rng: RandomState = None,
+    ) -> "RavenDataset":
+        """Generate ``count`` random panels (all attribute combinations may
+        appear; sampling is uniform per attribute)."""
+        from repro.perception.features import render_panel
+
+        if count <= 0:
+            raise PerceptionError(f"count must be positive, got {count}")
+        generator = as_rng(rng)
+        panels = []
+        for _ in range(count):
+            scene = AttributeScene.random(RAVEN_ATTRIBUTES, rng=generator)
+            image = render_panel(
+                scene, image_size=image_size, noise_std=noise_std, rng=generator
+            )
+            panels.append(RavenPanel(scene=scene, image=image))
+        return cls(panels)

@@ -1,0 +1,75 @@
+"""Resonator networks for factorizing holographic product vectors.
+
+Implements the baseline deterministic resonator network of Frady et al.
+(Neural Computation 2020) used as the paper's baseline, plus the stochastic
+variants (similarity noise, ADC quantization) that model H3DFact's in-memory
+execution, with convergence / limit-cycle instrumentation and an op-level
+profiler used to reproduce Fig. 1c.
+"""
+
+from repro.resonator.activations import (
+    Activation,
+    IdentityActivation,
+    SignActivation,
+    make_activation,
+)
+from repro.resonator.backends import (
+    ExactBackend,
+    MVMBackend,
+    NoisySimilarityBackend,
+    QuantizedSimilarityBackend,
+)
+from repro.resonator.convergence import (
+    ConvergenceMonitor,
+    CycleDetector,
+    Outcome,
+)
+from repro.resonator.metrics import (
+    BatchStatistics,
+    accuracy_curve,
+    iterations_to_accuracy,
+    operational_capacity,
+    summarize,
+)
+from repro.resonator.network import (
+    FactorizationProblem,
+    FactorizationResult,
+    ResonatorNetwork,
+)
+from repro.resonator.batch import BatchResult, factorize_batch
+from repro.resonator.profiler import OpCounts, ResonatorProfiler, StepTiming
+from repro.resonator.stochastic import (
+    RectifiedBackend,
+    StochasticThresholdBackend,
+    ThresholdPolicy,
+)
+
+__all__ = [
+    "Activation",
+    "IdentityActivation",
+    "SignActivation",
+    "make_activation",
+    "ExactBackend",
+    "MVMBackend",
+    "NoisySimilarityBackend",
+    "QuantizedSimilarityBackend",
+    "ConvergenceMonitor",
+    "CycleDetector",
+    "Outcome",
+    "BatchStatistics",
+    "accuracy_curve",
+    "iterations_to_accuracy",
+    "operational_capacity",
+    "summarize",
+    "FactorizationProblem",
+    "FactorizationResult",
+    "ResonatorNetwork",
+    "BatchResult",
+    "factorize_batch",
+    "OpCounts",
+    "ResonatorProfiler",
+    "StepTiming",
+    "RectifiedBackend",
+    "StochasticThresholdBackend",
+    "ThresholdPolicy",
+]

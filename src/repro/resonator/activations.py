@@ -1,0 +1,108 @@
+"""Activation functions ``g(.)`` for the resonator state update.
+
+The paper's state-space equations (Sec. II-B) apply ``g`` to the projection
+output ``X a``.  The standard choice is the sign function, keeping the state
+bipolar; ties (exact zeros) must be resolved, and *how* they are resolved is
+part of the determinism story:
+
+* deterministic tie-break (+1): the baseline resonator is then a
+  deterministic dynamical system that can enter limit cycles (Fig. 2b);
+* random tie-break: a minimal stochastic perturbation, still far weaker
+  than the RRAM read-noise H3DFact exploits.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import RandomState, as_rng
+from repro.vsa.ops import DEFAULT_DTYPE
+
+
+class Activation(ABC):
+    """Maps a real-valued projection output to the next resonator state."""
+
+    #: True if repeated calls with identical input produce identical output.
+    deterministic: bool = True
+
+    @abstractmethod
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        """Apply the activation element-wise."""
+
+
+class SignActivation(Activation):
+    """Sign threshold keeping the state in ``{-1, +1}``.
+
+    Parameters
+    ----------
+    tie_break:
+        ``"positive"`` maps zeros to +1 (fully deterministic, the baseline
+        configuration); ``"random"`` resolves each zero with a coin flip
+        (models an analog comparator at threshold).
+    rng:
+        Random source for ``tie_break="random"``.
+    """
+
+    def __init__(
+        self,
+        tie_break: str = "positive",
+        *,
+        rng: RandomState = None,
+    ) -> None:
+        if tie_break not in ("positive", "negative", "random"):
+            raise ConfigurationError(
+                f"tie_break must be positive/negative/random, got {tie_break!r}"
+            )
+        self.tie_break = tie_break
+        self.deterministic = tie_break != "random"
+        self._rng = as_rng(rng)
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        result = np.sign(values).astype(DEFAULT_DTYPE)
+        zeros = result == 0
+        if np.any(zeros):
+            if self.tie_break == "positive":
+                result[zeros] = 1
+            elif self.tie_break == "negative":
+                result[zeros] = -1
+            else:
+                flips = self._rng.integers(0, 2, size=int(zeros.sum()), dtype=np.int8)
+                result[zeros] = (2 * flips - 1).astype(DEFAULT_DTYPE)
+        return result
+
+    def __repr__(self) -> str:
+        return f"SignActivation(tie_break={self.tie_break!r})"
+
+
+class IdentityActivation(Activation):
+    """Pass-through activation (real-valued resonator states).
+
+    Used for analysis only: the hardware always re-binarizes (step IV is
+    1-bit), but real-valued states expose the underlying dynamics in tests.
+    """
+
+    deterministic = True
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values, dtype=np.float64)
+
+    def __repr__(self) -> str:
+        return "IdentityActivation()"
+
+
+def make_activation(name: str, *, rng: RandomState = None) -> Activation:
+    """Factory: ``"sign"``, ``"sign-random"`` or ``"identity"``."""
+    if name == "sign":
+        return SignActivation("positive")
+    if name == "sign-random":
+        return SignActivation("random", rng=rng)
+    if name == "identity":
+        return IdentityActivation()
+    raise ConfigurationError(
+        f"unknown activation {name!r}; expected sign/sign-random/identity"
+    )

@@ -1,0 +1,178 @@
+"""MVM backends: how the resonator's two matrix products are computed.
+
+The resonator needs, per factor and per iteration:
+
+* ``similarity(codebook, query)``  -> ``a = X^T u``  (step II of Fig. 3)
+* ``project(codebook, weights)``   -> ``y = X a``    (step IV of Fig. 3)
+
+Backends let the same algorithm run on an exact software oracle, on additive
+Gaussian-noise models, on quantizing (ADC) models, or on the full RRAM
+crossbar simulation (:class:`repro.core.cim_backend.CIMBackend`).  Table II's
+"Baseline" column is :class:`ExactBackend`; the "H3D" column is the crossbar
+backend, whose behaviour is bracketed in tests by the two intermediate
+models here.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_positive
+from repro.vsa.codebook import Codebook
+
+
+class MVMBackend(ABC):
+    """Computes the resonator's similarity and projection MVMs."""
+
+    #: True if repeated calls with identical inputs return identical outputs.
+    deterministic: bool = True
+
+    @abstractmethod
+    def similarity(self, codebook: Codebook, query: np.ndarray) -> np.ndarray:
+        """Return ``X^T query`` (length ``codebook.size``), possibly noisy."""
+
+    @abstractmethod
+    def project(self, codebook: Codebook, weights: np.ndarray) -> np.ndarray:
+        """Return ``X weights`` (length ``codebook.dim``), possibly noisy."""
+
+    def begin_trial(self) -> None:
+        """Hook called once per factorization trial (e.g. re-program arrays)."""
+
+
+class _MatrixCache:
+    """Caches float32 views of codebook matrices keyed by object identity.
+
+    The resonator calls the backend thousands of times with the same
+    codebooks; converting int8 -> float32 once keeps each MVM on the BLAS
+    fast path.
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def get(self, codebook: Codebook) -> Tuple[np.ndarray, np.ndarray]:
+        key = id(codebook)
+        entry = self._cache.get(key)
+        if entry is None:
+            matrix = codebook.matrix.astype(np.float32)
+            entry = (matrix, matrix.T.copy())
+            self._cache[key] = entry
+        return entry
+
+
+class ExactBackend(MVMBackend):
+    """Bit-exact software MVMs - the deterministic baseline resonator."""
+
+    deterministic = True
+
+    def __init__(self) -> None:
+        self._cache = _MatrixCache()
+
+    def similarity(self, codebook: Codebook, query: np.ndarray) -> np.ndarray:
+        _, transposed = self._cache.get(codebook)
+        return transposed @ np.asarray(query, dtype=np.float32)
+
+    def project(self, codebook: Codebook, weights: np.ndarray) -> np.ndarray:
+        matrix, _ = self._cache.get(codebook)
+        return matrix @ np.asarray(weights, dtype=np.float32)
+
+    def __repr__(self) -> str:
+        return "ExactBackend()"
+
+
+class NoisySimilarityBackend(MVMBackend):
+    """Exact MVMs plus additive Gaussian noise on the similarity read-out.
+
+    ``sigma`` is expressed relative to ``sqrt(dim)``, the standard deviation
+    of a random-vector similarity, so ``sigma=1.0`` injects noise comparable
+    to the intrinsic cross-talk floor.  This is the minimal model of the
+    "stochastic similarity vector with all the PVT variations aggregated"
+    of Sec. III-C.
+    """
+
+    deterministic = False
+
+    def __init__(
+        self,
+        sigma: float = 1.0,
+        *,
+        noise_on_projection: bool = False,
+        projection_sigma: Optional[float] = None,
+        rng: RandomState = None,
+    ) -> None:
+        check_positive("sigma", sigma, allow_zero=True)
+        self.sigma = sigma
+        self.noise_on_projection = noise_on_projection
+        self.projection_sigma = (
+            sigma if projection_sigma is None else projection_sigma
+        )
+        self._rng = as_rng(rng)
+        self._exact = ExactBackend()
+
+    def similarity(self, codebook: Codebook, query: np.ndarray) -> np.ndarray:
+        clean = self._exact.similarity(codebook, query)
+        if self.sigma == 0:
+            return clean
+        scale = self.sigma * np.sqrt(codebook.dim)
+        return clean + self._rng.normal(0.0, scale, size=clean.shape).astype(
+            np.float32
+        )
+
+    def project(self, codebook: Codebook, weights: np.ndarray) -> np.ndarray:
+        clean = self._exact.project(codebook, weights)
+        if not self.noise_on_projection or self.projection_sigma == 0:
+            return clean
+        scale = self.projection_sigma * np.sqrt(codebook.size)
+        return clean + self._rng.normal(0.0, scale, size=clean.shape).astype(
+            np.float32
+        )
+
+    def __repr__(self) -> str:
+        return f"NoisySimilarityBackend(sigma={self.sigma})"
+
+
+class QuantizedSimilarityBackend(MVMBackend):
+    """Wraps another backend and quantizes similarities through an ADC model.
+
+    The ADC object must expose ``convert(values, full_scale)`` returning the
+    reconstructed (de-quantized) values; :class:`repro.cim.adc.SARADC`
+    satisfies this.  ``full_scale`` defaults to the codebook dimension, the
+    largest possible similarity magnitude.
+    """
+
+    def __init__(
+        self,
+        adc,
+        *,
+        inner: Optional[MVMBackend] = None,
+        full_scale: Optional[float] = None,
+    ) -> None:
+        if not hasattr(adc, "convert"):
+            raise ConfigurationError(
+                "adc must provide a convert(values, full_scale) method"
+            )
+        self.adc = adc
+        self.inner = inner if inner is not None else ExactBackend()
+        self.full_scale = full_scale
+        self.deterministic = (
+            self.inner.deterministic and getattr(adc, "deterministic", True)
+        )
+
+    def similarity(self, codebook: Codebook, query: np.ndarray) -> np.ndarray:
+        raw = self.inner.similarity(codebook, query)
+        scale = self.full_scale if self.full_scale is not None else codebook.dim
+        return self.adc.convert(raw, full_scale=scale)
+
+    def project(self, codebook: Codebook, weights: np.ndarray) -> np.ndarray:
+        return self.inner.project(codebook, weights)
+
+    def begin_trial(self) -> None:
+        self.inner.begin_trial()
+
+    def __repr__(self) -> str:
+        return f"QuantizedSimilarityBackend(adc={self.adc!r}, inner={self.inner!r})"

@@ -1,0 +1,97 @@
+"""Batch factorization driver.
+
+Runs many independent trials of one problem configuration and aggregates
+them - the inner loop of every accuracy experiment (Table II, Fig. 6).
+Hardware-wise this corresponds to the batch operation that tier-1's SRAM
+buffering enables (Sec. IV-A: "greater-than-one factorization batch size").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.resonator.metrics import BatchStatistics, summarize
+from repro.resonator.network import (
+    FactorizationProblem,
+    FactorizationResult,
+    ResonatorNetwork,
+)
+from repro.utils.rng import RandomState, as_rng
+
+#: Builds a fresh network for a problem; lets each trial own its noise state.
+NetworkFactory = Callable[[FactorizationProblem], ResonatorNetwork]
+
+
+@dataclass
+class BatchResult:
+    """Results plus summary statistics for a batch of trials."""
+
+    results: List[FactorizationResult]
+    statistics: BatchStatistics
+
+    @property
+    def accuracy(self) -> float:
+        return self.statistics.accuracy
+
+    @property
+    def mean_iterations(self) -> float:
+        return self.statistics.mean_iterations
+
+
+def factorize_batch(
+    network_factory: NetworkFactory,
+    *,
+    dim: int,
+    num_factors: int,
+    codebook_size: int,
+    trials: int,
+    max_iterations: Optional[int] = None,
+    target_accuracy: float = 0.99,
+    rng: RandomState = None,
+    share_codebooks: bool = False,
+    check_correct_every: int = 1,
+) -> BatchResult:
+    """Run ``trials`` independent factorizations of random problems.
+
+    Parameters
+    ----------
+    network_factory:
+        Called once per trial with the generated problem; returns the
+        configured :class:`ResonatorNetwork` (baseline, noisy, CIM, ...).
+    share_codebooks:
+        When True all trials reuse one codebook set with fresh random
+        ground-truth indices - the hardware situation where arrays are
+        programmed once and many queries stream through.
+    """
+    generator = as_rng(rng)
+    results: List[FactorizationResult] = []
+    shared_problem: Optional[FactorizationProblem] = None
+    for _ in range(trials):
+        if share_codebooks and shared_problem is not None:
+            indices = tuple(
+                int(generator.integers(0, codebook_size)) for _ in range(num_factors)
+            )
+            problem = FactorizationProblem.from_indices(
+                shared_problem.codebooks, indices
+            )
+        else:
+            problem = FactorizationProblem.random(
+                dim, num_factors, codebook_size, rng=generator
+            )
+            if share_codebooks:
+                shared_problem = problem
+        network = network_factory(problem)
+        result = network.factorize(
+            problem.product,
+            max_iterations=max_iterations,
+            true_indices=problem.true_indices,
+            check_correct_every=check_correct_every,
+        )
+        results.append(result)
+    return BatchResult(
+        results=results,
+        statistics=summarize(results, target_accuracy=target_accuracy),
+    )

@@ -1,0 +1,140 @@
+"""Convergence and limit-cycle instrumentation for resonator runs.
+
+The deterministic resonator is a discrete dynamical system on a finite state
+space, so every trajectory either reaches a fixed point or enters a limit
+cycle (Fig. 2b).  :class:`CycleDetector` hashes visited states to detect
+revisits exactly; :class:`ConvergenceMonitor` combines fixed-point detection,
+cycle detection and an iteration budget into a single verdict.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+class Outcome(enum.Enum):
+    """Terminal status of a factorization run."""
+
+    #: Reached a fixed point (state identical across consecutive sweeps).
+    CONVERGED = "converged"
+    #: Revisited a previously seen state with period > 1.
+    LIMIT_CYCLE = "limit_cycle"
+    #: Iteration budget exhausted without a fixed point or detected cycle.
+    MAX_ITERATIONS = "max_iterations"
+    #: Run still in progress (only visible mid-run).
+    RUNNING = "running"
+
+
+def state_digest(estimates: Sequence[np.ndarray]) -> bytes:
+    """Collision-resistant digest of a resonator state.
+
+    Bipolar estimates are packed to bits first so the digest cost stays low
+    even at D = 2048; blake2b keeps the digest short and fast.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    for estimate in estimates:
+        packed = np.packbits(np.asarray(estimate) > 0)
+        hasher.update(packed.tobytes())
+    return hasher.digest()
+
+
+class CycleDetector:
+    """Exact limit-cycle detection via a visited-state hash map.
+
+    ``window`` bounds memory: only the most recent ``window`` states are
+    remembered (the paper's limit cycles are short - a handful of states -
+    so a small window detects them while keeping long stochastic runs cheap).
+    ``window=None`` remembers everything.
+    """
+
+    def __init__(self, window: Optional[int] = 512) -> None:
+        self.window = window
+        self._seen: Dict[bytes, int] = {}
+        self._order: List[bytes] = []
+
+    def reset(self) -> None:
+        self._seen.clear()
+        self._order.clear()
+
+    def observe(self, estimates: Sequence[np.ndarray], iteration: int) -> Optional[int]:
+        """Record the state; return the cycle period if this is a revisit."""
+        digest = state_digest(estimates)
+        previous = self._seen.get(digest)
+        if previous is not None:
+            return iteration - previous
+        self._seen[digest] = iteration
+        self._order.append(digest)
+        if self.window is not None and len(self._order) > self.window:
+            oldest = self._order.pop(0)
+            self._seen.pop(oldest, None)
+        return None
+
+    @property
+    def states_tracked(self) -> int:
+        return len(self._seen)
+
+
+@dataclass
+class ConvergenceMonitor:
+    """Aggregates the three stopping conditions of a resonator run.
+
+    Parameters
+    ----------
+    max_iterations:
+        Hard budget on the number of full sweeps.
+    detect_cycles:
+        Whether to run the :class:`CycleDetector`.  Only meaningful for
+        deterministic configurations: with read-out noise a revisited state
+        does not imply a trapped trajectory, so the resonator must be allowed
+        to pass through repeats (this *is* the H3DFact escape mechanism).
+    cycle_window:
+        History window forwarded to :class:`CycleDetector`.
+    """
+
+    max_iterations: int = 1000
+    detect_cycles: bool = True
+    cycle_window: Optional[int] = 512
+    _detector: CycleDetector = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_iterations <= 0:
+            raise ValueError(
+                f"max_iterations must be positive, got {self.max_iterations}"
+            )
+        self._detector = CycleDetector(window=self.cycle_window)
+        self.reset()
+
+    def reset(self) -> None:
+        self._detector.reset()
+        self.outcome = Outcome.RUNNING
+        self.cycle_period: Optional[int] = None
+        self.iterations_run = 0
+
+    def update(
+        self,
+        estimates: Sequence[np.ndarray],
+        previous_digest: Optional[bytes],
+        iteration: int,
+    ) -> Outcome:
+        """Feed one completed sweep; returns the (possibly terminal) outcome."""
+        self.iterations_run = iteration + 1
+        digest = state_digest(estimates)
+        if previous_digest is not None and digest == previous_digest:
+            self.outcome = Outcome.CONVERGED
+            return self.outcome
+        if self.detect_cycles:
+            period = self._detector.observe(estimates, iteration)
+            if period is not None and period > 1:
+                self.outcome = Outcome.LIMIT_CYCLE
+                self.cycle_period = period
+                return self.outcome
+        if iteration + 1 >= self.max_iterations:
+            self.outcome = Outcome.MAX_ITERATIONS
+            return self.outcome
+        self.outcome = Outcome.RUNNING
+        return self.outcome

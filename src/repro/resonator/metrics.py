@@ -1,0 +1,152 @@
+"""Accuracy / capacity metrics over collections of factorization runs.
+
+Table II reports, per problem size, the factorization *accuracy* and the
+*number of iterations required to reach at least 99 % accuracy*.  These
+helpers turn a batch of :class:`~repro.resonator.network.FactorizationResult`
+records into those numbers, and estimate *operational capacity* - the
+largest search space solvable at a target accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.resonator.network import FactorizationResult
+
+
+@dataclass(frozen=True)
+class BatchStatistics:
+    """Summary of a batch of trials at one problem size."""
+
+    num_trials: int
+    accuracy: float
+    solved_fraction: float
+    mean_iterations: float
+    median_iterations: float
+    #: Iterations needed so that ``target_accuracy`` of trials are correct;
+    #: None if the batch never reaches the target ("Fail" in Table II).
+    iterations_to_target: Optional[float]
+    limit_cycle_fraction: float
+    converged_fraction: float
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for tabular reports."""
+        return {
+            "trials": self.num_trials,
+            "accuracy_pct": round(100 * self.accuracy, 1),
+            "mean_iterations": round(self.mean_iterations, 1),
+            "iterations_to_target": (
+                None
+                if self.iterations_to_target is None
+                else round(self.iterations_to_target, 1)
+            ),
+            "limit_cycle_pct": round(100 * self.limit_cycle_fraction, 1),
+        }
+
+
+def summarize(
+    results: Sequence[FactorizationResult],
+    *,
+    target_accuracy: float = 0.99,
+) -> BatchStatistics:
+    """Aggregate a batch of results into :class:`BatchStatistics`."""
+    if not results:
+        raise ConfigurationError("summarize() requires at least one result")
+    correct_flags = [bool(r.correct) for r in results]
+    accuracy = float(np.mean(correct_flags))
+    solved = float(np.mean([r.solved for r in results]))
+    iterations = np.array([r.iterations for r in results], dtype=float)
+    limit_cycles = float(np.mean([r.outcome.value == "limit_cycle" for r in results]))
+    converged = float(np.mean([r.converged for r in results]))
+    return BatchStatistics(
+        num_trials=len(results),
+        accuracy=accuracy,
+        solved_fraction=solved,
+        mean_iterations=float(iterations.mean()),
+        median_iterations=float(np.median(iterations)),
+        iterations_to_target=iterations_to_accuracy(
+            results, target_accuracy=target_accuracy
+        ),
+        limit_cycle_fraction=limit_cycles,
+        converged_fraction=converged,
+    )
+
+
+def iterations_to_accuracy(
+    results: Sequence[FactorizationResult],
+    *,
+    target_accuracy: float = 0.99,
+) -> Optional[float]:
+    """Iterations after which ``target_accuracy`` of trials are correct.
+
+    Table II's "Number of Iterations" column: for each trial we know the
+    sweep at which the decode first became (and stayed) correct; the batch
+    reaches the target accuracy at the ``target_accuracy`` quantile of that
+    distribution.  Returns ``None`` ("Fail") when fewer than the target
+    fraction of trials ever became correct.
+    """
+    if not results:
+        return None
+    if not 0.0 < target_accuracy <= 1.0:
+        raise ConfigurationError(
+            f"target_accuracy must be in (0, 1], got {target_accuracy}"
+        )
+    first_correct: List[float] = []
+    for result in results:
+        if result.correct and result.first_correct_iteration is not None:
+            first_correct.append(float(result.first_correct_iteration))
+        else:
+            first_correct.append(np.inf)
+    ordered = np.sort(np.array(first_correct))
+    # Index of the trial that brings the batch to the target accuracy.
+    needed = int(np.ceil(target_accuracy * len(ordered))) - 1
+    needed = min(max(needed, 0), len(ordered) - 1)
+    value = ordered[needed]
+    if not np.isfinite(value):
+        return None
+    return float(value)
+
+
+def operational_capacity(
+    sweep: Dict[int, BatchStatistics],
+    *,
+    target_accuracy: float = 0.99,
+) -> int:
+    """Largest search-space size whose batch meets ``target_accuracy``.
+
+    ``sweep`` maps problem size (``M^F``) to its statistics.  Returns 0 when
+    no size meets the target.
+    """
+    capacity = 0
+    for size in sorted(sweep):
+        stats = sweep[size]
+        if stats.accuracy >= target_accuracy:
+            capacity = max(capacity, size)
+    return capacity
+
+
+def accuracy_curve(
+    results: Sequence[FactorizationResult],
+    max_iterations: int,
+) -> np.ndarray:
+    """Accuracy as a function of iteration budget (for Fig. 6a/6b curves).
+
+    Entry ``i`` is the fraction of trials whose decode was correct by
+    iteration ``i + 1``.
+    """
+    if max_iterations <= 0:
+        raise ConfigurationError(
+            f"max_iterations must be positive, got {max_iterations}"
+        )
+    curve = np.zeros(max_iterations, dtype=float)
+    if not results:
+        return curve
+    for result in results:
+        if result.correct and result.first_correct_iteration is not None:
+            start = min(result.first_correct_iteration, max_iterations) - 1
+            curve[start:] += 1.0
+    return curve / len(results)

@@ -1,0 +1,433 @@
+"""The resonator network: state-space factorization of product vectors.
+
+Implements the update equations of Sec. II-B.  For each factor ``f`` the
+network (1) *unbinds* the other estimates from the product vector,
+(2) computes the *similarity* of the unbound vector against the codebook,
+(3) *projects* the similarity back to vector space and (4) applies the
+activation ``g``.  Estimates are updated in sequence within a sweep
+(asynchronous update), matching the tier-pipelined hardware dataflow where
+each factor's MVMs execute one after another (Fig. 3, steps I-IV).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionError
+from repro.resonator.activations import Activation, SignActivation
+from repro.resonator.backends import ExactBackend, MVMBackend
+from repro.resonator.convergence import ConvergenceMonitor, Outcome, state_digest
+from repro.resonator.profiler import ResonatorProfiler
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_bipolar
+from repro.vsa.codebook import CodebookSet
+from repro.vsa.ops import DEFAULT_DTYPE, sign_with_tiebreak
+
+
+@dataclass(frozen=True)
+class FactorizationProblem:
+    """A product vector together with the codebooks that generated it.
+
+    ``true_indices`` is optional: perception workloads hand the factorizer a
+    *noisy* product vector whose ground truth lives outside the codebooks.
+    """
+
+    codebooks: CodebookSet
+    product: np.ndarray
+    true_indices: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        product = np.asarray(self.product)
+        if product.shape != (self.codebooks.dim,):
+            raise DimensionError(
+                f"product shape {product.shape} does not match codebook dim "
+                f"({self.codebooks.dim},)"
+            )
+        check_bipolar("product", product)
+        if self.true_indices is not None:
+            if len(self.true_indices) != self.codebooks.num_factors:
+                raise ConfigurationError(
+                    f"{len(self.true_indices)} true indices for "
+                    f"{self.codebooks.num_factors} factors"
+                )
+            for codebook, index in zip(self.codebooks, self.true_indices):
+                if not 0 <= index < codebook.size:
+                    raise ConfigurationError(
+                        f"true index {index} out of range for codebook "
+                        f"{codebook.name!r} (size {codebook.size})"
+                    )
+
+    @classmethod
+    def random(
+        cls,
+        dim: int,
+        num_factors: int,
+        codebook_size: int,
+        *,
+        rng: RandomState = None,
+    ) -> "FactorizationProblem":
+        """Random codebooks and a random ground-truth composition.
+
+        This is the Table II workload generator: ``F = num_factors``
+        attributes, each with ``M = codebook_size`` code vectors.
+        """
+        generator = as_rng(rng)
+        codebooks = CodebookSet.random_uniform(
+            dim, num_factors, codebook_size, rng=generator
+        )
+        true_indices = tuple(
+            int(generator.integers(0, codebook_size)) for _ in range(num_factors)
+        )
+        product = codebooks.compose(true_indices)
+        return cls(codebooks=codebooks, product=product, true_indices=true_indices)
+
+    @classmethod
+    def from_indices(
+        cls, codebooks: CodebookSet, indices: Sequence[int]
+    ) -> "FactorizationProblem":
+        """Problem whose product is the composition of ``indices``."""
+        return cls(
+            codebooks=codebooks,
+            product=codebooks.compose(indices),
+            true_indices=tuple(int(i) for i in indices),
+        )
+
+    @property
+    def search_space(self) -> int:
+        return self.codebooks.search_space
+
+
+@dataclass
+class FactorizationResult:
+    """Everything a factorization run reports."""
+
+    #: Decoded factor indices (argmax similarity per factor at termination).
+    indices: Tuple[int, ...]
+    #: Terminal status (converged / limit cycle / budget exhausted).
+    outcome: Outcome
+    #: Number of full sweeps executed.
+    iterations: int
+    #: True if the decoded composition reproduces the input product exactly.
+    product_match: bool
+    #: True if decoded indices equal the problem's ground truth (when known).
+    correct: Optional[bool]
+    #: Iteration at which the decoded indices first became (and stayed)
+    #: correct; ``None`` if they never did or no ground truth is available.
+    first_correct_iteration: Optional[int]
+    #: Detected cycle period for LIMIT_CYCLE outcomes.
+    cycle_period: Optional[int] = None
+    #: Wall-clock seconds spent inside :meth:`ResonatorNetwork.factorize`.
+    elapsed_seconds: float = 0.0
+    #: Per-sweep cosine similarity of each estimate to the eventual decode
+    #: (only recorded when ``record_trace=True``).
+    trace: Optional[List[np.ndarray]] = None
+
+    @property
+    def converged(self) -> bool:
+        return self.outcome is Outcome.CONVERGED
+
+    @property
+    def solved(self) -> bool:
+        """Solution quality: decoded factors recompose the product.
+
+        For exact problems this coincides with ``correct``; for noisy
+        (perception) products, ``correct`` is the metric that matters.
+        """
+        return self.product_match
+
+
+class ResonatorNetwork:
+    """Iterative factorizer over a :class:`~repro.vsa.codebook.CodebookSet`.
+
+    Parameters
+    ----------
+    codebooks:
+        The per-factor codebooks (the matrices programmed into the RRAM
+        tiers in hardware).
+    backend:
+        MVM implementation; defaults to the exact software oracle
+        (= the paper's "Baseline" configuration).
+    activation:
+        State non-linearity ``g``; defaults to deterministic sign.
+    max_iterations:
+        Sweep budget per :meth:`factorize` call.
+    detect_cycles:
+        Stop (and report LIMIT_CYCLE) when a state repeats.  Enabled by
+        default only when both backend and activation are deterministic,
+        since a stochastic run may legitimately revisit states.
+    init:
+        ``"superposition"`` (bundle of all code vectors - the standard
+        resonator initialization) or ``"random"``.
+    rng:
+        Random source for initialization and zero-sum tie-breaks.
+    """
+
+    def __init__(
+        self,
+        codebooks: CodebookSet,
+        *,
+        backend: Optional[MVMBackend] = None,
+        activation: Optional[Activation] = None,
+        max_iterations: int = 1000,
+        detect_cycles: Optional[bool] = None,
+        cycle_window: Optional[int] = 512,
+        init: str = "superposition",
+        rng: RandomState = None,
+    ) -> None:
+        if init not in ("superposition", "random"):
+            raise ConfigurationError(
+                f"init must be 'superposition' or 'random', got {init!r}"
+            )
+        self.codebooks = codebooks
+        self.backend = backend if backend is not None else ExactBackend()
+        self.activation = (
+            activation if activation is not None else SignActivation("positive")
+        )
+        self.max_iterations = int(max_iterations)
+        if self.max_iterations <= 0:
+            raise ConfigurationError(
+                f"max_iterations must be positive, got {max_iterations}"
+            )
+        deterministic = self.backend.deterministic and self.activation.deterministic
+        self.detect_cycles = (
+            deterministic if detect_cycles is None else bool(detect_cycles)
+        )
+        self.cycle_window = cycle_window
+        self.init = init
+        self._rng = as_rng(rng)
+        self.profiler: Optional[ResonatorProfiler] = None
+
+    # -- initialization --------------------------------------------------------
+
+    def initial_estimates(self) -> List[np.ndarray]:
+        """Initial state: superposition of each codebook (or random)."""
+        estimates: List[np.ndarray] = []
+        for codebook in self.codebooks:
+            if self.init == "random":
+                vector = (
+                    2 * self._rng.integers(0, 2, size=codebook.dim, dtype=np.int8) - 1
+                ).astype(DEFAULT_DTYPE)
+            else:
+                sums = codebook.matrix.astype(np.int32).sum(axis=1)
+                vector = sign_with_tiebreak(sums, rng=self._rng)
+            estimates.append(vector)
+        return estimates
+
+    # -- decoding ----------------------------------------------------------------
+
+    def decode(
+        self, product: np.ndarray, estimates: Sequence[np.ndarray]
+    ) -> Tuple[int, ...]:
+        """Read out factor indices: cleanup each estimate against its codebook.
+
+        Decoding runs on the *exact* similarity (a final clean read) - in
+        hardware this is the last similarity pass whose argmax the digital
+        tier computes; noise at this point would only flip near-ties, and
+        the hardware can afford a slower, averaged read for the final
+        answer.
+        """
+        indices = []
+        for codebook, estimate in zip(self.codebooks, estimates):
+            sims = codebook.similarities(estimate)
+            indices.append(int(np.argmax(sims)))
+        return tuple(indices)
+
+    # -- main loop ------------------------------------------------------------------
+
+    def factorize(
+        self,
+        product: np.ndarray,
+        *,
+        max_iterations: Optional[int] = None,
+        initial_estimates: Optional[Sequence[np.ndarray]] = None,
+        true_indices: Optional[Sequence[int]] = None,
+        record_trace: bool = False,
+        check_correct_every: int = 1,
+        stable_decode_window: Optional[int] = None,
+    ) -> FactorizationResult:
+        """Run the resonator until convergence, cycle, or budget exhaustion.
+
+        Termination differs between deterministic and stochastic
+        configurations:
+
+        * **deterministic** - a repeated state is a fixed point (stop as
+          CONVERGED) and a revisited state is a limit cycle (stop as
+          LIMIT_CYCLE; the trajectory can never recover);
+        * **stochastic** - repeated states prove nothing (the H3DFact
+          escape mechanism relies on passing *through* repeats), so the run
+          stops only when the decoded factors exactly recompose the product
+          (a cheap XNOR + popcount check in tier-1) or when the decode has
+          been stable for ``stable_decode_window`` sweeps (used for noisy
+          perception products, which never recompose exactly).
+
+        Parameters
+        ----------
+        product:
+            Bipolar product vector ``s`` to factorize.
+        max_iterations:
+            Optional per-call override of the sweep budget.
+        initial_estimates:
+            Optional warm-start state (defaults to :meth:`initial_estimates`).
+        true_indices:
+            Ground truth for ``first_correct_iteration`` bookkeeping.
+        record_trace:
+            Store per-sweep decoded indices (costly; for figures only).
+        check_correct_every:
+            Decode cadence (sweeps) for the ground-truth / solved checks;
+            decoding costs one extra similarity MVM per factor, so capacity
+            sweeps may relax it.
+        stable_decode_window:
+            For stochastic runs: stop once the decode is unchanged for this
+            many consecutive checks (``None`` disables the early exit).
+        """
+        product = np.asarray(product)
+        if product.shape != (self.codebooks.dim,):
+            raise DimensionError(
+                f"product shape {product.shape} does not match codebook dim "
+                f"({self.codebooks.dim},)"
+            )
+        budget = self.max_iterations if max_iterations is None else int(max_iterations)
+        stochastic = not (
+            self.backend.deterministic and self.activation.deterministic
+        )
+        monitor = ConvergenceMonitor(
+            max_iterations=budget,
+            detect_cycles=self.detect_cycles and not stochastic,
+            cycle_window=self.cycle_window,
+        )
+        self.backend.begin_trial()
+
+        if initial_estimates is None:
+            estimates = self.initial_estimates()
+        else:
+            estimates = [np.asarray(e).astype(DEFAULT_DTYPE) for e in initial_estimates]
+            if len(estimates) != self.codebooks.num_factors:
+                raise DimensionError(
+                    f"{len(estimates)} initial estimates for "
+                    f"{self.codebooks.num_factors} factors"
+                )
+
+        truth = tuple(true_indices) if true_indices is not None else None
+        product_f32 = product.astype(np.float32)
+        profiler = self.profiler
+        trace: Optional[List[np.ndarray]] = [] if record_trace else None
+        first_correct: Optional[int] = None
+        start = time.perf_counter()
+        previous_digest = state_digest(estimates)
+        outcome = Outcome.MAX_ITERATIONS
+        cadence = max(check_correct_every, 1)
+        previous_decode: Optional[Tuple[int, ...]] = None
+        stable_checks = 0
+        iterations_run = 0
+
+        for iteration in range(budget):
+            self._sweep(product_f32, estimates, profiler)
+            iterations_run = iteration + 1
+            check_now = (
+                iteration % cadence == 0
+                or trace is not None
+                or iteration + 1 >= budget
+            )
+            decoded: Optional[Tuple[int, ...]] = None
+            if check_now:
+                decoded = self.decode(product, estimates)
+                if trace is not None:
+                    trace.append(np.asarray(decoded))
+                if truth is not None and first_correct is None and decoded == truth:
+                    first_correct = iteration + 1
+            if stochastic:
+                if decoded is not None:
+                    recomposed = self.codebooks.compose(decoded)
+                    if np.array_equal(recomposed, product):
+                        outcome = Outcome.CONVERGED
+                        break
+                    if stable_decode_window is not None:
+                        if decoded == previous_decode:
+                            stable_checks += 1
+                            if stable_checks + 1 >= stable_decode_window:
+                                outcome = Outcome.CONVERGED
+                                break
+                        else:
+                            stable_checks = 0
+                        previous_decode = decoded
+                if iteration + 1 >= budget:
+                    outcome = Outcome.MAX_ITERATIONS
+            else:
+                outcome = monitor.update(estimates, previous_digest, iteration)
+                previous_digest = state_digest(estimates)
+                if outcome in (Outcome.CONVERGED, Outcome.LIMIT_CYCLE):
+                    break
+        monitor.iterations_run = max(monitor.iterations_run, iterations_run)
+        elapsed = time.perf_counter() - start
+
+        indices = self.decode(product, estimates)
+        recomposed = self.codebooks.compose(indices)
+        product_match = bool(np.array_equal(recomposed, product))
+        correct = None if truth is None else (indices == truth)
+        if correct:
+            if first_correct is None:
+                first_correct = monitor.iterations_run
+        else:
+            first_correct = None
+        return FactorizationResult(
+            indices=indices,
+            outcome=outcome if outcome is not Outcome.RUNNING else Outcome.MAX_ITERATIONS,
+            iterations=monitor.iterations_run,
+            product_match=product_match,
+            correct=correct,
+            first_correct_iteration=first_correct,
+            cycle_period=monitor.cycle_period,
+            elapsed_seconds=elapsed,
+            trace=trace,
+        )
+
+    def _sweep(
+        self,
+        product_f32: np.ndarray,
+        estimates: List[np.ndarray],
+        profiler: Optional[ResonatorProfiler],
+    ) -> None:
+        """One full asynchronous sweep updating every factor estimate."""
+        num_factors = self.codebooks.num_factors
+        for f in range(num_factors):
+            codebook = self.codebooks[f]
+            # Step I: unbind all other estimates from the product.
+            if profiler is not None:
+                with profiler.step("unbind", elements=product_f32.size * num_factors):
+                    unbound = self._unbind(product_f32, estimates, f)
+            else:
+                unbound = self._unbind(product_f32, estimates, f)
+            # Step II: similarity MVM (RRAM tier-3 in hardware).
+            if profiler is not None:
+                with profiler.step(
+                    "similarity", elements=codebook.dim * codebook.size
+                ):
+                    sims = self.backend.similarity(codebook, unbound)
+            else:
+                sims = self.backend.similarity(codebook, unbound)
+            # Step III/IV: projection MVM (RRAM tier-2) + activation.
+            if profiler is not None:
+                with profiler.step(
+                    "projection", elements=codebook.dim * codebook.size
+                ):
+                    projected = self.backend.project(codebook, sims)
+                with profiler.step("activation", elements=codebook.dim):
+                    estimates[f] = self.activation(projected)
+            else:
+                projected = self.backend.project(codebook, sims)
+                estimates[f] = self.activation(projected)
+
+    @staticmethod
+    def _unbind(
+        product_f32: np.ndarray, estimates: Sequence[np.ndarray], skip: int
+    ) -> np.ndarray:
+        """``product ⊙ (⊙_{g != skip} estimate_g)`` in float32."""
+        unbound = product_f32.copy()
+        for g, estimate in enumerate(estimates):
+            if g != skip:
+                unbound *= estimate
+        return unbound

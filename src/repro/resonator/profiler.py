@@ -1,0 +1,111 @@
+"""Op-level profiling of resonator runs (reproduces Fig. 1c).
+
+The paper motivates CIM by showing that the similarity and projection MVMs
+account for ~80 % of factorization compute time.  The profiler measures both
+wall-clock time and arithmetic work (element/MAC counts) per step type, so
+the breakdown can be reported either way - op counts are deterministic and
+used by tests, wall time is what Fig. 1c plots.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+#: Step names emitted by :class:`~repro.resonator.network.ResonatorNetwork`.
+STEP_NAMES: Tuple[str, ...] = ("unbind", "similarity", "projection", "activation")
+
+#: Steps that are matrix-vector multiplies (the CIM-accelerated kernels).
+MVM_STEPS: Tuple[str, ...] = ("similarity", "projection")
+
+
+@dataclass
+class StepTiming:
+    """Accumulated cost of one step type."""
+
+    calls: int = 0
+    seconds: float = 0.0
+    elements: int = 0
+
+    def add(self, seconds: float, elements: int) -> None:
+        self.calls += 1
+        self.seconds += seconds
+        self.elements += elements
+
+
+@dataclass
+class OpCounts:
+    """Arithmetic work per step type, in processed elements (MACs for MVMs)."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def fraction(self, steps: Tuple[str, ...] = MVM_STEPS) -> float:
+        total = sum(self.counts.values())
+        if total == 0:
+            return 0.0
+        return sum(self.counts.get(s, 0) for s in steps) / total
+
+
+class ResonatorProfiler:
+    """Collects per-step timing and op counts across factorization runs."""
+
+    def __init__(self) -> None:
+        self.steps: Dict[str, StepTiming] = {name: StepTiming() for name in STEP_NAMES}
+
+    def reset(self) -> None:
+        for timing in self.steps.values():
+            timing.calls = 0
+            timing.seconds = 0.0
+            timing.elements = 0
+
+    @contextmanager
+    def step(self, name: str, *, elements: int = 0) -> Iterator[None]:
+        """Context manager timing one step invocation."""
+        timing = self.steps.setdefault(name, StepTiming())
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            timing.add(time.perf_counter() - start, elements)
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(t.seconds for t in self.steps.values())
+
+    def time_fractions(self) -> Dict[str, float]:
+        """Wall-clock fraction per step (sums to 1 when any time recorded)."""
+        total = self.total_seconds
+        if total == 0:
+            return {name: 0.0 for name in self.steps}
+        return {name: t.seconds / total for name, t in self.steps.items()}
+
+    def op_counts(self) -> OpCounts:
+        return OpCounts({name: t.elements for name, t in self.steps.items()})
+
+    def mvm_time_fraction(self) -> float:
+        """Fraction of wall time spent in similarity+projection MVMs."""
+        fractions = self.time_fractions()
+        return sum(fractions.get(s, 0.0) for s in MVM_STEPS)
+
+    def mvm_op_fraction(self) -> float:
+        """Fraction of arithmetic work in similarity+projection MVMs."""
+        return self.op_counts().fraction(MVM_STEPS)
+
+    def report(self) -> str:
+        """Multi-line human-readable breakdown."""
+        lines = [f"{'step':<12}{'calls':>8}{'time [s]':>12}{'time %':>9}{'elements':>14}"]
+        fractions = self.time_fractions()
+        for name, timing in self.steps.items():
+            lines.append(
+                f"{name:<12}{timing.calls:>8}{timing.seconds:>12.4f}"
+                f"{100 * fractions[name]:>8.1f}%{timing.elements:>14}"
+            )
+        lines.append(
+            f"MVM share: {100 * self.mvm_time_fraction():.1f}% of time, "
+            f"{100 * self.mvm_op_fraction():.1f}% of ops"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Steady-state thermal modeling of the 3D stack (HotSpot-style, Fig. 5)."""
+
+from repro.thermal.materials import MATERIALS, Material
+from repro.thermal.stack import ThermalLayer, ThermalStack, h3d_thermal_stack
+from repro.thermal.solver import SteadyStateSolver, ThermalSolution
+from repro.thermal.analysis import ThermalReport, analyze_h3d
+
+__all__ = [
+    "MATERIALS",
+    "Material",
+    "ThermalLayer",
+    "ThermalStack",
+    "h3d_thermal_stack",
+    "SteadyStateSolver",
+    "ThermalSolution",
+    "ThermalReport",
+    "analyze_h3d",
+]

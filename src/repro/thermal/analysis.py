@@ -1,0 +1,131 @@
+"""Thermal analysis of the H3D stack (reproduces Fig. 5).
+
+Runs the solver on the paper's setup and reports tier temperatures, the
+north-south gradient (the Fig. 5 hotspot sits toward the southern edge,
+where the floorplans concentrate the support/IO power) and the RRAM
+retention margin (retention degrades above ~100 C [33]; the paper's point
+is that 3D stacking leaves a huge margin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cim.rram.device import RRAMDeviceModel
+from repro.floorplan.plan import Floorplan, h3d_floorplans
+from repro.hwmodel.energy import EnergyBreakdown
+from repro.thermal.solver import SteadyStateSolver, ThermalSolution
+from repro.thermal.stack import ThermalStack, h3d_thermal_stack
+
+#: Layers reported in Fig. 5 (the three dies).
+TIER_LAYERS = ("tier1", "tier2", "tier3")
+
+
+@dataclass
+class ThermalReport:
+    """Digest of one thermal run."""
+
+    solution: ThermalSolution
+    tier_min_c: Dict[str, float]
+    tier_max_c: Dict[str, float]
+    tier_mean_c: Dict[str, float]
+    south_north_delta_c: Dict[str, float]
+    retention_ok: bool
+
+    @property
+    def stack_min_c(self) -> float:
+        return min(self.tier_min_c.values())
+
+    @property
+    def stack_max_c(self) -> float:
+        return max(self.tier_max_c.values())
+
+    def render(self) -> str:
+        lines = ["Thermal analysis (Fig. 5 setup)"]
+        for tier in TIER_LAYERS:
+            lines.append(
+                f"  {tier}: {self.tier_min_c[tier]:.2f} - "
+                f"{self.tier_max_c[tier]:.2f} C "
+                f"(mean {self.tier_mean_c[tier]:.2f}, south-north "
+                f"{self.south_north_delta_c[tier]:+.2f} C)"
+            )
+        lines.append(
+            f"  stack range: {self.stack_min_c:.2f} - {self.stack_max_c:.2f} C "
+            f"(paper: 46.8 - 47.8 C)"
+        )
+        lines.append(
+            "  RRAM retention margin: "
+            + ("OK (< 100 C)" if self.retention_ok else "VIOLATED")
+        )
+        return "\n".join(lines)
+
+    def ascii_map(self, tier: str = "tier3", levels: str = " .:-=+*#%@") -> str:
+        """Coarse ASCII rendering of a tier temperature map."""
+        grid = self.solution.layer(tier)
+        lo, hi = grid.min(), grid.max()
+        span = max(hi - lo, 1e-9)
+        rows = []
+        for j in range(grid.shape[0] - 1, -1, -1):  # north at top
+            row = ""
+            for i in range(grid.shape[1]):
+                level = int((grid[j, i] - lo) / span * (len(levels) - 1))
+                row += levels[level]
+            rows.append(row)
+        header = f"{tier}: {lo:.2f} C (' ') .. {hi:.2f} C ('@')"
+        return "\n".join([header] + rows)
+
+
+def analyze_solution(
+    solution: ThermalSolution,
+    *,
+    device: Optional[RRAMDeviceModel] = None,
+) -> ThermalReport:
+    """Summarize a solved stack into a :class:`ThermalReport`."""
+    device = device or RRAMDeviceModel()
+    tier_min, tier_max, tier_mean, delta = {}, {}, {}, {}
+    for tier in TIER_LAYERS:
+        grid = solution.layer(tier)
+        tier_min[tier] = float(grid.min())
+        tier_max[tier] = float(grid.max())
+        tier_mean[tier] = float(grid.mean())
+        ny = grid.shape[0]
+        south = grid[: ny // 2].mean()
+        north = grid[(ny + 1) // 2 :].mean()
+        delta[tier] = float(south - north)
+    hottest = max(tier_max.values())
+    return ThermalReport(
+        solution=solution,
+        tier_min_c=tier_min,
+        tier_max_c=tier_max,
+        tier_mean_c=tier_mean,
+        south_north_delta_c=delta,
+        retention_ok=device.retention_ok(hottest),
+    )
+
+
+def analyze_h3d(
+    energy: EnergyBreakdown,
+    *,
+    floorplans: Optional[Dict[str, Floorplan]] = None,
+    domain_mm: float = 1.03,
+    grid: int = 30,
+    ambient_c: float = 25.0,
+    h_top: float = 1000.0,
+) -> ThermalReport:
+    """End-to-end Fig. 5 analysis from an energy breakdown."""
+    if floorplans is None:
+        floorplans = h3d_floorplans(energy)
+    stack = h3d_thermal_stack(
+        floorplans,
+        domain_mm=domain_mm,
+        nx=grid,
+        ny=grid,
+        ambient_c=ambient_c,
+        h_top=h_top,
+    )
+    solver = SteadyStateSolver(nx=grid, ny=grid)
+    solution = solver.solve(stack)
+    return analyze_solution(solution)

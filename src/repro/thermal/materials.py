@@ -1,0 +1,53 @@
+"""Thermal material library.
+
+Effective isotropic conductivities for the compact layer stack; values are
+the standard HotSpot-class numbers for each material system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ThermalModelError
+
+
+@dataclass(frozen=True)
+class Material:
+    """A material with an effective thermal conductivity."""
+
+    name: str
+    conductivity_w_mk: float
+
+    def __post_init__(self) -> None:
+        if self.conductivity_w_mk <= 0:
+            raise ThermalModelError(
+                f"material {self.name!r} needs positive conductivity"
+            )
+
+
+MATERIALS = {
+    # Thinned die silicon (phonon-boundary limited below bulk's 150).
+    "silicon": Material("silicon", 120.0),
+    # BEOL + hybrid-bond dielectric stack.
+    "beol": Material("beol", 2.0),
+    # Thermal interface material (particle-filled polymer).
+    "tim": Material("tim", 4.0),
+    # C4 bump layer: solder + underfill effective.
+    "bumps": Material("bumps", 2.0),
+    # Organic package substrate with via field.
+    "package": Material("package", 10.0),
+    # FR4 PCB effective through-plane.
+    "pcb": Material("pcb", 0.8),
+    # Copper package lid between the two TIM layers.
+    "copper": Material("copper", 400.0),
+    # Mold/underfill surrounding the die inside the package cavity.
+    "mold": Material("mold", 0.7),
+}
+
+
+def material(name: str) -> Material:
+    if name not in MATERIALS:
+        raise ThermalModelError(
+            f"unknown material {name!r}; available: {sorted(MATERIALS)}"
+        )
+    return MATERIALS[name]

@@ -1,0 +1,172 @@
+"""Steady-state 3D finite-volume heat-conduction solver.
+
+Solves ``div(k grad T) + q = 0`` on a structured grid: one cell layer per
+stack layer vertically, ``nx x ny`` laterally.  Inter-cell conductances use
+harmonic averaging of the neighbor conductivities; the top and bottom faces
+carry convective boundaries (``h (T - T_amb)``), side walls are adiabatic.
+The sparse linear system is assembled in COO form and solved directly -
+the grids involved (tens of thousands of unknowns) are trivial for
+``scipy.sparse.linalg.spsolve``.
+
+This is the same compact-conduction formulation HotSpot 6.0 [32] uses in
+grid mode, which is why the Fig. 5 setup parameters transfer directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+from scipy.sparse import coo_matrix, csr_matrix
+from scipy.sparse.linalg import spsolve
+
+from repro.errors import ThermalModelError
+from repro.thermal.stack import ThermalStack
+
+
+@dataclass
+class ThermalSolution:
+    """Temperatures per layer: dict of layer name -> (ny, nx) Celsius map."""
+
+    stack: ThermalStack
+    temperatures_c: Dict[str, np.ndarray]
+
+    def layer(self, name: str) -> np.ndarray:
+        if name not in self.temperatures_c:
+            raise ThermalModelError(
+                f"no layer {name!r}; have {sorted(self.temperatures_c)}"
+            )
+        return self.temperatures_c[name]
+
+    def layer_max(self, name: str) -> float:
+        return float(self.layer(name).max())
+
+    def layer_min(self, name: str) -> float:
+        return float(self.layer(name).min())
+
+    def layer_mean(self, name: str) -> float:
+        return float(self.layer(name).mean())
+
+    @property
+    def peak_c(self) -> float:
+        return max(float(t.max()) for t in self.temperatures_c.values())
+
+
+class SteadyStateSolver:
+    """Assembles and solves the finite-volume system for a stack."""
+
+    def __init__(self, nx: int = 30, ny: int = 30) -> None:
+        if nx < 2 or ny < 2:
+            raise ThermalModelError(f"grid must be at least 2x2, got {nx}x{ny}")
+        self.nx = nx
+        self.ny = ny
+
+    def solve(self, stack: ThermalStack) -> ThermalSolution:
+        nx, ny = self.nx, self.ny
+        nz = len(stack.layers)
+        n = nx * ny * nz
+        size_m = stack.domain_mm * 1e-3
+        dx = size_m / nx
+        dy = size_m / ny
+        area_xy = dx * dy
+
+        # Per-layer conductivity grids and thicknesses.
+        k_grids = [
+            layer.conductivity_grid(nx, ny, stack.domain_mm)
+            for layer in stack.layers
+        ]
+        dz = np.array([layer.thickness_m for layer in stack.layers])
+
+        def index(i: int, j: int, l: int) -> int:
+            return (l * ny + j) * nx + i
+
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        rhs = np.zeros(n)
+        diag = np.zeros(n)
+
+        def add_conductance(a: int, b: int, g: float) -> None:
+            rows.append(a)
+            cols.append(b)
+            vals.append(-g)
+            diag[a] += g
+
+        for l in range(nz):
+            k_layer = k_grids[l]
+            for j in range(ny):
+                for i in range(nx):
+                    a = index(i, j, l)
+                    # Lateral neighbors (east and north; symmetry fills rest).
+                    if i + 1 < nx:
+                        k_face = _harmonic(k_layer[j, i], k_layer[j, i + 1])
+                        g = k_face * dy * dz[l] / dx
+                        b = index(i + 1, j, l)
+                        add_conductance(a, b, g)
+                        add_conductance(b, a, g)
+                    if j + 1 < ny:
+                        k_face = _harmonic(k_layer[j, i], k_layer[j + 1, i])
+                        g = k_face * dx * dz[l] / dy
+                        b = index(i, j + 1, l)
+                        add_conductance(a, b, g)
+                        add_conductance(b, a, g)
+                    # Vertical neighbor above.
+                    if l + 1 < nz:
+                        k_up = k_grids[l + 1][j, i]
+                        half_a = dz[l] / (2 * k_layer[j, i])
+                        half_b = dz[l + 1] / (2 * k_up)
+                        g = area_xy / (half_a + half_b)
+                        b = index(i, j, l + 1)
+                        add_conductance(a, b, g)
+                        add_conductance(b, a, g)
+            # Heat injection.
+            layer = stack.layers[l]
+            if layer.power_map is not None:
+                if layer.power_map.shape != (ny, nx):
+                    raise ThermalModelError(
+                        f"layer {layer.name!r} power map shape "
+                        f"{layer.power_map.shape} does not match grid "
+                        f"({ny}, {nx})"
+                    )
+                for j in range(ny):
+                    for i in range(nx):
+                        rhs[index(i, j, l)] += layer.power_map[j, i] * area_xy
+
+        # Convective boundaries: top of last layer, bottom of first layer.
+        for j in range(ny):
+            for i in range(nx):
+                top = index(i, j, nz - 1)
+                g_cond = k_grids[nz - 1][j, i] * area_xy / (dz[nz - 1] / 2)
+                g_conv = stack.h_top_w_m2k * area_xy
+                g = _series(g_cond, g_conv)
+                diag[top] += g
+                rhs[top] += g * stack.ambient_c
+                bottom = index(i, j, 0)
+                g_cond = k_grids[0][j, i] * area_xy / (dz[0] / 2)
+                g_conv = stack.h_bottom_w_m2k * area_xy
+                g = _series(g_cond, g_conv)
+                diag[bottom] += g
+                rhs[bottom] += g * stack.ambient_c
+
+        rows.extend(range(n))
+        cols.extend(range(n))
+        vals.extend(diag.tolist())
+        matrix = coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+        solution = spsolve(csr_matrix(matrix), rhs)
+
+        temperatures = {}
+        for l, layer in enumerate(stack.layers):
+            grid = solution[(l * ny) * nx : ((l + 1) * ny) * nx]
+            temperatures[layer.name] = grid.reshape(ny, nx).copy()
+        return ThermalSolution(stack=stack, temperatures_c=temperatures)
+
+
+def _harmonic(a: float, b: float) -> float:
+    return 2.0 * a * b / (a + b)
+
+
+def _series(g1: float, g2: float) -> float:
+    if g1 <= 0 or g2 <= 0:
+        return 0.0
+    return g1 * g2 / (g1 + g2)

@@ -1,0 +1,203 @@
+"""Thermal layer stack construction (the Fig. 5 setup table).
+
+The chip-scale stack, bottom to top:
+
+====================  =========  =====================================
+layer                 thickness  notes
+====================  =========  =====================================
+PCB                   2 mm       board under the package
+package substrate     1 mm       organic laminate, C4 side
+bump layer            100 um     C4 bumps + underfill
+tier-1 silicon        ~50 um     16 nm digital die (die-sized inset)
+bond 1                3 um       hybrid bond/BEOL between tier-1/2
+tier-2 silicon        ~50 um     40 nm RRAM die
+bond 2                3 um       F2B TSV interface
+tier-3 silicon        ~50 um     40 nm RRAM die
+TIM1                  20 um      die-to-lid interface
+copper lid            200 um     lateral heat spreader
+TIM2                  20 um      lid-to-sink interface
+====================  =========  =====================================
+
+Top surface: convective boundary, h = 1000 W/(m^2 K) into 25 C ambient.
+The dies occupy a centered inset of the (larger) package footprint; the
+cavity around them is mold compound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ThermalModelError
+from repro.floorplan.plan import Floorplan
+from repro.floorplan.powermap import power_density_map
+from repro.thermal.materials import material
+
+
+@dataclass
+class ThermalLayer:
+    """One z-layer of the finite-volume domain.
+
+    ``die_inset_mm`` restricts ``conductivity`` to the centered die region
+    (the remainder uses ``outside_material``); ``power_map`` (W/m^2) is
+    injected uniformly through the layer's thickness.
+    """
+
+    name: str
+    thickness_m: float
+    material_name: str
+    die_inset_mm: Optional[float] = None
+    outside_material: str = "mold"
+    power_map: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.thickness_m <= 0:
+            raise ThermalModelError(
+                f"layer {self.name!r} needs positive thickness"
+            )
+
+    def conductivity_grid(
+        self, nx: int, ny: int, domain_mm: float
+    ) -> np.ndarray:
+        """Per-cell conductivity for this layer."""
+        k_inside = material(self.material_name).conductivity_w_mk
+        grid = np.full((ny, nx), k_inside)
+        if self.die_inset_mm is not None:
+            k_outside = material(self.outside_material).conductivity_w_mk
+            grid[:] = k_outside
+            dx = domain_mm / nx
+            margin = (domain_mm - self.die_inset_mm) / 2
+            i0 = int(round(margin / dx))
+            i1 = nx - i0
+            grid[i0:i1, i0:i1] = k_inside
+        return grid
+
+
+@dataclass
+class ThermalStack:
+    """The full domain: lateral extent plus ordered layers (bottom-up)."""
+
+    domain_mm: float
+    layers: List[ThermalLayer]
+    ambient_c: float = 25.0
+    #: Convective coefficient on the top surface (W/m^2 K), Fig. 5 table.
+    h_top_w_m2k: float = 1000.0
+    #: Weak convection from the PCB bottom.
+    h_bottom_w_m2k: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.domain_mm <= 0:
+            raise ThermalModelError("domain must have positive extent")
+        if not self.layers:
+            raise ThermalModelError("stack needs at least one layer")
+
+    @property
+    def total_power_w(self) -> float:
+        total = 0.0
+        cell_area_factor = (self.domain_mm * 1e-3) ** 2
+        for layer in self.layers:
+            if layer.power_map is not None:
+                ny, nx = layer.power_map.shape
+                total += layer.power_map.sum() * cell_area_factor / (nx * ny)
+        return float(total)
+
+    def layer_index(self, name: str) -> int:
+        for index, layer in enumerate(self.layers):
+            if layer.name == name:
+                return index
+        raise ThermalModelError(
+            f"no layer named {name!r}; have {[l.name for l in self.layers]}"
+        )
+
+
+def h3d_thermal_stack(
+    floorplans: Dict[str, Floorplan],
+    *,
+    domain_mm: float = 1.03,
+    nx: int = 30,
+    ny: int = 30,
+    die_thickness_um: float = 50.0,
+    ambient_c: float = 25.0,
+    h_top: float = 1000.0,
+) -> ThermalStack:
+    """Build the Fig. 5 stack from the three tier floorplans.
+
+    The tier power maps are rasterized onto the domain grid: the die
+    occupies a centered inset, so the maps are zero-padded to the package
+    footprint.
+    """
+    required = ("tier1", "tier2", "tier3")
+    for name in required:
+        if name not in floorplans:
+            raise ThermalModelError(f"missing floorplan for {name!r}")
+    die_mm = floorplans["tier1"].width_mm
+    if die_mm > domain_mm:
+        raise ThermalModelError(
+            f"die ({die_mm} mm) larger than package domain ({domain_mm} mm)"
+        )
+
+    def padded_power(plan: Floorplan) -> np.ndarray:
+        # Translate the die to the domain center and rasterize directly on
+        # the domain grid - exact power conservation regardless of how die
+        # and domain cells align.
+        margin = (domain_mm - die_mm) / 2
+        from repro.floorplan.block import Block
+
+        shifted = Floorplan(
+            name=f"{plan.name}@domain",
+            width_mm=domain_mm,
+            height_mm=domain_mm,
+            blocks=[
+                Block(
+                    name=b.name,
+                    x_mm=b.x_mm + margin,
+                    y_mm=b.y_mm + margin,
+                    width_mm=b.width_mm,
+                    height_mm=b.height_mm,
+                    power_w=b.power_w,
+                )
+                for b in plan.blocks
+            ],
+        )
+        return power_density_map(shifted, nx, ny)
+
+    um = 1e-6
+    layers = [
+        ThermalLayer("pcb", 2000 * um, "pcb"),
+        ThermalLayer("package", 1000 * um, "package"),
+        ThermalLayer("bumps", 100 * um, "bumps", die_inset_mm=die_mm),
+        ThermalLayer(
+            "tier1",
+            die_thickness_um * um,
+            "silicon",
+            die_inset_mm=die_mm,
+            power_map=padded_power(floorplans["tier1"]),
+        ),
+        ThermalLayer("bond1", 3 * um, "beol", die_inset_mm=die_mm),
+        ThermalLayer(
+            "tier2",
+            die_thickness_um * um,
+            "silicon",
+            die_inset_mm=die_mm,
+            power_map=padded_power(floorplans["tier2"]),
+        ),
+        ThermalLayer("bond2", 3 * um, "beol", die_inset_mm=die_mm),
+        ThermalLayer(
+            "tier3",
+            die_thickness_um * um,
+            "silicon",
+            die_inset_mm=die_mm,
+            power_map=padded_power(floorplans["tier3"]),
+        ),
+        ThermalLayer("tim1", 20 * um, "tim"),
+        ThermalLayer("lid", 200 * um, "copper"),
+        ThermalLayer("tim2", 20 * um, "tim"),
+    ]
+    return ThermalStack(
+        domain_mm=domain_mm,
+        layers=layers,
+        ambient_c=ambient_c,
+        h_top_w_m2k=h_top,
+    )

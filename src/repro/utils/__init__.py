@@ -1,0 +1,48 @@
+"""Shared utilities: RNG handling, unit conversion, validation helpers."""
+
+from repro.utils.rng import RandomState, as_rng, derive_rng, fresh_seed
+from repro.utils.units import (
+    GHZ,
+    KHZ,
+    MHZ,
+    celsius_to_kelvin,
+    fj,
+    format_engineering,
+    kelvin_to_celsius,
+    mm2,
+    nj,
+    nm,
+    pj,
+    um,
+    um2,
+)
+from repro.utils.validation import (
+    check_bipolar,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+__all__ = [
+    "RandomState",
+    "as_rng",
+    "derive_rng",
+    "fresh_seed",
+    "GHZ",
+    "KHZ",
+    "MHZ",
+    "celsius_to_kelvin",
+    "fj",
+    "format_engineering",
+    "kelvin_to_celsius",
+    "mm2",
+    "nj",
+    "nm",
+    "pj",
+    "um",
+    "um2",
+    "check_bipolar",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+]

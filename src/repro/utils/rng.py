@@ -1,0 +1,55 @@
+"""Deterministic random-number-generator plumbing.
+
+All stochastic components of the library (random codebooks, RRAM noise,
+ADC dither, workload generators) accept either a seed or a
+:class:`numpy.random.Generator`.  Centralizing the coercion logic here keeps
+every experiment reproducible from a single integer seed while still letting
+callers share one generator across components when they want correlated
+streams.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RandomState = Union[None, int, np.random.Generator]
+
+_DERIVE_MODULUS = 2**63 - 25  # large prime; keeps derived seeds in int64 range
+
+
+def as_rng(seed: RandomState = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` produces an OS-seeded generator, an ``int`` produces a
+    deterministic generator, and an existing generator is returned as-is so
+    that components can share a stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def fresh_seed(rng: np.random.Generator) -> int:
+    """Draw a new 63-bit seed from ``rng`` suitable for child generators."""
+    return int(rng.integers(0, _DERIVE_MODULUS))
+
+
+def derive_rng(seed: RandomState, stream: str) -> np.random.Generator:
+    """Derive an independent generator for a named ``stream``.
+
+    Components that need several independent noise sources (e.g. programming
+    noise vs. read noise) derive one generator per stream name so that
+    changing how often one stream is sampled does not perturb the others.
+    """
+    if isinstance(seed, np.random.Generator):
+        # Split the provided generator deterministically.
+        return np.random.default_rng(fresh_seed(seed))
+    mix = np.random.SeedSequence(
+        entropy=0 if seed is None else int(seed),
+        spawn_key=tuple(ord(ch) for ch in stream),
+    )
+    if seed is None:
+        return np.random.default_rng()
+    return np.random.default_rng(mix)

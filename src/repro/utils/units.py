@@ -1,0 +1,114 @@
+"""Unit helpers.
+
+The hardware models internally use SI base units (meters, joules, seconds,
+watts, kelvin).  These helpers make call sites read like the paper: areas in
+mm^2, pitches in um, energies in fJ/pJ, frequencies in MHz.
+"""
+
+from __future__ import annotations
+
+# -- length ----------------------------------------------------------------
+
+
+def nm(value: float) -> float:
+    """Nanometers to meters."""
+    return value * 1e-9
+
+
+def um(value: float) -> float:
+    """Micrometers to meters."""
+    return value * 1e-6
+
+
+def mm(value: float) -> float:
+    """Millimeters to meters."""
+    return value * 1e-3
+
+
+# -- area -------------------------------------------------------------------
+
+
+def um2(value: float) -> float:
+    """Square micrometers to square meters."""
+    return value * 1e-12
+
+
+def mm2(value: float) -> float:
+    """Square millimeters to square meters."""
+    return value * 1e-6
+
+
+def m2_to_mm2(value: float) -> float:
+    """Square meters to square millimeters."""
+    return value * 1e6
+
+
+def m2_to_um2(value: float) -> float:
+    """Square meters to square micrometers."""
+    return value * 1e12
+
+
+# -- energy -----------------------------------------------------------------
+
+
+def fj(value: float) -> float:
+    """Femtojoules to joules."""
+    return value * 1e-15
+
+
+def pj(value: float) -> float:
+    """Picojoules to joules."""
+    return value * 1e-12
+
+
+def nj(value: float) -> float:
+    """Nanojoules to joules."""
+    return value * 1e-9
+
+
+# -- frequency ---------------------------------------------------------------
+
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+
+# -- temperature --------------------------------------------------------------
+
+_ZERO_CELSIUS_IN_KELVIN = 273.15
+
+
+def celsius_to_kelvin(value: float) -> float:
+    return value + _ZERO_CELSIUS_IN_KELVIN
+
+
+def kelvin_to_celsius(value: float) -> float:
+    return value - _ZERO_CELSIUS_IN_KELVIN
+
+
+# -- formatting ---------------------------------------------------------------
+
+_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+]
+
+
+def format_engineering(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an engineering prefix, e.g. ``1.52 TOPS``."""
+    if value == 0:
+        return f"0 {unit}".strip()
+    magnitude = abs(value)
+    for scale, prefix in _PREFIXES:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}".strip()
+    scale, prefix = _PREFIXES[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".strip()

@@ -1,0 +1,61 @@
+"""Validation helpers shared across the library.
+
+These raise :class:`repro.errors` exceptions with actionable messages rather
+than letting numpy broadcast mistakes propagate as cryptic ``ValueError``s.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionError
+
+
+def check_positive(name: str, value: float, *, allow_zero: bool = False) -> float:
+    """Ensure a scalar parameter is positive (or non-negative)."""
+    if allow_zero:
+        if value < 0:
+            raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    elif value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Ensure a scalar lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_shape(
+    name: str, array: np.ndarray, expected: Tuple[int, ...]
+) -> np.ndarray:
+    """Ensure ``array.shape == expected``."""
+    if tuple(array.shape) != tuple(expected):
+        raise DimensionError(
+            f"{name} has shape {tuple(array.shape)}, expected {tuple(expected)}"
+        )
+    return array
+
+
+def check_bipolar(name: str, array: np.ndarray) -> np.ndarray:
+    """Ensure every element of ``array`` is -1 or +1."""
+    values = np.asarray(array)
+    if values.size and not np.all(np.isin(values, (-1, 1))):
+        bad = np.unique(values[~np.isin(values, (-1, 1))])[:5]
+        raise DimensionError(
+            f"{name} must be bipolar (-1/+1); found values {bad.tolist()}"
+        )
+    return values
+
+
+def check_choice(name: str, value: str, choices: Sequence[str]) -> str:
+    """Ensure a string option is one of ``choices``."""
+    if value not in choices:
+        raise ConfigurationError(
+            f"{name} must be one of {sorted(choices)}, got {value!r}"
+        )
+    return value

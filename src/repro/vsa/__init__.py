@@ -1,0 +1,50 @@
+"""Holographic (vector-symbolic) algebra over bipolar hypervectors.
+
+This package implements the computational primitives of Sec. II-A of the
+H3DFact paper: randomly generated bipolar item vectors, binding/unbinding by
+element-wise multiplication, bundling (superposition) by element-wise
+addition with sign thresholding, and permutation for sequence encoding.
+"""
+
+from repro.vsa.codebook import Codebook, CodebookSet
+from repro.vsa.encoding import SceneEncoder, bind_factors, product_vector
+from repro.vsa.ops import (
+    bind,
+    bundle,
+    expected_similarity_floor,
+    hamming_similarity,
+    inverse_permute,
+    normalized_similarity,
+    permute,
+    random_hypervector,
+    sign_with_tiebreak,
+    similarity,
+    unbind,
+)
+from repro.vsa.scene import (
+    VISUAL_OBJECT_ATTRIBUTES,
+    AttributeScene,
+    AttributeSpec,
+)
+
+__all__ = [
+    "Codebook",
+    "CodebookSet",
+    "SceneEncoder",
+    "bind_factors",
+    "product_vector",
+    "bind",
+    "bundle",
+    "expected_similarity_floor",
+    "hamming_similarity",
+    "inverse_permute",
+    "normalized_similarity",
+    "permute",
+    "random_hypervector",
+    "sign_with_tiebreak",
+    "similarity",
+    "unbind",
+    "AttributeScene",
+    "AttributeSpec",
+    "VISUAL_OBJECT_ATTRIBUTES",
+]

@@ -1,0 +1,254 @@
+"""Codebooks of item hypervectors.
+
+A :class:`Codebook` is the ``D x M`` matrix of item vectors for one
+attribute (e.g. all shapes); a :class:`CodebookSet` holds one codebook per
+attribute and is the second input to the resonator network (the first being
+the product vector to factorize).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CodebookError, DimensionError
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_bipolar
+from repro.vsa.ops import DEFAULT_DTYPE, random_hypervector
+
+
+@dataclass
+class Codebook:
+    """Item vectors for one attribute.
+
+    Attributes
+    ----------
+    name:
+        Human-readable attribute name (``"shape"``, ``"color"``, ...).
+    matrix:
+        ``(dim, size)`` bipolar matrix; column ``m`` is item vector ``m``.
+    labels:
+        Optional item labels, e.g. ``["circle", "triangle"]``.
+    """
+
+    name: str
+    matrix: np.ndarray
+    labels: Optional[List[str]] = None
+
+    def __post_init__(self) -> None:
+        self.matrix = np.asarray(self.matrix)
+        if self.matrix.ndim != 2:
+            raise DimensionError(
+                f"codebook {self.name!r} matrix must be 2-D, got "
+                f"{self.matrix.ndim}-D"
+            )
+        check_bipolar(f"codebook {self.name!r}", self.matrix)
+        if self.labels is not None and len(self.labels) != self.size:
+            raise CodebookError(
+                f"codebook {self.name!r} has {self.size} items but "
+                f"{len(self.labels)} labels"
+            )
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        name: str,
+        dim: int,
+        size: int,
+        *,
+        rng: RandomState = None,
+        labels: Optional[Sequence[str]] = None,
+    ) -> "Codebook":
+        """Generate ``size`` random item vectors of dimension ``dim``."""
+        if size <= 0:
+            raise CodebookError(f"codebook size must be positive, got {size}")
+        generator = as_rng(rng)
+        matrix = (
+            2 * generator.integers(0, 2, size=(dim, size), dtype=np.int8) - 1
+        ).astype(DEFAULT_DTYPE)
+        return cls(name=name, matrix=matrix, labels=list(labels) if labels else None)
+
+    # -- basic properties -------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Hypervector dimension ``D``."""
+        return int(self.matrix.shape[0])
+
+    @property
+    def size(self) -> int:
+        """Number of item vectors ``M``."""
+        return int(self.matrix.shape[1])
+
+    def __len__(self) -> int:
+        return self.size
+
+    def vector(self, index: int) -> np.ndarray:
+        """Item vector at ``index`` (a view into the matrix)."""
+        if not 0 <= index < self.size:
+            raise CodebookError(
+                f"item index {index} out of range for codebook "
+                f"{self.name!r} of size {self.size}"
+            )
+        return self.matrix[:, index]
+
+    def label(self, index: int) -> str:
+        """Label of item ``index`` (falls back to ``name[index]``)."""
+        if self.labels is not None:
+            return self.labels[index]
+        return f"{self.name}[{index}]"
+
+    # -- similarity-based decoding -----------------------------------------
+
+    def similarities(self, query: np.ndarray) -> np.ndarray:
+        """Dot product of ``query`` with every item vector (``X^T q``).
+
+        This is exactly the MVM the RRAM similarity tier performs
+        (Sec. IV-A, step II).
+        """
+        query = np.asarray(query)
+        if query.shape != (self.dim,):
+            raise DimensionError(
+                f"query shape {query.shape} does not match codebook dim "
+                f"({self.dim},)"
+            )
+        return self.matrix.T.astype(np.int64) @ query.astype(np.int64)
+
+    def cleanup(self, query: np.ndarray) -> Tuple[int, np.ndarray]:
+        """Nearest item index and the item vector itself."""
+        sims = self.similarities(query)
+        index = int(np.argmax(sims))
+        return index, self.vector(index)
+
+    def project(self, weights: np.ndarray) -> np.ndarray:
+        """Weighted sum of item vectors (``X a``), the projection MVM."""
+        weights = np.asarray(weights)
+        if weights.shape != (self.size,):
+            raise DimensionError(
+                f"weights shape {weights.shape} does not match codebook size "
+                f"({self.size},)"
+            )
+        return self.matrix.astype(np.int64) @ weights.astype(np.int64)
+
+    def contains_vector(self, query: np.ndarray) -> bool:
+        """True if ``query`` equals one of the item vectors exactly."""
+        sims = self.similarities(query)
+        return bool(np.max(sims) == self.dim)
+
+
+@dataclass
+class CodebookSet:
+    """One codebook per attribute, sharing a hypervector dimension."""
+
+    codebooks: List[Codebook] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.codebooks:
+            raise CodebookError("CodebookSet requires at least one codebook")
+        dims = {cb.dim for cb in self.codebooks}
+        if len(dims) != 1:
+            raise DimensionError(
+                f"codebooks must share a dimension, got dims {sorted(dims)}"
+            )
+        names = [cb.name for cb in self.codebooks]
+        if len(set(names)) != len(names):
+            raise CodebookError(f"duplicate codebook names: {names}")
+
+    @classmethod
+    def random(
+        cls,
+        dim: int,
+        sizes: Sequence[int],
+        *,
+        names: Optional[Sequence[str]] = None,
+        rng: RandomState = None,
+    ) -> "CodebookSet":
+        """Random codebooks with per-attribute ``sizes``."""
+        generator = as_rng(rng)
+        if names is None:
+            names = [f"factor{i}" for i in range(len(sizes))]
+        if len(names) != len(sizes):
+            raise CodebookError(
+                f"{len(names)} names provided for {len(sizes)} sizes"
+            )
+        books = [
+            Codebook.random(name, dim, size, rng=generator)
+            for name, size in zip(names, sizes)
+        ]
+        return cls(books)
+
+    @classmethod
+    def random_uniform(
+        cls,
+        dim: int,
+        num_factors: int,
+        size: int,
+        *,
+        rng: RandomState = None,
+    ) -> "CodebookSet":
+        """``num_factors`` codebooks of identical ``size`` (the Table II setup)."""
+        return cls.random(dim, [size] * num_factors, rng=rng)
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.codebooks)
+
+    def __iter__(self) -> Iterator[Codebook]:
+        return iter(self.codebooks)
+
+    def __getitem__(self, key) -> Codebook:
+        if isinstance(key, str):
+            for codebook in self.codebooks:
+                if codebook.name == key:
+                    return codebook
+            raise CodebookError(f"no codebook named {key!r}")
+        return self.codebooks[key]
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return self.codebooks[0].dim
+
+    @property
+    def num_factors(self) -> int:
+        return len(self.codebooks)
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        return tuple(cb.size for cb in self.codebooks)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(cb.name for cb in self.codebooks)
+
+    @property
+    def search_space(self) -> int:
+        """Size of the combinatorial search space ``prod(M_f)``."""
+        product = 1
+        for codebook in self.codebooks:
+            product *= codebook.size
+        return product
+
+    def compose(self, indices: Sequence[int]) -> np.ndarray:
+        """Bind the items at ``indices`` into a product vector."""
+        if len(indices) != self.num_factors:
+            raise CodebookError(
+                f"{len(indices)} indices provided for {self.num_factors} factors"
+            )
+        product = np.ones(self.dim, dtype=np.int32)
+        for codebook, index in zip(self.codebooks, indices):
+            product *= codebook.vector(index).astype(np.int32)
+        return product.astype(DEFAULT_DTYPE)
+
+    def describe(self, indices: Sequence[int]) -> Dict[str, str]:
+        """Human-readable labels for a factor-index assignment."""
+        return {
+            codebook.name: codebook.label(index)
+            for codebook, index in zip(self.codebooks, indices)
+        }

@@ -1,0 +1,128 @@
+"""Encoding attribute scenes into holographic product vectors.
+
+:class:`SceneEncoder` owns a :class:`~repro.vsa.codebook.CodebookSet` built
+from an attribute vocabulary and converts symbolic scenes to product
+hypervectors (Fig. 1a) and back (via exhaustive or resonator decoding).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CodebookError, DimensionError
+from repro.utils.rng import RandomState, as_rng
+from repro.vsa.codebook import Codebook, CodebookSet
+from repro.vsa.ops import DEFAULT_DTYPE, bind
+from repro.vsa.scene import AttributeScene, AttributeSpec
+
+
+def bind_factors(vectors: Sequence[np.ndarray]) -> np.ndarray:
+    """Bind a list of factor vectors into a product vector."""
+    if not vectors:
+        raise DimensionError("bind_factors() requires at least one vector")
+    return bind(*vectors)
+
+
+def product_vector(codebooks: CodebookSet, indices: Sequence[int]) -> np.ndarray:
+    """Product vector for the items at ``indices`` (alias of ``compose``)."""
+    return codebooks.compose(indices)
+
+
+class SceneEncoder:
+    """Bidirectional map between attribute scenes and product vectors."""
+
+    def __init__(
+        self,
+        attributes: Sequence[AttributeSpec],
+        dim: int,
+        *,
+        rng: RandomState = None,
+    ) -> None:
+        if dim <= 0:
+            raise DimensionError(f"dim must be positive, got {dim}")
+        self.attributes: Tuple[AttributeSpec, ...] = tuple(attributes)
+        if not self.attributes:
+            raise CodebookError("SceneEncoder requires at least one attribute")
+        generator = as_rng(rng)
+        self.codebooks = CodebookSet(
+            [
+                Codebook.random(
+                    spec.name, dim, spec.size, rng=generator, labels=spec.values
+                )
+                for spec in self.attributes
+            ]
+        )
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return self.codebooks.dim
+
+    @property
+    def num_factors(self) -> int:
+        return self.codebooks.num_factors
+
+    # -- encoding ---------------------------------------------------------------
+
+    def encode(self, scene: AttributeScene) -> np.ndarray:
+        """Bind the scene's attribute vectors into a product vector."""
+        indices = scene.indices(self.attributes)
+        return self.codebooks.compose(indices)
+
+    def encode_indices(self, indices: Sequence[int]) -> np.ndarray:
+        return self.codebooks.compose(indices)
+
+    # -- decoding ---------------------------------------------------------------
+
+    def decode_indices(self, indices: Sequence[int]) -> AttributeScene:
+        """Scene for a factor-index assignment."""
+        if len(indices) != len(self.attributes):
+            raise CodebookError(
+                f"{len(indices)} indices for {len(self.attributes)} attributes"
+            )
+        assignment = {
+            spec.name: spec.values[index]
+            for spec, index in zip(self.attributes, indices)
+        }
+        return AttributeScene.from_dict(assignment)
+
+    def decode_exhaustive(self, product: np.ndarray) -> AttributeScene:
+        """Brute-force decode: try every combination, keep the best match.
+
+        Exponential in the number of attributes - exactly the combinatorial
+        search the resonator network replaces.  Kept as an oracle for tests
+        and to quantify the resonator's advantage.
+        """
+        product = np.asarray(product)
+        best_score = -np.inf
+        best: Optional[List[int]] = None
+        for indices in np.ndindex(*self.codebooks.sizes):
+            candidate = self.codebooks.compose(indices)
+            score = int(
+                candidate.astype(np.int64) @ product.astype(np.int64)
+            )
+            if score > best_score:
+                best_score = score
+                best = list(indices)
+        assert best is not None
+        return self.decode_indices(best)
+
+    def accuracy(
+        self,
+        predicted: Iterable[AttributeScene],
+        truth: Iterable[AttributeScene],
+    ) -> float:
+        """Fraction of scenes whose *every* attribute is decoded correctly."""
+        predicted = list(predicted)
+        truth = list(truth)
+        if len(predicted) != len(truth):
+            raise DimensionError(
+                f"{len(predicted)} predictions for {len(truth)} ground truths"
+            )
+        if not predicted:
+            return 0.0
+        hits = sum(p == t for p, t in zip(predicted, truth))
+        return hits / len(predicted)

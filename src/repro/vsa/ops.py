@@ -1,0 +1,167 @@
+"""Primitive operations on bipolar hypervectors.
+
+Hypervectors are 1-D numpy arrays with entries in ``{-1, +1}`` (dtype int8 by
+default).  Operations follow the multiply-add-permute (MAP) vector-symbolic
+architecture used by the paper:
+
+* :func:`bind` / :func:`unbind` - element-wise multiplication.  Binding is
+  its own inverse in bipolar space, which is what makes the resonator's
+  "unbinding" step an XNOR in hardware (Sec. III-B).
+* :func:`bundle` - element-wise addition followed by a sign threshold,
+  producing the superposition of several vectors.
+* :func:`permute` - cyclic shift, used to encode sequence positions.
+* :func:`similarity` - un-normalized dot product, the quantity the RRAM
+  similarity tier computes (Sec. IV-A step II).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_bipolar
+
+DEFAULT_DTYPE = np.int8
+
+
+def random_hypervector(
+    dim: int,
+    *,
+    rng: RandomState = None,
+    dtype: np.dtype = DEFAULT_DTYPE,
+) -> np.ndarray:
+    """Draw a dense random bipolar hypervector of length ``dim``.
+
+    Random bipolar vectors in high dimension are quasi-orthogonal: the
+    expected normalized similarity of two independent draws is 0 with
+    standard deviation ``1/sqrt(dim)``, which is what lets codebooks encode
+    separable features (Sec. II-A).
+    """
+    if dim <= 0:
+        raise DimensionError(f"hypervector dim must be positive, got {dim}")
+    generator = as_rng(rng)
+    return (2 * generator.integers(0, 2, size=dim, dtype=np.int8) - 1).astype(dtype)
+
+
+def bind(*vectors: np.ndarray) -> np.ndarray:
+    """Bind hypervectors via element-wise multiplication.
+
+    Binding composes attributes into a product vector; e.g. an object is
+    ``shape ⊙ color ⊙ v_pos ⊙ h_pos``.  The result is dissimilar to every
+    operand, which is what makes factorization a search problem.
+    """
+    if not vectors:
+        raise DimensionError("bind() requires at least one vector")
+    result = np.asarray(vectors[0]).copy()
+    for vector in vectors[1:]:
+        other = np.asarray(vector)
+        if other.shape != result.shape:
+            raise DimensionError(
+                f"cannot bind shapes {result.shape} and {other.shape}"
+            )
+        result *= other
+    return result
+
+
+def unbind(product: np.ndarray, *factors: np.ndarray) -> np.ndarray:
+    """Remove known ``factors`` from ``product``.
+
+    In bipolar space binding is an involution (``x ⊙ x = 1``), so unbinding
+    is just binding with the same vectors.  This is the step the digital
+    tier-1 executes with XNOR gates.
+    """
+    return bind(product, *factors)
+
+
+def sign_with_tiebreak(
+    values: np.ndarray,
+    *,
+    rng: RandomState = None,
+    dtype: np.dtype = DEFAULT_DTYPE,
+) -> np.ndarray:
+    """Sign threshold mapping to {-1, +1}; zeros break randomly.
+
+    A plain ``np.sign`` maps 0 to 0, leaving the vector outside bipolar
+    space.  Ties occur whenever an even number of vectors is bundled, so the
+    resonator's activation must resolve them; random resolution matches the
+    behaviour of an analog comparator sitting exactly at threshold.
+    """
+    values = np.asarray(values)
+    result = np.sign(values).astype(dtype)
+    zeros = result == 0
+    if np.any(zeros):
+        generator = as_rng(rng)
+        fills = 2 * generator.integers(0, 2, size=int(zeros.sum()), dtype=np.int8) - 1
+        result[zeros] = fills.astype(dtype)
+    return result
+
+
+def bundle(
+    vectors: Sequence[np.ndarray],
+    *,
+    rng: RandomState = None,
+    dtype: np.dtype = DEFAULT_DTYPE,
+) -> np.ndarray:
+    """Superpose ``vectors`` by element-wise addition and sign threshold."""
+    if len(vectors) == 0:
+        raise DimensionError("bundle() requires at least one vector")
+    stacked = np.stack([np.asarray(v, dtype=np.int32) for v in vectors])
+    sums = stacked.sum(axis=0)
+    return sign_with_tiebreak(sums, rng=rng, dtype=dtype)
+
+
+def permute(vector: np.ndarray, shift: int = 1) -> np.ndarray:
+    """Cyclic shift; protects against cross-talk when encoding sequences."""
+    return np.roll(np.asarray(vector), shift)
+
+
+def inverse_permute(vector: np.ndarray, shift: int = 1) -> np.ndarray:
+    """Inverse of :func:`permute` with the same ``shift``."""
+    return np.roll(np.asarray(vector), -shift)
+
+
+def similarity(a: np.ndarray, b: np.ndarray) -> int:
+    """Un-normalized dot product between two hypervectors."""
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if a.shape != b.shape:
+        raise DimensionError(f"similarity shapes differ: {a.shape} vs {b.shape}")
+    return int(np.dot(a, b))
+
+
+def normalized_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Dot product scaled to [-1, 1] by the dimension."""
+    a = np.asarray(a)
+    return similarity(a, b) / a.size
+
+
+def hamming_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Fraction of matching components, in [0, 1]."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise DimensionError(f"hamming shapes differ: {a.shape} vs {b.shape}")
+    return float(np.mean(a == b))
+
+
+def expected_similarity_floor(dim: int, num_vectors: int = 1) -> float:
+    """3-sigma noise floor of normalized similarity between random vectors.
+
+    Useful to decide whether a measured similarity is meaningful: two random
+    bipolar vectors of dimension ``dim`` have normalized similarity with
+    sigma ``1/sqrt(dim)``; with ``num_vectors`` comparisons the max grows
+    roughly with ``sqrt(2 log num_vectors)``.
+    """
+    if dim <= 0:
+        raise DimensionError(f"dim must be positive, got {dim}")
+    sigma = 1.0 / np.sqrt(dim)
+    spread = np.sqrt(2.0 * np.log(max(num_vectors, 2)))
+    return float(sigma * (3.0 + spread))
+
+
+def ensure_bipolar(name: str, vector: np.ndarray) -> np.ndarray:
+    """Re-export of :func:`repro.utils.validation.check_bipolar` for callers."""
+    return check_bipolar(name, vector)

@@ -1,0 +1,99 @@
+"""Attribute scenes: symbolic descriptions of composed objects.
+
+The paper's running example (Fig. 1a) encodes a visual object with four
+attributes - shape, color, vertical position, horizontal position.  An
+:class:`AttributeSpec` describes the attribute vocabulary; an
+:class:`AttributeScene` is one concrete assignment (e.g. *blue triangle,
+top-left*) which :mod:`repro.vsa.encoding` turns into a product hypervector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import CodebookError
+from repro.utils.rng import RandomState, as_rng
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Vocabulary of one attribute: a name plus its possible values."""
+
+    name: str
+    values: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise CodebookError(f"attribute {self.name!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise CodebookError(
+                f"attribute {self.name!r} has duplicate values: {self.values}"
+            )
+
+    @property
+    def size(self) -> int:
+        return len(self.values)
+
+    def index_of(self, value: str) -> int:
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise CodebookError(
+                f"attribute {self.name!r} has no value {value!r}; "
+                f"valid values: {list(self.values)}"
+            ) from None
+
+
+#: The paper's running visual-object vocabulary (Fig. 1a).
+VISUAL_OBJECT_ATTRIBUTES: Tuple[AttributeSpec, ...] = (
+    AttributeSpec("shape", ("circle", "triangle", "square", "diamond")),
+    AttributeSpec("color", ("blue", "red", "green", "yellow")),
+    AttributeSpec("vertical", ("top", "bottom")),
+    AttributeSpec("horizontal", ("left", "right")),
+)
+
+
+@dataclass(frozen=True)
+class AttributeScene:
+    """One object: an assignment of a value to every attribute."""
+
+    assignment: Tuple[Tuple[str, str], ...]
+
+    @classmethod
+    def from_dict(cls, assignment: Dict[str, str]) -> "AttributeScene":
+        return cls(tuple(sorted(assignment.items())))
+
+    @classmethod
+    def random(
+        cls,
+        attributes: Sequence[AttributeSpec],
+        *,
+        rng: RandomState = None,
+    ) -> "AttributeScene":
+        """Draw a uniformly random assignment over ``attributes``."""
+        generator = as_rng(rng)
+        chosen = {
+            spec.name: spec.values[int(generator.integers(0, spec.size))]
+            for spec in attributes
+        }
+        return cls.from_dict(chosen)
+
+    def as_dict(self) -> Dict[str, str]:
+        return dict(self.assignment)
+
+    def value(self, attribute: str) -> str:
+        mapping = self.as_dict()
+        if attribute not in mapping:
+            raise CodebookError(
+                f"scene has no attribute {attribute!r}; has {sorted(mapping)}"
+            )
+        return mapping[attribute]
+
+    def indices(self, attributes: Sequence[AttributeSpec]) -> List[int]:
+        """Per-attribute value indices in the order of ``attributes``."""
+        return [spec.index_of(self.value(spec.name)) for spec in attributes]
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.assignment)
+        return f"Scene({parts})"

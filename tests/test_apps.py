@@ -1,0 +1,137 @@
+"""Tests for the Sec. V-E extension applications."""
+
+import numpy as np
+import pytest
+
+from repro.apps import AnalogyEngine, IntegerFactorizer, TreePathDecoder
+from repro.apps.integer import primes_below
+from repro.errors import CodebookError, ConfigurationError
+
+
+class TestAnalogy:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return AnalogyEngine(
+            roles=("capital", "currency", "language"),
+            fillers=(
+                "paris",
+                "rome",
+                "euro",
+                "peso",
+                "french",
+                "italian",
+                "mexico-city",
+                "spanish",
+            ),
+            dim=2048,
+            rng=0,
+        )
+
+    @pytest.fixture(scope="class")
+    def records(self, engine):
+        france = engine.encode_record(
+            "france",
+            {"capital": "paris", "currency": "euro", "language": "french"},
+        )
+        mexico = engine.encode_record(
+            "mexico",
+            {"capital": "mexico-city", "currency": "peso", "language": "spanish"},
+        )
+        return france, mexico
+
+    def test_direct_lookup(self, engine, records):
+        france, _ = records
+        assert engine.filler_of(france, "capital") == "paris"
+        assert engine.filler_of(france, "currency") == "euro"
+
+    def test_reverse_lookup(self, engine, records):
+        france, _ = records
+        assert engine.role_of(france, "paris") == "capital"
+
+    def test_dollar_of_mexico(self, engine, records):
+        """Kanerva's classic: euro is to France as X is to Mexico."""
+        france, mexico = records
+        assert engine.analogy(france, "euro", mexico) == "peso"
+
+    def test_analogy_symmetric(self, engine, records):
+        france, mexico = records
+        assert engine.analogy(mexico, "peso", france) == "euro"
+
+    def test_unknown_role_rejected(self, engine, records):
+        france, _ = records
+        with pytest.raises(CodebookError):
+            engine.filler_of(france, "anthem")
+
+    def test_empty_record_rejected(self, engine):
+        with pytest.raises(CodebookError):
+            engine.encode_record("empty", {})
+
+
+class TestTreePathDecoder:
+    def test_roundtrip(self):
+        decoder = TreePathDecoder(depth=4, branching=4, dim=1024, rng=0)
+        choices = [1, 3, 0, 2]
+        path = decoder.encode_path(choices)
+        decoded, iterations = decoder.decode_path(path)
+        assert decoded == choices
+        assert iterations >= 1
+
+    def test_num_leaves(self):
+        assert TreePathDecoder(3, 5, dim=256, rng=0).num_leaves == 125
+
+    def test_levels_are_permuted_codebooks(self):
+        decoder = TreePathDecoder(depth=3, branching=2, dim=256, rng=0)
+        base = decoder.base.matrix[:, 0]
+        level2 = decoder.codebooks[2].matrix[:, 0]
+        assert np.array_equal(np.roll(base, 2), level2)
+
+    def test_wrong_depth_rejected(self):
+        decoder = TreePathDecoder(depth=3, branching=2, dim=256, rng=0)
+        with pytest.raises(CodebookError):
+            decoder.encode_path([0, 1])
+
+    def test_out_of_range_choice_rejected(self):
+        decoder = TreePathDecoder(depth=2, branching=2, dim=256, rng=0)
+        with pytest.raises(CodebookError):
+            decoder.encode_path([0, 5])
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            TreePathDecoder(depth=0, branching=2)
+        with pytest.raises(ConfigurationError):
+            TreePathDecoder(depth=2, branching=1)
+
+
+class TestIntegerFactorizer:
+    @pytest.fixture(scope="class")
+    def factorizer(self):
+        return IntegerFactorizer(primes_below(60), dim=1024, rng=0)
+
+    def test_primes_below(self):
+        assert primes_below(12) == [2, 3, 5, 7, 11]
+        assert primes_below(2) == []
+
+    def test_encode_and_factor(self, factorizer):
+        encoding = factorizer.encode(13, 47)
+        p, q = factorizer.factor(encoding)
+        assert {p, q} == {13, 47}
+
+    def test_factor_number(self, factorizer):
+        assert factorizer.factor_number(13 * 47) in ((13, 47), (47, 13))
+
+    def test_square_composite(self, factorizer):
+        assert factorizer.factor_number(49) == (7, 7)
+
+    def test_out_of_table_returns_none(self, factorizer):
+        # 61 * 67: both factors above the candidate limit.
+        assert factorizer.factor_number(61 * 67) is None
+
+    def test_unknown_factor_rejected(self, factorizer):
+        with pytest.raises(CodebookError):
+            factorizer.encode(61, 2)
+
+    def test_needs_candidates(self):
+        with pytest.raises(ConfigurationError):
+            IntegerFactorizer([5])
+        with pytest.raises(ConfigurationError):
+            IntegerFactorizer([1, 5])

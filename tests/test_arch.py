@@ -1,0 +1,229 @@
+"""Tests for the architecture package: tiers, interconnect, stack, dataflow."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    ActivationController,
+    DataflowSimulator,
+    H3DStack,
+    PowerState,
+    Tier,
+    TierKind,
+    WorkloadMapping,
+    h3d_design,
+    hybrid_2d_design,
+    sram_2d_design,
+    tsv_count_for_array,
+)
+from repro.arch.dataflow import StepLatency
+from repro.arch.interconnect import HybridBondSpec, InterconnectBudget, TSVSpec
+from repro.arch.tier import digital_tier, rram_tier
+from repro.errors import ConfigurationError, MappingError
+
+
+class TestTier:
+    def test_rram_tier_constructor(self):
+        tier = rram_tier("tier3", "similarity")
+        assert tier.node_nm == 40
+        assert tier.cells == 4 * 256 * 256
+
+    def test_rram_requires_legacy_node(self):
+        with pytest.raises(ConfigurationError):
+            Tier("t", TierKind.RRAM_CIM, 16, "x", arrays=1, array_rows=8, array_cols=8)
+
+    def test_cim_tier_needs_geometry(self):
+        with pytest.raises(ConfigurationError):
+            Tier("t", TierKind.RRAM_CIM, 40, "x")
+
+    def test_digital_tier(self):
+        tier = digital_tier("tier1", "peripherals")
+        assert not tier.is_rram
+        assert tier.cells == 0
+
+
+class TestInterconnect:
+    def test_table1_tsv_capacitance_tens_of_ff(self):
+        spec = TSVSpec()
+        assert 5e-15 < spec.capacitance < 50e-15
+
+    def test_tsv_resistance_small(self):
+        assert TSVSpec().resistance < 1.0
+
+    def test_pitch_must_cover_diameter(self):
+        with pytest.raises(ConfigurationError):
+            TSVSpec(diameter_um=5.0, pitch_um=4.0)
+
+    def test_tsv_count_rule(self):
+        # Sec. IV-B: X WLs + Y BLs + Y/2 SLs.
+        assert tsv_count_for_array(256, 256) == 256 + 256 + 128
+
+    def test_h3d_design_has_5120_tsvs(self):
+        assert h3d_design().tsv_count == 5120
+
+    def test_2d_designs_have_no_tsvs(self):
+        assert hybrid_2d_design().tsv_count == 0
+        assert sram_2d_design().tsv_count == 0
+
+    def test_budget_totals(self):
+        budget = InterconnectBudget(tsv_count=10, bond_count=5)
+        assert budget.total_capacitance > 10 * HybridBondSpec().capacitance
+        assert budget.total_tsv_area == 10 * TSVSpec().keepout_area
+
+
+class TestActivationController:
+    def test_single_active_invariant(self):
+        ctrl = ActivationController(["tier2", "tier3"])
+        ctrl.activate("tier3")
+        assert ctrl.active_tier == "tier3"
+        ctrl.activate("tier2")
+        assert ctrl.active_tier == "tier2"
+        assert ctrl.state("tier3") is PowerState.STANDBY
+        ctrl.assert_invariant()
+
+    def test_activation_costs_cycles_only_on_switch(self):
+        ctrl = ActivationController(["a", "b"], switch_cycles=3)
+        assert ctrl.activate("a") == 3
+        assert ctrl.activate("a") == 0
+        assert ctrl.activate("b") == 3
+        assert ctrl.switches == 2
+
+    def test_shutdown_and_wake(self):
+        ctrl = ActivationController(["a", "b"])
+        ctrl.shutdown("b")
+        assert ctrl.state("b") is PowerState.SHUTDOWN
+        ctrl.wake("b")
+        assert ctrl.state("b") is PowerState.STANDBY
+
+    def test_unknown_tier_rejected(self):
+        ctrl = ActivationController(["a"])
+        with pytest.raises(MappingError):
+            ctrl.activate("z")
+
+
+class TestWorkloadMapping:
+    def test_h3dfact_mapping_valid(self):
+        design = h3d_design()
+        mapping = design.mapping
+        assert mapping.tier_for("similarity").name == "tier3"
+        assert mapping.tier_for("projection").name == "tier2"
+        assert mapping.tier_for("unbind").name == "tier1"
+        assert mapping.uses_distinct_rram_tiers()
+
+    def test_monolithic_mapping(self):
+        design = sram_2d_design()
+        assert not design.mapping.uses_distinct_rram_tiers()
+
+    def test_mvm_step_rejects_digital_tier(self):
+        tiers = {
+            "tier1": digital_tier("tier1", "digital"),
+            "tier2": rram_tier("tier2", "projection"),
+            "tier3": rram_tier("tier3", "similarity"),
+        }
+        with pytest.raises(MappingError):
+            WorkloadMapping(
+                assignment={
+                    "unbind": "tier1",
+                    "similarity": "tier1",  # digital tier cannot do MVM
+                    "convert": "tier1",
+                    "projection": "tier2",
+                },
+                tiers=tiers,
+            )
+
+    def test_missing_step_rejected(self):
+        tiers = {"tier1": digital_tier("tier1", "d")}
+        with pytest.raises(MappingError):
+            WorkloadMapping(assignment={"unbind": "tier1"}, tiers=tiers)
+
+
+class TestDesigns:
+    def test_iso_capacity(self):
+        # All three designs expose the same compute arrays (Sec. V-B).
+        assert h3d_design().total_arrays == 8
+        assert hybrid_2d_design().total_arrays == 8
+        assert sram_2d_design().total_arrays == 8
+
+    def test_adc_resources(self):
+        assert h3d_design().adc_count == 1024
+        assert hybrid_2d_design().adc_count == 1024
+        assert sram_2d_design().adc_count == 0
+
+    def test_technology_summary(self):
+        tech = h3d_design().technology_summary
+        assert tech["rram_nm"] == 40
+        assert tech["digital_nm"] == 16
+        assert hybrid_2d_design().technology_summary["digital_nm"] == 40
+
+    def test_2d_designs_are_planar(self):
+        assert not sram_2d_design().stack.is_3d
+        assert not hybrid_2d_design().stack.is_3d
+        assert h3d_design().stack.is_3d
+
+
+class TestDataflow:
+    def make_sim(self, buffer_capacity=None):
+        design = h3d_design()
+        return DataflowSimulator(
+            design.stack, design.mapping, buffer_capacity=buffer_capacity
+        )
+
+    def test_single_tier_invariant_holds_during_sweep(self):
+        sim = self.make_sim()
+        timing = sim.simulate_sweep(batch=4, factors=4)
+        # One switch to tier3 + one to tier2 per factor.
+        assert timing.tier_switches == 2 * 4
+
+    def test_buffer_peak_equals_batch(self):
+        sim = self.make_sim()
+        timing = sim.simulate_sweep(batch=7, factors=3)
+        assert timing.buffer_peak == 7
+
+    def test_insufficient_buffer_rejected(self):
+        sim = self.make_sim(buffer_capacity=3)
+        with pytest.raises(MappingError):
+            sim.simulate_sweep(batch=10, factors=4)
+
+    def test_buffering_beats_naive_schedule(self):
+        sim = self.make_sim()
+        batched = sim.simulate_sweep(batch=100, factors=4)
+        naive = sim.naive_sweep_cycles(batch=100, factors=4)
+        assert batched.total_cycles < naive
+
+    def test_latency_from_geometry(self):
+        latency = StepLatency.from_geometry(
+            rows=256, parallel_rows=32, adc_cycles=8, pipeline_overhead=5
+        )
+        assert latency.similarity == 69  # the Table III MVM interval
+        latency4 = StepLatency.from_geometry(rows=256, input_bits=4)
+        assert latency4.projection == 69 * 4
+
+    def test_cycles_scale_with_batch(self):
+        sim = self.make_sim()
+        small = sim.simulate_sweep(batch=1, factors=4)
+        large = sim.simulate_sweep(batch=10, factors=4)
+        assert large.total_cycles > small.total_cycles
+        # Amortized cost per element shrinks with batch (fewer switches).
+        assert large.cycles_per_element < small.total_cycles
+
+
+class TestStack:
+    def test_stack_structure(self):
+        stack = h3d_design().stack
+        assert stack.num_tiers == 3
+        assert len(stack.rram_tiers) == 2
+
+    def test_duplicate_tier_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            H3DStack([digital_tier("a", "x"), digital_tier("a", "y")])
+
+    def test_activate_rram(self):
+        stack = h3d_design().stack
+        cycles = stack.activate_rram("tier3")
+        assert cycles >= 0
+        assert stack.active_rram_tier == "tier3"
+
+    def test_planar_stack_has_no_interconnect(self):
+        stack = sram_2d_design().stack
+        assert stack.tsv_count() == 0
+        assert stack.bond_count() == 0

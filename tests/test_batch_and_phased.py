@@ -1,0 +1,105 @@
+"""Tests for the batch engine API and phased crossbar reads."""
+
+import numpy as np
+import pytest
+
+from repro.cim import CrossbarArray, RRAMDeviceModel
+from repro.core import H3DFact
+from repro.errors import ConfigurationError
+from repro.resonator import FactorizationProblem
+from repro.vsa import random_hypervector
+
+
+class TestBatchEngine:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return H3DFact(rng=0)
+
+    @pytest.fixture(scope="class")
+    def problems(self):
+        return [
+            FactorizationProblem.random(1024, 3, 8, rng=seed)
+            for seed in range(4)
+        ]
+
+    def test_batch_results_and_accuracy(self, engine, problems):
+        report = engine.factorize_batch(problems, max_iterations=300)
+        assert report.batch == 4
+        assert report.accuracy >= 0.75
+
+    def test_batch_amortizes_cycles(self, engine, problems):
+        single = engine.factorize_batch(problems[:1], max_iterations=300)
+        batch = engine.factorize_batch(problems, max_iterations=300)
+        # Iteration counts vary between runs; compare per-sweep cost.
+        single_sweep = single.cycles_per_element / max(
+            r.iterations for r in single.results
+        )
+        batch_sweep = batch.cycles_per_element / max(
+            r.iterations for r in batch.results
+        )
+        assert batch_sweep < single_sweep
+
+    def test_batch_energy_consistent(self, engine, problems):
+        report = engine.factorize_batch(problems[:2], max_iterations=300)
+        power = engine.ppa().energy.total_power_w
+        assert report.hardware_joules == pytest.approx(
+            power * report.hardware_seconds, rel=1e-6
+        )
+
+    def test_empty_batch_rejected(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.factorize_batch([])
+
+    def test_mixed_factor_counts_rejected(self, engine):
+        problems = [
+            FactorizationProblem.random(256, 2, 4, rng=0),
+            FactorizationProblem.random(256, 3, 4, rng=1),
+        ]
+        with pytest.raises(ConfigurationError):
+            engine.factorize_batch(problems)
+
+
+class TestPhasedReads:
+    def make_programmed(self, noiseless: bool):
+        device = (
+            RRAMDeviceModel(
+                sigma_program=0.0, sigma_read=0.0, p_stuck_on=0, p_stuck_off=0
+            )
+            if noiseless
+            else RRAMDeviceModel()
+        )
+        xb = CrossbarArray(128, 16, device=device, rng=0)
+        rng = np.random.default_rng(1)
+        weights = 2 * rng.integers(0, 2, size=(128, 16), dtype=np.int8) - 1
+        xb.program(weights)
+        return xb, weights
+
+    def test_noiseless_phased_equals_full(self):
+        xb, weights = self.make_programmed(noiseless=True)
+        x = random_hypervector(128, rng=2)
+        full = xb.mvm(x)
+        phased = xb.mvm_phased(x, parallel_rows=32)
+        assert np.allclose(full, phased)
+
+    def test_phased_matches_full_read_in_expectation(self):
+        """Phased and full reads share the programmed state; only the
+        per-read noise differs, so their means must coincide (the frozen
+        programming error is common to both)."""
+        xb, _ = self.make_programmed(noiseless=False)
+        x = random_hypervector(128, rng=3)
+        rng = np.random.default_rng(4)
+        phased = np.stack(
+            [xb.mvm_phased(x, parallel_rows=32, rng=rng) for _ in range(80)]
+        )
+        full = np.stack([xb.mvm(x, rng=rng) for _ in range(80)])
+        assert np.allclose(phased.mean(axis=0), full.mean(axis=0), atol=1.0)
+
+    def test_phase_size_validation(self):
+        xb, _ = self.make_programmed(noiseless=True)
+        with pytest.raises(ConfigurationError):
+            xb.mvm_phased(random_hypervector(128, rng=0), parallel_rows=0)
+
+    def test_uneven_phase_sizes_supported(self):
+        xb, _ = self.make_programmed(noiseless=True)
+        x = random_hypervector(128, rng=5)
+        assert np.allclose(xb.mvm(x), xb.mvm_phased(x, parallel_rows=50))

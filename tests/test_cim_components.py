@@ -1,0 +1,272 @@
+"""Tests for CIM primitives: ADC, DAC, quantization, SRAM digital units."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cim import (
+    NegOnesCounter,
+    SARADC,
+    SRAMArray,
+    SRAMBuffer,
+    WordlineDriver,
+    XNORUnbindUnit,
+    dead_zone,
+    quantize_codes,
+    reconstruct,
+    uniform_quantize,
+)
+from repro.cim.sram.xnor import from_bits, to_bits
+from repro.errors import ConfigurationError, DimensionError
+from repro.vsa import random_hypervector
+
+
+class TestQuantization:
+    def test_codes_range(self):
+        values = np.linspace(0, 100, 50)
+        codes = quantize_codes(values, bits=4, full_scale=100)
+        assert codes.min() >= 0 and codes.max() <= 15
+
+    def test_saturation(self):
+        codes = quantize_codes(np.array([1e9]), bits=4, full_scale=100)
+        assert codes[0] == 15
+
+    def test_roundtrip_error_bounded_by_half_lsb(self):
+        values = np.linspace(0, 100, 1000)
+        recon = uniform_quantize(values, bits=8, full_scale=100)
+        lsb = 100 / 255
+        assert np.abs(recon - values).max() <= lsb / 2 + 1e-9
+
+    def test_dead_zone(self):
+        dz = dead_zone(bits=4, full_scale=150)
+        assert dz == pytest.approx(150 / 15 / 2)
+        codes = quantize_codes(np.array([dz * 0.99]), bits=4, full_scale=150)
+        assert codes[0] == 0
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            quantize_codes(np.array([1.0]), bits=0, full_scale=1.0)
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.floats(min_value=1.0, max_value=1e6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_reconstruction_within_lsb(self, bits, full_scale):
+        values = np.linspace(0, full_scale, 64)
+        recon = uniform_quantize(values, bits=bits, full_scale=full_scale)
+        lsb = full_scale / ((1 << bits) - 1)
+        assert np.abs(recon - values).max() <= lsb / 2 * 1.0001
+
+
+class TestSARADC:
+    def test_codes_monotone(self):
+        adc = SARADC(bits=4)
+        values = np.linspace(0, 64, 100)
+        codes = adc.codes(values, full_scale=64)
+        assert (np.diff(codes) >= 0).all()
+
+    def test_convert_is_multiple_of_lsb(self):
+        adc = SARADC(bits=4)
+        out = adc.convert(np.array([10.0, 20.0, 63.0]), full_scale=64)
+        lsb = adc.lsb(64)
+        assert np.allclose(np.mod(out / lsb, 1.0), 0, atol=1e-9)
+
+    def test_deterministic_flag(self):
+        assert SARADC(bits=4).deterministic
+        assert not SARADC(bits=4, comparator_noise_lsb=0.3).deterministic
+
+    def test_comparator_noise_dithers_boundary(self):
+        adc = SARADC(bits=4, comparator_noise_lsb=0.5, rng=0)
+        boundary = adc.lsb(64) * 2.5  # exactly between codes 2 and 3
+        codes = [adc.codes(np.array([boundary]), full_scale=64)[0] for _ in range(50)]
+        assert len(set(codes)) > 1
+
+    def test_gain_and_offset_errors_shift_codes(self):
+        ideal = SARADC(bits=8)
+        skewed = SARADC(bits=8, gain_error=0.1, offset_error_lsb=2.0)
+        values = np.array([32.0])
+        assert skewed.codes(values, full_scale=64)[0] > ideal.codes(
+            values, full_scale=64
+        )[0]
+
+    def test_sample_cycles(self):
+        assert SARADC(bits=4).sample_cycles == 6
+        assert SARADC(bits=8).sample_cycles == 10
+
+    def test_invalid_bits(self):
+        with pytest.raises(ConfigurationError):
+            SARADC(bits=0)
+        with pytest.raises(ConfigurationError):
+            SARADC(bits=20)
+
+    def test_higher_resolution_lower_error(self):
+        values = np.linspace(0, 64, 500)
+        err4 = np.abs(SARADC(4).convert(values, full_scale=64) - values).mean()
+        err8 = np.abs(SARADC(8).convert(values, full_scale=64) - values).mean()
+        assert err8 < err4
+
+
+class TestWordlineDriver:
+    def test_row_phases(self):
+        driver = WordlineDriver(256, max_parallel_rows=32)
+        assert driver.row_phases(256) == 8
+        assert driver.row_phases(1) == 1
+        assert driver.row_phases(0) == 0
+
+    def test_bipolar_voltages(self):
+        driver = WordlineDriver(4, read_voltage=0.1)
+        v = driver.bipolar_voltages(np.array([1, -1, 1, -1]))
+        assert np.allclose(v, [0.1, -0.1, 0.1, -0.1])
+        assert driver.activations == 1
+
+    def test_rejects_non_bipolar(self):
+        driver = WordlineDriver(3)
+        with pytest.raises(DimensionError):
+            driver.bipolar_voltages(np.array([1, 0, -1]))
+
+    def test_bit_serial_phases(self):
+        driver = WordlineDriver(8)
+        assert driver.bit_serial_phases(4) == 4
+        with pytest.raises(ConfigurationError):
+            driver.bit_serial_phases(0)
+
+
+class TestXNORUnbind:
+    def test_bit_encoding_roundtrip(self):
+        v = random_hypervector(64, rng=0)
+        assert np.array_equal(from_bits(to_bits(v)), v)
+
+    def test_unbind_matches_multiplication(self):
+        unit = XNORUnbindUnit(128)
+        a = random_hypervector(128, rng=1)
+        b = random_hypervector(128, rng=2)
+        c = random_hypervector(128, rng=3)
+        product = a * b * c
+        assert np.array_equal(unit.unbind(product, b, c), a)
+
+    def test_packed_unbind_matches_unpacked(self):
+        unit = XNORUnbindUnit(64)
+        a = random_hypervector(64, rng=4)
+        b = random_hypervector(64, rng=5)
+        packed = unit.unbind_packed(
+            np.packbits(to_bits(a * b)), [np.packbits(to_bits(b))]
+        )
+        expected = np.packbits(to_bits(a))
+        assert np.array_equal(packed, expected)
+
+    def test_operation_counting(self):
+        unit = XNORUnbindUnit(32)
+        a = random_hypervector(32, rng=6)
+        unit.unbind(a, a, a)
+        assert unit.operations == 2
+
+    def test_width_checked(self):
+        unit = XNORUnbindUnit(16)
+        with pytest.raises(DimensionError):
+            unit.unbind(random_hypervector(8, rng=0))
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_property_xnor_equals_product(self, seed):
+        rng = np.random.default_rng(seed)
+        unit = XNORUnbindUnit(40)
+        a = random_hypervector(40, rng=rng)
+        b = random_hypervector(40, rng=rng)
+        assert np.array_equal(unit.unbind(a, b), a * b)
+
+
+class TestNegOnesCounter:
+    def test_dot_identity(self):
+        counter = NegOnesCounter(100)
+        a = random_hypervector(100, rng=0)
+        assert counter.dot(a, a) == 100
+
+    def test_dot_matches_numpy(self):
+        counter = NegOnesCounter(64)
+        a = random_hypervector(64, rng=1)
+        b = random_hypervector(64, rng=2)
+        assert counter.dot(a, b) == int(a.astype(np.int64) @ b.astype(np.int64))
+
+    def test_similarity_vector_matches_matmul(self):
+        counter = NegOnesCounter(128)
+        matrix = np.stack(
+            [random_hypervector(128, rng=s) for s in range(6)], axis=1
+        )
+        q = random_hypervector(128, rng=9)
+        sims = counter.similarity_vector(matrix, q)
+        expected = matrix.T.astype(np.int64) @ q.astype(np.int64)
+        assert np.array_equal(sims, expected)
+
+    def test_counts_operations(self):
+        counter = NegOnesCounter(16)
+        a = random_hypervector(16, rng=0)
+        counter.dot(a, a)
+        assert counter.dot_products == 1
+
+
+class TestSRAMArray:
+    def test_write_read_roundtrip(self):
+        sram = SRAMArray(16, word_bits=8)
+        sram.write(3, 42)
+        assert sram.read(3) == 42
+        assert sram.reads == 1 and sram.writes == 1
+
+    def test_read_unwritten_rejected(self):
+        sram = SRAMArray(4)
+        with pytest.raises(ConfigurationError):
+            sram.read(0)
+
+    def test_value_range_checked(self):
+        sram = SRAMArray(4, word_bits=4)
+        with pytest.raises(ConfigurationError):
+            sram.write(0, 16)
+
+    def test_block_operations(self):
+        sram = SRAMArray(8, word_bits=8)
+        sram.write_block(2, np.array([1, 2, 3]))
+        assert np.array_equal(sram.read_block(2, 3), [1, 2, 3])
+
+    def test_block_bounds(self):
+        sram = SRAMArray(4)
+        with pytest.raises(DimensionError):
+            sram.write_block(3, np.array([1, 2]))
+
+    def test_capacity(self):
+        assert SRAMArray(128, word_bits=4).capacity_bits == 512
+
+
+class TestSRAMBuffer:
+    def test_fifo_order(self):
+        buf = SRAMBuffer(4, entry_bits=16)
+        buf.push(0, np.array([1]))
+        buf.push(1, np.array([2]))
+        tag, payload = buf.pop()
+        assert tag == 0 and payload[0] == 1
+
+    def test_overflow_raises(self):
+        buf = SRAMBuffer(1, entry_bits=4)
+        buf.push(0, np.array([1]))
+        with pytest.raises(ConfigurationError):
+            buf.push(1, np.array([2]))
+
+    def test_underflow_raises(self):
+        buf = SRAMBuffer(1, entry_bits=4)
+        with pytest.raises(ConfigurationError):
+            buf.pop()
+
+    def test_peak_occupancy_tracked(self):
+        buf = SRAMBuffer(3, entry_bits=4)
+        for i in range(3):
+            buf.push(i, np.array([i]))
+        buf.pop()
+        assert buf.peak_occupancy == 3
+
+    def test_required_capacity(self):
+        assert SRAMBuffer.required_capacity(batch_size=100, num_factors=4) == 400
+        with pytest.raises(ConfigurationError):
+            SRAMBuffer.required_capacity(0, 4)
+
+    def test_capacity_bits(self):
+        assert SRAMBuffer(10, entry_bits=64).capacity_bits == 640

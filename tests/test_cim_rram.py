@@ -1,0 +1,221 @@
+"""Tests for the RRAM device, programming, crossbar and sensing models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cim import CrossbarArray, NoiseParameters, ProgrammingModel, RRAMDeviceModel
+from repro.cim.rram import SensingPath
+from repro.errors import ConfigurationError, DimensionError
+from repro.vsa import random_hypervector
+
+
+def random_weights(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    return 2 * rng.integers(0, 2, size=(rows, cols), dtype=np.int8) - 1
+
+
+class TestDeviceModel:
+    def test_defaults_valid(self):
+        device = RRAMDeviceModel()
+        assert device.on_off_ratio == pytest.approx(16.0)
+        assert device.delta_g > 0
+
+    def test_invalid_conductance_order(self):
+        with pytest.raises(ConfigurationError):
+            RRAMDeviceModel(g_on=1e-6, g_off=2e-6)
+
+    def test_program_variability_scale(self):
+        device = RRAMDeviceModel(sigma_program=0.1, p_stuck_on=0, p_stuck_off=0)
+        targets = np.full(20000, device.g_on)
+        programmed = device.program(targets, rng=0)
+        rel = np.std(np.log(programmed / targets))
+        assert rel == pytest.approx(0.1, rel=0.05)
+
+    def test_program_without_variability_exact(self):
+        device = RRAMDeviceModel(sigma_program=0.0, p_stuck_on=0, p_stuck_off=0)
+        targets = np.full(10, device.g_off)
+        assert np.allclose(device.program(targets, rng=0), targets)
+
+    def test_stuck_cells_appear_at_expected_rate(self):
+        device = RRAMDeviceModel(
+            sigma_program=0.0, p_stuck_on=0.05, p_stuck_off=0.05
+        )
+        targets = np.full(20000, device.g_off)
+        programmed = device.program(targets, rng=1)
+        stuck_on = (programmed == device.g_on).mean()
+        assert stuck_on == pytest.approx(0.05, abs=0.01)
+
+    def test_read_noise_zero_mean(self):
+        device = RRAMDeviceModel(sigma_read=0.05)
+        g = np.full(50000, device.g_on)
+        noisy = device.read_noise(g, rng=2)
+        assert noisy.mean() == pytest.approx(device.g_on, rel=0.01)
+        assert np.std(noisy / g) == pytest.approx(0.05, rel=0.05)
+
+    def test_retention_check(self):
+        device = RRAMDeviceModel()
+        assert device.retention_ok(47.8)
+        assert not device.retention_ok(105.0)
+
+
+class TestProgrammingModel:
+    def test_program_converges_within_tolerance(self):
+        device = RRAMDeviceModel(sigma_program=0.05, p_stuck_on=0, p_stuck_off=0)
+        model = ProgrammingModel(device, tolerance=0.15, max_pulses=8)
+        targets = np.full(1000, device.g_on)
+        achieved, report = model.program(targets, rng=0)
+        rel_err = np.abs(achieved - targets) / targets
+        assert (rel_err <= 0.15).mean() > 0.99
+        assert report.failed_cells <= 5
+
+    def test_report_costs_positive(self):
+        device = RRAMDeviceModel()
+        model = ProgrammingModel(device)
+        targets = np.full(100, device.g_off)
+        _, report = model.program(targets, rng=0)
+        assert report.energy_joules > 0
+        assert report.latency_seconds > 0
+        assert report.mean_pulses_per_cell >= 1.0
+
+    def test_tighter_tolerance_needs_more_pulses(self):
+        device = RRAMDeviceModel(sigma_program=0.1, p_stuck_on=0, p_stuck_off=0)
+        loose = ProgrammingModel(device, tolerance=0.3)
+        tight = ProgrammingModel(device, tolerance=0.05)
+        targets = np.full(2000, device.g_on)
+        _, loose_report = loose.program(targets, rng=0)
+        _, tight_report = tight.program(targets, rng=0)
+        assert tight_report.total_pulses > loose_report.total_pulses
+
+    def test_invalid_max_pulses(self):
+        with pytest.raises(ConfigurationError):
+            ProgrammingModel(RRAMDeviceModel(), max_pulses=0)
+
+
+class TestCrossbar:
+    def test_requires_programming(self):
+        xb = CrossbarArray(8, 4, rng=0)
+        with pytest.raises(ConfigurationError):
+            xb.mvm(random_hypervector(8, rng=0))
+
+    def test_ideal_crossbar_matches_exact_mvm(self):
+        device = RRAMDeviceModel(
+            sigma_program=0.0, sigma_read=0.0, p_stuck_on=0, p_stuck_off=0
+        )
+        xb = CrossbarArray(64, 16, device=device, rng=0)
+        weights = random_weights(64, 16, 1)
+        xb.program(weights)
+        x = random_hypervector(64, rng=2)
+        sims = xb.mvm(x)
+        expected = weights.T.astype(np.int64) @ x.astype(np.int64)
+        assert np.allclose(sims, expected)
+
+    def test_error_sigma_matches_prediction(self):
+        xb = CrossbarArray(256, 64, rng=3)
+        weights = random_weights(256, 64, 4)
+        xb.program(weights)
+        ideal = weights.T.astype(np.int64)
+        errors = []
+        rng = np.random.default_rng(5)
+        for t in range(40):
+            x = 2 * rng.integers(0, 2, size=256, dtype=np.int8) - 1
+            errors.append(xb.mvm(x) - ideal @ x.astype(np.int64))
+        measured = np.std(np.concatenate(errors))
+        assert measured == pytest.approx(xb.expected_error_sigma(), rel=0.25)
+
+    def test_reads_are_stochastic(self):
+        xb = CrossbarArray(128, 8, rng=6)
+        xb.program(random_weights(128, 8, 7))
+        x = random_hypervector(128, rng=8)
+        a = xb.mvm(x)
+        b = xb.mvm(x)
+        assert not np.allclose(a, b)
+
+    def test_shape_validation(self):
+        xb = CrossbarArray(16, 4, rng=0)
+        with pytest.raises(DimensionError):
+            xb.program(random_weights(8, 4, 0))
+        xb.program(random_weights(16, 4, 0))
+        with pytest.raises(DimensionError):
+            xb.mvm(random_hypervector(8, rng=0))
+
+    def test_read_similarity_requires_sensing(self):
+        xb = CrossbarArray(16, 4, rng=0)
+        xb.program(random_weights(16, 4, 0))
+        with pytest.raises(ConfigurationError):
+            xb.read_similarity(random_hypervector(16, rng=1))
+
+    def test_read_similarity_rectifies_and_thresholds(self):
+        sensing = SensingPath(r_sense=150.0, v_target=0.0)
+        device = RRAMDeviceModel(
+            sigma_program=0.0, sigma_read=0.0, p_stuck_on=0, p_stuck_off=0
+        )
+        xb = CrossbarArray(64, 16, device=device, sensing=sensing, rng=0)
+        weights = random_weights(64, 16, 1)
+        xb.program(weights)
+        x = random_hypervector(64, rng=2)
+        sims = xb.read_similarity(x)
+        ideal = weights.T.astype(np.int64) @ x.astype(np.int64)
+        assert np.allclose(sims, np.maximum(ideal, 0))
+
+
+class TestSensingPath:
+    def test_threshold_gates_low_values(self):
+        path = SensingPath(r_sense=100.0, v_target=0.1)
+        currents = np.array([2e-3, 0.5e-3])  # 0.2 V and 0.05 V
+        sensed = path.sense(currents)
+        assert sensed[0] > 0 and sensed[1] == 0
+
+    def test_rectification(self):
+        path = SensingPath(v_target=0.0)
+        assert path.sense_voltage(np.array([-1e-3]))[0] == 0.0
+
+    def test_supply_clipping(self):
+        path = SensingPath(r_sense=1e6, v_target=0.0, v_supply=0.8)
+        assert path.sense_voltage(np.array([1.0]))[0] == pytest.approx(0.8)
+
+    def test_with_threshold_retunes(self):
+        path = SensingPath(v_target=0.1)
+        retuned = path.with_threshold(0.25)
+        assert retuned.v_target == 0.25
+        assert retuned.r_sense == path.r_sense
+
+    def test_invalid_threshold_above_supply(self):
+        with pytest.raises(ConfigurationError):
+            SensingPath(v_target=1.0, v_supply=0.8)
+
+    def test_current_for_voltage_inverse(self):
+        path = SensingPath(r_sense=200.0, v_target=0.0)
+        current = path.current_for_voltage(0.4)
+        assert path.sense_voltage(np.array([current]))[0] == pytest.approx(0.4)
+
+
+class TestNoiseParameters:
+    def test_presets(self):
+        assert NoiseParameters.ideal().sigma_z == 0
+        assert not NoiseParameters.ideal().stochastic
+        assert NoiseParameters.testchip().stochastic
+
+    def test_default_matches_crossbar_closed_form(self):
+        device = RRAMDeviceModel()
+        params = NoiseParameters.default(device)
+        xb = CrossbarArray(256, 1, device=device, rng=0)
+        # Per-row sigma scaled to 256 rows must equal the crossbar formula.
+        assert params.similarity_sigma(256) == pytest.approx(
+            xb.expected_error_sigma(), rel=1e-6
+        )
+
+    def test_similarity_sigma_scales_sqrt_dim(self):
+        params = NoiseParameters(sigma_z=0.5)
+        assert params.similarity_sigma(1024) == pytest.approx(16.0)
+
+    def test_scaled(self):
+        params = NoiseParameters.testchip().scaled(2.0)
+        assert params.sigma_z == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0.0, max_value=3.0))
+    @settings(max_examples=20, deadline=None)
+    def test_property_sigma_nonnegative(self, factor):
+        params = NoiseParameters.testchip().scaled(factor)
+        assert params.sigma_z >= 0

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_present(self):
+        parser = build_parser()
+        for command in (
+            "fig1c",
+            "table2",
+            "table3",
+            "fig5",
+            "fig6a",
+            "fig6b",
+            "fig7",
+            "ablation",
+            "all",
+        ):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table2_options(self):
+        args = build_parser().parse_args(["table2", "--trials", "5", "--full"])
+        assert args.trials == 5 and args.full
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestExecution:
+    def test_table3_runs(self, capsys):
+        assert main(["table3"]) == 0
+        output = capsys.readouterr().out
+        assert "3-Tier H3D" in output
+
+    def test_fig5_runs(self, capsys):
+        assert main(["fig5", "--grid", "16"]) == 0
+        assert "Thermal analysis" in capsys.readouterr().out
+
+    def test_fig6b_runs(self, capsys):
+        assert main(["fig6b", "--trials", "5"]) == 0
+        assert "testchip" in capsys.readouterr().out

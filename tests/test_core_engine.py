@@ -1,0 +1,129 @@
+"""Tests for the H3DFact engine and the CIM backend (integration level)."""
+
+import numpy as np
+import pytest
+
+from repro.cim import CrossbarArray, NoiseParameters, SARADC
+from repro.core import CIMBackend, H3DFact, baseline_network
+from repro.errors import ConfigurationError
+from repro.resonator import FactorizationProblem, summarize
+from repro.resonator.batch import factorize_batch
+from repro.vsa import Codebook
+
+
+class TestCIMBackend:
+    def setup_method(self):
+        self.codebook = Codebook.random("c", 1024, 32, rng=0)
+
+    def test_similarity_quantized_to_adc_codes(self):
+        backend = CIMBackend(noise=NoiseParameters.ideal(), rng=0)
+        sims = backend.similarity(self.codebook, self.codebook.vector(3))
+        lsb = SARADC(4).lsb(8.0 * np.sqrt(1024))
+        nonzero = sims[sims > 0]
+        assert np.allclose(np.mod(nonzero / lsb, 1.0), 0.0, atol=1e-9)
+
+    def test_static_offsets_frozen_within_trial(self):
+        backend = CIMBackend(
+            noise=NoiseParameters(sigma_z=0.0, offset_z=0.5), rng=0
+        )
+        backend.begin_trial()
+        first = backend._offset_for(self.codebook)
+        second = backend._offset_for(self.codebook)
+        assert np.array_equal(first, second)
+        backend.begin_trial()
+        third = backend._offset_for(self.codebook)
+        assert not np.array_equal(first, third)
+
+    def test_matches_crossbar_statistics(self):
+        """The fast backend's noise must match the device-level crossbar."""
+        device_params = NoiseParameters.default()
+        rows, cols = 256, 32
+        xb = CrossbarArray(rows, cols, rng=1)
+        rng = np.random.default_rng(2)
+        weights = 2 * rng.integers(0, 2, size=(rows, cols), dtype=np.int8) - 1
+        xb.program(weights)
+        ideal = weights.T.astype(np.int64)
+        errors = []
+        for _ in range(30):
+            x = 2 * rng.integers(0, 2, size=rows, dtype=np.int8) - 1
+            errors.append(xb.mvm(x) - ideal @ x.astype(np.int64))
+        crossbar_sigma = np.std(np.concatenate(errors))
+        backend_sigma = device_params.similarity_sigma(rows)
+        assert backend_sigma == pytest.approx(crossbar_sigma, rel=0.25)
+
+    def test_deterministic_flag(self):
+        assert CIMBackend(noise=NoiseParameters.ideal(), rng=0).deterministic
+        assert not CIMBackend(noise=NoiseParameters.testchip(), rng=0).deterministic
+
+
+class TestEngineFactorization:
+    def test_solves_small_problem(self):
+        engine = H3DFact(rng=0)
+        problem = FactorizationProblem.random(1024, 4, 16, rng=1)
+        result = engine.factorize(problem, max_iterations=600)
+        assert result.correct
+
+    def test_raw_product_requires_codebooks(self):
+        engine = H3DFact(rng=0)
+        with pytest.raises(ConfigurationError):
+            engine.factorize(np.ones(1024, dtype=np.int8))
+
+    def test_raw_product_with_codebooks(self):
+        engine = H3DFact(rng=0)
+        problem = FactorizationProblem.random(512, 3, 8, rng=2)
+        result = engine.factorize(
+            problem.product, codebooks=problem.codebooks, max_iterations=300
+        )
+        assert result.indices == problem.true_indices
+
+    def test_stochastic_beats_baseline_beyond_cliff(self):
+        """The Table II headline at a bench-sized operating point."""
+        baseline = factorize_batch(
+            lambda p: baseline_network(p.codebooks, max_iterations=400),
+            dim=1024,
+            num_factors=3,
+            codebook_size=128,
+            trials=10,
+            rng=3,
+        )
+        engine = H3DFact(rng=4)
+        stochastic = factorize_batch(
+            lambda p: engine.make_network(p.codebooks, max_iterations=2000),
+            dim=1024,
+            num_factors=3,
+            codebook_size=128,
+            trials=10,
+            rng=3,
+            check_correct_every=2,
+        )
+        assert stochastic.accuracy > baseline.accuracy
+        assert stochastic.accuracy >= 0.9
+
+    def test_invalid_max_iterations(self):
+        with pytest.raises(ConfigurationError):
+            H3DFact(max_iterations=0)
+
+
+class TestEngineReporting:
+    def test_ppa_cached(self):
+        engine = H3DFact(rng=0)
+        assert engine.ppa() is engine.ppa()
+        assert engine.ppa().footprint_mm2 == pytest.approx(0.091, abs=0.004)
+
+    def test_factorize_with_report(self):
+        engine = H3DFact(rng=0)
+        problem = FactorizationProblem.random(1024, 3, 8, rng=5)
+        report = engine.factorize_with_report(problem, max_iterations=300)
+        assert report.cycles > 0
+        assert report.hardware_seconds > 0
+        assert report.hardware_joules > 0
+        # One sweep costs microseconds at 185 MHz.
+        assert report.hardware_microseconds < 1e5
+
+    def test_thermal_report(self):
+        engine = H3DFact(rng=0)
+        report = engine.thermal(grid=16)
+        assert report.retention_ok
+
+    def test_repr(self):
+        assert "testchip" in repr(H3DFact(rng=0))

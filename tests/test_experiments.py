@@ -1,0 +1,161 @@
+"""Tests for the experiment drivers (reduced-scale smoke + shape checks)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    Fig1cConfig,
+    Fig5Config,
+    Fig6aConfig,
+    Fig6bConfig,
+    Fig7Config,
+    Table2Config,
+    Table3Config,
+    run_fig1c,
+    run_fig5,
+    run_fig6a,
+    run_fig6b,
+    run_fig7,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.runner import full_scale
+
+
+class TestFig1c:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = Fig1cConfig(
+            dim=512,
+            profile_codebook_size=32,
+            profile_iterations=20,
+            scaling_sizes=(8, 32, 96),
+            scaling_trials=8,
+            scaling_max_iterations=200,
+        )
+        return run_fig1c(config)
+
+    def test_mvm_dominates_ops(self, result):
+        # Paper: MVMs ~80 % of factorization compute.
+        assert result.mvm_op_fraction > 0.7
+
+    def test_mvm_dominates_time(self, result):
+        assert result.mvm_time_fraction > 0.5
+
+    def test_accuracy_declines_with_size(self, result):
+        sizes = sorted(result.baseline_accuracy)
+        assert result.baseline_accuracy[sizes[0]] > result.baseline_accuracy[sizes[-1]]
+
+    def test_render(self, result):
+        assert "MVM share" in result.render()
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = Table2Config(
+            dim=1024,
+            factor_counts=(3,),
+            codebook_sizes=(8, 64),
+            trials=8,
+            max_iterations_baseline=300,
+            max_iterations_h3d=2000,
+        )
+        return run_table2(config)
+
+    def test_both_designs_solve_small(self, result):
+        assert result.cell("baseline", 3, 8).stats.accuracy >= 0.8
+        assert result.cell("h3d", 3, 8).stats.accuracy >= 0.8
+
+    def test_h3d_extends_capacity(self, result):
+        base = result.cell("baseline", 3, 64).stats.accuracy
+        h3d = result.cell("h3d", 3, 64).stats.accuracy
+        assert h3d > base
+
+    def test_capacity_gain_positive(self, result):
+        assert result.capacity("h3d", 3) >= result.capacity("baseline", 3)
+
+    def test_render_has_fail_or_numbers(self, result):
+        text = result.render()
+        assert "Table II" in text
+
+    def test_full_scale_flag_reads_env(self, monkeypatch):
+        monkeypatch.setenv("H3DFACT_FULL", "1")
+        assert full_scale()
+        monkeypatch.setenv("H3DFACT_FULL", "0")
+        assert not full_scale()
+
+    def test_paper_config_grid(self):
+        config = Table2Config.paper()
+        assert 512 in config.codebook_sizes
+
+
+class TestTable3:
+    def test_report_matches_paper(self):
+        result = run_table3(Table3Config())
+        assert result.report.metric("h3d").footprint_mm2 == pytest.approx(
+            0.091, abs=0.004
+        )
+        assert result.pcm.throughput_ratio == pytest.approx(1.78, rel=0.05)
+
+    def test_render(self):
+        assert "3-Tier H3D" in run_table3().render()
+
+
+class TestFig5:
+    def test_temperatures(self):
+        result = run_fig5(Fig5Config(grid=20))
+        assert 44.0 < result.report.stack_min_c < 50.0
+        assert result.report.retention_ok
+
+    def test_render_contains_map(self):
+        result = run_fig5(Fig5Config(grid=16))
+        assert "tier3" in result.render()
+
+
+class TestFig6:
+    def test_fig6a_low_precision_converges_sooner(self):
+        config = Fig6aConfig(
+            dim=512, codebook_size=48, trials=12, max_iterations=300
+        )
+        result = run_fig6a(config)
+        curve4 = result.curves[4]
+        curve8 = result.curves[8]
+        # 4-bit should lead 8-bit over the mid-range of the curve.
+        mid = slice(30, 200)
+        assert curve4[mid].mean() >= curve8[mid].mean() - 0.05
+
+    def test_fig6b_converges(self):
+        config = Fig6bConfig(trials=20, max_iterations=40)
+        result = run_fig6b(config)
+        assert result.accuracy_at_25 >= 0.9
+        assert result.one_shot_accuracy > 0.3
+
+    def test_fig6b_render(self):
+        result = run_fig6b(Fig6bConfig(trials=10, max_iterations=30))
+        assert "testchip" in result.render()
+
+
+class TestFig7:
+    def test_reduced_pipeline(self):
+        config = Fig7Config(
+            dim=512,
+            image_size=32,
+            train_panels=800,
+            test_panels=40,
+            max_iterations=120,
+        )
+        result = run_fig7(config)
+        assert result.report.attribute_accuracy > 0.8
+        assert "attribute accuracy" in result.render()
+
+
+class TestRunner:
+    def test_experiment_result_save(self, tmp_path):
+        result = ExperimentResult.wrap(
+            "unit", {"a": 1}, {"value": np.float64(2.0)}, elapsed=0.1
+        )
+        path = result.save(tmp_path / "out.json")
+        assert path.exists()
+        assert "unit" in path.read_text()

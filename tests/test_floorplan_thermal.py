@@ -1,0 +1,182 @@
+"""Tests for floorplanning and the thermal solver (Fig. 4 / Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.designs import h3d_design
+from repro.errors import ConfigurationError, ThermalModelError
+from repro.floorplan import Block, Floorplan, h3d_floorplans, power_density_map
+from repro.floorplan.powermap import total_power
+from repro.hwmodel.metrics import evaluate_design
+from repro.thermal import (
+    SteadyStateSolver,
+    ThermalLayer,
+    ThermalStack,
+    analyze_h3d,
+    h3d_thermal_stack,
+)
+from repro.thermal.analysis import analyze_solution
+
+
+@pytest.fixture(scope="module")
+def h3d_energy():
+    return evaluate_design(h3d_design()).energy
+
+
+@pytest.fixture(scope="module")
+def floorplans(h3d_energy):
+    return h3d_floorplans(h3d_energy)
+
+
+class TestBlock:
+    def test_area_and_density(self):
+        block = Block("b", 0, 0, 2, 3, power_w=6e-3)
+        assert block.area_mm2 == 6
+        assert block.power_density_w_mm2 == pytest.approx(1e-3)
+
+    def test_overlap_detection(self):
+        a = Block("a", 0, 0, 2, 2)
+        b = Block("b", 1, 1, 2, 2)
+        c = Block("c", 2, 0, 2, 2)  # shares an edge only
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Block("b", 0, 0, 1, 1, power_w=-1)
+
+
+class TestFloorplans:
+    def test_blocks_fit_and_do_not_overlap(self, floorplans):
+        # Construction itself validates; just confirm all three exist.
+        assert set(floorplans) == {"tier1", "tier2", "tier3"}
+
+    def test_power_attribution_consistent(self, floorplans, h3d_energy):
+        total = sum(plan.total_power_w for plan in floorplans.values())
+        assert total == pytest.approx(h3d_energy.total_power_w, rel=0.15)
+
+    def test_rram_tiers_split_array_power(self, floorplans):
+        t2 = floorplans["tier2"].total_power_w
+        t3 = floorplans["tier3"].total_power_w
+        assert t2 == pytest.approx(t3, rel=1e-6)
+
+    def test_south_side_carries_support_power(self, floorplans):
+        # Fig. 5: high power density toward the southern region.
+        assert floorplans["tier2"].south_power_fraction() > 0.5
+
+    def test_utilization_reasonable(self, floorplans):
+        for plan in floorplans.values():
+            assert 0.8 < plan.utilization <= 1.0
+
+    def test_block_lookup(self, floorplans):
+        assert floorplans["tier1"].block("ctrl_xnor_add").power_w > 0
+        with pytest.raises(ConfigurationError):
+            floorplans["tier1"].block("nonexistent")
+
+
+class TestPowerMap:
+    def test_power_conserved(self, floorplans):
+        plan = floorplans["tier2"]
+        grid = power_density_map(plan, 24, 24)
+        assert total_power(grid, plan.width_mm, plan.height_mm) == pytest.approx(
+            plan.total_power_w, rel=1e-6
+        )
+
+    def test_zero_power_plan(self):
+        plan = Floorplan("z", 1.0, 1.0, [Block("b", 0, 0, 1, 1, 0.0)])
+        grid = power_density_map(plan, 8, 8)
+        assert grid.sum() == 0
+
+    def test_grid_validation(self, floorplans):
+        with pytest.raises(ConfigurationError):
+            power_density_map(floorplans["tier1"], 0, 8)
+
+
+class TestThermalStack:
+    def test_stack_layers_ordered(self, floorplans):
+        stack = h3d_thermal_stack(floorplans)
+        names = [layer.name for layer in stack.layers]
+        assert names.index("pcb") < names.index("tier1") < names.index("tier3")
+        assert names.index("tier3") < names.index("tim2")
+
+    def test_power_injection_conserved(self, floorplans, h3d_energy):
+        stack = h3d_thermal_stack(floorplans)
+        expected = sum(p.total_power_w for p in floorplans.values())
+        assert stack.total_power_w == pytest.approx(expected, rel=1e-6)
+
+    def test_die_must_fit_domain(self, floorplans):
+        with pytest.raises(ThermalModelError):
+            h3d_thermal_stack(floorplans, domain_mm=0.1)
+
+    def test_layer_conductivity_inset(self):
+        layer = ThermalLayer("die", 50e-6, "silicon", die_inset_mm=0.5)
+        grid = layer.conductivity_grid(20, 20, 1.0)
+        assert grid[10, 10] > grid[0, 0]  # silicon inside, mold outside
+
+
+class TestSolver:
+    def test_uniform_heating_analytic(self):
+        """Uniform flux through one layer with a top convective boundary.
+
+        With all heat leaving through the top surface (adiabatic bottom),
+        T_top - T_amb = q / h exactly.
+        """
+        n = 8
+        power = 1e-3
+        area = (1e-3) ** 2
+        flux = power / area
+        grid = np.full((n, n), flux)
+        stack = ThermalStack(
+            domain_mm=1.0,
+            layers=[ThermalLayer("die", 100e-6, "silicon", power_map=grid)],
+            ambient_c=25.0,
+            h_top_w_m2k=1000.0,
+            h_bottom_w_m2k=0.0,
+        )
+        solution = SteadyStateSolver(n, n).solve(stack)
+        expected = 25.0 + flux / 1000.0
+        assert solution.layer_mean("die") == pytest.approx(expected, rel=0.05)
+
+    def test_no_power_equals_ambient(self):
+        stack = ThermalStack(
+            domain_mm=1.0,
+            layers=[ThermalLayer("die", 100e-6, "silicon")],
+            ambient_c=25.0,
+        )
+        solution = SteadyStateSolver(8, 8).solve(stack)
+        assert solution.layer_mean("die") == pytest.approx(25.0, abs=1e-6)
+
+    def test_more_power_is_hotter(self, floorplans):
+        stack = h3d_thermal_stack(floorplans, nx=16, ny=16)
+        base = SteadyStateSolver(16, 16).solve(stack).peak_c
+        for layer in stack.layers:
+            if layer.power_map is not None:
+                layer.power_map *= 2
+        hot = SteadyStateSolver(16, 16).solve(stack).peak_c
+        assert hot > base
+
+    def test_grid_validation(self):
+        with pytest.raises(ThermalModelError):
+            SteadyStateSolver(1, 8)
+
+
+class TestFig5Reproduction:
+    def test_tier_temperatures_near_paper(self, h3d_energy):
+        report = analyze_h3d(h3d_energy, grid=24)
+        # Paper: 46.8 - 47.8 C; we accept the same neighbourhood.
+        assert 44.0 < report.stack_min_c < 49.0
+        assert 45.0 < report.stack_max_c < 52.0
+
+    def test_southern_hotspot(self, h3d_energy):
+        report = analyze_h3d(h3d_energy, grid=24)
+        assert report.south_north_delta_c["tier2"] > 0
+
+    def test_retention_margin(self, h3d_energy):
+        report = analyze_h3d(h3d_energy, grid=24)
+        assert report.retention_ok
+        assert report.stack_max_c < 100.0
+
+    def test_render_and_map(self, h3d_energy):
+        report = analyze_h3d(h3d_energy, grid=24)
+        assert "Thermal analysis" in report.render()
+        assert "tier3" in report.ascii_map("tier3")

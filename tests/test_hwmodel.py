@@ -1,0 +1,168 @@
+"""Tests for the PPA models: Table III reproduction and model sanity."""
+
+import pytest
+
+from repro.arch.designs import h3d_design, hybrid_2d_design, sram_2d_design
+from repro.errors import HardwareModelError
+from repro.hwmodel import (
+    AreaModel,
+    EnergyModel,
+    PCMFactorizerModel,
+    TimingModel,
+    build_table3,
+    compare_with_pcm,
+    evaluate_design,
+    node,
+)
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return build_table3()
+
+
+class TestTechnology:
+    def test_known_nodes(self):
+        assert node(16).supply_v < node(40).supply_v
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(HardwareModelError):
+            node(7)
+
+    def test_area_scaling_quadratic(self):
+        assert node(16).logic_area_scale_to(node(40)) == pytest.approx(6.25)
+
+
+class TestAreaModel:
+    def test_h3d_footprint_matches_paper(self, table3):
+        assert table3.metric("h3d").footprint_mm2 == pytest.approx(0.091, abs=0.004)
+
+    def test_hybrid_area_matches_paper(self, table3):
+        assert table3.metric("hybrid-2d").footprint_mm2 == pytest.approx(
+            0.544, rel=0.03
+        )
+
+    def test_sram_area_matches_paper(self, table3):
+        assert table3.metric("sram-2d").footprint_mm2 == pytest.approx(
+            0.114, rel=0.03
+        )
+
+    def test_h3d_tiers_area_balanced(self):
+        breakdown = AreaModel().evaluate(h3d_design())
+        areas = [breakdown.tier_area(t) for t in breakdown.tiers]
+        assert max(areas) / min(areas) < 1.15  # Sec. IV-C: area-balanced
+
+    def test_total_silicon_exceeds_footprint_for_stack(self):
+        breakdown = AreaModel().evaluate(h3d_design())
+        assert breakdown.total_silicon_mm2 > 2.5 * breakdown.footprint_mm2
+
+    def test_footprint_savings_ratios(self, table3):
+        assert table3.footprint_saving_vs_hybrid == pytest.approx(5.97, rel=0.03)
+        assert table3.footprint_saving_vs_sram == pytest.approx(1.25, rel=0.03)
+
+
+class TestTimingModel:
+    def test_2d_designs_run_at_base_clock(self):
+        model = TimingModel()
+        assert model.frequency(sram_2d_design()) == pytest.approx(200e6)
+        assert model.frequency(hybrid_2d_design()) == pytest.approx(200e6)
+
+    def test_h3d_pays_tsv_penalty(self):
+        freq = TimingModel().frequency(h3d_design())
+        assert freq == pytest.approx(185e6, rel=0.01)
+
+    def test_throughput_matches_paper(self, table3):
+        assert table3.metric("sram-2d").throughput_tops == pytest.approx(1.52, rel=0.02)
+        assert table3.metric("hybrid-2d").throughput_tops == pytest.approx(1.52, rel=0.02)
+        assert table3.metric("h3d").throughput_tops == pytest.approx(1.41, rel=0.02)
+
+    def test_mvm_interval(self):
+        model = TimingModel()
+        assert model.mvm_interval_cycles(h3d_design()) == 69
+        assert model.mvm_interval_cycles(hybrid_2d_design()) == 138
+
+    def test_h3d_single_tier_active(self):
+        assert TimingModel.active_arrays(h3d_design()) == 4
+        assert TimingModel.active_arrays(hybrid_2d_design()) == 8
+
+
+class TestEnergyModel:
+    def test_efficiency_matches_paper(self, table3):
+        assert table3.metric("sram-2d").tops_per_watt == pytest.approx(50.1, rel=0.02)
+        assert table3.metric("hybrid-2d").tops_per_watt == pytest.approx(60.6, rel=0.02)
+        assert table3.metric("h3d").tops_per_watt == pytest.approx(60.6, rel=0.02)
+
+    def test_adc_energy_cheaper_at_16nm(self):
+        model = EnergyModel()
+        h3d = model.evaluate(h3d_design())
+        hybrid = model.evaluate(hybrid_2d_design())
+        assert h3d.dynamic_fj_per_op["adc"] < hybrid.dynamic_fj_per_op["adc"]
+
+    def test_h3d_has_tsv_component(self):
+        breakdown = EnergyModel().evaluate(h3d_design())
+        assert "tsv" in breakdown.dynamic_fj_per_op
+        assert "tsv" not in EnergyModel().evaluate(hybrid_2d_design()).dynamic_fj_per_op
+
+    def test_power_in_milliwatt_range(self, table3):
+        for style in ("sram-2d", "hybrid-2d", "h3d"):
+            assert 15 < table3.metric(style).power_mw < 40
+
+    def test_report_renders(self):
+        text = EnergyModel().evaluate(h3d_design()).report()
+        assert "TOPS/W" in text
+
+
+class TestHeadlineClaims:
+    def test_compute_density_gain(self, table3):
+        assert table3.density_gain_vs_sram == pytest.approx(5.5, rel=0.03)
+
+    def test_density_matches_paper(self, table3):
+        assert table3.metric("h3d").compute_density_tops_mm2 == pytest.approx(
+            15.5, rel=0.03
+        )
+
+    def test_efficiency_gain_vs_sram(self, table3):
+        assert table3.efficiency_gain_vs_sram == pytest.approx(1.2, rel=0.05)
+
+    def test_render_contains_rows(self, table3):
+        text = table3.render()
+        assert "3-Tier H3D" in text and "Hybrid 2D" in text
+
+    def test_accuracy_column_snapshot(self, table3):
+        assert table3.metric("sram-2d").accuracy == pytest.approx(0.958)
+        assert table3.metric("h3d").accuracy == pytest.approx(0.993)
+
+
+class TestPCMComparison:
+    def test_ratios_match_paper(self, table3):
+        comparison = compare_with_pcm(table3.metric("h3d"))
+        assert comparison.throughput_ratio == pytest.approx(1.78, rel=0.03)
+        assert comparison.efficiency_ratio == pytest.approx(1.48, rel=0.03)
+
+    def test_model_validation(self):
+        with pytest.raises(HardwareModelError):
+            PCMFactorizerModel(frequency_hz=-1)
+
+    def test_render(self, table3):
+        assert "1.78x" in compare_with_pcm(table3.metric("h3d")).render()
+
+
+class TestEvaluateDesign:
+    def test_accuracy_override(self):
+        metrics = evaluate_design(h3d_design(), accuracy=0.5)
+        assert metrics.accuracy == 0.5
+
+    def test_row_has_all_columns(self):
+        row = evaluate_design(h3d_design()).row()
+        for key in (
+            "design",
+            "adc_count",
+            "tsv_count",
+            "area_mm2",
+            "frequency_mhz",
+            "throughput_tops",
+            "compute_density_tops_mm2",
+            "energy_efficiency_tops_w",
+            "accuracy_pct",
+        ):
+            assert key in row

@@ -1,0 +1,95 @@
+"""Cross-model integration tests: the models must agree with each other."""
+
+import numpy as np
+import pytest
+
+from repro.arch.dataflow import DataflowSimulator, StepLatency
+from repro.arch.designs import h3d_design
+from repro.core import H3DFact
+from repro.floorplan import h3d_floorplans
+from repro.hwmodel import calibration as cal
+from repro.hwmodel.metrics import evaluate_design
+from repro.resonator import FactorizationProblem
+from repro.thermal.stack import h3d_thermal_stack
+
+
+@pytest.fixture(scope="module")
+def metrics():
+    return evaluate_design(h3d_design())
+
+
+class TestTimingDataflowConsistency:
+    def test_mvm_interval_shared(self, metrics):
+        """The timing model's MVM interval must match the dataflow latency."""
+        latency = StepLatency.from_geometry(
+            rows=256,
+            parallel_rows=cal.ROWS_PER_PHASE,
+            adc_cycles=cal.ADC_SLOT_CYCLES,
+            pipeline_overhead=cal.PIPELINE_OVERHEAD_CYCLES,
+        )
+        assert latency.similarity == metrics.timing.mvm_interval_cycles
+
+    def test_throughput_consistent_with_dataflow(self, metrics):
+        """Sustained ops/s from the dataflow sim ~ the Table III number.
+
+        The dataflow sweep includes unbind/convert/switch overheads and the
+        bit-serial projection, so it is somewhat below the similarity-only
+        peak, but must stay the same order and within ~6x.
+        """
+        design = h3d_design()
+        latency = StepLatency.from_geometry(input_bits=design.adc_bits)
+        simulator = DataflowSimulator(design.stack, design.mapping, latency=latency)
+        timing = simulator.simulate_sweep(batch=100, factors=4)
+        ops_per_sweep = 2 * 2 * 256 * 256 * 4 * 4 * 100  # 2 MVMs x F x batch
+        sustained = (
+            ops_per_sweep / timing.total_cycles * metrics.timing.frequency_hz
+        )
+        peak = metrics.timing.throughput_ops
+        assert peak / 6 < sustained <= peak * 1.01
+
+
+class TestAreaFloorplanConsistency:
+    def test_floorplan_outline_matches_footprint(self, metrics):
+        plans = h3d_floorplans(metrics.energy, footprint_mm2=metrics.footprint_mm2)
+        for plan in plans.values():
+            assert plan.area_mm2 == pytest.approx(metrics.footprint_mm2, rel=0.01)
+
+    def test_thermal_power_matches_energy_model(self, metrics):
+        plans = h3d_floorplans(metrics.energy)
+        stack = h3d_thermal_stack(plans, nx=16, ny=16)
+        assert stack.total_power_w == pytest.approx(
+            metrics.energy.total_power_w, rel=0.15
+        )
+
+
+class TestEngineHardwareConsistency:
+    def test_engine_report_uses_design_frequency(self, metrics):
+        engine = H3DFact(rng=0)
+        problem = FactorizationProblem.random(1024, 3, 8, rng=1)
+        report = engine.factorize_with_report(problem, max_iterations=300)
+        reconstructed = report.cycles / report.hardware_seconds
+        assert reconstructed == pytest.approx(metrics.timing.frequency_hz, rel=1e-6)
+
+    def test_energy_equals_power_times_time(self, metrics):
+        engine = H3DFact(rng=0)
+        problem = FactorizationProblem.random(1024, 3, 8, rng=2)
+        report = engine.factorize_with_report(problem, max_iterations=300)
+        assert report.hardware_joules == pytest.approx(
+            metrics.energy.total_power_w * report.hardware_seconds, rel=1e-6
+        )
+
+    def test_adc_bits_propagate_to_backend(self):
+        engine = H3DFact(adc_bits=8, rng=0)
+        assert engine.make_backend().adc.bits == 8
+        assert engine.design.adc_bits == 8
+
+
+class TestTableIIvsTableIIIConsistency:
+    def test_design_accuracy_snapshot_ordering(self):
+        """Snapshot accuracies must preserve the stochastic > deterministic
+        ordering that Table II establishes."""
+        assert (
+            cal.DESIGN_ACCURACY["h3d"]
+            == cal.DESIGN_ACCURACY["hybrid-2d"]
+            > cal.DESIGN_ACCURACY["sram-2d"]
+        )

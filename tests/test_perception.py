@@ -1,0 +1,158 @@
+"""Tests for the perception substrate (Fig. 7 pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PerceptionError
+from repro.perception import (
+    RAVEN_ATTRIBUTES,
+    FeatureExtractor,
+    LinearFrontend,
+    NeuroSymbolicPipeline,
+    RavenDataset,
+    render_panel,
+)
+from repro.vsa import SceneEncoder
+from repro.vsa.scene import AttributeScene
+
+
+def scene(**kwargs):
+    base = {
+        "type": "circle",
+        "size": "large",
+        "color": "black",
+        "position": "top-left",
+    }
+    base.update(kwargs)
+    return AttributeScene.from_dict(base)
+
+
+class TestRenderer:
+    def test_image_range_and_shape(self):
+        image = render_panel(scene(), image_size=32, noise_std=0.0)
+        assert image.shape == (32, 32)
+        assert image.min() >= 0 and image.max() <= 1
+
+    def test_position_controls_quadrant(self):
+        left = render_panel(scene(position="top-left"), noise_std=0.0)
+        right = render_panel(scene(position="bottom-right"), noise_std=0.0)
+        h, w = left.shape
+        assert left[: h // 2, : w // 2].sum() > left[h // 2 :, w // 2 :].sum()
+        assert right[h // 2 :, w // 2 :].sum() > right[: h // 2, : w // 2].sum()
+
+    def test_size_controls_area(self):
+        small = render_panel(scene(size="tiny"), noise_std=0.0)
+        large = render_panel(scene(size="large"), noise_std=0.0)
+        assert (large > 0).sum() > (small > 0).sum()
+
+    def test_color_controls_intensity(self):
+        light = render_panel(scene(color="white"), noise_std=0.0)
+        dark = render_panel(scene(color="black"), noise_std=0.0)
+        assert dark.max() > light.max()
+
+    def test_types_render_distinctly(self):
+        images = {
+            t: render_panel(scene(type=t), noise_std=0.0)
+            for t in ("triangle", "square", "circle")
+        }
+        assert not np.array_equal(images["triangle"], images["square"])
+        assert not np.array_equal(images["square"], images["circle"])
+
+    def test_small_image_rejected(self):
+        with pytest.raises(PerceptionError):
+            render_panel(scene(), image_size=4)
+
+
+class TestDataset:
+    def test_generate(self):
+        ds = RavenDataset.generate(10, rng=0)
+        assert len(ds) == 10
+        assert ds.images.shape[0] == 10
+
+    def test_split(self):
+        ds = RavenDataset.generate(10, rng=0)
+        train, test = ds.split(0.7)
+        assert len(train) == 7 and len(test) == 3
+
+    def test_split_bounds(self):
+        ds = RavenDataset.generate(4, rng=0)
+        with pytest.raises(PerceptionError):
+            ds.split(1.5)
+
+    def test_deterministic_generation(self):
+        a = RavenDataset.generate(5, rng=3)
+        b = RavenDataset.generate(5, rng=3)
+        assert a.scenes == b.scenes
+
+
+class TestFeatureExtractor:
+    def test_feature_dim_consistent(self):
+        extractor = FeatureExtractor()
+        image = render_panel(scene(), image_size=32, noise_std=0.0)
+        assert extractor.extract(image).size == extractor.feature_dim(32)
+
+    def test_batch_matches_single(self):
+        extractor = FeatureExtractor()
+        images = RavenDataset.generate(3, rng=0).images
+        batch = extractor.extract_batch(images)
+        single = extractor.extract(images[0])
+        assert np.allclose(batch[0], single)
+
+    def test_different_colors_different_features(self):
+        extractor = FeatureExtractor()
+        a = extractor.extract(render_panel(scene(color="white"), noise_std=0.0))
+        b = extractor.extract(render_panel(scene(color="black"), noise_std=0.0))
+        assert not np.allclose(a, b)
+
+
+class TestFrontend:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        encoder = SceneEncoder(RAVEN_ATTRIBUTES, dim=256, rng=0)
+        frontend = LinearFrontend(encoder)
+        dataset = RavenDataset.generate(600, image_size=32, rng=1)
+        train_acc = frontend.fit(dataset)
+        return frontend, train_acc
+
+    def test_training_fits(self, trained):
+        _, train_acc = trained
+        assert train_acc > 0.9
+
+    def test_generalizes_above_chance(self, trained):
+        frontend, _ = trained
+        test = RavenDataset.generate(50, image_size=32, rng=2)
+        assert frontend.bit_accuracy(test) > 0.75
+
+    def test_prediction_is_bipolar(self, trained):
+        frontend, _ = trained
+        image = render_panel(scene(), image_size=32, noise_std=0.0)
+        prediction = frontend.predict(image, rng=0)
+        assert set(np.unique(prediction)).issubset({-1, 1})
+
+    def test_predict_before_fit_rejected(self):
+        encoder = SceneEncoder(RAVEN_ATTRIBUTES, dim=64, rng=0)
+        frontend = LinearFrontend(encoder)
+        with pytest.raises(PerceptionError):
+            frontend.predict(np.zeros((32, 32)))
+
+
+class TestPipeline:
+    def test_end_to_end_accuracy(self):
+        pipeline = NeuroSymbolicPipeline(dim=512, image_size=32, rng=0)
+        pipeline.train(train_panels=800, noise_std=0.01)
+        report = pipeline.evaluate(test_panels=40, noise_std=0.01)
+        # Reduced-scale run; the full Fig. 7 config reaches ~99.4 %.
+        assert report.attribute_accuracy > 0.85
+        assert 0 < report.mean_iterations < 200
+
+    def test_untrained_pipeline_rejected(self):
+        pipeline = NeuroSymbolicPipeline(dim=64, image_size=32, rng=0)
+        with pytest.raises(PerceptionError):
+            pipeline.evaluate(test_panels=4)
+
+    def test_infer_scene_returns_scene(self):
+        pipeline = NeuroSymbolicPipeline(dim=512, image_size=32, rng=0)
+        pipeline.train(train_panels=800, noise_std=0.01)
+        panel = RavenDataset.generate(1, image_size=32, rng=9)[0]
+        decoded = pipeline.infer_scene(panel.image)
+        assert set(decoded.as_dict()) == {"type", "size", "color", "position"}

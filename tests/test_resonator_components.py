@@ -1,0 +1,270 @@
+"""Tests for resonator activations, backends, convergence and metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.resonator import (
+    ConvergenceMonitor,
+    CycleDetector,
+    ExactBackend,
+    IdentityActivation,
+    NoisySimilarityBackend,
+    Outcome,
+    QuantizedSimilarityBackend,
+    RectifiedBackend,
+    SignActivation,
+    StochasticThresholdBackend,
+    ThresholdPolicy,
+    accuracy_curve,
+    iterations_to_accuracy,
+    make_activation,
+    operational_capacity,
+    summarize,
+)
+from repro.cim import SARADC
+from repro.resonator.convergence import state_digest
+from repro.resonator.network import FactorizationResult
+from repro.vsa import Codebook
+
+
+def make_result(correct, first_correct, iterations=10, outcome=Outcome.CONVERGED):
+    return FactorizationResult(
+        indices=(0,),
+        outcome=outcome,
+        iterations=iterations,
+        product_match=bool(correct),
+        correct=correct,
+        first_correct_iteration=first_correct,
+    )
+
+
+class TestActivations:
+    def test_sign_positive_tiebreak(self):
+        act = SignActivation("positive")
+        out = act(np.array([-2.0, 0.0, 3.0]))
+        assert np.array_equal(out, np.array([-1, 1, 1], dtype=np.int8))
+
+    def test_sign_negative_tiebreak(self):
+        act = SignActivation("negative")
+        assert act(np.array([0.0]))[0] == -1
+
+    def test_sign_random_tiebreak_is_bipolar(self):
+        act = SignActivation("random", rng=0)
+        out = act(np.zeros(1000))
+        assert set(np.unique(out)).issubset({-1, 1})
+        # Roughly balanced coin flips.
+        assert 400 < (out == 1).sum() < 600
+
+    def test_identity_passthrough(self):
+        act = IdentityActivation()
+        values = np.array([1.5, -2.0])
+        assert np.array_equal(act(values), values)
+
+    def test_factory(self):
+        assert isinstance(make_activation("sign"), SignActivation)
+        assert isinstance(make_activation("identity"), IdentityActivation)
+        assert not make_activation("sign-random").deterministic
+        with pytest.raises(ConfigurationError):
+            make_activation("tanh")
+
+    def test_invalid_tiebreak(self):
+        with pytest.raises(ConfigurationError):
+            SignActivation("sometimes")
+
+
+class TestBackends:
+    def setup_method(self):
+        self.codebook = Codebook.random("c", 256, 16, rng=0)
+        self.query = self.codebook.vector(3).astype(np.int8)
+
+    def test_exact_similarity_matches_matmul(self):
+        backend = ExactBackend()
+        sims = backend.similarity(self.codebook, self.query)
+        expected = self.codebook.similarities(self.query)
+        assert np.allclose(sims, expected)
+
+    def test_exact_projection_matches_matmul(self):
+        backend = ExactBackend()
+        weights = np.arange(16, dtype=np.float32)
+        expected = self.codebook.project(weights.astype(np.int64))
+        assert np.allclose(backend.project(self.codebook, weights), expected)
+
+    def test_noisy_backend_perturbs_similarity(self):
+        backend = NoisySimilarityBackend(sigma=1.0, rng=0)
+        sims = backend.similarity(self.codebook, self.query)
+        clean = self.codebook.similarities(self.query)
+        assert not np.allclose(sims, clean)
+
+    def test_noisy_backend_sigma_zero_is_clean(self):
+        backend = NoisySimilarityBackend(sigma=0.0, rng=0)
+        sims = backend.similarity(self.codebook, self.query)
+        assert np.allclose(sims, self.codebook.similarities(self.query))
+
+    def test_noise_scale_matches_sigma(self):
+        backend = NoisySimilarityBackend(sigma=2.0, rng=0)
+        clean = self.codebook.similarities(self.query).astype(np.float64)
+        samples = np.stack(
+            [backend.similarity(self.codebook, self.query) for _ in range(200)]
+        )
+        residual = samples - clean
+        measured = residual.std()
+        assert measured == pytest.approx(2.0 * np.sqrt(256), rel=0.15)
+
+    def test_rectified_backend_clamps_negative(self):
+        backend = RectifiedBackend()
+        sims = backend.similarity(self.codebook, self.query)
+        assert (sims >= 0).all()
+        clean = self.codebook.similarities(self.query)
+        assert np.allclose(sims, np.maximum(clean, 0))
+
+    def test_quantized_backend_uses_adc(self):
+        adc = SARADC(bits=4)
+        backend = QuantizedSimilarityBackend(adc, full_scale=256.0)
+        sims = backend.similarity(self.codebook, self.query)
+        lsb = 256.0 / 15
+        assert np.allclose(np.mod(sims / lsb, 1.0), 0.0, atol=1e-9)
+
+    def test_quantized_backend_requires_convert(self):
+        with pytest.raises(ConfigurationError):
+            QuantizedSimilarityBackend(object())
+
+
+class TestStochasticThresholdBackend:
+    def setup_method(self):
+        self.codebook = Codebook.random("c", 1024, 64, rng=0)
+
+    def test_threshold_zeroes_crosstalk(self):
+        backend = StochasticThresholdBackend(noise_sigma=0.0, rng=0)
+        query = Codebook.random("q", 1024, 1, rng=9).vector(0)
+        sims = backend.similarity(self.codebook, query)
+        # Random query: crosstalk only; nearly everything below threshold.
+        assert (sims == 0).mean() > 0.9
+
+    def test_signal_survives_threshold(self):
+        backend = StochasticThresholdBackend(noise_sigma=0.3, rng=0)
+        sims = backend.similarity(self.codebook, self.codebook.vector(5))
+        assert sims[5] > 0
+
+    def test_projection_noise_optional(self):
+        clean = StochasticThresholdBackend(noise_sigma=0.0, rng=0)
+        weights = np.zeros(64, dtype=np.float32)
+        weights[3] = 4.0
+        out = clean.project(self.codebook, weights)
+        expected = self.codebook.project(weights.astype(np.int64))
+        assert np.allclose(out, expected)
+
+    def test_threshold_policy_adapts_to_size(self):
+        policy = ThresholdPolicy(target_pass_count=4)
+        t_small = policy.threshold(1024, 16, 0.5)
+        t_large = policy.threshold(1024, 256, 0.5)
+        assert t_large > t_small
+
+    def test_threshold_policy_fixed_override(self):
+        policy = ThresholdPolicy(fixed_zscore=2.0)
+        t = policy.threshold(1024, 999, 0.0)
+        assert t == pytest.approx(2.0 * np.sqrt(1024))
+
+    def test_expected_pass_count_calibration(self):
+        policy = ThresholdPolicy(target_pass_count=4)
+        dim, size = 1024, 256
+        threshold = policy.threshold(dim, size, 0.0)
+        rng = np.random.default_rng(0)
+        passes = []
+        codebook = self.codebook
+        matrix = Codebook.random("big", dim, size, rng=1)
+        for s in range(100):
+            query = 2 * rng.integers(0, 2, size=dim).astype(np.int8) - 1
+            sims = matrix.similarities(query)
+            passes.append((sims >= threshold).sum())
+        # Expect ~4 supra-threshold entries on average (one-sided tail).
+        assert 2.0 < np.mean(passes) < 7.0
+
+
+class TestCycleDetection:
+    def test_detects_period_two(self):
+        detector = CycleDetector()
+        a = [np.array([1, -1, 1], dtype=np.int8)]
+        b = [np.array([-1, 1, 1], dtype=np.int8)]
+        assert detector.observe(a, 0) is None
+        assert detector.observe(b, 1) is None
+        assert detector.observe(a, 2) == 2
+
+    def test_window_forgets_old_states(self):
+        detector = CycleDetector(window=2)
+        states = [
+            [np.array([1, 1, s % 2 * 2 - 1], dtype=np.int8)] for s in range(3)
+        ]
+        detector.observe([np.array([1, -1, -1], dtype=np.int8)], 0)
+        detector.observe([np.array([-1, 1, -1], dtype=np.int8)], 1)
+        detector.observe([np.array([-1, -1, 1], dtype=np.int8)], 2)
+        # The first state fell out of the window: no detection.
+        assert detector.observe([np.array([1, -1, -1], dtype=np.int8)], 3) is None
+
+    def test_digest_distinguishes_states(self):
+        a = [np.array([1, -1], dtype=np.int8)]
+        b = [np.array([-1, 1], dtype=np.int8)]
+        assert state_digest(a) != state_digest(b)
+
+    def test_monitor_converged(self):
+        monitor = ConvergenceMonitor(max_iterations=10)
+        state = [np.ones(8, dtype=np.int8)]
+        digest = state_digest(state)
+        outcome = monitor.update(state, digest, 0)
+        assert outcome is Outcome.CONVERGED
+
+    def test_monitor_budget(self):
+        monitor = ConvergenceMonitor(max_iterations=1, detect_cycles=False)
+        state = [np.ones(8, dtype=np.int8)]
+        outcome = monitor.update(state, None, 0)
+        assert outcome is Outcome.MAX_ITERATIONS
+
+    def test_monitor_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            ConvergenceMonitor(max_iterations=0)
+
+
+class TestMetrics:
+    def test_summarize_accuracy(self):
+        results = [make_result(True, 3), make_result(False, None)]
+        stats = summarize(results)
+        assert stats.accuracy == 0.5
+        assert stats.num_trials == 2
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_iterations_to_accuracy_simple(self):
+        results = [make_result(True, i + 1) for i in range(100)]
+        assert iterations_to_accuracy(results, target_accuracy=0.99) == 99
+
+    def test_iterations_to_accuracy_fail(self):
+        results = [make_result(True, 1)] * 50 + [make_result(False, None)] * 50
+        assert iterations_to_accuracy(results, target_accuracy=0.99) is None
+
+    def test_operational_capacity(self):
+        sweep = {
+            64: summarize([make_result(True, 1)] * 10),
+            512: summarize([make_result(False, None)] * 10),
+        }
+        assert operational_capacity(sweep) == 64
+
+    def test_accuracy_curve_monotone(self):
+        results = [make_result(True, 2), make_result(True, 5), make_result(False, None)]
+        curve = accuracy_curve(results, 6)
+        assert curve.shape == (6,)
+        assert (np.diff(curve) >= 0).all()
+        assert curve[-1] == pytest.approx(2 / 3)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=50))
+    @settings(max_examples=25, deadline=None)
+    def test_property_accuracy_matches_fraction(self, flags):
+        results = [
+            make_result(f, 1 if f else None, outcome=Outcome.CONVERGED)
+            for f in flags
+        ]
+        stats = summarize(results)
+        assert stats.accuracy == pytest.approx(sum(flags) / len(flags))

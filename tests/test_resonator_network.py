@@ -1,0 +1,168 @@
+"""Tests for the resonator network core loop and result bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DimensionError
+from repro.resonator import (
+    ExactBackend,
+    FactorizationProblem,
+    Outcome,
+    RectifiedBackend,
+    ResonatorNetwork,
+    SignActivation,
+    StochasticThresholdBackend,
+)
+from repro.vsa import CodebookSet
+
+
+class TestFactorizationProblem:
+    def test_random_problem_consistency(self):
+        p = FactorizationProblem.random(256, 3, 8, rng=0)
+        assert p.product.shape == (256,)
+        assert p.codebooks.num_factors == 3
+        recomposed = p.codebooks.compose(p.true_indices)
+        assert np.array_equal(recomposed, p.product)
+
+    def test_search_space(self):
+        p = FactorizationProblem.random(64, 3, 4, rng=0)
+        assert p.search_space == 64
+
+    def test_from_indices(self):
+        cbs = CodebookSet.random_uniform(64, 2, 4, rng=0)
+        p = FactorizationProblem.from_indices(cbs, [1, 2])
+        assert p.true_indices == (1, 2)
+
+    def test_bad_true_indices_rejected(self):
+        cbs = CodebookSet.random_uniform(64, 2, 4, rng=0)
+        with pytest.raises(ConfigurationError):
+            FactorizationProblem(cbs, cbs.compose([0, 0]), true_indices=(0, 9))
+
+    def test_product_shape_checked(self):
+        cbs = CodebookSet.random_uniform(64, 2, 4, rng=0)
+        with pytest.raises(DimensionError):
+            FactorizationProblem(cbs, np.ones(32, dtype=np.int8))
+
+
+class TestResonatorBasics:
+    def test_solves_trivial_problem(self):
+        p = FactorizationProblem.random(256, 2, 4, rng=1)
+        net = ResonatorNetwork(p.codebooks, rng=0)
+        result = net.factorize(p.product, true_indices=p.true_indices)
+        assert result.correct
+        assert result.outcome is Outcome.CONVERGED
+
+    def test_solves_three_factor_problem(self):
+        p = FactorizationProblem.random(1024, 3, 8, rng=2)
+        net = ResonatorNetwork(p.codebooks, rng=0)
+        result = net.factorize(p.product, true_indices=p.true_indices)
+        assert result.correct
+        assert result.product_match
+
+    def test_result_without_truth_has_none_correct(self):
+        p = FactorizationProblem.random(256, 2, 4, rng=3)
+        net = ResonatorNetwork(p.codebooks, rng=0)
+        result = net.factorize(p.product)
+        assert result.correct is None
+
+    def test_correct_state_is_fixed_point(self):
+        p = FactorizationProblem.random(512, 3, 8, rng=4)
+        net = ResonatorNetwork(p.codebooks, rng=0)
+        truth_vectors = [
+            cb.vector(i) for cb, i in zip(p.codebooks, p.true_indices)
+        ]
+        result = net.factorize(
+            p.product,
+            initial_estimates=truth_vectors,
+            true_indices=p.true_indices,
+        )
+        assert result.correct
+        assert result.iterations <= 2
+
+    def test_max_iterations_respected(self):
+        p = FactorizationProblem.random(64, 3, 32, rng=5)
+        net = ResonatorNetwork(
+            p.codebooks, max_iterations=3, detect_cycles=False, rng=0
+        )
+        result = net.factorize(p.product)
+        assert result.iterations <= 3
+
+    def test_trace_recording(self):
+        p = FactorizationProblem.random(256, 2, 4, rng=6)
+        net = ResonatorNetwork(p.codebooks, rng=0)
+        result = net.factorize(p.product, record_trace=True)
+        assert result.trace is not None
+        assert len(result.trace) == result.iterations
+
+    def test_initial_estimates_are_bipolar(self):
+        p = FactorizationProblem.random(128, 3, 5, rng=7)
+        net = ResonatorNetwork(p.codebooks, rng=0)
+        for est in net.initial_estimates():
+            assert set(np.unique(est)).issubset({-1, 1})
+
+    def test_random_init_supported(self):
+        p = FactorizationProblem.random(256, 2, 4, rng=8)
+        net = ResonatorNetwork(p.codebooks, init="random", rng=0)
+        result = net.factorize(p.product, true_indices=p.true_indices)
+        assert result.iterations >= 1
+
+    def test_invalid_init_rejected(self):
+        p = FactorizationProblem.random(64, 2, 4, rng=9)
+        with pytest.raises(ConfigurationError):
+            ResonatorNetwork(p.codebooks, init="zeros")
+
+    def test_wrong_product_shape_rejected(self):
+        p = FactorizationProblem.random(64, 2, 4, rng=10)
+        net = ResonatorNetwork(p.codebooks, rng=0)
+        with pytest.raises(DimensionError):
+            net.factorize(np.ones(32, dtype=np.int8))
+
+
+class TestDeterminism:
+    def test_deterministic_backend_reproducible(self):
+        p = FactorizationProblem.random(256, 3, 8, rng=11)
+        results = []
+        for _ in range(2):
+            net = ResonatorNetwork(p.codebooks, rng=42)
+            results.append(net.factorize(p.product))
+        assert results[0].indices == results[1].indices
+        assert results[0].iterations == results[1].iterations
+
+    def test_cycle_detection_enabled_only_when_deterministic(self):
+        p = FactorizationProblem.random(64, 2, 4, rng=12)
+        det = ResonatorNetwork(p.codebooks, rng=0)
+        assert det.detect_cycles
+        noisy = ResonatorNetwork(
+            p.codebooks,
+            backend=StochasticThresholdBackend(rng=0),
+            rng=0,
+        )
+        assert not noisy.detect_cycles
+
+    def test_rectified_backend_is_deterministic(self):
+        assert RectifiedBackend().deterministic
+
+    def test_activation_randomness_disables_cycle_detection(self):
+        p = FactorizationProblem.random(64, 2, 4, rng=13)
+        net = ResonatorNetwork(
+            p.codebooks,
+            activation=SignActivation("random", rng=0),
+            rng=0,
+        )
+        assert not net.detect_cycles
+
+
+class TestDecoding:
+    def test_decode_of_exact_factors(self):
+        p = FactorizationProblem.random(512, 3, 8, rng=14)
+        net = ResonatorNetwork(p.codebooks, rng=0)
+        vectors = [cb.vector(i) for cb, i in zip(p.codebooks, p.true_indices)]
+        assert net.decode(p.product, vectors) == p.true_indices
+
+    def test_first_correct_iteration_set_on_success(self):
+        p = FactorizationProblem.random(512, 3, 4, rng=15)
+        net = ResonatorNetwork(p.codebooks, rng=0)
+        result = net.factorize(p.product, true_indices=p.true_indices)
+        if result.correct:
+            assert result.first_correct_iteration is not None
+            assert 1 <= result.first_correct_iteration <= result.iterations

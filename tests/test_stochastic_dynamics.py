@@ -1,0 +1,186 @@
+"""Dynamics-level tests of the stochastic factorizer (the Sec. III-C story).
+
+These test the *mechanism*, not just the plumbing: rectification raises
+deterministic capacity, noise+threshold escapes limit cycles, the locked
+state is stable under read-out noise, and termination semantics differ
+between deterministic and stochastic runs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cim.rram.noise import NoiseParameters
+from repro.core import CIMBackend, H3DFact, baseline_network
+from repro.resonator import (
+    ExactBackend,
+    FactorizationProblem,
+    Outcome,
+    RectifiedBackend,
+    ResonatorNetwork,
+    StochasticThresholdBackend,
+    ThresholdPolicy,
+    summarize,
+)
+from repro.resonator.batch import factorize_batch
+
+
+class TestRectificationBenefit:
+    def test_rectified_baseline_beats_signed_baseline(self):
+        """The positive-part nonlinearity is a large capacity multiplier."""
+        signed = factorize_batch(
+            lambda p: ResonatorNetwork(
+                p.codebooks, backend=ExactBackend(), max_iterations=300
+            ),
+            dim=1024,
+            num_factors=3,
+            codebook_size=64,
+            trials=10,
+            rng=0,
+        )
+        rectified = factorize_batch(
+            lambda p: baseline_network(p.codebooks, max_iterations=300),
+            dim=1024,
+            num_factors=3,
+            codebook_size=64,
+            trials=10,
+            rng=0,
+        )
+        assert rectified.accuracy > signed.accuracy
+
+
+class TestLockStability:
+    def test_solution_is_stable_under_noise(self):
+        """Starting AT the solution, the stochastic run stays there."""
+        problem = FactorizationProblem.random(1024, 4, 16, rng=0)
+        engine = H3DFact(rng=1)
+        network = engine.make_network(problem.codebooks, max_iterations=30)
+        truth_vectors = [
+            cb.vector(i) for cb, i in zip(problem.codebooks, problem.true_indices)
+        ]
+        result = network.factorize(
+            problem.product,
+            initial_estimates=truth_vectors,
+            true_indices=problem.true_indices,
+        )
+        assert result.correct
+        assert result.iterations <= 3  # solved-check fires immediately
+
+    def test_stochastic_does_not_stop_on_wrong_repeat(self):
+        """A repeated wrong state must not terminate a stochastic run.
+
+        (The regression that motivated the termination redesign: noisy
+        trials at small M used to 'converge' onto spurious states.)
+        """
+        engine = H3DFact(rng=3)
+        results = []
+        for trial in range(20):
+            problem = FactorizationProblem.random(1024, 4, 4, rng=100 + trial)
+            network = engine.make_network(problem.codebooks, max_iterations=40)
+            results.append(
+                network.factorize(
+                    problem.product, true_indices=problem.true_indices
+                )
+            )
+        stats = summarize(results)
+        assert stats.accuracy >= 0.75
+        # Converged outcomes must be genuinely solved, never wrong locks.
+        for result in results:
+            if result.outcome is Outcome.CONVERGED:
+                assert result.product_match
+
+    def test_stable_decode_window_terminates_noisy_products(self):
+        """Noisy products never recompose exactly; the window must exit."""
+        problem = FactorizationProblem.random(1024, 3, 8, rng=5)
+        noisy_product = problem.product.copy()
+        flips = np.random.default_rng(0).choice(1024, size=100, replace=False)
+        noisy_product[flips] *= -1
+        engine = H3DFact(rng=6)
+        result = engine.factorize(
+            noisy_product,
+            codebooks=problem.codebooks,
+            max_iterations=400,
+            stable_decode_window=6,
+        )
+        assert result.iterations < 400
+        assert result.indices == problem.true_indices
+
+
+class TestEscapeMechanism:
+    def test_noise_rescues_post_cliff_sizes(self):
+        """Beyond the deterministic cliff, only the stochastic run solves."""
+        size = 128
+        baseline = factorize_batch(
+            lambda p: baseline_network(p.codebooks, max_iterations=500),
+            dim=1024,
+            num_factors=3,
+            codebook_size=size,
+            trials=6,
+            rng=7,
+        )
+        engine = H3DFact(rng=8)
+        stochastic = factorize_batch(
+            lambda p: engine.make_network(p.codebooks, max_iterations=3000),
+            dim=1024,
+            num_factors=3,
+            codebook_size=size,
+            trials=6,
+            rng=7,
+            check_correct_every=2,
+        )
+        assert stochastic.accuracy >= baseline.accuracy
+        assert stochastic.accuracy >= 0.8
+
+    def test_zero_noise_threshold_backend_is_deterministic(self):
+        backend = StochasticThresholdBackend(noise_sigma=0.0, rng=0)
+        assert backend.deterministic
+
+
+class TestThresholdPolicyProperties:
+    @given(
+        st.integers(min_value=64, max_value=4096),
+        st.integers(min_value=8, max_value=512),
+        st.floats(min_value=0.0, max_value=2.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_threshold_nonnegative_and_noise_monotone(self, dim, size, sigma):
+        policy = ThresholdPolicy(target_pass_count=4)
+        threshold = policy.threshold(dim, size, sigma)
+        assert threshold >= 0
+        assert policy.threshold(dim, size, sigma + 0.5) >= threshold
+
+    @given(st.integers(min_value=16, max_value=512))
+    @settings(max_examples=30, deadline=None)
+    def test_threshold_grows_with_codebook_size(self, size):
+        policy = ThresholdPolicy(target_pass_count=4)
+        small = policy.threshold(1024, max(size // 2, 5), 0.5)
+        large = policy.threshold(1024, size * 2, 0.5)
+        assert large >= small
+
+    def test_noise_parameters_property(self):
+        params = NoiseParameters(sigma_z=0.3)
+        assert params.similarity_sigma(4096) == pytest.approx(0.3 * 64)
+
+
+class TestCIMBackendDynamics:
+    def test_dead_zone_sparsifies(self):
+        """Random queries produce mostly-zero ADC outputs (sparse search)."""
+        from repro.vsa import Codebook, random_hypervector
+
+        backend = CIMBackend(rng=0)
+        codebook = Codebook.random("c", 1024, 128, rng=1)
+        zero_fractions = []
+        for seed in range(10):
+            query = random_hypervector(1024, rng=seed)
+            sims = backend.similarity(codebook, query)
+            zero_fractions.append(float(np.mean(sims == 0)))
+        assert np.mean(zero_fractions) > 0.8
+
+    def test_true_signal_survives_chain(self):
+        from repro.vsa import Codebook
+
+        backend = CIMBackend(rng=0)
+        codebook = Codebook.random("c", 1024, 128, rng=1)
+        sims = backend.similarity(codebook, codebook.vector(7))
+        assert int(np.argmax(sims)) == 7

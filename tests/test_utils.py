@@ -1,0 +1,111 @@
+"""Tests for repro.utils: RNG plumbing, units, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DimensionError
+from repro.utils import (
+    as_rng,
+    celsius_to_kelvin,
+    check_bipolar,
+    check_positive,
+    check_probability,
+    check_shape,
+    derive_rng,
+    fj,
+    format_engineering,
+    fresh_seed,
+    kelvin_to_celsius,
+    mm2,
+    nm,
+    pj,
+    um,
+)
+from repro.utils.validation import check_choice
+
+
+class TestRNG:
+    def test_as_rng_accepts_none(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_as_rng_accepts_int_deterministically(self):
+        a = as_rng(42).integers(0, 1000, size=8)
+        b = as_rng(42).integers(0, 1000, size=8)
+        assert np.array_equal(a, b)
+
+    def test_as_rng_passes_generator_through(self):
+        gen = np.random.default_rng(1)
+        assert as_rng(gen) is gen
+
+    def test_fresh_seed_in_range(self):
+        seed = fresh_seed(as_rng(0))
+        assert 0 <= seed < 2**63
+
+    def test_derive_rng_streams_are_independent(self):
+        a = derive_rng(7, "noise").integers(0, 10**9)
+        b = derive_rng(7, "offset").integers(0, 10**9)
+        assert a != b
+
+    def test_derive_rng_is_deterministic_per_stream(self):
+        a = derive_rng(7, "noise").integers(0, 10**9)
+        b = derive_rng(7, "noise").integers(0, 10**9)
+        assert a == b
+
+
+class TestUnits:
+    def test_length_conversions(self):
+        assert nm(40) == pytest.approx(40e-9)
+        assert um(2) == pytest.approx(2e-6)
+
+    def test_area_conversions(self):
+        assert mm2(0.544) == pytest.approx(0.544e-6)
+
+    def test_energy_conversions(self):
+        assert fj(1) == pytest.approx(1e-15)
+        assert pj(1) == pytest.approx(1e-12)
+
+    def test_temperature_roundtrip(self):
+        assert kelvin_to_celsius(celsius_to_kelvin(46.8)) == pytest.approx(46.8)
+
+    def test_format_engineering_tera(self):
+        assert format_engineering(1.52e12, "OPS") == "1.52 TOPS"
+
+    def test_format_engineering_milli(self):
+        assert "m" in format_engineering(23.3e-3, "W")
+
+    def test_format_engineering_zero(self):
+        assert format_engineering(0, "W") == "0 W"
+
+
+class TestValidation:
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", 0)
+
+    def test_check_positive_allows_zero_when_asked(self):
+        assert check_positive("x", 0, allow_zero=True) == 0
+
+    def test_check_positive_rejects_negative_with_allow_zero(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", -1, allow_zero=True)
+
+    def test_check_probability_bounds(self):
+        assert check_probability("p", 0.5) == 0.5
+        with pytest.raises(ConfigurationError):
+            check_probability("p", 1.5)
+
+    def test_check_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            check_shape("a", np.zeros((2, 3)), (3, 2))
+
+    def test_check_bipolar_accepts_valid(self):
+        check_bipolar("v", np.array([-1, 1, 1, -1]))
+
+    def test_check_bipolar_rejects_zero(self):
+        with pytest.raises(DimensionError):
+            check_bipolar("v", np.array([-1, 0, 1]))
+
+    def test_check_choice(self):
+        assert check_choice("mode", "a", ["a", "b"]) == "a"
+        with pytest.raises(ConfigurationError):
+            check_choice("mode", "c", ["a", "b"])

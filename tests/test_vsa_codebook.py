@@ -1,0 +1,194 @@
+"""Tests for codebooks, scenes and scene encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodebookError, DimensionError
+from repro.vsa import (
+    VISUAL_OBJECT_ATTRIBUTES,
+    AttributeScene,
+    AttributeSpec,
+    Codebook,
+    CodebookSet,
+    SceneEncoder,
+)
+
+
+class TestCodebook:
+    def test_random_shape(self):
+        cb = Codebook.random("shape", 256, 8, rng=0)
+        assert cb.dim == 256 and cb.size == 8 and len(cb) == 8
+
+    def test_rejects_nonbipolar_matrix(self):
+        with pytest.raises(DimensionError):
+            Codebook("bad", np.zeros((4, 4)))
+
+    def test_rejects_wrong_label_count(self):
+        with pytest.raises(CodebookError):
+            Codebook.random("c", 16, 3, rng=0, labels=["a", "b"])
+
+    def test_vector_lookup_and_bounds(self):
+        cb = Codebook.random("c", 64, 4, rng=0)
+        assert cb.vector(2).shape == (64,)
+        with pytest.raises(CodebookError):
+            cb.vector(4)
+
+    def test_similarities_match_matmul(self):
+        cb = Codebook.random("c", 128, 6, rng=0)
+        q = cb.vector(3)
+        sims = cb.similarities(q)
+        expected = cb.matrix.T.astype(np.int64) @ q.astype(np.int64)
+        assert np.array_equal(sims, expected)
+
+    def test_cleanup_finds_exact_item(self):
+        cb = Codebook.random("c", 256, 10, rng=0)
+        index, vec = cb.cleanup(cb.vector(7))
+        assert index == 7
+        assert np.array_equal(vec, cb.vector(7))
+
+    def test_cleanup_tolerates_bit_flips(self):
+        cb = Codebook.random("c", 1024, 10, rng=0)
+        noisy = cb.vector(4).copy()
+        noisy[:100] *= -1  # < 25% corruption
+        index, _ = cb.cleanup(noisy)
+        assert index == 4
+
+    def test_project_weighted_sum(self):
+        cb = Codebook.random("c", 32, 3, rng=0)
+        w = np.array([1, 0, 2])
+        expected = (
+            cb.matrix.astype(np.int64) @ w.astype(np.int64)
+        )
+        assert np.array_equal(cb.project(w), expected)
+
+    def test_contains_vector(self):
+        cb = Codebook.random("c", 128, 5, rng=0)
+        assert cb.contains_vector(cb.vector(0))
+        assert not cb.contains_vector(-cb.vector(0))
+
+    def test_label_fallback(self):
+        cb = Codebook.random("c", 16, 2, rng=0)
+        assert cb.label(1) == "c[1]"
+
+    def test_query_dim_mismatch(self):
+        cb = Codebook.random("c", 16, 2, rng=0)
+        with pytest.raises(DimensionError):
+            cb.similarities(np.ones(8))
+
+
+class TestCodebookSet:
+    def test_random_uniform(self):
+        cbs = CodebookSet.random_uniform(128, 4, 8, rng=0)
+        assert cbs.num_factors == 4
+        assert cbs.sizes == (8, 8, 8, 8)
+        assert cbs.search_space == 8**4
+
+    def test_dim_mismatch_rejected(self):
+        books = [
+            Codebook.random("a", 64, 4, rng=0),
+            Codebook.random("b", 32, 4, rng=1),
+        ]
+        with pytest.raises(DimensionError):
+            CodebookSet(books)
+
+    def test_duplicate_names_rejected(self):
+        books = [
+            Codebook.random("a", 64, 4, rng=0),
+            Codebook.random("a", 64, 4, rng=1),
+        ]
+        with pytest.raises(CodebookError):
+            CodebookSet(books)
+
+    def test_lookup_by_name_and_index(self):
+        cbs = CodebookSet.random(64, [4, 6], names=["x", "y"], rng=0)
+        assert cbs["x"].size == 4
+        assert cbs[1].name == "y"
+        with pytest.raises(CodebookError):
+            cbs["z"]
+
+    def test_compose_matches_manual_product(self):
+        cbs = CodebookSet.random_uniform(128, 3, 4, rng=0)
+        indices = [1, 2, 3]
+        manual = (
+            cbs[0].vector(1).astype(np.int32)
+            * cbs[1].vector(2).astype(np.int32)
+            * cbs[2].vector(3).astype(np.int32)
+        )
+        assert np.array_equal(cbs.compose(indices), manual)
+
+    def test_compose_wrong_arity(self):
+        cbs = CodebookSet.random_uniform(64, 2, 4, rng=0)
+        with pytest.raises(CodebookError):
+            cbs.compose([0])
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_composed_product_is_bipolar(self, seed):
+        rng = np.random.default_rng(seed)
+        cbs = CodebookSet.random_uniform(64, 3, 4, rng=rng)
+        idx = [int(rng.integers(0, 4)) for _ in range(3)]
+        product = cbs.compose(idx)
+        assert set(np.unique(product)).issubset({-1, 1})
+
+
+class TestScenes:
+    def test_attribute_spec_index(self):
+        spec = AttributeSpec("color", ("red", "blue"))
+        assert spec.index_of("blue") == 1
+        with pytest.raises(CodebookError):
+            spec.index_of("green")
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(CodebookError):
+            AttributeSpec("color", ("red", "red"))
+
+    def test_random_scene_has_all_attributes(self):
+        scene = AttributeScene.random(VISUAL_OBJECT_ATTRIBUTES, rng=0)
+        assert set(scene.as_dict()) == {
+            "shape",
+            "color",
+            "vertical",
+            "horizontal",
+        }
+
+    def test_scene_indices_roundtrip(self):
+        scene = AttributeScene.random(VISUAL_OBJECT_ATTRIBUTES, rng=1)
+        idx = scene.indices(VISUAL_OBJECT_ATTRIBUTES)
+        rebuilt = {
+            spec.name: spec.values[i]
+            for spec, i in zip(VISUAL_OBJECT_ATTRIBUTES, idx)
+        }
+        assert rebuilt == scene.as_dict()
+
+
+class TestSceneEncoder:
+    def test_encode_decode_exhaustive(self):
+        encoder = SceneEncoder(VISUAL_OBJECT_ATTRIBUTES, dim=512, rng=0)
+        scene = AttributeScene.random(VISUAL_OBJECT_ATTRIBUTES, rng=2)
+        product = encoder.encode(scene)
+        assert encoder.decode_exhaustive(product) == scene
+
+    def test_distinct_scenes_encode_distinctly(self):
+        encoder = SceneEncoder(VISUAL_OBJECT_ATTRIBUTES, dim=512, rng=0)
+        s1 = AttributeScene.from_dict(
+            {"shape": "circle", "color": "blue", "vertical": "top", "horizontal": "left"}
+        )
+        s2 = AttributeScene.from_dict(
+            {"shape": "circle", "color": "red", "vertical": "top", "horizontal": "left"}
+        )
+        assert not np.array_equal(encoder.encode(s1), encoder.encode(s2))
+
+    def test_accuracy_metric(self):
+        encoder = SceneEncoder(VISUAL_OBJECT_ATTRIBUTES, dim=128, rng=0)
+        scenes = [
+            AttributeScene.random(VISUAL_OBJECT_ATTRIBUTES, rng=s) for s in range(4)
+        ]
+        assert encoder.accuracy(scenes, scenes) == 1.0
+        assert encoder.accuracy(scenes, scenes[::-1]) <= 1.0
+
+    def test_decode_indices_arity_check(self):
+        encoder = SceneEncoder(VISUAL_OBJECT_ATTRIBUTES, dim=64, rng=0)
+        with pytest.raises(CodebookError):
+            encoder.decode_indices([0, 1])

@@ -1,0 +1,154 @@
+"""Tests for the holographic vector algebra (repro.vsa.ops)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError
+from repro.vsa import (
+    bind,
+    bundle,
+    expected_similarity_floor,
+    hamming_similarity,
+    inverse_permute,
+    normalized_similarity,
+    permute,
+    random_hypervector,
+    sign_with_tiebreak,
+    similarity,
+    unbind,
+)
+
+
+def bipolar(dim, seed):
+    return random_hypervector(dim, rng=seed)
+
+
+class TestRandomHypervector:
+    def test_values_are_bipolar(self):
+        v = random_hypervector(512, rng=0)
+        assert set(np.unique(v)).issubset({-1, 1})
+
+    def test_deterministic_with_seed(self):
+        assert np.array_equal(
+            random_hypervector(128, rng=3), random_hypervector(128, rng=3)
+        )
+
+    def test_rejects_nonpositive_dim(self):
+        with pytest.raises(DimensionError):
+            random_hypervector(0)
+
+    def test_quasi_orthogonality(self):
+        a, b = bipolar(4096, 1), bipolar(4096, 2)
+        assert abs(normalized_similarity(a, b)) < 5 / np.sqrt(4096)
+
+
+class TestBindUnbind:
+    def test_bind_is_elementwise_product(self):
+        a, b = bipolar(64, 1), bipolar(64, 2)
+        assert np.array_equal(bind(a, b), a * b)
+
+    def test_bind_self_inverse(self):
+        a = bipolar(64, 1)
+        assert np.array_equal(bind(a, a), np.ones(64, dtype=a.dtype))
+
+    def test_unbind_recovers_factor(self):
+        a, b, c = bipolar(256, 1), bipolar(256, 2), bipolar(256, 3)
+        product = bind(a, b, c)
+        assert np.array_equal(unbind(product, b, c), a)
+
+    def test_bind_commutative(self):
+        a, b = bipolar(64, 1), bipolar(64, 2)
+        assert np.array_equal(bind(a, b), bind(b, a))
+
+    def test_bind_result_dissimilar_to_operands(self):
+        a, b = bipolar(4096, 1), bipolar(4096, 2)
+        product = bind(a, b)
+        assert abs(normalized_similarity(product, a)) < 0.1
+
+    def test_bind_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            bind(bipolar(64, 1), bipolar(32, 2))
+
+    def test_bind_requires_operand(self):
+        with pytest.raises(DimensionError):
+            bind()
+
+    @given(st.integers(min_value=1, max_value=200), st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_property_unbind_inverts_bind(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        a = random_hypervector(dim, rng=rng)
+        b = random_hypervector(dim, rng=rng)
+        assert np.array_equal(unbind(bind(a, b), b), a)
+
+
+class TestBundle:
+    def test_majority_of_identical(self):
+        a = bipolar(128, 1)
+        assert np.array_equal(bundle([a, a, a]), a)
+
+    def test_bundle_similar_to_components(self):
+        vs = [bipolar(4096, s) for s in range(3)]
+        superposed = bundle(vs, rng=0)
+        for v in vs:
+            assert normalized_similarity(superposed, v) > 0.3
+
+    def test_bundle_empty_rejected(self):
+        with pytest.raises(DimensionError):
+            bundle([])
+
+    def test_bundle_output_bipolar(self):
+        vs = [bipolar(256, s) for s in range(4)]  # even count -> ties
+        out = bundle(vs, rng=1)
+        assert set(np.unique(out)).issubset({-1, 1})
+
+
+class TestPermute:
+    def test_permute_roundtrip(self):
+        a = bipolar(100, 5)
+        assert np.array_equal(inverse_permute(permute(a, 7), 7), a)
+
+    def test_permute_changes_vector(self):
+        a = bipolar(100, 5)
+        assert not np.array_equal(permute(a, 1), a)
+
+    @given(st.integers(min_value=2, max_value=100), st.integers(-50, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_property_permute_preserves_multiset(self, dim, shift):
+        a = random_hypervector(dim, rng=0)
+        assert sorted(permute(a, shift)) == sorted(a)
+
+
+class TestSimilarity:
+    def test_self_similarity_is_dim(self):
+        a = bipolar(333, 1)
+        assert similarity(a, a) == 333
+
+    def test_normalized_self_similarity_is_one(self):
+        a = bipolar(333, 1)
+        assert normalized_similarity(a, a) == pytest.approx(1.0)
+
+    def test_hamming_of_negation_is_zero(self):
+        a = bipolar(64, 1)
+        assert hamming_similarity(a, -a) == 0.0
+
+    def test_similarity_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            similarity(bipolar(8, 1), bipolar(9, 1))
+
+    def test_expected_similarity_floor_decreases_with_dim(self):
+        assert expected_similarity_floor(4096) < expected_similarity_floor(64)
+
+
+class TestSignWithTiebreak:
+    def test_no_zeros_in_output(self):
+        values = np.array([-3, 0, 2, 0, -1])
+        out = sign_with_tiebreak(values, rng=0)
+        assert set(np.unique(out)).issubset({-1, 1})
+
+    def test_nonzero_values_keep_sign(self):
+        values = np.array([-3.0, 2.0, -0.5])
+        out = sign_with_tiebreak(values, rng=0)
+        assert np.array_equal(out, np.array([-1, 1, -1], dtype=np.int8))
