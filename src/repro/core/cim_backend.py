@@ -27,7 +27,13 @@ import numpy as np
 
 from repro.cim.adc import SARADC
 from repro.cim.rram.noise import NoiseParameters
-from repro.resonator.backends import ExactBackend, MVMBackend
+from repro.resonator.backends import (
+    CodebookBatch,
+    ExactBackend,
+    MVMBackend,
+    batch_geometry,
+    codebooks_per_trial,
+)
 from repro.resonator.stochastic import ThresholdPolicy
 from repro.utils.rng import RandomState, as_rng
 from repro.vsa.codebook import Codebook
@@ -93,30 +99,54 @@ class CIMBackend(MVMBackend):
 
     # -- MVMs ------------------------------------------------------------------
 
+    # The batch methods below are the single authoritative implementation
+    # of the read-out chain; the scalar methods run a one-row batch (the
+    # seeded noise stream is unchanged: Generator.normal draws identical
+    # values for size=(M,) and size=(1, M)).
+
     def similarity(self, codebook: Codebook, query: np.ndarray) -> np.ndarray:
-        values = self._exact.similarity(codebook, query)
-        sqrt_dim = np.sqrt(codebook.dim)
+        return self.similarity_batch(codebook, np.asarray(query)[None])[0]
+
+    def project(self, codebook: Codebook, weights: np.ndarray) -> np.ndarray:
+        return self.project_batch(codebook, np.asarray(weights)[None])[0]
+
+    # -- batched MVMs (Sec. IV-A: SRAM-buffered batch operation) ------------
+
+    def similarity_batch(
+        self, codebooks: CodebookBatch, queries: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized read-out chain over a ``(trials, dim)`` query matrix.
+
+        Per-trial codebooks keep independent frozen column offsets (each
+        trial's arrays carry their own programming error); a shared codebook
+        models one programmed array streaming the whole batch, so its offset
+        draw is common to every row.
+        """
+        values = self._exact.similarity_batch(codebooks, queries)
+        dim, size = batch_geometry(codebooks)
+        sqrt_dim = np.sqrt(dim)
         if self.noise.sigma_z > 0:
             values = values + self._rng.normal(
-                0.0, self.noise.similarity_sigma(codebook.dim), size=values.shape
+                0.0, self.noise.similarity_sigma(dim), size=values.shape
             ).astype(np.float32)
-        offsets = self._offset_for(codebook)
-        if offsets is not None:
+        if self.noise.offset_z != 0:
+            books = codebooks_per_trial(codebooks, len(values))
+            offsets = np.stack([self._offset_for(book) for book in books])
             values = values + offsets
         values = np.maximum(values, 0.0)  # single-ended sensing
         if self.policy is not None:
-            threshold = self.policy.threshold(
-                codebook.dim, codebook.size, self.noise.sigma_z
-            )
+            threshold = self.policy.threshold(dim, size, self.noise.sigma_z)
             values = np.where(values >= threshold, values, 0.0)
         full_scale = self.adc_full_scale_zscore * sqrt_dim
         return self.adc.convert(values, full_scale=full_scale)
 
-    def project(self, codebook: Codebook, weights: np.ndarray) -> np.ndarray:
-        values = self._exact.project(codebook, weights)
+    def project_batch(
+        self, codebooks: CodebookBatch, weights: np.ndarray
+    ) -> np.ndarray:
+        values = self._exact.project_batch(codebooks, weights)
         if self.projection_noise and self.noise.sigma_z > 0:
-            # Tier-2 read noise referenced to the projection output scale.
-            scale = self.noise.sigma_z * np.sqrt(codebook.size)
+            _, size = batch_geometry(codebooks)
+            scale = self.noise.sigma_z * np.sqrt(size)
             values = values + self._rng.normal(
                 0.0, scale, size=values.shape
             ).astype(np.float32)

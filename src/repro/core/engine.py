@@ -16,6 +16,8 @@ from repro.errors import ConfigurationError
 from repro.hwmodel import calibration as cal
 from repro.hwmodel.metrics import DesignMetrics, evaluate_design
 from repro.resonator.activations import SignActivation
+from repro.resonator.batch import factorize_problems
+from repro.resonator.batched import BatchedResonatorNetwork, CodebookSetBatch
 from repro.resonator.network import (
     FactorizationProblem,
     FactorizationResult,
@@ -165,6 +167,29 @@ class H3DFact:
             rng=generator,
         )
 
+    def make_batched_network(
+        self,
+        codebooks: CodebookSetBatch,
+        *,
+        max_iterations: Optional[int] = None,
+        rng: RandomState = None,
+    ) -> BatchedResonatorNetwork:
+        """Batched resonator wired to this engine's CIM backend.
+
+        ``codebooks`` is one shared :class:`~repro.vsa.codebook.CodebookSet`
+        (arrays programmed once, many queries - the Sec. IV-A batch
+        situation) or one set per trial of identical geometry.  All trials
+        advance through stacked MVMs with per-trial convergence masking.
+        """
+        generator = as_rng(rng) if rng is not None else self._rng
+        return BatchedResonatorNetwork(
+            codebooks,
+            backend=self.make_backend(rng=generator),
+            activation=SignActivation("random", rng=generator),
+            max_iterations=max_iterations or self.max_iterations,
+            rng=generator,
+        )
+
     def factorize(
         self,
         problem: Union[FactorizationProblem, np.ndarray],
@@ -243,6 +268,14 @@ class H3DFact:
         projection tier, so the per-element hardware cost shrinks with the
         batch size.  Algorithmically the trials stay independent; the
         report combines their results with the pipelined hardware cost.
+
+        When all problems share the hypervector dimension and per-factor
+        codebook sizes, the trials execute through
+        :func:`~repro.resonator.batch.factorize_problems` - vectorized by
+        default (stacked MVMs, per-trial convergence masking, shared-mode
+        GEMM when the problems share one codebook set), or the per-trial
+        loop under ``H3DFACT_ENGINE=sequential``.  Heterogeneous
+        geometries always fall back to the loop.
         """
         if not problems:
             raise ConfigurationError("factorize_batch() needs at least one problem")
@@ -252,10 +285,12 @@ class H3DFact:
                 raise ConfigurationError(
                     "all problems in a batch must share the factor count"
                 )
-        results = [
-            self.factorize(problem, max_iterations=max_iterations)
-            for problem in problems
-        ]
+        geometries = {(p.codebooks.dim, p.codebooks.sizes) for p in problems}
+        results = factorize_problems(
+            lambda p: self.make_network(p.codebooks, max_iterations=max_iterations),
+            problems,
+            engine="sequential" if len(geometries) != 1 else None,
+        ).results
         metrics = self.ppa()
         latency = StepLatency.from_geometry(
             rows=self.design.array_rows,

@@ -11,7 +11,11 @@ from typing import Any, Dict, Optional
 
 
 def full_scale() -> bool:
-    """True when paper-scale grids were requested via ``H3DFACT_FULL=1``."""
+    """True when paper-scale grids were requested via ``H3DFACT_FULL=1``.
+
+    The batch drivers read their own ``H3DFACT_ENGINE`` knob directly; see
+    :func:`repro.resonator.batch.engine_from_environment`.
+    """
     return os.environ.get("H3DFACT_FULL", "0") not in ("", "0", "false", "no")
 
 

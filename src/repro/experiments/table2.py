@@ -34,6 +34,9 @@ class Table2Config:
     trials: int = 20
     target_accuracy: float = 0.99
     seed: int = 0
+    #: Batch execution engine: "batched" (vectorized, the default),
+    #: "sequential" (per-trial loop), or None to consult H3DFACT_ENGINE.
+    engine: Optional[str] = None
 
     @classmethod
     def paper(cls) -> "Table2Config":
@@ -137,8 +140,12 @@ def run_table2(config: Optional[Table2Config] = None) -> Table2Result:
     for num_factors in config.factor_counts:
         for size in config.codebook_sizes:
             baseline_batch = factorize_batch(
+                # Seed the network too (init tie-breaks), so the whole cell
+                # is reproducible from config.seed.
                 lambda p: baseline_network(
-                    p.codebooks, max_iterations=config.max_iterations_baseline
+                    p.codebooks,
+                    max_iterations=config.max_iterations_baseline,
+                    rng=rng,
                 ),
                 dim=config.dim,
                 num_factors=num_factors,
@@ -146,6 +153,7 @@ def run_table2(config: Optional[Table2Config] = None) -> Table2Result:
                 trials=config.trials,
                 target_accuracy=config.target_accuracy,
                 rng=rng,
+                engine=config.engine,
             )
             cells.append(
                 Cell("baseline", num_factors, size, baseline_batch.statistics)
@@ -163,6 +171,7 @@ def run_table2(config: Optional[Table2Config] = None) -> Table2Result:
                 target_accuracy=config.target_accuracy,
                 rng=rng,
                 check_correct_every=2,
+                engine=config.engine,
             )
             cells.append(Cell("h3d", num_factors, size, h3d_batch.statistics))
     return Table2Result(

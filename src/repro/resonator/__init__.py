@@ -14,11 +14,14 @@ from repro.resonator.activations import (
     make_activation,
 )
 from repro.resonator.backends import (
+    CodebookBatch,
     ExactBackend,
     MVMBackend,
     NoisySimilarityBackend,
     QuantizedSimilarityBackend,
+    codebooks_per_trial,
 )
+from repro.resonator.batched import BatchedResonatorNetwork
 from repro.resonator.convergence import (
     ConvergenceMonitor,
     CycleDetector,
@@ -36,7 +39,13 @@ from repro.resonator.network import (
     FactorizationResult,
     ResonatorNetwork,
 )
-from repro.resonator.batch import BatchResult, factorize_batch
+from repro.resonator.batch import (
+    BatchResult,
+    engine_from_environment,
+    factorize_batch,
+    factorize_problems,
+    generate_problems,
+)
 from repro.resonator.profiler import OpCounts, ResonatorProfiler, StepTiming
 from repro.resonator.stochastic import (
     RectifiedBackend,
@@ -49,10 +58,13 @@ __all__ = [
     "IdentityActivation",
     "SignActivation",
     "make_activation",
+    "CodebookBatch",
     "ExactBackend",
     "MVMBackend",
     "NoisySimilarityBackend",
     "QuantizedSimilarityBackend",
+    "codebooks_per_trial",
+    "BatchedResonatorNetwork",
     "ConvergenceMonitor",
     "CycleDetector",
     "Outcome",
@@ -65,7 +77,10 @@ __all__ = [
     "FactorizationResult",
     "ResonatorNetwork",
     "BatchResult",
+    "engine_from_environment",
     "factorize_batch",
+    "factorize_problems",
+    "generate_problems",
     "OpCounts",
     "ResonatorProfiler",
     "StepTiming",

@@ -11,19 +11,86 @@ crossbar simulation (:class:`repro.core.cim_backend.CIMBackend`).  Table II's
 "Baseline" column is :class:`ExactBackend`; the "H3D" column is the crossbar
 backend, whose behaviour is bracketed in tests by the two intermediate
 models here.
+
+Batched execution
+-----------------
+Every backend additionally exposes ``similarity_batch`` / ``project_batch``,
+operating on a stacked ``(trials, dim)`` query matrix (respectively a
+``(trials, size)`` weight matrix) and returning the per-trial results
+stacked the same way.  This is the software analogue of the paper's
+Sec. IV-A batch operation: tier-1's SRAM buffers let the hardware stream a
+whole batch of queries through one programmed array, and in software the
+same structure turns ``trials`` interpreter-bound mat-vecs into a single
+BLAS mat-mat call.
+
+``codebooks`` may be either
+
+* a single :class:`~repro.vsa.codebook.Codebook` - all trials query the
+  same programmed array (the ``share_codebooks`` hardware situation), or
+* a sequence of per-trial codebooks of identical shape - each trial owns
+  its own array; the exact backend stacks them into a ``(T, D, M)`` tensor
+  and uses batched matmul.
+
+The base-class default falls back to a per-trial loop, so custom backends
+stay correct without writing vectorized code; :class:`ExactBackend` and the
+noise / quantizing backends override it with true vectorized
+implementations.  For bipolar codebooks and integer-valued inputs all
+float32 sums stay below 2**24, so the vectorized results are *bit-exact*
+equal to the per-trial loop for deterministic backends (asserted by
+``tests/test_backend_batch_equivalence.py``).
+
+Backends also report the exact flop cost of their MVMs
+(:meth:`MVMBackend.similarity_flops` / :meth:`MVMBackend.project_flops`),
+which the networks feed to the deterministic op-count profiler
+(:mod:`repro.resonator.profiler`) - the basis of Fig. 1c's breakdown.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DimensionError
 from repro.utils.rng import RandomState, as_rng
 from repro.utils.validation import check_positive
 from repro.vsa.codebook import Codebook
+
+#: A shared codebook, or one codebook per trial (all of identical shape).
+CodebookBatch = Union[Codebook, Sequence[Codebook]]
+
+
+def codebooks_per_trial(codebooks: CodebookBatch, trials: int) -> List[Codebook]:
+    """Expand ``codebooks`` to one :class:`Codebook` per trial.
+
+    A single codebook is shared by every trial; a sequence must have one
+    entry per trial and all entries must agree on ``(dim, size)`` so the
+    batch can be expressed as stacked matrix products.
+    """
+    if isinstance(codebooks, Codebook):
+        return [codebooks] * trials
+    books = list(codebooks)
+    if len(books) != trials:
+        raise DimensionError(
+            f"{len(books)} codebooks provided for {trials} trials"
+        )
+    shapes = {(book.dim, book.size) for book in books}
+    if len(shapes) != 1:
+        raise DimensionError(
+            f"per-trial codebooks must share (dim, size); got {sorted(shapes)}"
+        )
+    return books
+
+
+def batch_geometry(codebooks: CodebookBatch) -> Tuple[int, int]:
+    """``(dim, size)`` of a codebook batch (shared or per-trial)."""
+    if isinstance(codebooks, Codebook):
+        return codebooks.dim, codebooks.size
+    books = list(codebooks)
+    if not books:
+        raise DimensionError("empty codebook batch")
+    return books[0].dim, books[0].size
 
 
 class MVMBackend(ABC):
@@ -43,13 +110,94 @@ class MVMBackend(ABC):
     def begin_trial(self) -> None:
         """Hook called once per factorization trial (e.g. re-program arrays)."""
 
+    # -- batched execution (default: per-trial loop) -----------------------
+
+    def similarity_batch(
+        self, codebooks: CodebookBatch, queries: np.ndarray
+    ) -> np.ndarray:
+        """Stacked ``X^T query`` for a ``(trials, dim)`` query matrix.
+
+        Returns a ``(trials, size)`` array.  The default implementation
+        loops over trials; vectorizing subclasses must match it exactly
+        (deterministic backends) or statistically (noisy backends).
+        """
+        queries = np.asarray(queries)
+        books = codebooks_per_trial(codebooks, len(queries))
+        return np.stack(
+            [self.similarity(book, query) for book, query in zip(books, queries)]
+        )
+
+    def project_batch(
+        self, codebooks: CodebookBatch, weights: np.ndarray
+    ) -> np.ndarray:
+        """Stacked ``X weights`` for a ``(trials, size)`` weight matrix.
+
+        Returns a ``(trials, dim)`` array; see :meth:`similarity_batch`.
+        """
+        weights = np.asarray(weights)
+        books = codebooks_per_trial(codebooks, len(weights))
+        return np.stack(
+            [self.project(book, weight) for book, weight in zip(books, weights)]
+        )
+
+    # -- deterministic cost model (consumed by the profiler) ----------------
+
+    def similarity_flops(self, codebooks: CodebookBatch) -> int:
+        """Exact flops of one similarity MVM per trial (2 per MAC)."""
+        dim, size = batch_geometry(codebooks)
+        return 2 * dim * size
+
+    def project_flops(self, codebooks: CodebookBatch) -> int:
+        """Exact flops of one projection MVM per trial (2 per MAC)."""
+        dim, size = batch_geometry(codebooks)
+        return 2 * dim * size
+
+
+class _StackCache:
+    """Process-wide cache of float32 ``(T, D, M)`` codebook tensors.
+
+    A batched resonator run touches the same per-trial codebook subset from
+    several :class:`ExactBackend` instances (the compute backend's inner
+    oracle and the network's decoder), so the cache is shared globally:
+    each ``(T, D, M)`` tensor is built once per active-set compaction
+    instead of once per backend.  Entries hold strong references to their
+    codebooks, which pins the ``id``-based key for the entry's lifetime;
+    the cache is LRU-bounded so stacks of retired trial subsets (or
+    finished experiments) are dropped.
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        self.max_entries = max_entries
+        self._stacks: Dict[
+            Tuple[int, ...], Tuple[List[Codebook], np.ndarray]
+        ] = {}
+
+    def get(self, books: Sequence[Codebook]) -> np.ndarray:
+        books = list(books)
+        key = tuple(id(book) for book in books)
+        entry = self._stacks.get(key)
+        if entry is None:
+            stack = np.stack([book.matrix.astype(np.float32) for book in books])
+            while len(self._stacks) >= self.max_entries:
+                self._stacks.pop(next(iter(self._stacks)))
+            self._stacks[key] = (books, stack)
+            return stack
+        # Refresh LRU position.
+        self._stacks[key] = self._stacks.pop(key)
+        return entry[1]
+
+
+_STACK_CACHE = _StackCache()
+
 
 class _MatrixCache:
     """Caches float32 views of codebook matrices keyed by object identity.
 
     The resonator calls the backend thousands of times with the same
     codebooks; converting int8 -> float32 once keeps each MVM on the BLAS
-    fast path.
+    fast path.  ``get_stack`` additionally serves the ``(T, D, M)`` tensor
+    of a per-trial codebook batch (from the process-wide
+    :class:`_StackCache`) for batched matmul.
     """
 
     def __init__(self) -> None:
@@ -63,6 +211,9 @@ class _MatrixCache:
             entry = (matrix, matrix.T.copy())
             self._cache[key] = entry
         return entry
+
+    def get_stack(self, books: Sequence[Codebook]) -> np.ndarray:
+        return _STACK_CACHE.get(books)
 
 
 class ExactBackend(MVMBackend):
@@ -80,6 +231,35 @@ class ExactBackend(MVMBackend):
     def project(self, codebook: Codebook, weights: np.ndarray) -> np.ndarray:
         matrix, _ = self._cache.get(codebook)
         return matrix @ np.asarray(weights, dtype=np.float32)
+
+    def similarity_batch(
+        self, codebooks: CodebookBatch, queries: np.ndarray
+    ) -> np.ndarray:
+        queries = np.asarray(queries, dtype=np.float32)
+        if isinstance(codebooks, Codebook):
+            matrix, _ = self._cache.get(codebooks)
+            return queries @ matrix
+        stack = self._cache.get_stack(codebooks_per_trial(codebooks, len(queries)))
+        return np.matmul(queries[:, None, :], stack)[:, 0, :]
+
+    def project_batch(
+        self, codebooks: CodebookBatch, weights: np.ndarray
+    ) -> np.ndarray:
+        weights = np.asarray(weights, dtype=np.float32)
+        if isinstance(codebooks, Codebook):
+            _, transposed = self._cache.get(codebooks)
+            return weights @ transposed
+        stack = self._cache.get_stack(codebooks_per_trial(codebooks, len(weights)))
+        return np.matmul(stack, weights[:, :, None])[:, :, 0]
+
+    def matrix32(self, codebook: Codebook) -> np.ndarray:
+        """Cached float32 view of ``codebook.matrix`` (``(dim, size)``)."""
+        matrix, _ = self._cache.get(codebook)
+        return matrix
+
+    def stack32(self, books: Sequence[Codebook]) -> np.ndarray:
+        """Cached float32 ``(trials, dim, size)`` tensor of per-trial books."""
+        return self._cache.get_stack(list(books))
 
     def __repr__(self) -> str:
         return "ExactBackend()"
@@ -132,6 +312,30 @@ class NoisySimilarityBackend(MVMBackend):
             np.float32
         )
 
+    def similarity_batch(
+        self, codebooks: CodebookBatch, queries: np.ndarray
+    ) -> np.ndarray:
+        clean = self._exact.similarity_batch(codebooks, queries)
+        if self.sigma == 0:
+            return clean
+        dim, _ = batch_geometry(codebooks)
+        scale = self.sigma * np.sqrt(dim)
+        return clean + self._rng.normal(0.0, scale, size=clean.shape).astype(
+            np.float32
+        )
+
+    def project_batch(
+        self, codebooks: CodebookBatch, weights: np.ndarray
+    ) -> np.ndarray:
+        clean = self._exact.project_batch(codebooks, weights)
+        if not self.noise_on_projection or self.projection_sigma == 0:
+            return clean
+        _, size = batch_geometry(codebooks)
+        scale = self.projection_sigma * np.sqrt(size)
+        return clean + self._rng.normal(0.0, scale, size=clean.shape).astype(
+            np.float32
+        )
+
     def __repr__(self) -> str:
         return f"NoisySimilarityBackend(sigma={self.sigma})"
 
@@ -142,7 +346,8 @@ class QuantizedSimilarityBackend(MVMBackend):
     The ADC object must expose ``convert(values, full_scale)`` returning the
     reconstructed (de-quantized) values; :class:`repro.cim.adc.SARADC`
     satisfies this.  ``full_scale`` defaults to the codebook dimension, the
-    largest possible similarity magnitude.
+    largest possible similarity magnitude.  The ADC transfer is elementwise,
+    so the batched path simply converts the stacked inner similarities.
     """
 
     def __init__(
@@ -163,13 +368,27 @@ class QuantizedSimilarityBackend(MVMBackend):
             self.inner.deterministic and getattr(adc, "deterministic", True)
         )
 
+    def _scale(self, dim: int) -> float:
+        return self.full_scale if self.full_scale is not None else dim
+
     def similarity(self, codebook: Codebook, query: np.ndarray) -> np.ndarray:
         raw = self.inner.similarity(codebook, query)
-        scale = self.full_scale if self.full_scale is not None else codebook.dim
-        return self.adc.convert(raw, full_scale=scale)
+        return self.adc.convert(raw, full_scale=self._scale(codebook.dim))
 
     def project(self, codebook: Codebook, weights: np.ndarray) -> np.ndarray:
         return self.inner.project(codebook, weights)
+
+    def similarity_batch(
+        self, codebooks: CodebookBatch, queries: np.ndarray
+    ) -> np.ndarray:
+        raw = self.inner.similarity_batch(codebooks, queries)
+        dim, _ = batch_geometry(codebooks)
+        return self.adc.convert(raw, full_scale=self._scale(dim))
+
+    def project_batch(
+        self, codebooks: CodebookBatch, weights: np.ndarray
+    ) -> np.ndarray:
+        return self.inner.project_batch(codebooks, weights)
 
     def begin_trial(self) -> None:
         self.inner.begin_trial()

@@ -4,15 +4,43 @@ Runs many independent trials of one problem configuration and aggregates
 them - the inner loop of every accuracy experiment (Table II, Fig. 6).
 Hardware-wise this corresponds to the batch operation that tier-1's SRAM
 buffering enables (Sec. IV-A: "greater-than-one factorization batch size").
+
+Execution engines
+-----------------
+Two engines produce the same per-trial :class:`FactorizationResult` records:
+
+* ``"batched"`` (the default) - all trials advance together through
+  :class:`~repro.resonator.batched.BatchedResonatorNetwork`: one stacked
+  MVM per step per sweep instead of one mat-vec per trial, with per-trial
+  convergence masking.  Deterministic configurations take bit-identical
+  steps to the sequential engine; stochastic ones draw their noise in a
+  different order, so individual trials differ while the batch statistics
+  match.
+* ``"sequential"`` - the historical per-trial Python loop; one fresh
+  network per trial via ``network_factory``.
+
+Problem generation consumes the ``rng`` stream identically under both
+engines, so the generated problems (codebooks and ground-truth indices)
+are the same for a given seed regardless of engine.  Select the engine per
+call (``engine=...``) or process-wide via the ``H3DFACT_ENGINE``
+environment variable (see :func:`engine_from_environment`).
+
+In batched mode, ``network_factory`` is invoked once on the first problem
+to obtain a *template* network whose backend, activation, budget and
+termination settings are shared by the whole batch (the hardware
+situation: one configured stack, many queries).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+from repro.resonator.batched import BatchedResonatorNetwork
 from repro.resonator.metrics import BatchStatistics, summarize
 from repro.resonator.network import (
     FactorizationProblem,
@@ -23,6 +51,26 @@ from repro.utils.rng import RandomState, as_rng
 
 #: Builds a fresh network for a problem; lets each trial own its noise state.
 NetworkFactory = Callable[[FactorizationProblem], ResonatorNetwork]
+
+#: Recognised execution engines.
+ENGINES = ("batched", "sequential")
+
+
+def engine_from_environment(default: str = "batched") -> str:
+    """Resolve the batch execution engine from ``H3DFACT_ENGINE``.
+
+    Accepts ``"batched"`` or ``"sequential"``; unset or empty falls back to
+    ``default``.  Lets benchmark and CI runs pit the two engines against
+    each other without touching call sites.
+    """
+    value = os.environ.get("H3DFACT_ENGINE", "").strip().lower()
+    if not value:
+        return default
+    if value not in ENGINES:
+        raise ConfigurationError(
+            f"H3DFACT_ENGINE must be one of {ENGINES}, got {value!r}"
+        )
+    return value
 
 
 @dataclass
@@ -41,6 +89,102 @@ class BatchResult:
         return self.statistics.mean_iterations
 
 
+def factorize_problems(
+    network_factory: NetworkFactory,
+    problems: Sequence[FactorizationProblem],
+    *,
+    max_iterations: Optional[int] = None,
+    target_accuracy: float = 0.99,
+    check_correct_every: int = 1,
+    engine: Optional[str] = None,
+) -> BatchResult:
+    """Factorize pre-generated ``problems`` and aggregate the results.
+
+    All problems must share ``(dim, num_factors, sizes)`` for the batched
+    engine; when they additionally share one
+    :class:`~repro.vsa.codebook.CodebookSet` object, the batch runs in
+    shared-codebook mode (one programmed array, many queries).
+    """
+    if not problems:
+        raise ConfigurationError("factorize_problems() needs at least one problem")
+    if engine is None:
+        engine = engine_from_environment()
+    if engine not in ENGINES:
+        raise ConfigurationError(f"engine must be one of {ENGINES}, got {engine!r}")
+
+    if engine == "sequential":
+        results: List[FactorizationResult] = []
+        for problem in problems:
+            network = network_factory(problem)
+            results.append(
+                network.factorize(
+                    problem.product,
+                    max_iterations=max_iterations,
+                    true_indices=problem.true_indices,
+                    check_correct_every=check_correct_every,
+                )
+            )
+        return BatchResult(
+            results=results,
+            statistics=summarize(results, target_accuracy=target_accuracy),
+        )
+
+    template = network_factory(problems[0])
+    first_set = problems[0].codebooks
+    if all(problem.codebooks is first_set for problem in problems):
+        codebooks = first_set
+    else:
+        codebooks = [problem.codebooks for problem in problems]
+    network = BatchedResonatorNetwork.from_network(template, codebooks)
+    products = np.stack([problem.product for problem in problems])
+    results = network.factorize(
+        products,
+        max_iterations=max_iterations,
+        true_indices=[problem.true_indices for problem in problems],
+        check_correct_every=check_correct_every,
+    )
+    return BatchResult(
+        results=results,
+        statistics=summarize(results, target_accuracy=target_accuracy),
+    )
+
+
+def generate_problems(
+    *,
+    dim: int,
+    num_factors: int,
+    codebook_size: int,
+    trials: int,
+    rng: RandomState = None,
+    share_codebooks: bool = False,
+) -> List[FactorizationProblem]:
+    """Random problems for one (D, F, M) configuration.
+
+    Consumes the ``rng`` stream in the same per-trial order as the
+    historical sequential driver, so seeds keep generating identical
+    workloads.  With ``share_codebooks`` all trials reuse one codebook set
+    with fresh random ground-truth indices - the hardware situation where
+    arrays are programmed once and many queries stream through.
+    """
+    generator = as_rng(rng)
+    problems: List[FactorizationProblem] = []
+    shared: Optional[FactorizationProblem] = None
+    for _ in range(trials):
+        if share_codebooks and shared is not None:
+            indices = tuple(
+                int(generator.integers(0, codebook_size)) for _ in range(num_factors)
+            )
+            problem = FactorizationProblem.from_indices(shared.codebooks, indices)
+        else:
+            problem = FactorizationProblem.random(
+                dim, num_factors, codebook_size, rng=generator
+            )
+            if share_codebooks:
+                shared = problem
+        problems.append(problem)
+    return problems
+
+
 def factorize_batch(
     network_factory: NetworkFactory,
     *,
@@ -53,45 +197,37 @@ def factorize_batch(
     rng: RandomState = None,
     share_codebooks: bool = False,
     check_correct_every: int = 1,
+    engine: Optional[str] = None,
 ) -> BatchResult:
     """Run ``trials`` independent factorizations of random problems.
 
     Parameters
     ----------
     network_factory:
-        Called once per trial with the generated problem; returns the
-        configured :class:`ResonatorNetwork` (baseline, noisy, CIM, ...).
+        Builds the configured :class:`ResonatorNetwork` (baseline, noisy,
+        CIM, ...).  The sequential engine calls it once per trial; the
+        batched engine calls it once, on the first problem, as a template.
     share_codebooks:
         When True all trials reuse one codebook set with fresh random
         ground-truth indices - the hardware situation where arrays are
         programmed once and many queries stream through.
+    engine:
+        ``"batched"``, ``"sequential"``, or ``None`` to consult
+        :func:`engine_from_environment`.
     """
-    generator = as_rng(rng)
-    results: List[FactorizationResult] = []
-    shared_problem: Optional[FactorizationProblem] = None
-    for _ in range(trials):
-        if share_codebooks and shared_problem is not None:
-            indices = tuple(
-                int(generator.integers(0, codebook_size)) for _ in range(num_factors)
-            )
-            problem = FactorizationProblem.from_indices(
-                shared_problem.codebooks, indices
-            )
-        else:
-            problem = FactorizationProblem.random(
-                dim, num_factors, codebook_size, rng=generator
-            )
-            if share_codebooks:
-                shared_problem = problem
-        network = network_factory(problem)
-        result = network.factorize(
-            problem.product,
-            max_iterations=max_iterations,
-            true_indices=problem.true_indices,
-            check_correct_every=check_correct_every,
-        )
-        results.append(result)
-    return BatchResult(
-        results=results,
-        statistics=summarize(results, target_accuracy=target_accuracy),
+    problems = generate_problems(
+        dim=dim,
+        num_factors=num_factors,
+        codebook_size=codebook_size,
+        trials=trials,
+        rng=rng,
+        share_codebooks=share_codebooks,
+    )
+    return factorize_problems(
+        network_factory,
+        problems,
+        max_iterations=max_iterations,
+        target_accuracy=target_accuracy,
+        check_correct_every=check_correct_every,
+        engine=engine,
     )

@@ -1,0 +1,515 @@
+"""Vectorized batched resonator: all trials advance as stacked arrays.
+
+:class:`BatchedResonatorNetwork` runs ``T`` independent factorization
+trials simultaneously.  Each factor's estimate is a ``(T, dim)`` array and
+each of the two MVMs per factor per sweep becomes one stacked matrix
+product (`similarity_batch` / `project_batch` on the backend), so the
+Python interpreter is invoked once per step per sweep instead of once per
+step per sweep *per trial*.  This is the software analogue of the paper's
+Sec. IV-A batch operation, where tier-1's SRAM buffers stream a whole
+batch of queries through the programmed RRAM arrays.
+
+Semantics match :class:`~repro.resonator.network.ResonatorNetwork` trial
+by trial:
+
+* factors update asynchronously within a sweep (factor ``f`` sees factor
+  ``f-1``'s fresh estimate), exactly like the sequential network;
+* deterministic configurations stop per trial on fixed points and limit
+  cycles via the same digest machinery
+  (:mod:`repro.resonator.convergence`);
+* stochastic configurations stop per trial on the solved check (decoded
+  factors recompose the product) or the stable-decode window.
+
+Because bipolar MVMs are exact in float32 (all partial sums stay below
+``2**24``), a deterministic trial takes *bit-identical* steps in the
+batched and sequential networks: same trajectory, same convergence sweep,
+same decoded factors.  ``tests/test_batched_resonator.py`` pins this.
+
+**Convergence masking.**  Finished trials are masked out: their estimates
+freeze and they stop contributing to decode checks and op counts.  The
+compute set is compacted lazily (only once the active trials fall to half
+of the current set) so the stacked codebook tensors are rebuilt at most
+``log2(T)`` times per run instead of at every convergence event.
+
+**Codebooks.**  The batch may share one :class:`~repro.vsa.codebook.CodebookSet`
+(one programmed array per factor, many queries - the ``share_codebooks``
+situation) or give each trial its own set of identical geometry, in which
+case the exact backend stacks them into ``(T, dim, M)`` tensors and uses
+batched matmul.
+
+**Profiling.**  Attach a :class:`~repro.resonator.profiler.ResonatorProfiler`
+via ``profiler``; each vectorized step records op/flop counts scaled by the
+number of active trials, so batched and sequential runs of the same
+trajectories report identical deterministic op totals.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionError
+from repro.resonator.activations import Activation, SignActivation
+from repro.resonator.backends import (
+    CodebookBatch,
+    ExactBackend,
+    MVMBackend,
+)
+from repro.resonator.convergence import CycleDetector, Outcome, state_digest
+from repro.resonator.network import FactorizationResult, ResonatorNetwork
+from repro.resonator.profiler import ResonatorProfiler
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_bipolar
+from repro.vsa.codebook import CodebookSet
+from repro.vsa.ops import DEFAULT_DTYPE, sign_with_tiebreak
+
+#: One shared codebook set, or one per trial (identical geometry).
+CodebookSetBatch = Union[CodebookSet, Sequence[CodebookSet]]
+
+
+class BatchedResonatorNetwork:
+    """Factorizes a batch of product vectors with stacked-array updates.
+
+    Parameters mirror :class:`~repro.resonator.network.ResonatorNetwork`;
+    ``codebooks`` may be a single :class:`~repro.vsa.codebook.CodebookSet`
+    shared by every trial or a sequence with one set per trial.
+    """
+
+    def __init__(
+        self,
+        codebooks: CodebookSetBatch,
+        *,
+        backend: Optional[MVMBackend] = None,
+        activation: Optional[Activation] = None,
+        max_iterations: int = 1000,
+        detect_cycles: Optional[bool] = None,
+        cycle_window: Optional[int] = 512,
+        init: str = "superposition",
+        rng: RandomState = None,
+    ) -> None:
+        if init not in ("superposition", "random"):
+            raise ConfigurationError(
+                f"init must be 'superposition' or 'random', got {init!r}"
+            )
+        if isinstance(codebooks, CodebookSet):
+            self.shared = True
+            self.codebook_sets: List[CodebookSet] = [codebooks]
+        else:
+            sets = list(codebooks)
+            if not sets:
+                raise ConfigurationError("at least one codebook set required")
+            geometries = {(s.dim, s.sizes) for s in sets}
+            if len(geometries) != 1:
+                raise DimensionError(
+                    "per-trial codebook sets must share (dim, sizes); got "
+                    f"{sorted(geometries)}"
+                )
+            self.shared = len(sets) == 1
+            self.codebook_sets = sets
+        self.backend = backend if backend is not None else ExactBackend()
+        self.activation = (
+            activation if activation is not None else SignActivation("positive")
+        )
+        self.max_iterations = int(max_iterations)
+        if self.max_iterations <= 0:
+            raise ConfigurationError(
+                f"max_iterations must be positive, got {max_iterations}"
+            )
+        deterministic = self.backend.deterministic and self.activation.deterministic
+        self.detect_cycles = (
+            deterministic if detect_cycles is None else bool(detect_cycles)
+        )
+        self.cycle_window = cycle_window
+        self.init = init
+        self._rng = as_rng(rng)
+        self.profiler: Optional[ResonatorProfiler] = None
+        #: Exact clean-read MVMs for decoding (the final averaged read the
+        #: digital tier can afford; see ResonatorNetwork.decode).
+        self._decoder = ExactBackend()
+
+    @classmethod
+    def from_network(
+        cls, network: ResonatorNetwork, codebooks: CodebookSetBatch
+    ) -> "BatchedResonatorNetwork":
+        """Batched twin of a configured sequential network.
+
+        Copies backend, activation, iteration budget, termination settings,
+        random stream and profiler; ``codebooks`` replaces the sequential
+        network's single codebook set with the batch's set(s).
+        """
+        batched = cls(
+            codebooks,
+            backend=network.backend,
+            activation=network.activation,
+            max_iterations=network.max_iterations,
+            detect_cycles=network.detect_cycles,
+            cycle_window=network.cycle_window,
+            init=network.init,
+            rng=network._rng,
+        )
+        batched.profiler = network.profiler
+        return batched
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return self.codebook_sets[0].dim
+
+    @property
+    def num_factors(self) -> int:
+        return self.codebook_sets[0].num_factors
+
+    def _factor_batch(self, factor: int, trial_rows: np.ndarray) -> CodebookBatch:
+        """Backend ``codebooks`` argument for one factor over ``trial_rows``."""
+        if self.shared:
+            return self.codebook_sets[0][factor]
+        return [self.codebook_sets[t][factor] for t in trial_rows]
+
+    def _set_for(self, trial: int) -> CodebookSet:
+        return self.codebook_sets[0] if self.shared else self.codebook_sets[trial]
+
+    # -- initialization -----------------------------------------------------
+
+    def initial_estimates(self, trials: int) -> List[np.ndarray]:
+        """Per-factor ``(trials, dim)`` initial states.
+
+        Each trial gets its own superposition (or random) initialization
+        with its own tie-break draws, in trial-major order - the same
+        per-trial recipe as :meth:`ResonatorNetwork.initial_estimates`.
+        """
+        estimates = [
+            np.empty((trials, self.dim), dtype=DEFAULT_DTYPE)
+            for _ in range(self.num_factors)
+        ]
+        for trial in range(trials):
+            codebooks = self._set_for(trial)
+            for f, codebook in enumerate(codebooks):
+                if self.init == "random":
+                    vector = (
+                        2
+                        * self._rng.integers(0, 2, size=codebook.dim, dtype=np.int8)
+                        - 1
+                    ).astype(DEFAULT_DTYPE)
+                else:
+                    sums = codebook.matrix.astype(np.int32).sum(axis=1)
+                    vector = sign_with_tiebreak(sums, rng=self._rng)
+                estimates[f][trial] = vector
+        return estimates
+
+    # -- decoding -----------------------------------------------------------
+
+    def _decode_rows(
+        self, estimates: List[np.ndarray], rows: np.ndarray
+    ) -> np.ndarray:
+        """Decoded factor indices, shape ``(len(rows), num_factors)``.
+
+        Runs on the exact similarity (a clean final read), matching
+        :meth:`ResonatorNetwork.decode` bit for bit: bipolar similarities
+        are integer-valued and exact in float32, and ``argmax`` breaks ties
+        identically.
+        """
+        decoded = np.empty((len(rows), self.num_factors), dtype=np.int64)
+        for f in range(self.num_factors):
+            books = self._factor_batch(f, rows)
+            sims = self._decoder.similarity_batch(books, estimates[f][rows])
+            decoded[:, f] = np.argmax(sims, axis=1)
+        return decoded
+
+    def _recompose_rows(self, decoded: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Products of the decoded item vectors, shape ``(len(rows), dim)``."""
+        product = np.ones((len(rows), self.dim), dtype=np.float32)
+        for f in range(self.num_factors):
+            books = self._factor_batch(f, rows)
+            if self.shared:
+                matrix = self._decoder.matrix32(books)
+                chosen = matrix[:, decoded[:, f]].T
+            else:
+                stack = self._decoder.stack32(books)
+                chosen = np.take_along_axis(
+                    stack, decoded[:, f][:, None, None], axis=2
+                )[:, :, 0]
+            product *= chosen
+        return product
+
+    # -- main loop ----------------------------------------------------------
+
+    def factorize(
+        self,
+        products: np.ndarray,
+        *,
+        max_iterations: Optional[int] = None,
+        initial_estimates: Optional[Sequence[np.ndarray]] = None,
+        true_indices: Optional[Sequence[Optional[Sequence[int]]]] = None,
+        check_correct_every: int = 1,
+        stable_decode_window: Optional[int] = None,
+    ) -> List[FactorizationResult]:
+        """Factorize ``products`` (shape ``(trials, dim)``), one result each.
+
+        Parameters match :meth:`ResonatorNetwork.factorize` with the batch
+        axis prepended: ``initial_estimates`` is one ``(trials, dim)`` array
+        per factor, ``true_indices`` one index tuple (or ``None``) per
+        trial.  Termination is evaluated per trial; finished trials are
+        masked out and the rest keep sweeping.
+        """
+        products = np.asarray(products)
+        if products.ndim != 2 or products.shape[1] != self.dim:
+            raise DimensionError(
+                f"products shape {products.shape} does not match "
+                f"(trials, {self.dim})"
+            )
+        check_bipolar("products", products)
+        trials = products.shape[0]
+        if not self.shared and trials != len(self.codebook_sets):
+            raise DimensionError(
+                f"{trials} products for {len(self.codebook_sets)} "
+                "per-trial codebook sets"
+            )
+        budget = self.max_iterations if max_iterations is None else int(max_iterations)
+        if budget <= 0:
+            raise ConfigurationError(f"max_iterations must be positive, got {budget}")
+        stochastic = not (
+            self.backend.deterministic and self.activation.deterministic
+        )
+        self.backend.begin_trial()
+
+        if initial_estimates is None:
+            estimates = self.initial_estimates(trials)
+        else:
+            estimates = [
+                np.asarray(e).astype(DEFAULT_DTYPE) for e in initial_estimates
+            ]
+            if len(estimates) != self.num_factors:
+                raise DimensionError(
+                    f"{len(estimates)} initial estimates for "
+                    f"{self.num_factors} factors"
+                )
+            for e in estimates:
+                if e.shape != (trials, self.dim):
+                    raise DimensionError(
+                        f"initial estimate shape {e.shape} does not match "
+                        f"({trials}, {self.dim})"
+                    )
+
+        truths: List[Optional[Tuple[int, ...]]]
+        if true_indices is None:
+            truths = [None] * trials
+        else:
+            if len(true_indices) != trials:
+                raise DimensionError(
+                    f"{len(true_indices)} true-index tuples for {trials} trials"
+                )
+            truths = [
+                None if t is None else tuple(int(i) for i in t)
+                for t in true_indices
+            ]
+
+        products_f32 = products.astype(np.float32)
+        profiler = self.profiler
+        cadence = max(check_correct_every, 1)
+        start = time.perf_counter()
+
+        active = np.ones(trials, dtype=bool)
+        compute_idx = np.arange(trials)
+        iterations = np.zeros(trials, dtype=np.int64)
+        outcomes: List[Outcome] = [Outcome.MAX_ITERATIONS] * trials
+        cycle_periods: List[Optional[int]] = [None] * trials
+        first_correct: List[Optional[int]] = [None] * trials
+        previous_digest: List[bytes] = [
+            state_digest([estimates[f][t] for f in range(self.num_factors)])
+            for t in range(trials)
+        ]
+        detect = self.detect_cycles and not stochastic
+        detectors: List[Optional[CycleDetector]] = [
+            CycleDetector(window=self.cycle_window) if detect else None
+            for _ in range(trials)
+        ]
+        previous_decode: List[Optional[Tuple[int, ...]]] = [None] * trials
+        stable_checks = np.zeros(trials, dtype=np.int64)
+
+        for iteration in range(budget):
+            rows = compute_idx[active[compute_idx]]
+            if rows.size == 0:
+                break
+            self._sweep(products_f32, estimates, compute_idx, active, profiler)
+            iterations[rows] = iteration + 1
+            check_now = iteration % cadence == 0 or iteration + 1 >= budget
+            decoded: Optional[np.ndarray] = None
+            if check_now:
+                # Decode the whole compute set (its stacked tensors are
+                # cache-stable between compactions), then keep active rows.
+                mask = active[compute_idx]
+                decoded_all = self._decode_rows(estimates, compute_idx)
+                decoded = decoded_all[mask]
+                for pos, t in enumerate(rows):
+                    truth = truths[t]
+                    if (
+                        truth is not None
+                        and first_correct[t] is None
+                        and tuple(decoded[pos]) == truth
+                    ):
+                        first_correct[t] = iteration + 1
+            if stochastic:
+                if decoded is not None:
+                    recomposed = self._recompose_rows(decoded_all, compute_idx)[
+                        active[compute_idx]
+                    ]
+                    solved = np.all(
+                        recomposed == products_f32[rows], axis=1
+                    )
+                    for pos, t in enumerate(rows):
+                        if solved[pos]:
+                            outcomes[t] = Outcome.CONVERGED
+                            active[t] = False
+                            continue
+                        if stable_decode_window is not None:
+                            this_decode = tuple(decoded[pos])
+                            if this_decode == previous_decode[t]:
+                                stable_checks[t] += 1
+                                if stable_checks[t] + 1 >= stable_decode_window:
+                                    outcomes[t] = Outcome.CONVERGED
+                                    active[t] = False
+                            else:
+                                stable_checks[t] = 0
+                            previous_decode[t] = this_decode
+            else:
+                for t in rows:
+                    digest = state_digest(
+                        [estimates[f][t] for f in range(self.num_factors)]
+                    )
+                    if digest == previous_digest[t]:
+                        outcomes[t] = Outcome.CONVERGED
+                        active[t] = False
+                        continue
+                    detector = detectors[t]
+                    if detector is not None:
+                        period = detector.observe_digest(digest, iteration)
+                        if period is not None and period > 1:
+                            outcomes[t] = Outcome.LIMIT_CYCLE
+                            cycle_periods[t] = period
+                            active[t] = False
+                            continue
+                    previous_digest[t] = digest
+            remaining = int(active.sum())
+            if remaining == 0:
+                break
+            if remaining <= compute_idx.size // 2:
+                compute_idx = np.nonzero(active)[0]
+
+        elapsed = time.perf_counter() - start
+
+        all_rows = np.arange(trials)
+        decoded = self._decode_rows(estimates, all_rows)
+        recomposed = self._recompose_rows(decoded, all_rows)
+        matches = np.all(recomposed == products_f32, axis=1)
+        results: List[FactorizationResult] = []
+        for t in range(trials):
+            indices = tuple(int(i) for i in decoded[t])
+            truth = truths[t]
+            correct = None if truth is None else (indices == truth)
+            first = first_correct[t]
+            if correct:
+                if first is None:
+                    first = int(iterations[t])
+            else:
+                first = None
+            results.append(
+                FactorizationResult(
+                    indices=indices,
+                    outcome=outcomes[t],
+                    iterations=int(iterations[t]),
+                    product_match=bool(matches[t]),
+                    correct=correct,
+                    first_correct_iteration=first,
+                    cycle_period=cycle_periods[t],
+                    elapsed_seconds=elapsed / trials,
+                )
+            )
+        return results
+
+    # -- one vectorized sweep ----------------------------------------------
+
+    def _sweep(
+        self,
+        products_f32: np.ndarray,
+        estimates: List[np.ndarray],
+        compute_idx: np.ndarray,
+        active: np.ndarray,
+        profiler: Optional[ResonatorProfiler],
+    ) -> None:
+        """One asynchronous sweep over the compute set.
+
+        All compute-set rows run through the stacked MVMs (keeping the
+        codebook tensors cache-stable between compactions), but only rows
+        still active are written back, so finished trials stay frozen.
+        Profiler counts are scaled by the *active* row count - the work the
+        sequential network would have done for the same trajectories.
+        """
+        num_factors = self.num_factors
+        write_mask = active[compute_idx]
+        write_rows = compute_idx[write_mask]
+        n_active = int(write_mask.sum())
+        dim = self.dim
+        for f in range(num_factors):
+            books = self._factor_batch(f, compute_idx)
+            tick = time.perf_counter() if profiler is not None else 0.0
+            # Advanced indexing already yields a fresh array, safe to
+            # mutate in place below.
+            unbound = products_f32[compute_idx]
+            for g in range(num_factors):
+                if g != f:
+                    unbound *= estimates[g][compute_idx]
+            if profiler is not None:
+                tock = time.perf_counter()
+                profiler.record(
+                    "unbind",
+                    elements=dim * num_factors * n_active,
+                    flops=dim * (num_factors - 1) * n_active,
+                    seconds=tock - tick,
+                    calls=n_active,
+                )
+                tick = tock
+            sims = self.backend.similarity_batch(books, unbound)
+            if profiler is not None:
+                tock = time.perf_counter()
+                size = sims.shape[1]
+                profiler.record(
+                    "similarity",
+                    elements=dim * size * n_active,
+                    flops=self.backend.similarity_flops(books) * n_active,
+                    seconds=tock - tick,
+                    calls=n_active,
+                )
+                tick = tock
+            projected = self.backend.project_batch(books, sims)
+            if profiler is not None:
+                tock = time.perf_counter()
+                size = sims.shape[1]
+                profiler.record(
+                    "projection",
+                    elements=dim * size * n_active,
+                    flops=self.backend.project_flops(books) * n_active,
+                    seconds=tock - tick,
+                    calls=n_active,
+                )
+                tick = tock
+            updated = self.activation(projected)
+            if profiler is not None:
+                tock = time.perf_counter()
+                profiler.record(
+                    "activation",
+                    elements=dim * n_active,
+                    flops=dim * n_active,
+                    seconds=tock - tick,
+                    calls=n_active,
+                )
+            estimates[f][write_rows] = updated[write_mask]
+
+    def __repr__(self) -> str:
+        mode = "shared" if self.shared else f"{len(self.codebook_sets)} sets"
+        return (
+            f"BatchedResonatorNetwork({mode}, backend={self.backend!r}, "
+            f"activation={self.activation!r})"
+        )

@@ -63,7 +63,15 @@ class CycleDetector:
 
     def observe(self, estimates: Sequence[np.ndarray], iteration: int) -> Optional[int]:
         """Record the state; return the cycle period if this is a revisit."""
-        digest = state_digest(estimates)
+        return self.observe_digest(state_digest(estimates), iteration)
+
+    def observe_digest(self, digest: bytes, iteration: int) -> Optional[int]:
+        """Like :meth:`observe` for a pre-computed :func:`state_digest`.
+
+        The batched resonator digests each trial's state once per sweep and
+        feeds the digest to both the fixed-point check and its per-trial
+        cycle detector, so the hashing cost is not paid twice.
+        """
         previous = self._seen.get(digest)
         if previous is not None:
             return iteration - previous

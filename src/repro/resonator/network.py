@@ -397,14 +397,20 @@ class ResonatorNetwork:
             codebook = self.codebooks[f]
             # Step I: unbind all other estimates from the product.
             if profiler is not None:
-                with profiler.step("unbind", elements=product_f32.size * num_factors):
+                with profiler.step(
+                    "unbind",
+                    elements=product_f32.size * num_factors,
+                    flops=product_f32.size * (num_factors - 1),
+                ):
                     unbound = self._unbind(product_f32, estimates, f)
             else:
                 unbound = self._unbind(product_f32, estimates, f)
             # Step II: similarity MVM (RRAM tier-3 in hardware).
             if profiler is not None:
                 with profiler.step(
-                    "similarity", elements=codebook.dim * codebook.size
+                    "similarity",
+                    elements=codebook.dim * codebook.size,
+                    flops=self.backend.similarity_flops(codebook),
                 ):
                     sims = self.backend.similarity(codebook, unbound)
             else:
@@ -412,10 +418,14 @@ class ResonatorNetwork:
             # Step III/IV: projection MVM (RRAM tier-2) + activation.
             if profiler is not None:
                 with profiler.step(
-                    "projection", elements=codebook.dim * codebook.size
+                    "projection",
+                    elements=codebook.dim * codebook.size,
+                    flops=self.backend.project_flops(codebook),
                 ):
                     projected = self.backend.project(codebook, sims)
-                with profiler.step("activation", elements=codebook.dim):
+                with profiler.step(
+                    "activation", elements=codebook.dim, flops=codebook.dim
+                ):
                     estimates[f] = self.activation(projected)
             else:
                 projected = self.backend.project(codebook, sims)

@@ -1,10 +1,33 @@
 """Op-level profiling of resonator runs (reproduces Fig. 1c).
 
 The paper motivates CIM by showing that the similarity and projection MVMs
-account for ~80 % of factorization compute time.  The profiler measures both
-wall-clock time and arithmetic work (element/MAC counts) per step type, so
-the breakdown can be reported either way - op counts are deterministic and
-used by tests, wall time is what Fig. 1c plots.
+account for ~80 % of factorization compute.  Historically the breakdown was
+measured with wall-clock timers, which made the Fig. 1c test flaky: Python
+interpreter jitter easily swamps a sub-millisecond sweep.  The profiler
+therefore accounts for three quantities per step type:
+
+* ``calls``    - number of step invocations;
+* ``elements`` - processed elements (MACs for the MVM steps), the coarse
+  op count the original profiler reported;
+* ``flops``    - exact floating-point operation counts (2 flops per MAC
+  for the MVMs, one multiply per unbind element, one compare per
+  activation element), reported by the backends themselves via
+  :meth:`~repro.resonator.backends.MVMBackend.similarity_flops` /
+  :meth:`~repro.resonator.backends.MVMBackend.project_flops`;
+* ``seconds``  - wall-clock, kept only as a sanity signal.
+
+Fig. 1c's headline ``mvm_time_fraction`` is the *flop-weighted* fraction:
+it is fully deterministic (identical on every run and machine) and tracks
+the paper's "fraction of compute" story far better than noisy timers.
+Wall-clock numbers remain available through :meth:`time_fractions` and are
+never asserted on by tests.
+
+Both :class:`~repro.resonator.network.ResonatorNetwork` and
+:class:`~repro.resonator.batched.BatchedResonatorNetwork` feed the same
+profiler; attach one via the network's ``profiler`` attribute.  The batched
+network records each vectorized step once per sweep with counts scaled by
+the number of still-active trials, so sequential and batched runs of the
+same trajectories produce identical op and flop totals.
 """
 
 from __future__ import annotations
@@ -28,11 +51,15 @@ class StepTiming:
     calls: int = 0
     seconds: float = 0.0
     elements: int = 0
+    flops: int = 0
 
-    def add(self, seconds: float, elements: int) -> None:
-        self.calls += 1
+    def add(
+        self, seconds: float, elements: int, flops: int = 0, calls: int = 1
+    ) -> None:
+        self.calls += calls
         self.seconds += seconds
         self.elements += elements
+        self.flops += flops
 
 
 @dataclass
@@ -49,7 +76,7 @@ class OpCounts:
 
 
 class ResonatorProfiler:
-    """Collects per-step timing and op counts across factorization runs."""
+    """Collects per-step flop counts, op counts and timing across runs."""
 
     def __init__(self) -> None:
         self.steps: Dict[str, StepTiming] = {name: StepTiming() for name in STEP_NAMES}
@@ -59,16 +86,32 @@ class ResonatorProfiler:
             timing.calls = 0
             timing.seconds = 0.0
             timing.elements = 0
+            timing.flops = 0
+
+    def record(
+        self,
+        name: str,
+        *,
+        elements: int = 0,
+        flops: int = 0,
+        seconds: float = 0.0,
+        calls: int = 1,
+    ) -> None:
+        """Directly account one (possibly batched) step invocation."""
+        timing = self.steps.setdefault(name, StepTiming())
+        timing.add(seconds, elements, flops, calls)
 
     @contextmanager
-    def step(self, name: str, *, elements: int = 0) -> Iterator[None]:
+    def step(
+        self, name: str, *, elements: int = 0, flops: int = 0
+    ) -> Iterator[None]:
         """Context manager timing one step invocation."""
         timing = self.steps.setdefault(name, StepTiming())
         start = time.perf_counter()
         try:
             yield
         finally:
-            timing.add(time.perf_counter() - start, elements)
+            timing.add(time.perf_counter() - start, elements, flops)
 
     # -- reporting ----------------------------------------------------------
 
@@ -76,12 +119,23 @@ class ResonatorProfiler:
     def total_seconds(self) -> float:
         return sum(t.seconds for t in self.steps.values())
 
+    @property
+    def total_flops(self) -> int:
+        return sum(t.flops for t in self.steps.values())
+
     def time_fractions(self) -> Dict[str, float]:
-        """Wall-clock fraction per step (sums to 1 when any time recorded)."""
+        """Wall-clock fraction per step (noisy; never asserted on)."""
         total = self.total_seconds
         if total == 0:
             return {name: 0.0 for name in self.steps}
         return {name: t.seconds / total for name, t in self.steps.items()}
+
+    def flop_fractions(self) -> Dict[str, float]:
+        """Deterministic flop-weighted fraction per step (sums to 1)."""
+        total = self.total_flops
+        if total == 0:
+            return {name: 0.0 for name in self.steps}
+        return {name: t.flops / total for name, t in self.steps.items()}
 
     def op_counts(self) -> OpCounts:
         return OpCounts({name: t.elements for name, t in self.steps.items()})
@@ -91,21 +145,31 @@ class ResonatorProfiler:
         fractions = self.time_fractions()
         return sum(fractions.get(s, 0.0) for s in MVM_STEPS)
 
+    def mvm_flop_fraction(self) -> float:
+        """Deterministic fraction of flops in similarity+projection MVMs."""
+        fractions = self.flop_fractions()
+        return sum(fractions.get(s, 0.0) for s in MVM_STEPS)
+
     def mvm_op_fraction(self) -> float:
         """Fraction of arithmetic work in similarity+projection MVMs."""
         return self.op_counts().fraction(MVM_STEPS)
 
     def report(self) -> str:
         """Multi-line human-readable breakdown."""
-        lines = [f"{'step':<12}{'calls':>8}{'time [s]':>12}{'time %':>9}{'elements':>14}"]
-        fractions = self.time_fractions()
+        lines = [
+            f"{'step':<12}{'calls':>8}{'time [s]':>12}{'flops':>14}"
+            f"{'flop %':>9}{'elements':>14}"
+        ]
+        fractions = self.flop_fractions()
         for name, timing in self.steps.items():
             lines.append(
                 f"{name:<12}{timing.calls:>8}{timing.seconds:>12.4f}"
-                f"{100 * fractions[name]:>8.1f}%{timing.elements:>14}"
+                f"{timing.flops:>14}{100 * fractions[name]:>8.1f}%"
+                f"{timing.elements:>14}"
             )
         lines.append(
-            f"MVM share: {100 * self.mvm_time_fraction():.1f}% of time, "
-            f"{100 * self.mvm_op_fraction():.1f}% of ops"
+            f"MVM share: {100 * self.mvm_flop_fraction():.1f}% of flops, "
+            f"{100 * self.mvm_op_fraction():.1f}% of ops, "
+            f"{100 * self.mvm_time_fraction():.1f}% of wall time"
         )
         return "\n".join(lines)

@@ -33,7 +33,12 @@ import numpy as np
 from scipy.stats import norm
 
 from repro.errors import ConfigurationError
-from repro.resonator.backends import ExactBackend, MVMBackend
+from repro.resonator.backends import (
+    CodebookBatch,
+    ExactBackend,
+    MVMBackend,
+    batch_geometry,
+)
 from repro.utils.rng import RandomState, as_rng
 from repro.utils.validation import check_positive
 from repro.vsa.codebook import Codebook
@@ -137,10 +142,25 @@ class StochasticThresholdBackend(MVMBackend):
         )
 
     # -- the similarity chain ---------------------------------------------
+    # The batch methods are the single authoritative implementation of the
+    # read-out chain; the scalar methods run a one-row batch (the seeded
+    # noise stream is unchanged: Generator.normal draws identical values
+    # for size=(M,) and size=(1, M)).
 
     def similarity(self, codebook: Codebook, query: np.ndarray) -> np.ndarray:
-        values = self._exact.similarity(codebook, query)
-        sqrt_dim = np.sqrt(codebook.dim)
+        return self.similarity_batch(codebook, np.asarray(query)[None])[0]
+
+    def project(self, codebook: Codebook, weights: np.ndarray) -> np.ndarray:
+        return self.project_batch(codebook, np.asarray(weights)[None])[0]
+
+    # -- batched execution (one noise draw per output, whole batch) --------
+
+    def similarity_batch(
+        self, codebooks: CodebookBatch, queries: np.ndarray
+    ) -> np.ndarray:
+        values = self._exact.similarity_batch(codebooks, queries)
+        dim, size = batch_geometry(codebooks)
+        sqrt_dim = np.sqrt(dim)
         if self.noise_sigma > 0:
             values = values + self._rng.normal(
                 0.0, self.noise_sigma * sqrt_dim, size=values.shape
@@ -148,19 +168,20 @@ class StochasticThresholdBackend(MVMBackend):
         if self.rectify:
             values = np.maximum(values, 0.0)
         if self.policy is not None:
-            threshold = self.policy.threshold(
-                codebook.dim, codebook.size, self.noise_sigma
-            )
+            threshold = self.policy.threshold(dim, size, self.noise_sigma)
             values = np.where(values >= threshold, values, 0.0)
         if self.adc is not None:
             full_scale = self.adc_full_scale_zscore * sqrt_dim
             values = self.adc.convert(values, full_scale=full_scale)
         return values
 
-    def project(self, codebook: Codebook, weights: np.ndarray) -> np.ndarray:
-        values = self._exact.project(codebook, weights)
+    def project_batch(
+        self, codebooks: CodebookBatch, weights: np.ndarray
+    ) -> np.ndarray:
+        values = self._exact.project_batch(codebooks, weights)
         if self.projection_noise_sigma > 0:
-            scale = self.projection_noise_sigma * np.sqrt(codebook.size)
+            _, size = batch_geometry(codebooks)
+            scale = self.projection_noise_sigma * np.sqrt(size)
             values = values + self._rng.normal(
                 0.0, scale, size=values.shape
             ).astype(np.float32)
@@ -194,6 +215,16 @@ class RectifiedBackend(MVMBackend):
 
     def project(self, codebook: Codebook, weights: np.ndarray) -> np.ndarray:
         return self._exact.project(codebook, weights)
+
+    def similarity_batch(
+        self, codebooks: CodebookBatch, queries: np.ndarray
+    ) -> np.ndarray:
+        return np.maximum(self._exact.similarity_batch(codebooks, queries), 0.0)
+
+    def project_batch(
+        self, codebooks: CodebookBatch, weights: np.ndarray
+    ) -> np.ndarray:
+        return self._exact.project_batch(codebooks, weights)
 
     def __repr__(self) -> str:
         return "RectifiedBackend()"

@@ -1,0 +1,238 @@
+"""Batched-vs-loop equivalence for every MVM backend.
+
+The contract of ``similarity_batch`` / ``project_batch``: a stacked
+``(trials, dim)`` query matrix must produce the same results as the
+per-trial loop -
+
+* **exactly** for deterministic backends (bipolar MVMs are integer-valued
+  and exact in float32, so the BLAS mat-mat and mat-vec paths agree bit
+  for bit), and
+* **statistically** (fixed seed) for noisy backends, whose vectorized path
+  draws its Gaussians in a different order: the clean part must match
+  exactly and the injected error must match the configured noise scale.
+
+Both the shared-codebook mode (one programmed array, many queries) and the
+per-trial-codebook mode (stacked ``(T, D, M)`` tensors) are covered, plus
+the base-class loop fallback that custom backends inherit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cim.adc import SARADC
+from repro.core import CIMBackend
+from repro.resonator import (
+    ExactBackend,
+    MVMBackend,
+    NoisySimilarityBackend,
+    QuantizedSimilarityBackend,
+    RectifiedBackend,
+    StochasticThresholdBackend,
+)
+from repro.errors import DimensionError
+from repro.vsa import Codebook
+
+DIM = 256
+SIZE = 32
+TRIALS = 16
+
+
+@pytest.fixture(scope="module")
+def shared_codebook():
+    return Codebook.random("shared", DIM, SIZE, rng=0)
+
+
+@pytest.fixture(scope="module")
+def trial_codebooks():
+    return [Codebook.random(f"t{i}", DIM, SIZE, rng=10 + i) for i in range(TRIALS)]
+
+
+@pytest.fixture(scope="module")
+def queries():
+    rng = np.random.default_rng(1)
+    return (2 * rng.integers(0, 2, size=(TRIALS, DIM), dtype=np.int8) - 1).astype(
+        np.float32
+    )
+
+
+@pytest.fixture(scope="module")
+def weights():
+    rng = np.random.default_rng(2)
+    return rng.integers(-DIM, DIM, size=(TRIALS, SIZE)).astype(np.float32)
+
+
+def loop_similarity(backend, codebooks, queries):
+    books = codebooks if isinstance(codebooks, list) else [codebooks] * len(queries)
+    return np.stack([backend.similarity(b, q) for b, q in zip(books, queries)])
+
+
+def loop_project(backend, codebooks, weights):
+    books = codebooks if isinstance(codebooks, list) else [codebooks] * len(weights)
+    return np.stack([backend.project(b, w) for b, w in zip(books, weights)])
+
+
+DETERMINISTIC_BACKENDS = [
+    pytest.param(ExactBackend, id="exact"),
+    pytest.param(RectifiedBackend, id="rectified"),
+    pytest.param(
+        lambda: QuantizedSimilarityBackend(SARADC(bits=4)), id="quantized-4bit"
+    ),
+    pytest.param(
+        lambda: StochasticThresholdBackend(noise_sigma=0.0, rng=0),
+        id="threshold-no-noise",
+    ),
+]
+
+
+class TestDeterministicBackendsExact:
+    @pytest.mark.parametrize("make_backend", DETERMINISTIC_BACKENDS)
+    def test_similarity_shared(self, make_backend, shared_codebook, queries):
+        backend = make_backend()
+        batch = backend.similarity_batch(shared_codebook, queries)
+        loop = loop_similarity(backend, shared_codebook, queries)
+        assert batch.shape == (TRIALS, SIZE)
+        assert np.array_equal(batch, loop)
+
+    @pytest.mark.parametrize("make_backend", DETERMINISTIC_BACKENDS)
+    def test_similarity_per_trial(self, make_backend, trial_codebooks, queries):
+        backend = make_backend()
+        batch = backend.similarity_batch(trial_codebooks, queries)
+        loop = loop_similarity(backend, trial_codebooks, queries)
+        assert np.array_equal(batch, loop)
+
+    @pytest.mark.parametrize("make_backend", DETERMINISTIC_BACKENDS)
+    def test_project_shared(self, make_backend, shared_codebook, weights):
+        backend = make_backend()
+        batch = backend.project_batch(shared_codebook, weights)
+        loop = loop_project(backend, shared_codebook, weights)
+        assert batch.shape == (TRIALS, DIM)
+        assert np.array_equal(batch, loop)
+
+    @pytest.mark.parametrize("make_backend", DETERMINISTIC_BACKENDS)
+    def test_project_per_trial(self, make_backend, trial_codebooks, weights):
+        backend = make_backend()
+        batch = backend.project_batch(trial_codebooks, weights)
+        loop = loop_project(backend, trial_codebooks, weights)
+        assert np.array_equal(batch, loop)
+
+
+class _LoopOnlyBackend(MVMBackend):
+    """Implements only the per-trial methods; batch comes from the base."""
+
+    def __init__(self):
+        self._exact = ExactBackend()
+        self.calls = 0
+
+    def similarity(self, codebook, query):
+        self.calls += 1
+        return self._exact.similarity(codebook, query)
+
+    def project(self, codebook, weights):
+        self.calls += 1
+        return self._exact.project(codebook, weights)
+
+
+class TestBaseClassFallback:
+    def test_fallback_matches_exact(self, shared_codebook, queries, weights):
+        fallback = _LoopOnlyBackend()
+        exact = ExactBackend()
+        assert np.array_equal(
+            fallback.similarity_batch(shared_codebook, queries),
+            exact.similarity_batch(shared_codebook, queries),
+        )
+        assert np.array_equal(
+            fallback.project_batch(shared_codebook, weights),
+            exact.project_batch(shared_codebook, weights),
+        )
+        # The fallback really looped per trial.
+        assert fallback.calls == 2 * TRIALS
+
+    def test_fallback_per_trial_codebooks(self, trial_codebooks, queries):
+        fallback = _LoopOnlyBackend()
+        exact = ExactBackend()
+        assert np.array_equal(
+            fallback.similarity_batch(trial_codebooks, queries),
+            exact.similarity_batch(trial_codebooks, queries),
+        )
+
+    def test_wrong_codebook_count_rejected(self, trial_codebooks, queries):
+        backend = ExactBackend()
+        with pytest.raises(DimensionError):
+            backend.similarity_batch(trial_codebooks[:3], queries)
+
+    def test_mismatched_geometry_rejected(self, queries):
+        books = [Codebook.random("a", DIM, SIZE, rng=0)] * (TRIALS - 1) + [
+            Codebook.random("b", DIM, 2 * SIZE, rng=1)
+        ]
+        backend = ExactBackend()
+        with pytest.raises(DimensionError):
+            backend.similarity_batch(books, queries)
+
+
+NOISY_BACKENDS = [
+    pytest.param(
+        lambda rng: NoisySimilarityBackend(sigma=0.5, rng=rng), 0.5, id="noisy"
+    ),
+    pytest.param(
+        lambda rng: StochasticThresholdBackend(
+            noise_sigma=0.4, policy=None, rectify=False, rng=rng
+        ),
+        0.4,
+        id="threshold-noise",
+    ),
+]
+
+
+class TestNoisyBackendsStatistical:
+    """Vectorized noise must carry the same statistics as the loop's."""
+
+    @pytest.mark.parametrize("make_backend, sigma", NOISY_BACKENDS)
+    def test_similarity_noise_scale(
+        self, make_backend, sigma, shared_codebook, queries
+    ):
+        clean = ExactBackend().similarity_batch(shared_codebook, queries)
+        batch_noise = (
+            make_backend(0).similarity_batch(shared_codebook, queries) - clean
+        )
+        loop_noise = (
+            loop_similarity(make_backend(0), shared_codebook, queries) - clean
+        )
+        expected = sigma * np.sqrt(DIM)
+        for observed in (batch_noise, loop_noise):
+            assert abs(observed.mean()) < 0.1 * expected
+            assert observed.std() == pytest.approx(expected, rel=0.15)
+
+    def test_cim_backend_chain_statistics(self, trial_codebooks, queries):
+        """Full CIM chain: batch and loop agree on sparsity and signal."""
+        batch = CIMBackend(rng=0).similarity_batch(trial_codebooks, queries)
+        loop = loop_similarity(CIMBackend(rng=0), trial_codebooks, queries)
+        assert batch.shape == loop.shape
+        # The VTGT threshold sparsifies both paths about equally.
+        assert np.mean(batch == 0) == pytest.approx(np.mean(loop == 0), abs=0.05)
+        assert np.mean(batch == 0) > 0.5
+
+    def test_cim_backend_signal_survives_batch(self, shared_codebook):
+        """Querying with true code vectors: argmax is preserved per trial."""
+        backend = CIMBackend(rng=0)
+        indices = np.arange(TRIALS) % SIZE
+        queries = shared_codebook.matrix[:, indices].T.astype(np.float32)
+        sims = backend.similarity_batch(shared_codebook, queries)
+        assert np.array_equal(np.argmax(sims, axis=1), indices)
+
+    def test_cim_projection_noise_scale(self, shared_codebook, weights):
+        backend = CIMBackend(rng=0)
+        clean = ExactBackend().project_batch(shared_codebook, weights)
+        noise = backend.project_batch(shared_codebook, weights) - clean
+        expected = backend.noise.sigma_z * np.sqrt(SIZE)
+        assert noise.std() == pytest.approx(expected, rel=0.2)
+
+    def test_quantized_on_noisy_inner_composes(self, shared_codebook, queries):
+        """Batch path threads through wrapped backends (ADC over noise)."""
+        adc = SARADC(bits=4)
+        inner = NoisySimilarityBackend(sigma=0.3, rng=0)
+        backend = QuantizedSimilarityBackend(adc, inner=inner, full_scale=DIM)
+        batch = backend.similarity_batch(shared_codebook, queries)
+        # Outputs are reconstructed ADC codes: multiples of one LSB.
+        lsb = DIM / adc.levels
+        codes = batch / lsb
+        assert np.allclose(codes, np.round(codes), atol=1e-6)

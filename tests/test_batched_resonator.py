@@ -1,0 +1,293 @@
+"""Regression: the batched resonator reproduces the sequential engine.
+
+For deterministic configurations, bipolar MVMs are exact in float32, so a
+trial must take *bit-identical* steps under
+:class:`~repro.resonator.batched.BatchedResonatorNetwork` and
+:class:`~repro.resonator.network.ResonatorNetwork`: same decoded factors,
+same outcome (fixed point / limit cycle / budget), same convergence sweep,
+same ``first_correct_iteration``.  These tests pin that on a seeded
+Table II configuration (D = 1024, F = 3), including the per-trial
+convergence masking (trials finish at different sweeps) and the
+per-trial-codebook tensor path.
+
+Stochastic configurations draw their noise in a different order when
+batched, so individual trials differ; the batch statistics are pinned
+instead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import H3DFact, baseline_network
+from repro.errors import DimensionError
+from repro.resonator import (
+    BatchedResonatorNetwork,
+    FactorizationProblem,
+    Outcome,
+    ResonatorNetwork,
+)
+from repro.resonator.batch import (
+    engine_from_environment,
+    factorize_problems,
+    generate_problems,
+)
+from repro.resonator.profiler import ResonatorProfiler
+from repro.errors import ConfigurationError
+
+
+def sequential_results(problems, max_iterations, initial_estimates=None):
+    results = []
+    for i, problem in enumerate(problems):
+        network = baseline_network(problem.codebooks, max_iterations=max_iterations)
+        init = None if initial_estimates is None else [
+            estimate[i] for estimate in initial_estimates
+        ]
+        results.append(
+            network.factorize(
+                problem.product,
+                true_indices=problem.true_indices,
+                initial_estimates=init,
+            )
+        )
+    return results
+
+
+class TestDeterministicParity:
+    """Seeded Table II configuration: identical per-trial results."""
+
+    @pytest.fixture(scope="class")
+    def problems(self):
+        # M = 64 sits at the deterministic cliff: the batch mixes quick
+        # fixed points, limit cycles and budget exhaustion, exercising the
+        # per-trial masking.  Even M has superposition sign ties, so the
+        # initial state is fixed explicitly to make both engines start
+        # from the same point.
+        return generate_problems(
+            dim=1024, num_factors=3, codebook_size=64, trials=10, rng=0
+        )
+
+    @pytest.fixture(scope="class")
+    def initial_estimates(self, problems):
+        rng = np.random.default_rng(42)
+        estimates = []
+        for f in range(3):
+            stacked = np.stack(
+                [
+                    2 * rng.integers(0, 2, size=1024, dtype=np.int8) - 1
+                    for _ in problems
+                ]
+            )
+            estimates.append(stacked)
+        return estimates
+
+    @pytest.fixture(scope="class")
+    def pair(self, problems, initial_estimates):
+        sequential = sequential_results(problems, 200, initial_estimates)
+        template = baseline_network(problems[0].codebooks, max_iterations=200)
+        network = BatchedResonatorNetwork.from_network(
+            template, [problem.codebooks for problem in problems]
+        )
+        batched = network.factorize(
+            np.stack([problem.product for problem in problems]),
+            initial_estimates=initial_estimates,
+            true_indices=[problem.true_indices for problem in problems],
+        )
+        return sequential, batched
+
+    def test_indices_equal(self, pair):
+        sequential, batched = pair
+        for seq, bat in zip(sequential, batched):
+            assert seq.indices == bat.indices
+
+    def test_outcomes_and_iterations_equal(self, pair):
+        sequential, batched = pair
+        for seq, bat in zip(sequential, batched):
+            assert seq.outcome == bat.outcome
+            assert seq.iterations == bat.iterations
+            assert seq.cycle_period == bat.cycle_period
+
+    def test_accuracy_and_first_correct_equal(self, pair):
+        sequential, batched = pair
+        for seq, bat in zip(sequential, batched):
+            assert seq.correct == bat.correct
+            assert seq.product_match == bat.product_match
+            assert seq.first_correct_iteration == bat.first_correct_iteration
+
+    def test_masking_mixes_termination_sweeps(self, pair):
+        # The configuration genuinely exercises per-trial masking: trials
+        # stop at different sweeps.
+        _, batched = pair
+        assert len({result.iterations for result in batched}) > 1
+
+
+class TestOddSizeParityThroughDriver:
+    def test_factorize_batch_engines_agree(self):
+        """Odd M -> no sign ties -> both engines bit-identical end to end."""
+        problems = generate_problems(
+            dim=512, num_factors=3, codebook_size=15, trials=8, rng=3
+        )
+        seq = factorize_problems(
+            lambda p: baseline_network(p.codebooks, max_iterations=200),
+            problems,
+            engine="sequential",
+        )
+        bat = factorize_problems(
+            lambda p: baseline_network(p.codebooks, max_iterations=200),
+            problems,
+            engine="batched",
+        )
+        assert seq.accuracy == bat.accuracy
+        for a, b in zip(seq.results, bat.results):
+            assert a.indices == b.indices
+            assert a.outcome == b.outcome
+            assert a.iterations == b.iterations
+            assert a.first_correct_iteration == b.first_correct_iteration
+
+    def test_shared_codebooks_parity(self):
+        problems = generate_problems(
+            dim=512,
+            num_factors=3,
+            codebook_size=15,
+            trials=8,
+            rng=4,
+            share_codebooks=True,
+        )
+        seq = factorize_problems(
+            lambda p: baseline_network(p.codebooks, max_iterations=200),
+            problems,
+            engine="sequential",
+        )
+        bat = factorize_problems(
+            lambda p: baseline_network(p.codebooks, max_iterations=200),
+            problems,
+            engine="batched",
+        )
+        for a, b in zip(seq.results, bat.results):
+            assert a.indices == b.indices
+            assert a.iterations == b.iterations
+
+
+class TestOpCountParity:
+    def test_profiled_ops_match_sequential(self):
+        """Batched and sequential runs record identical op/flop totals."""
+        problems = generate_problems(
+            dim=512, num_factors=3, codebook_size=15, trials=6, rng=5
+        )
+        seq_profiler = ResonatorProfiler()
+        for problem in problems:
+            network = baseline_network(problem.codebooks, max_iterations=100)
+            network.profiler = seq_profiler
+            network.factorize(problem.product, true_indices=problem.true_indices)
+        bat_profiler = ResonatorProfiler()
+        template = baseline_network(problems[0].codebooks, max_iterations=100)
+        network = BatchedResonatorNetwork.from_network(
+            template, [problem.codebooks for problem in problems]
+        )
+        network.profiler = bat_profiler
+        network.factorize(
+            np.stack([problem.product for problem in problems]),
+            true_indices=[problem.true_indices for problem in problems],
+        )
+        for name in ("unbind", "similarity", "projection", "activation"):
+            assert (
+                seq_profiler.steps[name].elements
+                == bat_profiler.steps[name].elements
+            )
+            assert seq_profiler.steps[name].flops == bat_profiler.steps[name].flops
+            assert seq_profiler.steps[name].calls == bat_profiler.steps[name].calls
+        assert seq_profiler.mvm_flop_fraction() == pytest.approx(
+            bat_profiler.mvm_flop_fraction()
+        )
+
+
+class TestStochasticStatistics:
+    @pytest.mark.slow
+    def test_h3d_batch_statistics_match(self):
+        """Noise order differs, so trials differ - statistics must not."""
+        problems = generate_problems(
+            dim=1024, num_factors=3, codebook_size=32, trials=16, rng=6
+        )
+        seq_engine = H3DFact(rng=7)
+        seq = factorize_problems(
+            lambda p: seq_engine.make_network(p.codebooks, max_iterations=1500),
+            problems,
+            engine="sequential",
+            check_correct_every=2,
+        )
+        bat_engine = H3DFact(rng=7)
+        bat = factorize_problems(
+            lambda p: bat_engine.make_network(p.codebooks, max_iterations=1500),
+            problems,
+            engine="batched",
+            check_correct_every=2,
+        )
+        assert seq.accuracy >= 0.9
+        assert bat.accuracy >= 0.9
+        assert bat.statistics.converged_fraction >= 0.9
+
+
+class TestBatchedValidation:
+    def test_rejects_mismatched_products(self):
+        problem = FactorizationProblem.random(256, 3, 8, rng=0)
+        network = BatchedResonatorNetwork(problem.codebooks)
+        with pytest.raises(DimensionError):
+            network.factorize(np.ones((4, 128), dtype=np.int8))
+
+    def test_rejects_wrong_trial_count(self):
+        problems = [FactorizationProblem.random(256, 3, 8, rng=i) for i in range(3)]
+        network = BatchedResonatorNetwork([p.codebooks for p in problems])
+        products = np.stack([p.product for p in problems[:2]])
+        with pytest.raises(DimensionError):
+            network.factorize(products)
+
+    def test_rejects_mixed_geometry_sets(self):
+        a = FactorizationProblem.random(256, 3, 8, rng=0)
+        b = FactorizationProblem.random(256, 3, 16, rng=1)
+        with pytest.raises(DimensionError):
+            BatchedResonatorNetwork([a.codebooks, b.codebooks])
+
+    def test_engine_env_knob(self, monkeypatch):
+        monkeypatch.setenv("H3DFACT_ENGINE", "sequential")
+        assert engine_from_environment() == "sequential"
+        monkeypatch.setenv("H3DFACT_ENGINE", "batched")
+        assert engine_from_environment() == "batched"
+        monkeypatch.delenv("H3DFACT_ENGINE")
+        assert engine_from_environment() == "batched"
+        monkeypatch.setenv("H3DFACT_ENGINE", "bogus")
+        with pytest.raises(ConfigurationError):
+            engine_from_environment()
+
+    def test_engine_make_batched_network(self):
+        """The engine's public batched constructor runs the CIM chain."""
+        problems = [FactorizationProblem.random(512, 3, 8, rng=i) for i in range(4)]
+        engine = H3DFact(rng=0)
+        network = engine.make_batched_network(
+            [problem.codebooks for problem in problems], max_iterations=300
+        )
+        results = network.factorize(
+            np.stack([problem.product for problem in problems]),
+            true_indices=[problem.true_indices for problem in problems],
+        )
+        assert len(results) == 4
+        assert sum(bool(result.correct) for result in results) >= 3
+
+    def test_single_problem_batch(self):
+        problem = FactorizationProblem.random(512, 3, 8, rng=2)
+        network = BatchedResonatorNetwork(problem.codebooks, max_iterations=200)
+        sequential = ResonatorNetwork(problem.codebooks, max_iterations=200, rng=0)
+        init = [
+            np.stack([vector])
+            for vector in sequential.initial_estimates()
+        ]
+        results = network.factorize(
+            problem.product[None, :],
+            initial_estimates=init,
+            true_indices=[problem.true_indices],
+        )
+        assert len(results) == 1
+        assert results[0].outcome in (
+            Outcome.CONVERGED,
+            Outcome.LIMIT_CYCLE,
+            Outcome.MAX_ITERATIONS,
+        )
+        assert results[0].indices == problem.true_indices

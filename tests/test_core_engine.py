@@ -76,6 +76,7 @@ class TestEngineFactorization:
         )
         assert result.indices == problem.true_indices
 
+    @pytest.mark.slow
     def test_stochastic_beats_baseline_beyond_cliff(self):
         """The Table II headline at a bench-sized operating point."""
         baseline = factorize_batch(

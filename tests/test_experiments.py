@@ -41,7 +41,30 @@ class TestFig1c:
         assert result.mvm_op_fraction > 0.7
 
     def test_mvm_dominates_time(self, result):
-        assert result.mvm_time_fraction > 0.5
+        # mvm_time_fraction is the deterministic flop-weighted share
+        # reported by the op-count profiler - identical on every run, so
+        # this can assert tightly where the old wall-clock fraction flaked.
+        assert result.mvm_time_fraction > 0.8
+        assert result.mvm_time_fraction <= 1.0
+
+    def test_time_fraction_deterministic(self, result):
+        # A second run of the profile produces the exact same breakdown.
+        config = Fig1cConfig(
+            dim=512,
+            profile_codebook_size=32,
+            profile_iterations=20,
+            scaling_sizes=(8,),
+            scaling_trials=2,
+            scaling_max_iterations=50,
+        )
+        again = run_fig1c(config)
+        assert again.mvm_time_fraction == result.mvm_time_fraction
+        assert again.time_fractions == result.time_fractions
+
+    def test_wall_clock_sanity(self, result):
+        # Wall time is only sanity-checked, never asserted on tightly.
+        assert result.elapsed_seconds > 0.0
+        assert 0.0 <= result.mvm_wall_fraction <= 1.0
 
     def test_accuracy_declines_with_size(self, result):
         sizes = sorted(result.baseline_accuracy)
@@ -51,6 +74,7 @@ class TestFig1c:
         assert "MVM share" in result.render()
 
 
+@pytest.mark.slow
 class TestTable2:
     @pytest.fixture(scope="class")
     def result(self):
@@ -114,6 +138,7 @@ class TestFig5:
         assert "tier3" in result.render()
 
 
+@pytest.mark.slow
 class TestFig6:
     def test_fig6a_low_precision_converges_sooner(self):
         config = Fig6aConfig(
@@ -137,6 +162,7 @@ class TestFig6:
         assert "testchip" in result.render()
 
 
+@pytest.mark.slow
 class TestFig7:
     def test_reduced_pipeline(self):
         config = Fig7Config(

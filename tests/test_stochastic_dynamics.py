@@ -108,6 +108,7 @@ class TestLockStability:
 
 
 class TestEscapeMechanism:
+    @pytest.mark.slow
     def test_noise_rescues_post_cliff_sizes(self):
         """Beyond the deterministic cliff, only the stochastic run solves."""
         size = 128

@@ -152,3 +152,91 @@ class TestSignWithTiebreak:
         values = np.array([-3.0, 2.0, -0.5])
         out = sign_with_tiebreak(values, rng=0)
         assert np.array_equal(out, np.array([-1, 1, -1], dtype=np.int8))
+
+
+class TestBindingAlgebraProperties:
+    """Property-style round trips for the MAP binding algebra.
+
+    The resonator's correctness rests on binding being a commutative,
+    associative involution over {-1, +1}: unbinding all other factors from
+    a product must recover the remaining factor exactly (Sec. III-B, the
+    tier-1 XNOR unbind).  These hold for every dimension and seed, so they
+    are asserted as hypothesis properties.
+    """
+
+    @given(
+        st.integers(min_value=2, max_value=2048),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bind_unbind_round_trip(self, dim, seed):
+        a, b = bipolar(dim, seed), bipolar(dim, seed + 1)
+        assert np.array_equal(unbind(bind(a, b), b), a)
+        assert np.array_equal(unbind(bind(a, b), a), b)
+
+    @given(
+        st.integers(min_value=2, max_value=1024),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_three_factor_round_trip(self, dim, seed):
+        """The resonator's unbind step: remove F-1 factors from a product."""
+        a, b, c = (bipolar(dim, seed + k) for k in range(3))
+        product = bind(a, b, c)
+        assert np.array_equal(unbind(product, b, c), a)
+        assert np.array_equal(unbind(product, a, c), b)
+        assert np.array_equal(unbind(product, a, b), c)
+
+    @given(
+        st.integers(min_value=2, max_value=1024),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bind_commutative_property(self, dim, seed):
+        a, b = bipolar(dim, seed), bipolar(dim, seed + 1)
+        assert np.array_equal(bind(a, b), bind(b, a))
+
+    @given(
+        st.integers(min_value=2, max_value=1024),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bind_associative_property(self, dim, seed):
+        a, b, c = (bipolar(dim, seed + k) for k in range(3))
+        assert np.array_equal(bind(bind(a, b), c), bind(a, bind(b, c)))
+
+    @given(
+        st.integers(min_value=2, max_value=1024),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bind_is_involution(self, dim, seed):
+        """x (.) x = identity - what makes unbinding an XNOR in hardware."""
+        a, b = bipolar(dim, seed), bipolar(dim, seed + 1)
+        ones = np.ones(dim, dtype=a.dtype)
+        assert np.array_equal(bind(a, a), ones)
+        assert np.array_equal(bind(a, a, b), b)
+
+    @given(
+        st.integers(min_value=2, max_value=1024),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_binding_preserves_similarity_structure(self, dim, seed):
+        """Binding with a common key preserves pairwise similarity exactly."""
+        a, b, key = (bipolar(dim, seed + k) for k in range(3))
+        assert similarity(bind(a, key), bind(b, key)) == similarity(a, b)
+
+    @given(
+        st.integers(min_value=2, max_value=1024),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_permute_bind_round_trip(self, dim, seed, shift):
+        """Permutation distributes over binding and round-trips."""
+        a, b = bipolar(dim, seed), bipolar(dim, seed + 1)
+        assert np.array_equal(
+            permute(bind(a, b), shift), bind(permute(a, shift), permute(b, shift))
+        )
+        assert np.array_equal(inverse_permute(permute(a, shift), shift), a)
