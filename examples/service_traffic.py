@@ -1,0 +1,91 @@
+"""Serve a stream of factorization requests through the micro-batching service.
+
+Simulates live traffic: several "clients" submit individual requests
+against a handful of shared codebook sets, the scheduler coalesces them
+into stacked batches, and the registry pays each set's programming cost
+once.  Run with ``PYTHONPATH=src python examples/service_traffic.py``.
+"""
+
+import random
+import threading
+
+from repro.core.engine import baseline_network
+from repro.resonator import FactorizationProblem
+from repro.service import (
+    BatchPolicy,
+    CodebookRegistry,
+    FactorizationRequest,
+    FactorizationService,
+)
+from repro.vsa import CodebookSet
+
+DIM, FACTORS, SIZE = 1024, 3, 32
+CLIENTS, REQUESTS_PER_CLIENT = 4, 16
+
+
+def main() -> None:
+    # Three "tenants", each with their own programmed codebook set.
+    tenants = [
+        CodebookSet.random_uniform(DIM, FACTORS, SIZE, rng=seed)
+        for seed in range(3)
+    ]
+    service = FactorizationService(
+        lambda p: baseline_network(p.codebooks, max_iterations=100),
+        policy=BatchPolicy(max_batch_size=16, max_wait_seconds=0.05),
+        registry=CodebookRegistry(capacity=8),
+        workers=2,
+    )
+    correct = 0
+    lock = threading.Lock()
+
+    def client(client_id: int) -> None:
+        nonlocal correct
+        rng = random.Random(client_id)
+        futures = []
+        for index in range(REQUESTS_PER_CLIENT):
+            codebooks = tenants[rng.randrange(len(tenants))]
+            truth = tuple(rng.randrange(SIZE) for _ in range(FACTORS))
+            futures.append(
+                service.submit(
+                    FactorizationRequest(
+                        product=codebooks.compose(truth),
+                        codebooks=codebooks,
+                        seed=client_id * 1000 + index,
+                        true_indices=truth,
+                    )
+                )
+            )
+        hits = sum(1 for f in futures if f.result(timeout=60).result.correct)
+        with lock:
+            correct += hits
+
+    with service:
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    total = CLIENTS * REQUESTS_PER_CLIENT
+    print(f"served {total} requests from {CLIENTS} client threads")
+    print(
+        f"  accuracy: {100.0 * correct / total:.1f} % "
+        f"({correct}/{total} decoded correctly)"
+    )
+    print(
+        f"  batches: {service.stats.batches} "
+        f"(mean size {service.stats.mean_batch_size:.1f}, "
+        f"largest {service.stats.largest_batch})"
+    )
+    print(
+        f"  codebook cache: {service.registry.stats.hits} hits / "
+        f"{service.registry.stats.misses} misses "
+        f"(programmed {service.registry.stats.misses} of "
+        f"{service.stats.submitted} submissions)"
+    )
+
+
+if __name__ == "__main__":
+    main()

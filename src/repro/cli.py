@@ -28,6 +28,7 @@ from repro.experiments import (
     run_table2,
     run_table3,
 )
+from repro.service.bench import ServeBenchConfig, run_serve_bench
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -76,6 +77,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--trials", type=int, default=None)
 
+    p = sub.add_parser(
+        "serve-bench", help="micro-batching service throughput + parity"
+    )
+    _add_common(p)
+    p.add_argument("--requests", type=int, default=32)
+    p.add_argument("--batch", type=int, default=32, help="max batch size")
+    p.add_argument("--dim", type=int, default=1024)
+    p.add_argument("--factors", type=int, default=3)
+    p.add_argument("--size", type=int, default=64, help="codebook size")
+    p.add_argument("--iterations", type=int, default=30, help="sweep budget")
+    p.add_argument("--workers", type=int, default=2)
+
     sub.add_parser("all", help="run every experiment at default scale")
     return parser
 
@@ -119,6 +132,19 @@ def _run_one(command: str, args: argparse.Namespace) -> str:
         if args.trials is not None:
             config.trials = args.trials
         return run_ablation(config).render()
+    if command == "serve-bench":
+        return run_serve_bench(
+            ServeBenchConfig(
+                dim=args.dim,
+                num_factors=args.factors,
+                codebook_size=args.size,
+                requests=args.requests,
+                max_batch_size=args.batch,
+                max_iterations=args.iterations,
+                workers=args.workers,
+                seed=args.seed,
+            )
+        ).render()
     raise ValueError(f"unknown command {command!r}")
 
 
@@ -128,7 +154,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "all":
         outputs = []
         defaults = build_parser()
-        for command in ("fig1c", "table2", "table3", "fig5", "fig6a", "fig6b", "fig7"):
+        for command in (
+            "fig1c",
+            "table2",
+            "table3",
+            "fig5",
+            "fig6a",
+            "fig6b",
+            "fig7",
+            "serve-bench",
+        ):
             sub_args = defaults.parse_args([command])
             outputs.append(f"===== {command} =====")
             outputs.append(_run_one(command, sub_args))

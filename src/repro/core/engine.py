@@ -16,8 +16,8 @@ from repro.errors import ConfigurationError
 from repro.hwmodel import calibration as cal
 from repro.hwmodel.metrics import DesignMetrics, evaluate_design
 from repro.resonator.activations import SignActivation
-from repro.resonator.batch import factorize_problems
 from repro.resonator.batched import BatchedResonatorNetwork, CodebookSetBatch
+from repro.resonator.replay import run_problems_grouped
 from repro.resonator.network import (
     FactorizationProblem,
     FactorizationResult,
@@ -269,13 +269,16 @@ class H3DFact:
         batch size.  Algorithmically the trials stay independent; the
         report combines their results with the pipelined hardware cost.
 
-        When all problems share the hypervector dimension and per-factor
-        codebook sizes, the trials execute through
+        The batch routes through the grouped planner
+        (:func:`~repro.resonator.replay.run_problems_grouped`): same-geometry
+        problems execute through
         :func:`~repro.resonator.batch.factorize_problems` - vectorized by
         default (stacked MVMs, per-trial convergence masking, shared-mode
-        GEMM when the problems share one codebook set), or the per-trial
-        loop under ``H3DFACT_ENGINE=sequential``.  Heterogeneous
-        geometries always fall back to the loop.
+        GEMM when the problems share one codebook set) - and a
+        heterogeneous batch is partitioned into same-geometry groups, each
+        of which still runs stacked instead of falling back to the
+        per-trial loop.  ``H3DFACT_ENGINE=sequential`` restores the
+        historical loop over the whole batch in submission order.
         """
         if not problems:
             raise ConfigurationError("factorize_batch() needs at least one problem")
@@ -285,12 +288,10 @@ class H3DFact:
                 raise ConfigurationError(
                     "all problems in a batch must share the factor count"
                 )
-        geometries = {(p.codebooks.dim, p.codebooks.sizes) for p in problems}
-        results = factorize_problems(
+        results = run_problems_grouped(
             lambda p: self.make_network(p.codebooks, max_iterations=max_iterations),
             problems,
-            engine="sequential" if len(geometries) != 1 else None,
-        ).results
+        )
         metrics = self.ppa()
         latency = StepLatency.from_geometry(
             rows=self.design.array_rows,

@@ -41,3 +41,11 @@ class ThermalModelError(ReproError):
 
 class PerceptionError(ReproError):
     """The perception front-end or dataset generation failed."""
+
+
+class ServiceError(ReproError):
+    """The factorization service was misused or is shut down."""
+
+
+class BackpressureError(ServiceError):
+    """The service's bounded request queue is full (reject policy)."""

@@ -17,8 +17,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.engine import H3DFact, baseline_network
 from repro.experiments.runner import full_scale
-from repro.resonator.batch import factorize_batch
-from repro.resonator.metrics import BatchStatistics
+from repro.resonator.batch import generate_problems
+from repro.resonator.metrics import BatchStatistics, summarize
+from repro.service.registry import CodebookRegistry
+from repro.service.request import FactorizationRequest
+from repro.service.scheduler import FactorizationService
 from repro.utils.rng import as_rng
 
 
@@ -137,43 +140,77 @@ def run_table2(config: Optional[Table2Config] = None) -> Table2Result:
     start = time.perf_counter()
     rng = as_rng(config.seed)
     cells: List[Cell] = []
-    for num_factors in config.factor_counts:
-        for size in config.codebook_sizes:
-            baseline_batch = factorize_batch(
-                # Seed the network too (init tie-breaks), so the whole cell
-                # is reproducible from config.seed.
-                lambda p: baseline_network(
-                    p.codebooks,
-                    max_iterations=config.max_iterations_baseline,
+    # All cells route through one factorization service: each trial is
+    # submitted as an individual request and the scheduler coalesces the
+    # cell back into one stacked batch (deterministic packing, so the
+    # numbers are bit-identical to driving factorize_problems directly).
+    service = FactorizationService(
+        registry=CodebookRegistry(capacity=max(2 * config.trials, 8))
+    )
+    with service:
+        for num_factors in config.factor_counts:
+            for size in config.codebook_sizes:
+                problems = generate_problems(
+                    dim=config.dim,
+                    num_factors=num_factors,
+                    codebook_size=size,
+                    trials=config.trials,
                     rng=rng,
-                ),
-                dim=config.dim,
-                num_factors=num_factors,
-                codebook_size=size,
-                trials=config.trials,
-                target_accuracy=config.target_accuracy,
-                rng=rng,
-                engine=config.engine,
-            )
-            cells.append(
-                Cell("baseline", num_factors, size, baseline_batch.statistics)
-            )
-            engine = H3DFact(rng=rng)
-            h3d_batch = factorize_batch(
-                lambda p: engine.make_network(
-                    p.codebooks, max_iterations=config.max_iterations_h3d
-                ),
-                dim=config.dim,
-                num_factors=num_factors,
-                codebook_size=size,
-                trials=config.trials,
-                max_iterations=config.max_iterations_h3d,
-                target_accuracy=config.target_accuracy,
-                rng=rng,
-                check_correct_every=2,
-                engine=config.engine,
-            )
-            cells.append(Cell("h3d", num_factors, size, h3d_batch.statistics))
+                )
+                responses = service.run_coalesced(
+                    [FactorizationRequest.from_problem(p) for p in problems],
+                    # Seed the network too (init tie-breaks), so the whole
+                    # cell is reproducible from config.seed.
+                    network_factory=lambda p: baseline_network(
+                        p.codebooks,
+                        max_iterations=config.max_iterations_baseline,
+                        rng=rng,
+                    ),
+                    engine=config.engine,
+                )
+                cells.append(
+                    Cell(
+                        "baseline",
+                        num_factors,
+                        size,
+                        summarize(
+                            [r.result for r in responses],
+                            target_accuracy=config.target_accuracy,
+                        ),
+                    )
+                )
+                engine = H3DFact(rng=rng)
+                problems = generate_problems(
+                    dim=config.dim,
+                    num_factors=num_factors,
+                    codebook_size=size,
+                    trials=config.trials,
+                    rng=rng,
+                )
+                responses = service.run_coalesced(
+                    [
+                        FactorizationRequest.from_problem(
+                            p, max_iterations=config.max_iterations_h3d
+                        )
+                        for p in problems
+                    ],
+                    network_factory=lambda p: engine.make_network(
+                        p.codebooks, max_iterations=config.max_iterations_h3d
+                    ),
+                    check_correct_every=2,
+                    engine=config.engine,
+                )
+                cells.append(
+                    Cell(
+                        "h3d",
+                        num_factors,
+                        size,
+                        summarize(
+                            [r.result for r in responses],
+                            target_accuracy=config.target_accuracy,
+                        ),
+                    )
+                )
     return Table2Result(
         cells=cells,
         config=config,

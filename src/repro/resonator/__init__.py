@@ -41,10 +41,19 @@ from repro.resonator.network import (
 )
 from repro.resonator.batch import (
     BatchResult,
+    batched_network_for,
     engine_from_environment,
     factorize_batch,
     factorize_problems,
     generate_problems,
+)
+from repro.resonator.replay import (
+    GeometryKey,
+    geometry_key,
+    group_by_geometry,
+    run_group,
+    run_problems_grouped,
+    seeded_initial_estimates,
 )
 from repro.resonator.profiler import OpCounts, ResonatorProfiler, StepTiming
 from repro.resonator.stochastic import (
@@ -77,10 +86,17 @@ __all__ = [
     "FactorizationResult",
     "ResonatorNetwork",
     "BatchResult",
+    "batched_network_for",
     "engine_from_environment",
     "factorize_batch",
     "factorize_problems",
     "generate_problems",
+    "GeometryKey",
+    "geometry_key",
+    "group_by_geometry",
+    "run_group",
+    "run_problems_grouped",
+    "seeded_initial_estimates",
     "OpCounts",
     "ResonatorProfiler",
     "StepTiming",

@@ -40,7 +40,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.resonator.batched import BatchedResonatorNetwork
+from repro.resonator.batched import BatchedResonatorNetwork, CodebookSetBatch
 from repro.resonator.metrics import BatchStatistics, summarize
 from repro.resonator.network import (
     FactorizationProblem,
@@ -71,6 +71,29 @@ def engine_from_environment(default: str = "batched") -> str:
             f"H3DFACT_ENGINE must be one of {ENGINES}, got {value!r}"
         )
     return value
+
+
+def batched_network_for(
+    network_factory: NetworkFactory,
+    problems: Sequence[FactorizationProblem],
+) -> BatchedResonatorNetwork:
+    """Batched network for a same-geometry problem list.
+
+    Builds the template on the first problem (one configured stack, many
+    queries) and detects the shared-codebook situation by object identity:
+    if every problem references one :class:`~repro.vsa.codebook.CodebookSet`
+    instance, the batch runs in shared-mode GEMM, otherwise each trial
+    stacks its own set.  Single source of this rule for the shared-stream
+    driver (:func:`factorize_problems`) and the service's seeded replay
+    (:func:`repro.resonator.replay.run_group`).
+    """
+    template = network_factory(problems[0])
+    first_set = problems[0].codebooks
+    if all(problem.codebooks is first_set for problem in problems):
+        codebooks: "CodebookSetBatch" = first_set
+    else:
+        codebooks = [problem.codebooks for problem in problems]
+    return BatchedResonatorNetwork.from_network(template, codebooks)
 
 
 @dataclass
@@ -129,13 +152,7 @@ def factorize_problems(
             statistics=summarize(results, target_accuracy=target_accuracy),
         )
 
-    template = network_factory(problems[0])
-    first_set = problems[0].codebooks
-    if all(problem.codebooks is first_set for problem in problems):
-        codebooks = first_set
-    else:
-        codebooks = [problem.codebooks for problem in problems]
-    network = BatchedResonatorNetwork.from_network(template, codebooks)
+    network = batched_network_for(network_factory, problems)
     products = np.stack([problem.product for problem in problems])
     results = network.factorize(
         products,

@@ -58,12 +58,16 @@ from repro.resonator.backends import (
     MVMBackend,
 )
 from repro.resonator.convergence import CycleDetector, Outcome, state_digest
-from repro.resonator.network import FactorizationResult, ResonatorNetwork
+from repro.resonator.network import (
+    FactorizationResult,
+    ResonatorNetwork,
+    initial_factor_estimate,
+)
 from repro.resonator.profiler import ResonatorProfiler
 from repro.utils.rng import RandomState, as_rng
 from repro.utils.validation import check_bipolar
 from repro.vsa.codebook import CodebookSet
-from repro.vsa.ops import DEFAULT_DTYPE, sign_with_tiebreak
+from repro.vsa.ops import DEFAULT_DTYPE
 
 #: One shared codebook set, or one per trial (identical geometry).
 CodebookSetBatch = Union[CodebookSet, Sequence[CodebookSet]]
@@ -187,16 +191,9 @@ class BatchedResonatorNetwork:
         for trial in range(trials):
             codebooks = self._set_for(trial)
             for f, codebook in enumerate(codebooks):
-                if self.init == "random":
-                    vector = (
-                        2
-                        * self._rng.integers(0, 2, size=codebook.dim, dtype=np.int8)
-                        - 1
-                    ).astype(DEFAULT_DTYPE)
-                else:
-                    sums = codebook.matrix.astype(np.int32).sum(axis=1)
-                    vector = sign_with_tiebreak(sums, rng=self._rng)
-                estimates[f][trial] = vector
+                estimates[f][trial] = initial_factor_estimate(
+                    codebook, self.init, self._rng
+                )
         return estimates
 
     # -- decoding -----------------------------------------------------------

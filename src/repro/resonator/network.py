@@ -28,6 +28,25 @@ from repro.vsa.codebook import CodebookSet
 from repro.vsa.ops import DEFAULT_DTYPE, sign_with_tiebreak
 
 
+def initial_factor_estimate(
+    codebook, init: str, rng: np.random.Generator
+) -> np.ndarray:
+    """One factor's initial state: superposition (or random) per codebook.
+
+    The single source of the init recipe shared by the sequential network,
+    the batched network, and the service's seeded replay
+    (:func:`repro.resonator.replay.seeded_initial_estimates`) - their
+    bit-identical-trajectory guarantees require the three call sites to
+    stay in lockstep.
+    """
+    if init == "random":
+        return (
+            2 * rng.integers(0, 2, size=codebook.dim, dtype=np.int8) - 1
+        ).astype(DEFAULT_DTYPE)
+    sums = codebook.matrix.astype(np.int32).sum(axis=1)
+    return sign_with_tiebreak(sums, rng=rng)
+
+
 @dataclass(frozen=True)
 class FactorizationProblem:
     """A product vector together with the codebooks that generated it.
@@ -205,17 +224,10 @@ class ResonatorNetwork:
 
     def initial_estimates(self) -> List[np.ndarray]:
         """Initial state: superposition of each codebook (or random)."""
-        estimates: List[np.ndarray] = []
-        for codebook in self.codebooks:
-            if self.init == "random":
-                vector = (
-                    2 * self._rng.integers(0, 2, size=codebook.dim, dtype=np.int8) - 1
-                ).astype(DEFAULT_DTYPE)
-            else:
-                sums = codebook.matrix.astype(np.int32).sum(axis=1)
-                vector = sign_with_tiebreak(sums, rng=self._rng)
-            estimates.append(vector)
-        return estimates
+        return [
+            initial_factor_estimate(codebook, self.init, self._rng)
+            for codebook in self.codebooks
+        ]
 
     # -- decoding ----------------------------------------------------------------
 

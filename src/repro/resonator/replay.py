@@ -1,0 +1,226 @@
+"""Seeded-replay batch execution and geometry-grouped planning.
+
+This is the resonator-layer machinery behind the factorization service
+(:mod:`repro.service`) and :meth:`repro.core.engine.H3DFact.factorize_batch`.
+It depends only on resonator primitives, so lower layers can use it
+without importing the serving stack.
+
+One same-geometry batch executes in one of two modes (:func:`run_group`):
+
+* **shared-stream** (any trial without a ``seed``) - exactly the batch
+  drivers' historical recipe: :func:`~repro.resonator.batch.factorize_problems`
+  builds one template network whose random stream initializes every trial
+  in submission order.  Bit-identical to the experiment drivers, but the
+  results depend on how the batch was packed.
+* **seeded replay** (every trial carries a ``seed``) - each trial's
+  initial state is derived from *its own* seed with the same recipe as
+  :meth:`~repro.resonator.network.ResonatorNetwork.initial_estimates`,
+  then the whole batch advances through the stacked
+  :class:`~repro.resonator.batched.BatchedResonatorNetwork`.  For
+  deterministic configurations (exact/rectified backends, deterministic
+  activation) the trajectory of a trial depends only on its initial state,
+  its product and its codebooks - *not* on which batch it rode in - so a
+  fixed-seed request stream yields bit-identical
+  :class:`~repro.resonator.network.FactorizationResult`\\ s regardless of
+  arrival order or batch packing (PR 1's batched/sequential parity
+  guarantee).  Stochastic configurations still run correctly under seeded
+  replay, but their noise is drawn batch-wide, so only the statistics are
+  packing-independent.
+
+The planner (:func:`run_problems_grouped`) partitions an arbitrary
+problem list into same-geometry groups (first-appearance order,
+submission order within a group), so a heterogeneous workload still runs
+each compatible subset as one stacked batch instead of falling all the
+way back to the per-trial loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.resonator.batch import (
+    ENGINES,
+    NetworkFactory,
+    batched_network_for,
+    engine_from_environment,
+    factorize_problems,
+)
+from repro.resonator.network import (
+    FactorizationProblem,
+    FactorizationResult,
+    initial_factor_estimate,
+)
+from repro.utils.rng import as_rng
+from repro.vsa.codebook import CodebookSet
+
+#: Batchability key: hypervector dimension + per-factor codebook sizes.
+GeometryKey = Tuple[int, Tuple[int, ...]]
+
+
+def geometry_key(codebooks: CodebookSet) -> GeometryKey:
+    """The (dim, sizes) signature that decides batch compatibility."""
+    return codebooks.dim, codebooks.sizes
+
+
+def seeded_initial_estimates(
+    codebooks: CodebookSet, seed: int, *, init: str = "superposition"
+) -> List[np.ndarray]:
+    """Initial per-factor state derived from one request's own seed.
+
+    Mirrors :meth:`ResonatorNetwork.initial_estimates` (superposition with
+    seeded tie-breaks, or seeded random vectors) but draws from a generator
+    owned by the request, which is what makes a seeded trial's trajectory
+    independent of its batch-mates.
+    """
+    if init not in ("superposition", "random"):
+        raise ConfigurationError(
+            f"init must be 'superposition' or 'random', got {init!r}"
+        )
+    rng = as_rng(seed)
+    return [
+        initial_factor_estimate(codebook, init, rng) for codebook in codebooks
+    ]
+
+
+def run_group(
+    network_factory: NetworkFactory,
+    problems: Sequence[FactorizationProblem],
+    *,
+    seeds: Optional[Sequence[Optional[int]]] = None,
+    max_iterations: Optional[int] = None,
+    check_correct_every: int = 1,
+    engine: Optional[str] = None,
+) -> List[FactorizationResult]:
+    """Execute one same-geometry batch, one result per problem.
+
+    ``seeds`` selects the mode: when present and fully populated, each
+    trial is seeded-replay initialized from its own entry; otherwise the
+    batch runs in shared-stream mode via :func:`factorize_problems`.
+    """
+    if not problems:
+        raise ConfigurationError("run_group() needs at least one problem")
+    if seeds is not None and len(seeds) != len(problems):
+        raise ConfigurationError(
+            f"{len(seeds)} seeds for {len(problems)} problems"
+        )
+    if engine is None:
+        engine = engine_from_environment()
+    if engine not in ENGINES:
+        raise ConfigurationError(f"engine must be one of {ENGINES}, got {engine!r}")
+    fully_seeded = seeds is not None and all(s is not None for s in seeds)
+    if seeds is not None and not fully_seeded and any(s is not None for s in seeds):
+        raise ConfigurationError(
+            "a group's seeds must be all set or all None; partial seeding "
+            "would silently lose the replay guarantee for the seeded trials"
+        )
+
+    if not fully_seeded:
+        return factorize_problems(
+            network_factory,
+            problems,
+            max_iterations=max_iterations,
+            check_correct_every=check_correct_every,
+            engine=engine,
+        ).results
+
+    if engine == "sequential":
+        results: List[FactorizationResult] = []
+        for problem, seed in zip(problems, seeds):
+            network = network_factory(problem)
+            results.append(
+                network.factorize(
+                    problem.product,
+                    max_iterations=max_iterations,
+                    initial_estimates=seeded_initial_estimates(
+                        problem.codebooks, seed, init=network.init
+                    ),
+                    true_indices=problem.true_indices,
+                    check_correct_every=check_correct_every,
+                )
+            )
+        return results
+
+    network = batched_network_for(network_factory, problems)
+    per_trial = [
+        seeded_initial_estimates(problem.codebooks, seed, init=network.init)
+        for problem, seed in zip(problems, seeds)
+    ]
+    stacked = [
+        np.stack([estimates[f] for estimates in per_trial])
+        for f in range(network.num_factors)
+    ]
+    products = np.stack([problem.product for problem in problems])
+    return network.factorize(
+        products,
+        max_iterations=max_iterations,
+        initial_estimates=stacked,
+        true_indices=[problem.true_indices for problem in problems],
+        check_correct_every=check_correct_every,
+    )
+
+
+def group_by_geometry(
+    problems: Sequence[FactorizationProblem],
+) -> List[List[int]]:
+    """Partition problem indices into same-geometry groups.
+
+    Groups appear in first-appearance order and preserve submission order
+    internally, so planning is deterministic for a given problem list.
+    """
+    groups: Dict[GeometryKey, List[int]] = {}
+    for index, problem in enumerate(problems):
+        groups.setdefault(geometry_key(problem.codebooks), []).append(index)
+    return list(groups.values())
+
+
+def run_problems_grouped(
+    network_factory: NetworkFactory,
+    problems: Sequence[FactorizationProblem],
+    *,
+    seeds: Optional[Sequence[Optional[int]]] = None,
+    max_iterations: Optional[int] = None,
+    check_correct_every: int = 1,
+    engine: Optional[str] = None,
+) -> List[FactorizationResult]:
+    """Execute ``problems`` batched per geometry group, in input order.
+
+    The sequential engine ignores geometry entirely, so under
+    ``engine="sequential"`` (or ``H3DFACT_ENGINE=sequential``) the whole
+    list runs as one per-trial loop in submission order - the historical
+    heterogeneous-batch behaviour, preserved exactly.
+    """
+    if not problems:
+        raise ConfigurationError(
+            "run_problems_grouped() needs at least one problem"
+        )
+    if seeds is not None and len(seeds) != len(problems):
+        raise ConfigurationError(
+            f"{len(seeds)} seeds for {len(problems)} problems"
+        )
+    if engine is None:
+        engine = engine_from_environment()
+    if engine == "sequential":
+        return run_group(
+            network_factory,
+            problems,
+            seeds=seeds,
+            max_iterations=max_iterations,
+            check_correct_every=check_correct_every,
+            engine=engine,
+        )
+    results: List[Optional[FactorizationResult]] = [None] * len(problems)
+    for indices in group_by_geometry(problems):
+        group_results = run_group(
+            network_factory,
+            [problems[i] for i in indices],
+            seeds=None if seeds is None else [seeds[i] for i in indices],
+            max_iterations=max_iterations,
+            check_correct_every=check_correct_every,
+            engine=engine,
+        )
+        for index, result in zip(indices, group_results):
+            results[index] = result
+    return results  # type: ignore[return-value]

@@ -1,0 +1,67 @@
+"""Micro-batching factorization service (the program-once/query-many path).
+
+Production serving layer over the batched resonator engine: individual
+:class:`FactorizationRequest`\\ s are coalesced into stacked micro-batches
+by a :class:`FactorizationService` (max-batch-size / max-wait flush
+policy, bounded-queue backpressure, thread worker pool), codebooks are
+interned once into a content-addressed LRU :class:`CodebookRegistry`, and
+per-request seeding makes deterministic configurations replay
+bit-identically regardless of arrival order or batch packing.
+
+>>> from repro.service import FactorizationRequest, FactorizationService
+>>> from repro import FactorizationProblem
+>>> with FactorizationService() as service:
+...     problem = FactorizationProblem.random(1024, 3, 16, rng=0)
+...     future = service.submit(
+...         FactorizationRequest.from_problem(problem, seed=7)
+...     )
+...     response = future.result()
+>>> response.result.correct
+True
+"""
+
+from repro.resonator.replay import (
+    GeometryKey,
+    geometry_key,
+    group_by_geometry,
+    run_group,
+    run_problems_grouped,
+    seeded_initial_estimates,
+)
+from repro.service.bench import ServeBenchConfig, ServeBenchResult, run_serve_bench
+from repro.service.registry import (
+    CodebookRegistry,
+    RegistryStats,
+    codebook_fingerprint,
+)
+from repro.service.request import FactorizationRequest, FactorizationResponse
+from repro.service.scheduler import (
+    BatchPolicy,
+    FactorizationService,
+    ServiceStats,
+)
+from repro.service.sharding import CellOutcome, SweepCell, run_cell, run_cells
+
+__all__ = [
+    "BatchPolicy",
+    "CellOutcome",
+    "CodebookRegistry",
+    "FactorizationRequest",
+    "FactorizationResponse",
+    "FactorizationService",
+    "GeometryKey",
+    "RegistryStats",
+    "ServeBenchConfig",
+    "ServeBenchResult",
+    "ServiceStats",
+    "SweepCell",
+    "codebook_fingerprint",
+    "geometry_key",
+    "group_by_geometry",
+    "run_cell",
+    "run_cells",
+    "run_group",
+    "run_problems_grouped",
+    "run_serve_bench",
+    "seeded_initial_estimates",
+]

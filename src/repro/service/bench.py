@@ -1,0 +1,194 @@
+"""``h3dfact serve-bench``: coalesced vs per-request serving throughput.
+
+Generates a fixed-seed stream of same-geometry requests against one shared
+codebook set and serves it twice:
+
+* **per-request** - one factorization at a time through the sequential
+  engine, the pre-service serving model;
+* **coalesced** - the same requests submitted one by one to a
+  :class:`~repro.service.scheduler.FactorizationService`, which interns
+  the codebooks once and flushes stacked micro-batches.
+
+Every request carries its own seed and the default network is the
+deterministic baseline resonator, so both paths decode *bit-identical*
+results (the parity row) and every non-wall-clock row is reproducible
+from ``--seed``.  Wall-clock rows are machine-dependent and are labeled
+as such.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.engine import baseline_network
+from repro.errors import ConfigurationError
+from repro.resonator.network import FactorizationProblem, FactorizationResult
+from repro.resonator.replay import run_group
+from repro.service.registry import CodebookRegistry
+from repro.service.request import FactorizationRequest
+from repro.service.scheduler import BatchPolicy, FactorizationService
+from repro.utils.rng import as_rng
+from repro.vsa.codebook import CodebookSet
+
+
+@dataclass
+class ServeBenchConfig:
+    dim: int = 1024
+    num_factors: int = 3
+    codebook_size: int = 64
+    requests: int = 32
+    max_batch_size: int = 32
+    max_iterations: int = 30
+    workers: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.requests <= 0:
+            raise ConfigurationError(
+                f"requests must be positive, got {self.requests}"
+            )
+
+
+@dataclass
+class ServeBenchResult:
+    config: ServeBenchConfig
+    solved: int
+    parity: bool
+    batches: int
+    mean_batch_size: float
+    largest_batch: int
+    cache_hits: int
+    cache_misses: int
+    per_request_seconds: float
+    coalesced_seconds: float
+
+    @property
+    def accuracy(self) -> float:
+        return self.solved / self.config.requests
+
+    @property
+    def speedup(self) -> float:
+        if self.coalesced_seconds <= 0:
+            return float("inf")
+        return self.per_request_seconds / self.coalesced_seconds
+
+    def render(self) -> str:
+        config = self.config
+        hit_total = self.cache_hits + self.cache_misses
+        hit_rate = 100.0 * self.cache_hits / hit_total if hit_total else 0.0
+        per_rps = (
+            config.requests / self.per_request_seconds
+            if self.per_request_seconds > 0
+            else float("inf")
+        )
+        co_rps = (
+            config.requests / self.coalesced_seconds
+            if self.coalesced_seconds > 0
+            else float("inf")
+        )
+        return "\n".join(
+            [
+                "Serve-bench - micro-batching factorization service",
+                f"  workload: {config.requests} requests, D={config.dim} "
+                f"F={config.num_factors} M={config.codebook_size}, shared "
+                f"codebooks, budget {config.max_iterations} sweeps",
+                f"  accuracy: {100.0 * self.accuracy:.1f} % "
+                f"({self.solved}/{config.requests} solved)",
+                "  deterministic parity (coalesced == per-request): "
+                + ("OK" if self.parity else "MISMATCH"),
+                f"  batches: {self.batches} (mean size "
+                f"{self.mean_batch_size:.1f}, largest {self.largest_batch})",
+                f"  codebook cache: {self.cache_hits} hits / "
+                f"{self.cache_misses} misses (hit rate {hit_rate:.1f} %)",
+                f"  wall-clock per-request: {self.per_request_seconds:.3f} s "
+                f"({per_rps:.1f} req/s, machine-dependent)",
+                f"  wall-clock coalesced:   {self.coalesced_seconds:.3f} s "
+                f"({co_rps:.1f} req/s, machine-dependent)",
+                f"  wall-clock speedup: {self.speedup:.1f}x (machine-dependent)",
+            ]
+        )
+
+
+def _same_result(a: FactorizationResult, b: FactorizationResult) -> bool:
+    return (
+        a.indices == b.indices
+        and a.outcome == b.outcome
+        and a.iterations == b.iterations
+    )
+
+
+def run_serve_bench(config: Optional[ServeBenchConfig] = None) -> ServeBenchResult:
+    config = config or ServeBenchConfig()
+    rng = as_rng(config.seed)
+    codebooks = CodebookSet.random_uniform(
+        config.dim, config.num_factors, config.codebook_size, rng=rng
+    )
+    problems: List[FactorizationProblem] = []
+    requests: List[FactorizationRequest] = []
+    for index in range(config.requests):
+        indices = tuple(
+            int(rng.integers(0, config.codebook_size))
+            for _ in range(config.num_factors)
+        )
+        problem = FactorizationProblem.from_indices(codebooks, indices)
+        problems.append(problem)
+        requests.append(
+            FactorizationRequest.from_problem(
+                problem,
+                seed=config.seed * 1_000_003 + index,
+                max_iterations=config.max_iterations,
+                request_id=str(index),
+            )
+        )
+    factory = lambda p: baseline_network(  # noqa: E731
+        p.codebooks, max_iterations=config.max_iterations
+    )
+
+    start = time.perf_counter()
+    per_request = [
+        run_group(
+            factory,
+            [problem],
+            seeds=[request.seed],
+            max_iterations=config.max_iterations,
+            engine="sequential",
+        )[0]
+        for problem, request in zip(problems, requests)
+    ]
+    per_request_seconds = time.perf_counter() - start
+
+    service = FactorizationService(
+        factory,
+        policy=BatchPolicy(
+            max_batch_size=config.max_batch_size,
+            # Generous deadline: packing is decided by batch size, not by
+            # submission latency, so the printed batch counts reproduce.
+            max_wait_seconds=0.25,
+        ),
+        registry=CodebookRegistry(capacity=8),
+        workers=config.workers,
+    )
+    with service:
+        start = time.perf_counter()
+        responses = service.run(requests)
+        coalesced_seconds = time.perf_counter() - start
+
+    parity = all(
+        _same_result(response.result, expected)
+        for response, expected in zip(responses, per_request)
+    )
+    solved = sum(1 for result in per_request if result.correct)
+    return ServeBenchResult(
+        config=config,
+        solved=solved,
+        parity=parity,
+        batches=service.stats.batches,
+        mean_batch_size=service.stats.mean_batch_size,
+        largest_batch=service.stats.largest_batch,
+        cache_hits=service.registry.stats.hits,
+        cache_misses=service.registry.stats.misses,
+        per_request_seconds=per_request_seconds,
+        coalesced_seconds=coalesced_seconds,
+    )

@@ -1,0 +1,115 @@
+"""Request/response envelopes for the factorization service.
+
+A :class:`FactorizationRequest` is one client query: a product vector plus
+a codebook reference - either an inline
+:class:`~repro.vsa.codebook.CodebookSet` (interned into the service's
+registry on submission) or the registry key of a previously programmed
+set.  An optional per-request ``seed`` pins the trial's initial state, the
+basis of the service's deterministic-replay guarantee (see
+:mod:`repro.resonator.replay`).
+
+A :class:`FactorizationResponse` pairs the request with its
+:class:`~repro.resonator.network.FactorizationResult` and records how the
+scheduler served it: which batch it rode in, how many requests were
+coalesced with it, and whether its codebooks were already programmed
+(a registry hit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionError
+from repro.resonator.network import FactorizationProblem, FactorizationResult
+from repro.utils.validation import check_bipolar
+from repro.vsa.codebook import CodebookSet
+
+
+@dataclass(frozen=True)
+class FactorizationRequest:
+    """One factorization query against a referenced codebook set."""
+
+    #: Bipolar product vector to factorize.
+    product: np.ndarray
+    #: Inline codebooks (interned on submission) - exclusive with ``codebook_key``.
+    codebooks: Optional[CodebookSet] = None
+    #: Registry key of a pre-programmed set - exclusive with ``codebooks``.
+    codebook_key: Optional[str] = None
+    #: Per-request seed for the trial's initial state (deterministic replay).
+    seed: Optional[int] = None
+    #: Optional per-request sweep budget (requests batch only with equals).
+    max_iterations: Optional[int] = None
+    #: Ground truth for accuracy bookkeeping, when known.
+    true_indices: Optional[Tuple[int, ...]] = None
+    #: Client-side correlation id, echoed back on the response.
+    request_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if (self.codebooks is None) == (self.codebook_key is None):
+            raise ConfigurationError(
+                "a request needs exactly one of codebooks / codebook_key"
+            )
+        product = np.asarray(self.product)
+        if product.ndim != 1:
+            raise DimensionError(
+                f"request product must be 1-D, got shape {product.shape}"
+            )
+        check_bipolar("request product", product)
+        if self.codebooks is not None and product.shape != (self.codebooks.dim,):
+            raise DimensionError(
+                f"request product shape {product.shape} does not match "
+                f"codebook dim ({self.codebooks.dim},)"
+            )
+        if self.max_iterations is not None and self.max_iterations <= 0:
+            raise ConfigurationError(
+                f"max_iterations must be positive, got {self.max_iterations}"
+            )
+        if self.true_indices is not None:
+            object.__setattr__(
+                self, "true_indices", tuple(int(i) for i in self.true_indices)
+            )
+
+    @classmethod
+    def from_problem(
+        cls,
+        problem: FactorizationProblem,
+        *,
+        seed: Optional[int] = None,
+        max_iterations: Optional[int] = None,
+        request_id: Optional[str] = None,
+    ) -> "FactorizationRequest":
+        """Wrap an existing problem (keeps its ground-truth bookkeeping)."""
+        return cls(
+            product=problem.product,
+            codebooks=problem.codebooks,
+            seed=seed,
+            max_iterations=max_iterations,
+            true_indices=problem.true_indices,
+            request_id=request_id,
+        )
+
+
+@dataclass
+class FactorizationResponse:
+    """A request's result plus how the scheduler served it."""
+
+    #: Echo of the request's correlation id.
+    request_id: Optional[str]
+    #: The factorization outcome for this request.
+    result: FactorizationResult
+    #: Monotonic id of the coalesced batch this request rode in.
+    batch_id: int
+    #: Number of requests coalesced into that batch.
+    batch_size: int
+    #: True when the request's codebooks were already programmed (LRU hit).
+    cache_hit: bool
+    #: Registry key of the codebook set the request ran against.
+    codebook_key: str
+
+    @property
+    def coalesced(self) -> bool:
+        """True when the request shared its batch with other requests."""
+        return self.batch_size > 1

@@ -1,0 +1,453 @@
+"""Micro-batching factorization service.
+
+:class:`FactorizationService` sits on top of the batched resonator engine
+and turns *individual* factorization requests into coalesced stacked
+batches - the software analogue of tier-1's SRAM request buffering in
+front of the programmed RRAM arrays (Sec. IV-A):
+
+* :meth:`submit` accepts one :class:`~repro.service.request.FactorizationRequest`
+  at a time and returns a future; a dispatcher thread groups pending
+  requests by batch key (codebook geometry + sweep budget + seededness)
+  and flushes a group when it reaches ``max_batch_size`` requests or its
+  oldest request has waited ``max_wait_seconds`` - the classic
+  micro-batching policy.
+* codebooks ride through a content-addressed
+  :class:`~repro.service.registry.CodebookRegistry`, so repeated traffic
+  against equal-content codebooks pays the programming cost once and
+  batches of interned requests run in shared-codebook GEMM mode.
+* flushed batches execute on a thread worker pool (the stacked MVMs run
+  in numpy with the GIL released); the intake queue is bounded, with a
+  blocking or rejecting (:class:`~repro.errors.BackpressureError`)
+  backpressure policy.
+* :meth:`run_coalesced` is the synchronous twin: it packs a whole request
+  list deterministically (planner grouping, submission order) and
+  executes inline - the path the experiment sweep drivers use, and the
+  reference packing for replay tests.
+
+Determinism: when every request carries a ``seed``, results are
+bit-identical for deterministic configurations regardless of arrival
+order or batch packing (see :mod:`repro.resonator.replay`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.engine import baseline_network
+from repro.errors import BackpressureError, ConfigurationError, ServiceError
+from repro.resonator.batch import NetworkFactory
+from repro.resonator.network import FactorizationProblem
+from repro.resonator.replay import geometry_key, run_group
+from repro.service.registry import CodebookRegistry
+from repro.service.request import FactorizationRequest, FactorizationResponse
+
+#: Geometry + sweep budget + seededness: what may share a stacked batch.
+BatchKey = Tuple[int, Tuple[int, ...], Optional[int], bool]
+
+_BACKPRESSURE_POLICIES = ("block", "error")
+
+
+@dataclass
+class BatchPolicy:
+    """When the scheduler flushes a group of pending requests."""
+
+    #: Flush a group as soon as it holds this many requests.
+    max_batch_size: int = 32
+    #: ... or as soon as its oldest request has waited this long.
+    max_wait_seconds: float = 0.002
+    #: Bound on undispatched requests (the intake queue).
+    queue_capacity: int = 1024
+    #: ``"block"`` the submitter when the queue is full, or ``"error"``
+    #: (raise :class:`~repro.errors.BackpressureError`).
+    backpressure: str = "block"
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ConfigurationError(
+                f"max_batch_size must be positive, got {self.max_batch_size}"
+            )
+        if self.max_wait_seconds < 0:
+            raise ConfigurationError(
+                f"max_wait_seconds must be >= 0, got {self.max_wait_seconds}"
+            )
+        if self.queue_capacity <= 0:
+            raise ConfigurationError(
+                f"queue_capacity must be positive, got {self.queue_capacity}"
+            )
+        if self.backpressure not in _BACKPRESSURE_POLICIES:
+            raise ConfigurationError(
+                f"backpressure must be one of {_BACKPRESSURE_POLICIES}, "
+                f"got {self.backpressure!r}"
+            )
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate intake/batching counters for one service."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    batches: int = 0
+    coalesced_requests: int = 0
+    largest_batch: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.completed / self.batches if self.batches else 0.0
+
+
+@dataclass
+class _Pending:
+    """One accepted request waiting for (or riding in) a batch."""
+
+    request: FactorizationRequest
+    problem: FactorizationProblem
+    codebook_key: str
+    cache_hit: bool
+    future: "Future[FactorizationResponse]"
+    deadline: float = 0.0
+
+
+class _Flush:
+    """Queue sentinel: flush every buffered group, then set the event."""
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+
+
+_STOP = object()
+
+
+class FactorizationService:
+    """Micro-batching front end over the batched resonator engine.
+
+    Parameters
+    ----------
+    network_factory:
+        Builds the resonator for a problem, exactly as in
+        :func:`~repro.resonator.batch.factorize_problems` (the batched
+        path calls it once per batch, on the first problem, as a
+        template).  Defaults to the deterministic baseline resonator.
+    policy:
+        Micro-batching flush/backpressure policy.
+    registry:
+        Codebook registry to intern request codebooks into (a fresh
+        64-entry registry by default).
+    workers:
+        Worker threads executing flushed batches.
+    check_correct_every:
+        Decode cadence forwarded to the engines.
+    """
+
+    def __init__(
+        self,
+        network_factory: Optional[NetworkFactory] = None,
+        *,
+        policy: Optional[BatchPolicy] = None,
+        registry: Optional[CodebookRegistry] = None,
+        workers: int = 2,
+        check_correct_every: int = 1,
+    ) -> None:
+        if workers <= 0:
+            raise ConfigurationError(f"workers must be positive, got {workers}")
+        self.network_factory: NetworkFactory = (
+            network_factory
+            if network_factory is not None
+            else (lambda problem: baseline_network(problem.codebooks))
+        )
+        self.policy = policy if policy is not None else BatchPolicy()
+        self.registry = registry if registry is not None else CodebookRegistry()
+        self.check_correct_every = check_correct_every
+        self.stats = ServiceStats()
+        self._stats_lock = threading.Lock()
+        # Serializes intake against close(): no submit can sit between the
+        # closed check and its queue put while close() enqueues the stop
+        # sentinel, so no request can land behind _STOP unobserved.
+        self._intake_lock = threading.Lock()
+        self._batch_ids = itertools.count()
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.policy.queue_capacity)
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="h3dfact-worker"
+        )
+        self._closed = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="h3dfact-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- intake --------------------------------------------------------------
+
+    def _prepare(self, request: FactorizationRequest) -> _Pending:
+        """Resolve the request's codebooks and wrap it for scheduling."""
+        if request.codebook_key is not None:
+            codebooks = self.registry.get(request.codebook_key)
+            key, hit = request.codebook_key, True
+        else:
+            key, codebooks, hit = self.registry.intern(request.codebooks)
+        problem = FactorizationProblem(
+            codebooks=codebooks,
+            product=request.product,
+            true_indices=request.true_indices,
+        )
+        return _Pending(
+            request=request,
+            problem=problem,
+            codebook_key=key,
+            cache_hit=hit,
+            future=Future(),
+        )
+
+    def _batch_key(self, pending: _Pending) -> BatchKey:
+        dim, sizes = geometry_key(pending.problem.codebooks)
+        return (
+            dim,
+            sizes,
+            pending.request.max_iterations,
+            pending.request.seed is None,
+        )
+
+    def submit(
+        self, request: FactorizationRequest
+    ) -> "Future[FactorizationResponse]":
+        """Accept one request; the future resolves when its batch runs.
+
+        Blocks (or raises :class:`~repro.errors.BackpressureError`, per
+        policy) while the bounded intake queue is full.
+        """
+        pending = self._prepare(request)
+        pending.deadline = time.monotonic() + self.policy.max_wait_seconds
+        with self._intake_lock:
+            if self._closed:
+                raise ServiceError("service is closed")
+            if self.policy.backpressure == "error":
+                try:
+                    self._queue.put_nowait(pending)
+                except queue.Full:
+                    with self._stats_lock:
+                        self.stats.rejected += 1
+                    raise BackpressureError(
+                        f"intake queue full ({self.policy.queue_capacity} "
+                        "pending)"
+                    ) from None
+            else:
+                # Blocking put: the dispatcher keeps draining (close() is
+                # held off by the intake lock), so this terminates.
+                self._queue.put(pending)
+        with self._stats_lock:
+            self.stats.submitted += 1
+        return pending.future
+
+    def submit_many(
+        self, requests: Sequence[FactorizationRequest]
+    ) -> List["Future[FactorizationResponse]"]:
+        """Submit a request stream in order; one future per request."""
+        return [self.submit(request) for request in requests]
+
+    def run(
+        self,
+        requests: Sequence[FactorizationRequest],
+        *,
+        timeout: Optional[float] = None,
+    ) -> List[FactorizationResponse]:
+        """Submit ``requests``, flush, and gather responses in order."""
+        futures = self.submit_many(requests)
+        self.flush()
+        return [future.result(timeout=timeout) for future in futures]
+
+    def flush(self, timeout: Optional[float] = None) -> None:
+        """Force-dispatch every buffered group (in-flight batches excluded)."""
+        sentinel = _Flush()
+        with self._intake_lock:
+            if self._closed:
+                return
+            self._queue.put(sentinel)
+        sentinel.done.wait(timeout=timeout)
+
+    # -- synchronous deterministic packing -----------------------------------
+
+    def run_coalesced(
+        self,
+        requests: Sequence[FactorizationRequest],
+        *,
+        network_factory: Optional[NetworkFactory] = None,
+        max_batch_size: Optional[int] = None,
+        check_correct_every: Optional[int] = None,
+        engine: Optional[str] = None,
+    ) -> List[FactorizationResponse]:
+        """Pack and execute a whole request list inline, deterministically.
+
+        Groups by batch key in first-appearance order (submission order
+        within a group), optionally chunks groups at ``max_batch_size``
+        (``None`` packs each group whole), and executes chunks serially in
+        the calling thread - no arrival timing, so a given request list
+        always produces the same packing.  This is the sweep drivers'
+        path: a homogeneous trial list becomes exactly one shared-stream
+        batch, bit-identical to the historical
+        :func:`~repro.resonator.batch.factorize_problems` drivers.
+        """
+        if not requests:
+            raise ConfigurationError("run_coalesced() needs at least one request")
+        if max_batch_size is not None and max_batch_size <= 0:
+            raise ConfigurationError(
+                f"max_batch_size must be positive, got {max_batch_size}"
+            )
+        if self._closed:
+            raise ServiceError("service is closed")
+        factory = network_factory if network_factory is not None else self.network_factory
+        cadence = (
+            self.check_correct_every
+            if check_correct_every is None
+            else check_correct_every
+        )
+        pendings = [self._prepare(request) for request in requests]
+        with self._stats_lock:
+            self.stats.submitted += len(pendings)
+        groups: Dict[BatchKey, List[_Pending]] = {}
+        for pending in pendings:
+            groups.setdefault(self._batch_key(pending), []).append(pending)
+        for members in groups.values():
+            step = len(members) if max_batch_size is None else max_batch_size
+            for start in range(0, len(members), step):
+                self._run_batch(
+                    members[start : start + step],
+                    network_factory=factory,
+                    check_correct_every=cadence,
+                    engine=engine,
+                )
+        return [pending.future.result() for pending in pendings]
+
+    # -- dispatcher ----------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        buffers: Dict[BatchKey, List[_Pending]] = {}
+
+        def flush_all() -> None:
+            for members in buffers.values():
+                self._submit_batch(members)
+            buffers.clear()
+
+        while True:
+            timeout: Optional[float] = None
+            if buffers:
+                earliest = min(members[0].deadline for members in buffers.values())
+                timeout = max(0.0, earliest - time.monotonic())
+            try:
+                item = self._queue.get(timeout=timeout)
+            except queue.Empty:
+                item = None
+            if item is _STOP:
+                flush_all()
+                return
+            if isinstance(item, _Flush):
+                flush_all()
+                item.done.set()
+            elif isinstance(item, _Pending):
+                key = self._batch_key(item)
+                members = buffers.setdefault(key, [])
+                members.append(item)
+                if len(members) >= self.policy.max_batch_size:
+                    self._submit_batch(buffers.pop(key))
+            now = time.monotonic()
+            for key in [
+                k for k, members in buffers.items() if members[0].deadline <= now
+            ]:
+                self._submit_batch(buffers.pop(key))
+
+    def _submit_batch(self, batch: List[_Pending]) -> None:
+        self._executor.submit(self._run_batch, batch)
+
+    # -- execution -----------------------------------------------------------
+
+    def _run_batch(
+        self,
+        batch: List[_Pending],
+        *,
+        network_factory: Optional[NetworkFactory] = None,
+        check_correct_every: Optional[int] = None,
+        engine: Optional[str] = None,
+    ) -> None:
+        """Execute one coalesced batch and resolve its futures."""
+        factory = network_factory if network_factory is not None else self.network_factory
+        cadence = (
+            self.check_correct_every
+            if check_correct_every is None
+            else check_correct_every
+        )
+        batch_id = next(self._batch_ids)
+        try:
+            results = run_group(
+                factory,
+                [pending.problem for pending in batch],
+                seeds=[pending.request.seed for pending in batch],
+                max_iterations=batch[0].request.max_iterations,
+                check_correct_every=cadence,
+                engine=engine,
+            )
+        except BaseException as error:  # resolve futures, never hang clients
+            with self._stats_lock:
+                self.stats.failed += len(batch)
+            for pending in batch:
+                pending.future.set_exception(error)
+            return
+        for pending, result in zip(batch, results):
+            pending.future.set_result(
+                FactorizationResponse(
+                    request_id=pending.request.request_id,
+                    result=result,
+                    batch_id=batch_id,
+                    batch_size=len(batch),
+                    cache_hit=pending.cache_hit,
+                    codebook_key=pending.codebook_key,
+                )
+            )
+        with self._stats_lock:
+            self.stats.completed += len(batch)
+            self.stats.batches += 1
+            self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+            if len(batch) > 1:
+                self.stats.coalesced_requests += len(batch)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush pending work, stop the dispatcher and the worker pool."""
+        with self._intake_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(_STOP)
+        self._dispatcher.join()
+        # Belt and braces: fail any future that somehow landed behind the
+        # stop sentinel instead of leaving it unresolved.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if isinstance(item, _Pending):
+                item.future.set_exception(
+                    ServiceError("service closed before the request dispatched")
+                )
+            elif isinstance(item, _Flush):
+                item.done.set()
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "FactorizationService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"FactorizationService(policy={self.policy!r}, "
+            f"registry={self.registry!r}, stats={self.stats!r})"
+        )

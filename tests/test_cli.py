@@ -5,6 +5,20 @@ import pytest
 from repro.cli import build_parser, main
 
 
+def run_cli(capsys, argv):
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+def stable_rows(output):
+    """Printed rows minus wall-clock ones (machine-noisy, seed-independent)."""
+    return [
+        line
+        for line in output.splitlines()
+        if "machine-dependent" not in line and "% wall" not in line
+    ]
+
+
 class TestParser:
     def test_all_subcommands_present(self):
         parser = build_parser()
@@ -17,10 +31,17 @@ class TestParser:
             "fig6b",
             "fig7",
             "ablation",
+            "serve-bench",
             "all",
         ):
             args = parser.parse_args([command])
             assert args.command == command
+
+    def test_serve_bench_options(self):
+        args = build_parser().parse_args(
+            ["serve-bench", "--requests", "16", "--batch", "4", "--seed", "3"]
+        )
+        assert args.requests == 16 and args.batch == 4 and args.seed == 3
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -48,3 +69,87 @@ class TestExecution:
     def test_fig6b_runs(self, capsys):
         assert main(["fig6b", "--trials", "5"]) == 0
         assert "testchip" in capsys.readouterr().out
+
+    def test_serve_bench_runs(self, capsys):
+        output = run_cli(
+            capsys, ["serve-bench", "--requests", "8", "--batch", "8"]
+        )
+        assert "deterministic parity" in output
+        assert "OK" in output
+
+
+class TestSeedPropagation:
+    """One smoke per subcommand: same seed => same printed rows.
+
+    Each command runs twice with an explicit ``--seed``; a command that
+    ignored the flag (fresh OS entropy per run) would print different
+    rows.  Commands without stochastic knobs (table3, fig5) are covered
+    by the pure-determinism variant of the same check.
+    """
+
+    def check_reproducible(self, capsys, argv):
+        first = stable_rows(run_cli(capsys, argv))
+        second = stable_rows(run_cli(capsys, argv))
+        assert first == second
+        return first
+
+    @pytest.mark.slow
+    def test_fig1c_seeded(self, capsys):
+        self.check_reproducible(capsys, ["fig1c", "--seed", "3"])
+
+    @pytest.mark.slow
+    def test_table2_seeded(self, capsys):
+        rows = self.check_reproducible(
+            capsys, ["table2", "--trials", "2", "--seed", "3"]
+        )
+        assert any("Table II" in row for row in rows)
+
+    def test_table3_deterministic(self, capsys):
+        self.check_reproducible(capsys, ["table3"])
+
+    def test_fig5_deterministic(self, capsys):
+        self.check_reproducible(capsys, ["fig5", "--grid", "16"])
+
+    def test_fig6a_seeded(self, capsys):
+        self.check_reproducible(
+            capsys, ["fig6a", "--trials", "3", "--seed", "3"]
+        )
+
+    def test_fig6b_seeded(self, capsys):
+        self.check_reproducible(
+            capsys, ["fig6b", "--trials", "5", "--seed", "3"]
+        )
+
+    @pytest.mark.slow
+    def test_fig7_seeded(self, capsys):
+        self.check_reproducible(
+            capsys,
+            [
+                "fig7",
+                "--train-panels",
+                "200",
+                "--test-panels",
+                "10",
+                "--seed",
+                "3",
+            ],
+        )
+
+    @pytest.mark.slow
+    def test_ablation_seeded(self, capsys):
+        self.check_reproducible(
+            capsys, ["ablation", "--trials", "2", "--seed", "3"]
+        )
+
+    def test_serve_bench_seeded(self, capsys):
+        rows = self.check_reproducible(
+            capsys,
+            ["serve-bench", "--requests", "8", "--batch", "8", "--seed", "3"],
+        )
+        assert any("parity" in row and "OK" in row for row in rows)
+
+    def test_seed_changes_output(self, capsys):
+        """The flag actually reaches the workload generator."""
+        base = stable_rows(run_cli(capsys, ["fig6a", "--trials", "3", "--seed", "3"]))
+        other = stable_rows(run_cli(capsys, ["fig6a", "--trials", "3", "--seed", "4"]))
+        assert base != other

@@ -1,0 +1,224 @@
+"""Concurrency tests: determinism under threaded traffic, plus a soak run.
+
+The service's replay contract: a fixed-seed request stream produces
+bit-identical results for deterministic configurations no matter how many
+client threads submit it, in what order the requests arrive, or how the
+scheduler packs them into batches.  The soak test hammers the scheduler
+with thousands of mixed-geometry requests and checks the bookkeeping: no
+response is dropped, duplicated, or cross-wired to another request's
+problem, and the codebook cache never exceeds its capacity bound.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.core.engine import baseline_network
+from repro.resonator import FactorizationProblem
+from repro.service import (
+    BatchPolicy,
+    CodebookRegistry,
+    FactorizationRequest,
+    FactorizationService,
+)
+from repro.vsa import CodebookSet
+
+
+def result_signature(result):
+    return (result.indices, result.outcome, result.iterations)
+
+
+def make_stream(count, *, dim=256, factors=3, size=9, seed_base=500):
+    """Fixed-seed request stream over a few shared codebook sets."""
+    sets = [
+        CodebookSet.random_uniform(dim, factors, size, rng=10 + s)
+        for s in range(3)
+    ]
+    stream = []
+    rng = random.Random(0)
+    for index in range(count):
+        codebooks = sets[index % len(sets)]
+        truth = tuple(rng.randrange(size) for _ in range(factors))
+        stream.append(
+            FactorizationRequest(
+                product=codebooks.compose(truth),
+                codebooks=codebooks,
+                seed=seed_base + index,
+                true_indices=truth,
+                request_id=str(index),
+            )
+        )
+    return stream
+
+
+def make_service(**policy_kwargs):
+    policy = BatchPolicy(
+        max_batch_size=policy_kwargs.pop("max_batch_size", 8),
+        max_wait_seconds=policy_kwargs.pop("max_wait_seconds", 0.005),
+    )
+    return FactorizationService(
+        lambda p: baseline_network(p.codebooks, max_iterations=100),
+        policy=policy,
+        **policy_kwargs,
+    )
+
+
+class TestThreadedDeterminism:
+    def test_shuffled_threads_match_serial_submission(self):
+        """N threads, shuffled arrival order == serial submission, bitwise."""
+        stream = make_stream(48)
+
+        with make_service() as service:
+            serial = {
+                response.request_id: response
+                for response in (
+                    future.result(timeout=60)
+                    for future in service.submit_many(stream)
+                )
+            }
+
+        shuffled = list(stream)
+        random.Random(7).shuffle(shuffled)
+        chunk = len(shuffled) // 4
+        parts = [shuffled[i * chunk : (i + 1) * chunk] for i in range(3)]
+        parts.append(shuffled[3 * chunk :])
+
+        threaded = {}
+        lock = threading.Lock()
+        with make_service() as service:
+
+            def client(part):
+                futures = [(r.request_id, service.submit(r)) for r in part]
+                for request_id, future in futures:
+                    response = future.result(timeout=60)
+                    with lock:
+                        threaded[request_id] = response
+
+            threads = [
+                threading.Thread(target=client, args=(part,)) for part in parts
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        assert set(threaded) == set(serial)
+        for request_id, response in serial.items():
+            assert result_signature(
+                threaded[request_id].result
+            ) == result_signature(response.result), (
+                f"request {request_id} diverged under threaded submission"
+            )
+
+    def test_threaded_submission_still_coalesces(self):
+        stream = make_stream(32)
+        with make_service(max_batch_size=8, max_wait_seconds=0.05) as service:
+            futures = []
+            lock = threading.Lock()
+
+            def client(part):
+                for request in part:
+                    future = service.submit(request)
+                    with lock:
+                        futures.append(future)
+
+            threads = [
+                threading.Thread(target=client, args=(stream[i::4],))
+                for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            responses = [f.result(timeout=60) for f in futures]
+        # Same-geometry traffic from four threads merged into shared batches.
+        assert service.stats.coalesced_requests > 0
+        assert service.stats.largest_batch > 1
+        assert len(responses) == 32
+
+
+@pytest.mark.slow
+class TestSoak:
+    def test_soak_no_dropped_duplicated_or_cross_wired_results(self):
+        """Thousands of mixed-geometry requests, full bookkeeping audit."""
+        dims = (128, 256)
+        sizes = (7, 9)
+        factors = 3
+        capacity = 8
+        # 12 distinct codebook sets across 4 geometries, cycling through a
+        # capacity-8 registry so eviction happens under load.
+        sets = []
+        for s in range(12):
+            dim = dims[s % 2]
+            size = sizes[(s // 2) % 2]
+            sets.append(
+                CodebookSet.random_uniform(dim, factors, size, rng=100 + s)
+            )
+        rng = random.Random(42)
+        requests = []
+        expected_truth = {}
+        for index in range(2500):
+            codebooks = sets[rng.randrange(len(sets))]
+            size = codebooks.sizes[0]
+            truth = tuple(rng.randrange(size) for _ in range(factors))
+            request_id = f"req-{index}"
+            expected_truth[request_id] = (codebooks, truth)
+            requests.append(
+                FactorizationRequest(
+                    product=codebooks.compose(truth),
+                    codebooks=codebooks,
+                    seed=9_000 + index,
+                    true_indices=truth,
+                    request_id=request_id,
+                )
+            )
+
+        registry = CodebookRegistry(capacity=capacity)
+        responses = []
+        lock = threading.Lock()
+        with FactorizationService(
+            lambda p: baseline_network(p.codebooks, max_iterations=60),
+            policy=BatchPolicy(max_batch_size=16, max_wait_seconds=0.002),
+            registry=registry,
+            workers=4,
+        ) as service:
+
+            def client(part):
+                futures = [service.submit(r) for r in part]
+                collected = [f.result(timeout=300) for f in futures]
+                with lock:
+                    responses.extend(collected)
+
+            threads = [
+                threading.Thread(target=client, args=(requests[i::6],))
+                for i in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        # No dropped or duplicated responses.
+        ids = [response.request_id for response in responses]
+        assert len(ids) == len(requests)
+        assert len(set(ids)) == len(requests)
+
+        # No cross-wiring: every response carries its own request's
+        # ground-truth bookkeeping and key, and solved requests decode to
+        # their own truth (a different request's truth would mismatch).
+        for response in responses:
+            codebooks, truth = expected_truth[response.request_id]
+            assert response.result.correct == (response.result.indices == truth)
+            if response.result.product_match:
+                recomposed = codebooks.compose(response.result.indices)
+                request = requests[int(response.request_id.split("-")[1])]
+                assert (recomposed == request.product).all()
+
+        # The cache respected its capacity bound throughout (eviction, not
+        # growth): final size <= capacity and evictions actually happened.
+        assert len(registry) <= capacity
+        assert registry.stats.evictions > 0
+        assert registry.stats.hits > len(requests) // 2
+        assert service.stats.completed == len(requests)
+        assert service.stats.failed == 0

@@ -1,0 +1,111 @@
+"""Tests for the content-addressed codebook registry."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.service import CodebookRegistry, codebook_fingerprint
+from repro.vsa import CodebookSet
+
+
+def make_set(seed, dim=256, factors=3, size=8):
+    return CodebookSet.random_uniform(dim, factors, size, rng=seed)
+
+
+class TestFingerprint:
+    def test_equal_content_equal_key(self):
+        a, b = make_set(0), make_set(0)
+        assert a is not b
+        assert codebook_fingerprint(a) == codebook_fingerprint(b)
+
+    def test_different_content_different_key(self):
+        assert codebook_fingerprint(make_set(0)) != codebook_fingerprint(
+            make_set(1)
+        )
+
+    def test_geometry_in_key(self):
+        assert codebook_fingerprint(make_set(0, size=8)) != codebook_fingerprint(
+            make_set(0, size=16)
+        )
+
+    def test_names_in_key(self):
+        plain = make_set(0)
+        renamed = CodebookSet(
+            [
+                type(cb)(name=f"attr{i}", matrix=cb.matrix)
+                for i, cb in enumerate(plain)
+            ]
+        )
+        assert codebook_fingerprint(plain) != codebook_fingerprint(renamed)
+
+
+class TestRegistry:
+    def test_intern_canonicalizes_equal_content(self):
+        registry = CodebookRegistry(capacity=4)
+        key_a, canonical_a, hit_a = registry.intern(make_set(0))
+        key_b, canonical_b, hit_b = registry.intern(make_set(0))
+        assert key_a == key_b
+        assert canonical_b is canonical_a
+        assert not hit_a and hit_b
+        assert registry.stats.hits == 1 and registry.stats.misses == 1
+
+    def test_register_and_get(self):
+        registry = CodebookRegistry(capacity=4)
+        codebooks = make_set(3)
+        key = registry.register(codebooks)
+        assert key in registry
+        assert registry.get(key) is codebooks
+
+    def test_get_unknown_key_raises(self):
+        with pytest.raises(ServiceError):
+            CodebookRegistry(capacity=2).get("deadbeef")
+
+    def test_lru_eviction_bounds_capacity(self):
+        registry = CodebookRegistry(capacity=2)
+        keys = [registry.register(make_set(seed)) for seed in range(4)]
+        assert len(registry) == 2
+        assert registry.stats.evictions == 2
+        assert keys[0] not in registry and keys[1] not in registry
+        assert keys[2] in registry and keys[3] in registry
+
+    def test_lru_recency_refresh(self):
+        registry = CodebookRegistry(capacity=2)
+        first = registry.register(make_set(0))
+        registry.register(make_set(1))
+        registry.get(first)  # refresh: first is now most recent
+        registry.register(make_set(2))
+        assert first in registry
+
+    def test_evicted_set_reprograms_on_return(self):
+        registry = CodebookRegistry(capacity=1)
+        returning = make_set(0)
+        registry.register(returning)
+        registry.register(make_set(1))  # evicts seed 0
+        key, _, hit = registry.intern(make_set(0))
+        assert not hit
+        assert registry.stats.evictions == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            CodebookRegistry(capacity=0)
+
+    def test_concurrent_intern_single_canonical(self):
+        """Racing interns of equal content agree on one canonical set."""
+        registry = CodebookRegistry(capacity=8)
+        outcomes = []
+        barrier = threading.Barrier(8)
+
+        def intern():
+            barrier.wait()
+            outcomes.append(registry.intern(make_set(0)))
+
+        threads = [threading.Thread(target=intern) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        canonicals = {id(canonical) for _, canonical, _ in outcomes}
+        assert len(canonicals) == 1
+        assert len(registry) == 1
+        assert registry.stats.misses == 1 and registry.stats.hits == 7

@@ -1,0 +1,328 @@
+"""Tests for the micro-batching scheduler and the batch planner."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import baseline_network
+from repro.errors import BackpressureError, ConfigurationError, ServiceError
+from repro.resonator import FactorizationProblem
+from repro.service import (
+    BatchPolicy,
+    CodebookRegistry,
+    FactorizationRequest,
+    FactorizationService,
+    group_by_geometry,
+    run_problems_grouped,
+)
+from repro.vsa import CodebookSet
+
+
+def make_problem(seed, dim=256, factors=3, size=8):
+    return FactorizationProblem.random(dim, factors, size, rng=seed)
+
+
+def make_requests(count, *, dim=256, size=8, seed_base=100, **kwargs):
+    return [
+        FactorizationRequest.from_problem(
+            make_problem(i, dim=dim, size=size),
+            seed=seed_base + i,
+            request_id=str(i),
+            **kwargs,
+        )
+        for i in range(count)
+    ]
+
+
+def result_signature(result):
+    return (result.indices, result.outcome, result.iterations)
+
+
+class TestRequestValidation:
+    def test_needs_exactly_one_codebook_reference(self):
+        problem = make_problem(0)
+        with pytest.raises(ConfigurationError):
+            FactorizationRequest(product=problem.product)
+        with pytest.raises(ConfigurationError):
+            FactorizationRequest(
+                product=problem.product,
+                codebooks=problem.codebooks,
+                codebook_key="abc",
+            )
+
+    def test_product_must_match_codebook_dim(self):
+        problem = make_problem(0)
+        with pytest.raises(ConfigurationError):
+            FactorizationRequest(
+                product=problem.product[:-1], codebooks=problem.codebooks
+            )
+
+    def test_product_must_be_bipolar(self):
+        problem = make_problem(0)
+        bad = problem.product.copy()
+        bad[0] = 0
+        with pytest.raises(ConfigurationError):
+            FactorizationRequest(product=bad, codebooks=problem.codebooks)
+
+    def test_max_iterations_positive(self):
+        problem = make_problem(0)
+        with pytest.raises(ConfigurationError):
+            FactorizationRequest(
+                product=problem.product,
+                codebooks=problem.codebooks,
+                max_iterations=0,
+            )
+
+
+class TestBatchPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch_size": 0},
+            {"max_wait_seconds": -1.0},
+            {"queue_capacity": 0},
+            {"backpressure": "drop"},
+        ],
+    )
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(**kwargs)
+
+
+class TestSubmission:
+    def test_submit_resolves_future_with_response(self):
+        with FactorizationService() as service:
+            problem = make_problem(1)
+            response = service.submit(
+                FactorizationRequest.from_problem(
+                    problem, seed=7, request_id="r1"
+                )
+            ).result(timeout=30)
+        assert response.request_id == "r1"
+        assert response.result.correct
+        assert response.batch_size >= 1
+
+    def test_size_flush_coalesces_full_batch(self):
+        policy = BatchPolicy(max_batch_size=4, max_wait_seconds=30.0)
+        with FactorizationService(policy=policy) as service:
+            futures = [
+                service.submit(request) for request in make_requests(4)
+            ]
+            responses = [f.result(timeout=30) for f in futures]
+        # Deadline never fires (30 s); only the size trigger can flush.
+        assert [r.batch_size for r in responses] == [4, 4, 4, 4]
+        assert len({r.batch_id for r in responses}) == 1
+        assert service.stats.batches == 1
+        assert service.stats.coalesced_requests == 4
+
+    def test_deadline_flush_serves_partial_batch(self):
+        policy = BatchPolicy(max_batch_size=64, max_wait_seconds=0.01)
+        with FactorizationService(policy=policy) as service:
+            response = service.submit(make_requests(1)[0]).result(timeout=30)
+        # The batch never filled; the deadline served it anyway.
+        assert response.batch_size == 1
+
+    def test_registered_key_requests(self):
+        registry = CodebookRegistry(capacity=4)
+        codebooks = CodebookSet.random_uniform(256, 3, 8, rng=0)
+        key = registry.register(codebooks)
+        product = codebooks.compose((1, 2, 3))
+        with FactorizationService(registry=registry) as service:
+            response = service.submit(
+                FactorizationRequest(
+                    product=product, codebook_key=key, seed=5
+                )
+            ).result(timeout=30)
+        assert response.cache_hit
+        assert response.codebook_key == key
+        assert response.result.indices == (1, 2, 3)
+
+    def test_unknown_key_rejected_at_submit(self):
+        with FactorizationService() as service:
+            problem = make_problem(0)
+            with pytest.raises(ServiceError):
+                service.submit(
+                    FactorizationRequest(
+                        product=problem.product, codebook_key="missing"
+                    )
+                )
+
+    def test_backpressure_error_policy(self):
+        from repro.service.scheduler import _STOP
+
+        policy = BatchPolicy(queue_capacity=2, backpressure="error")
+        service = FactorizationService(policy=policy)
+        # Kill the dispatcher so the bounded intake queue cannot drain,
+        # then overfill it.
+        service._queue.put(_STOP)
+        service._dispatcher.join(timeout=5)
+        try:
+            with pytest.raises(BackpressureError):
+                for request in make_requests(10):
+                    service.submit(request)
+            assert service.stats.rejected >= 1
+        finally:
+            while not service._queue.empty():
+                service._queue.get_nowait()
+            service.close()
+
+    def test_submit_after_close_raises(self):
+        service = FactorizationService()
+        service.close()
+        with pytest.raises(ServiceError):
+            service.submit(make_requests(1)[0])
+        service.close()  # idempotent
+
+    def test_failed_batch_resolves_future_with_exception(self):
+        def broken_factory(problem):
+            raise RuntimeError("no network for you")
+
+        with FactorizationService(broken_factory) as service:
+            future = service.submit(make_requests(1)[0])
+            with pytest.raises(RuntimeError):
+                future.result(timeout=30)
+        assert service.stats.failed == 1
+
+    def test_different_budgets_never_share_a_batch(self):
+        policy = BatchPolicy(max_batch_size=8, max_wait_seconds=0.5)
+        codebooks = CodebookSet.random_uniform(256, 3, 8, rng=0)
+        requests = [
+            FactorizationRequest(
+                product=codebooks.compose((i % 8, 0, 1)),
+                codebooks=codebooks,
+                seed=i,
+                max_iterations=50 if i % 2 == 0 else 80,
+            )
+            for i in range(8)
+        ]
+        with FactorizationService(policy=policy) as service:
+            responses = service.run(requests, timeout=30)
+        budgets_by_batch = {}
+        for request, response in zip(requests, responses):
+            budgets_by_batch.setdefault(response.batch_id, set()).add(
+                request.max_iterations
+            )
+        assert all(len(budgets) == 1 for budgets in budgets_by_batch.values())
+
+
+class TestRunCoalesced:
+    def test_responses_in_request_order(self):
+        requests = make_requests(6)
+        with FactorizationService() as service:
+            responses = service.run_coalesced(requests)
+        assert [r.request_id for r in responses] == [str(i) for i in range(6)]
+        for request, response in zip(requests, responses):
+            assert response.result.indices == request.true_indices
+
+    def test_same_geometry_packs_into_one_batch(self):
+        with FactorizationService() as service:
+            responses = service.run_coalesced(make_requests(5))
+        assert {r.batch_size for r in responses} == {5}
+
+    def test_max_batch_size_chunks_groups(self):
+        with FactorizationService() as service:
+            responses = service.run_coalesced(
+                make_requests(5), max_batch_size=2
+            )
+        assert [r.batch_size for r in responses] == [2, 2, 2, 2, 1]
+
+    def test_empty_request_list_rejected(self):
+        with FactorizationService() as service:
+            with pytest.raises(ConfigurationError):
+                service.run_coalesced([])
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_invalid_max_batch_size_rejected(self, bad):
+        with FactorizationService() as service:
+            with pytest.raises(ConfigurationError):
+                service.run_coalesced(make_requests(2), max_batch_size=bad)
+
+    def test_packing_independence_of_seeded_results(self):
+        """Bit-identical results whether packed whole, chunked, or solo."""
+        requests = make_requests(6)
+        with FactorizationService() as service:
+            whole = service.run_coalesced(requests)
+            chunked = service.run_coalesced(requests, max_batch_size=2)
+            solo = service.run_coalesced(requests, max_batch_size=1)
+        for a, b, c in zip(whole, chunked, solo):
+            assert result_signature(a.result) == result_signature(b.result)
+            assert result_signature(a.result) == result_signature(c.result)
+
+    def test_arrival_order_independence_of_seeded_results(self):
+        requests = make_requests(6)
+        with FactorizationService() as service:
+            forward = service.run_coalesced(requests)
+            backward = service.run_coalesced(list(reversed(requests)))
+        by_id_forward = {r.request_id: r for r in forward}
+        by_id_backward = {r.request_id: r for r in backward}
+        for request_id, response in by_id_forward.items():
+            assert result_signature(response.result) == result_signature(
+                by_id_backward[request_id].result
+            )
+
+    def test_async_and_coalesced_agree(self):
+        requests = make_requests(6)
+        with FactorizationService() as service:
+            sync = service.run_coalesced(requests)
+        with FactorizationService(
+            policy=BatchPolicy(max_batch_size=3, max_wait_seconds=0.05)
+        ) as service:
+            live = service.run(requests, timeout=30)
+        for a, b in zip(sync, live):
+            assert result_signature(a.result) == result_signature(b.result)
+
+
+class TestPlanner:
+    def test_group_by_geometry_first_appearance_order(self):
+        problems = [
+            make_problem(0, dim=256, size=8),
+            make_problem(1, dim=512, size=8),
+            make_problem(2, dim=256, size=8),
+            make_problem(3, dim=256, size=16),
+        ]
+        groups = group_by_geometry(problems)
+        assert groups == [[0, 2], [1], [3]]
+
+    def test_grouped_results_in_input_order(self):
+        # Odd codebook size: superposition init has no sign ties, so every
+        # trajectory is deterministic and the per-problem reference runs
+        # below are exact (PR 1's batched/sequential parity).
+        problems = [
+            make_problem(0, dim=256, size=9),
+            make_problem(1, dim=512, size=9),
+            make_problem(2, dim=256, size=9),
+        ]
+        results = run_problems_grouped(
+            lambda p: baseline_network(p.codebooks, max_iterations=100),
+            problems,
+        )
+        assert len(results) == 3
+        for problem, result in zip(problems, results):
+            reference = baseline_network(
+                problem.codebooks, max_iterations=100
+            ).factorize(problem.product, true_indices=problem.true_indices)
+            assert result_signature(result) == result_signature(reference)
+
+    def test_sequential_engine_matches_flat_loop(self):
+        """engine="sequential" preserves the historical ungrouped path."""
+        problems = [
+            make_problem(0, dim=256, size=9),
+            make_problem(1, dim=512, size=9),
+            make_problem(2, dim=256, size=9),
+        ]
+        grouped = run_problems_grouped(
+            lambda p: baseline_network(p.codebooks, max_iterations=100),
+            problems,
+            engine="sequential",
+        )
+        flat = [
+            baseline_network(p.codebooks, max_iterations=100).factorize(
+                p.product, true_indices=p.true_indices
+            )
+            for p in problems
+        ]
+        for a, b in zip(grouped, flat):
+            assert result_signature(a) == result_signature(b)
+
+    def test_empty_problem_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_problems_grouped(lambda p: None, [])
