@@ -60,13 +60,16 @@ class SARADC:
 
     @property
     def deterministic(self) -> bool:
+        """True when conversion adds no comparator dither."""
         return self.comparator_noise_lsb == 0.0
 
     @property
     def levels(self) -> int:
+        """Number of non-zero output codes, ``2**bits - 1``."""
         return (1 << self.bits) - 1
 
     def lsb(self, full_scale: float) -> float:
+        """Input units per code step: ``full_scale / levels``."""
         check_positive("full_scale", full_scale)
         return full_scale / self.levels
 

@@ -1,5 +1,14 @@
 """RRAM tier models: devices, programming, crossbar MVM, current sensing."""
 
+from repro.cim.rram.batched import (
+    ProgrammedConductances,
+    TiledArrayGeometry,
+    column_read_noise_sigma,
+    conductance_rng,
+    dac_codes,
+    program_codebook,
+    quantize_conductances,
+)
 from repro.cim.rram.device import RRAMDeviceModel
 from repro.cim.rram.noise import NoiseParameters
 from repro.cim.rram.programming import ProgrammingModel, ProgrammingReport
@@ -7,6 +16,13 @@ from repro.cim.rram.crossbar import CrossbarArray
 from repro.cim.rram.sensing import SensingPath
 
 __all__ = [
+    "ProgrammedConductances",
+    "TiledArrayGeometry",
+    "column_read_noise_sigma",
+    "conductance_rng",
+    "dac_codes",
+    "program_codebook",
+    "quantize_conductances",
     "RRAMDeviceModel",
     "NoiseParameters",
     "ProgrammingModel",

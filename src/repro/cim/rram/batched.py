@@ -1,0 +1,319 @@
+"""Batched crossbar kernels: program-once conductances + vectorized noise.
+
+The device-granular reference (:class:`~repro.cim.rram.crossbar.CrossbarArray`)
+samples one Gaussian per *cell* per read - exact, but prohibitive inside
+factorization sweeps (a single Table II cell performs millions of MVMs).
+This module re-expresses the same crossbar physics as stacked matrix
+kernels so a whole batch of trials advances through a handful of BLAS
+calls (the Langenegger-style in-memory-factorizer formulation; see
+PAPERS.md):
+
+* **Program once** - :func:`program_codebook` draws the per-cell lognormal
+  programming variability and stuck-at faults of
+  :meth:`RRAMDeviceModel.program <repro.cim.rram.device.RRAMDeviceModel.program>`
+  for both RRAM tiers (tier-3 similarity layout and tier-2 projection
+  layout) exactly once per codebook *content*, then freezes the result.
+  The programming RNG is derived from the codebook's content hash, so
+  re-programming an evicted codebook reproduces bit-identical conductances.
+* **Write-verify grid** - programmed conductances are quantized onto an
+  integer grid of ``grid_step`` siemens (``g_on / (2**grid_bits - 1)``,
+  i.e. ~0.157 uS steps for the 40 uS LRS at the default 8 bits - the
+  resolution a program-verify loop converges to).  Because every stored
+  conductance is an *integer* number of grid steps and bipolar inputs /
+  DAC codes are integers too, every crossbar MVM is a sum of exact
+  float64 integers: the result is bit-identical no matter how BLAS blocks
+  the matmul, which is what makes the batched engine bit-identical to the
+  per-trial loop (``tests/test_crossbar_backend.py``).
+* **Column-aggregated read noise** - per-read multiplicative conductance
+  noise (relative RMS ``sigma_read``) enters a column current as
+  ``sum_i V_i * g_ij * n_ij``; for bipolar inputs (``V_i^2`` constant)
+  its variance collapses to the *programmed* per-column aggregate
+  ``sigma_read^2 * sum_i (g_pos_ij^2 + g_neg_ij^2)``.
+  :func:`column_read_noise_sigma` precomputes that aggregate per row-tile
+  at program time, so a read costs one Gaussian per output instead of one
+  per cell while matching the per-cell sampler's mean and variance
+  (pinned by the noise-statistics test).
+* **Batched DAC codes** - :func:`dac_codes` maps the multi-bit similarity
+  words onto the integer wordline codes the projection tier applies
+  bit-serially (:class:`~repro.cim.dac.WordlineDriver` semantics,
+  vectorized over a whole ``(trials, size)`` weight matrix).
+
+Everything here is deterministic given ``(content hash, device corner,
+grid, program seed)``; the *per-read* stochasticity lives in the consuming
+backend (:class:`repro.core.crossbar_backend.CIMBatchedBackend`), which
+owns the per-trial noise streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.cim.rram.device import RRAMDeviceModel
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class TiledArrayGeometry:
+    """Physical subarray geometry the logical matrix is tiled onto.
+
+    Attributes
+    ----------
+    rows / cols:
+        One subarray's wordline / bitline count; the paper's RRAM macros
+        are 256 x 256 (Sec. IV-A).  A ``dim x size`` codebook occupies
+        ``ceil(dim / rows)`` row tiles (each with its own sensing + ADC
+        column block) and ``ceil(size / cols)`` column blocks.
+    """
+
+    rows: int = 256
+    cols: int = 256
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ConfigurationError(
+                f"array geometry must be positive, got {self.rows}x{self.cols}"
+            )
+
+    def row_slices(self, dim: int) -> List[slice]:
+        """Row-tile slices covering a ``dim``-row logical matrix."""
+        return [
+            slice(start, min(start + self.rows, dim))
+            for start in range(0, dim, self.rows)
+        ]
+
+    def num_row_tiles(self, dim: int) -> int:
+        """Subarrays stacked along rows: ``ceil(dim / rows)``."""
+        return (dim + self.rows - 1) // self.rows
+
+    def num_col_blocks(self, size: int) -> int:
+        """Subarrays tiled along columns: ``ceil(size / cols)``."""
+        return (size + self.cols - 1) // self.cols
+
+
+def conductance_rng(fingerprint: str, program_seed: int) -> np.random.Generator:
+    """Programming-noise generator derived from codebook *content*.
+
+    Seeding from ``(content hash, program_seed)`` rather than from a
+    flowing stream makes programming a pure function of what is being
+    programmed: every trial, engine mode, and cache re-population sees the
+    same fabricated arrays - the hardware's program-once reality.
+    """
+    digest = hashlib.sha256(
+        f"{fingerprint}:{program_seed}".encode()
+    ).digest()
+    entropy = int.from_bytes(digest[:16], "little")
+    return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+def quantize_conductances(
+    conductances: np.ndarray, *, grid_step: float, max_units: int
+) -> np.ndarray:
+    """Snap physical conductances (siemens) onto the write-verify grid.
+
+    Returns integer-valued float64 grid units in ``[0, max_units]``; the
+    integrality is what keeps downstream matmuls exact (module docstring).
+    """
+    check_positive("grid_step", grid_step)
+    units = np.rint(np.asarray(conductances, dtype=np.float64) / grid_step)
+    return np.clip(units, 0.0, float(max_units))
+
+
+def column_read_noise_sigma(
+    gsq_units: np.ndarray, *, device: RRAMDeviceModel, grid_step: float
+) -> np.ndarray:
+    """Per-column read-noise RMS in similarity units for bipolar inputs.
+
+    ``gsq_units`` holds ``sum_rows (g_pos^2 + g_neg^2)`` in grid-step^2
+    units (per column, typically per row tile).  The returned sigma is the
+    exact standard deviation of the column-current error produced by
+    per-cell multiplicative read noise, expressed in similarity units
+    (i.e. already divided by ``V_read * delta_g``) - the closed form of
+    :meth:`CrossbarArray.expected_error_sigma
+    <repro.cim.rram.crossbar.CrossbarArray.expected_error_sigma>` evaluated
+    on the *actual* programmed conductances instead of nominal ones.
+    """
+    scale = grid_step / device.delta_g
+    return device.sigma_read * np.sqrt(np.asarray(gsq_units, dtype=np.float64)) * scale
+
+
+def dac_codes(
+    values: np.ndarray, *, step: float, max_code: int
+) -> np.ndarray:
+    """Vectorized wordline DAC: similarity words -> integer input codes.
+
+    Quantizes non-negative ``values`` to multiples of ``step`` (the
+    similarity-chain LSB), clipping at ``max_code`` - the digital word the
+    projection tier applies bit-serially
+    (:meth:`WordlineDriver.bit_serial_phases
+    <repro.cim.dac.WordlineDriver.bit_serial_phases>`).  Values produced by
+    the tiled similarity chain are already exact multiples of ``step``, so
+    for chain-fed weights the DAC is a lossless re-encoding; arbitrary
+    inputs pay one uniform quantization.  Returns integer-valued float64
+    (exact in the downstream matmul).
+    """
+    check_positive("step", step)
+    if max_code < 1:
+        raise ConfigurationError(f"max_code must be >= 1, got {max_code}")
+    codes = np.rint(np.asarray(values, dtype=np.float64) / step)
+    return np.clip(codes, 0.0, float(max_code))
+
+
+@dataclass(frozen=True)
+class ProgrammedConductances:
+    """Frozen conductance realization of one codebook on both RRAM tiers.
+
+    All conductances are stored as integer-valued float64 grid units
+    (``grid_step`` siemens per unit); see the module docstring for why.
+
+    Attributes
+    ----------
+    g_sim:
+        ``(dim, size)`` differential conductance ``g_pos - g_neg`` of the
+        tier-3 similarity arrays, grid units.
+    sim_read_sigma:
+        ``(num_row_tiles, size)`` per-tile per-column read-noise RMS in
+        similarity units (device term; bipolar inputs).
+    g_proj:
+        ``(size, dim)`` differential conductance of the tier-2 projection
+        arrays - programmed *independently* of ``g_sim`` (a physically
+        distinct tier holds the transposed codebook).
+    gsq_proj:
+        ``(size, dim)`` per-cell ``g_pos^2 + g_neg^2`` of the projection
+        arrays in grid-units^2, consumed by the input-dependent projection
+        noise aggregate (multi-bit inputs make the column variance depend
+        on the applied codes).
+    grid_step:
+        Siemens per grid unit.
+    fingerprint:
+        Content hash the programming RNG was derived from.
+    """
+
+    g_sim: np.ndarray
+    sim_read_sigma: np.ndarray
+    g_proj: np.ndarray
+    gsq_proj: np.ndarray
+    device: RRAMDeviceModel
+    geometry: TiledArrayGeometry
+    grid_step: float
+    fingerprint: str
+
+    @property
+    def dim(self) -> int:
+        """Hypervector dimension D (rows of the similarity arrays)."""
+        return int(self.g_sim.shape[0])
+
+    @property
+    def size(self) -> int:
+        """Codebook size M (columns of the similarity arrays)."""
+        return int(self.g_sim.shape[1])
+
+    @property
+    def num_row_tiles(self) -> int:
+        """Similarity-layout row tiles (one sensing + ADC block each)."""
+        return int(self.sim_read_sigma.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes (drives the conductance cache's LRU budget)."""
+        return (
+            self.g_sim.nbytes
+            + self.sim_read_sigma.nbytes
+            + self.g_proj.nbytes
+            + self.gsq_proj.nbytes
+        )
+
+    @property
+    def unit_scale(self) -> float:
+        """Similarity units per (grid unit x unit input):
+        ``grid_step / delta_g`` - converts an integer matmul result back
+        to physical similarity units."""
+        return self.grid_step / self.device.delta_g
+
+
+def _program_tier(
+    weights: np.ndarray,
+    device: RRAMDeviceModel,
+    rng: np.random.Generator,
+    *,
+    grid_step: float,
+    max_units: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Program one tier; returns ``(g_diff, g_pos^2 + g_neg^2)`` in units.
+
+    Mirrors :meth:`CrossbarArray.program
+    <repro.cim.rram.crossbar.CrossbarArray.program>`: targets are mapped to
+    differential pairs, programming variability and stuck-at faults are
+    drawn per cell (positive leg first, then negative - the same draw
+    order as the reference), then both legs snap to the write-verify grid.
+    """
+    positive = weights > 0
+    target_pos = np.where(positive, device.g_on, device.g_off)
+    target_neg = np.where(positive, device.g_off, device.g_on)
+    g_pos = quantize_conductances(
+        device.program(target_pos, rng=rng), grid_step=grid_step, max_units=max_units
+    )
+    g_neg = quantize_conductances(
+        device.program(target_neg, rng=rng), grid_step=grid_step, max_units=max_units
+    )
+    return g_pos - g_neg, g_pos**2 + g_neg**2
+
+
+def program_codebook(
+    matrix: np.ndarray,
+    fingerprint: str,
+    *,
+    device: RRAMDeviceModel,
+    geometry: TiledArrayGeometry,
+    grid_bits: int = 8,
+    program_seed: int = 0,
+) -> ProgrammedConductances:
+    """Program one codebook matrix onto both RRAM tiers (content-keyed).
+
+    ``matrix`` is the bipolar ``(dim, size)`` codebook; ``fingerprint`` its
+    content hash (:func:`repro.vsa.codebook.codebook_fingerprint`), which
+    seeds the programming RNG so identical content always yields identical
+    conductances.  Tier-3 (similarity) is programmed first, then tier-2
+    (projection, transposed layout) - two independent physical arrays, two
+    independent variability draws.
+    """
+    if not isinstance(grid_bits, (int, np.integer)) or not 2 <= grid_bits <= 14:
+        raise ConfigurationError(f"grid_bits must be in [2, 14], got {grid_bits!r}")
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ConfigurationError(
+            f"codebook matrix must be 2-D, got {matrix.ndim}-D"
+        )
+    grid_step = device.g_on / float((1 << grid_bits) - 1)
+    # 2x LRS headroom covers the lognormal programming tail after clipping.
+    max_units = 2 * ((1 << grid_bits) - 1)
+    rng = conductance_rng(fingerprint, program_seed)
+    g_sim, gsq_sim = _program_tier(
+        matrix, device, rng, grid_step=grid_step, max_units=max_units
+    )
+    g_proj, gsq_proj = _program_tier(
+        matrix.T, device, rng, grid_step=grid_step, max_units=max_units
+    )
+    tiles = geometry.row_slices(matrix.shape[0])
+    sim_read_sigma = np.stack(
+        [
+            column_read_noise_sigma(
+                gsq_sim[rows].sum(axis=0), device=device, grid_step=grid_step
+            )
+            for rows in tiles
+        ]
+    )
+    return ProgrammedConductances(
+        g_sim=g_sim,
+        sim_read_sigma=sim_read_sigma,
+        g_proj=g_proj,
+        gsq_proj=gsq_proj,
+        device=device,
+        geometry=geometry,
+        grid_step=grid_step,
+        fingerprint=fingerprint,
+    )

@@ -71,10 +71,12 @@ class CrossbarArray:
 
     @property
     def programmed(self) -> bool:
+        """True once :meth:`program` has written conductances."""
         return self._g_pos is not None
 
     @property
     def weights(self) -> np.ndarray:
+        """The programmed bipolar weight matrix (requires :meth:`program`)."""
         if self._weights is None:
             raise ConfigurationError("crossbar has not been programmed")
         return self._weights
@@ -106,10 +108,12 @@ class CrossbarArray:
     def column_currents(
         self, inputs: np.ndarray, *, rng: RandomState = None
     ) -> np.ndarray:
-        """Differential column currents for bipolar ``inputs`` (one read).
+        """Differential column currents in amperes for bipolar ``inputs``.
 
-        Samples fresh read noise on every call: this is the per-read
-        stochasticity that the factorizer exploits.
+        One read of the module-docstring current equation
+        ``dI_j = V_read * (g_on - g_off) * sum_i w_ij x_i + noise``:
+        samples fresh read noise on every call - the per-read
+        stochasticity that the factorizer exploits (Sec. III-C).
         """
         if not self.programmed:
             raise ConfigurationError("crossbar has not been programmed")
@@ -127,7 +131,8 @@ class CrossbarArray:
         return voltages @ (g_pos - g_neg)
 
     def similarity_scale(self) -> float:
-        """Current corresponding to one unit of similarity."""
+        """Amperes per similarity unit: ``V_read * delta_g`` (~3.75 uA
+        at 0.1 V on the 37.5 uS differential window)."""
         return self.read_voltage * self.device.delta_g
 
     def mvm(self, inputs: np.ndarray, *, rng: RandomState = None) -> np.ndarray:

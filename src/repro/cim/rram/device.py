@@ -71,11 +71,13 @@ class RRAMDeviceModel:
 
     @property
     def on_off_ratio(self) -> float:
+        """Dimensionless LRS/HRS ratio ``g_on / g_off`` (~16 at 40 nm)."""
         return self.g_on / self.g_off
 
     @property
     def delta_g(self) -> float:
-        """Conductance difference encoding one bipolar unit."""
+        """Conductance difference encoding one bipolar unit, in siemens
+        (37.5 uS for the default 40 uS / 2.5 uS corner)."""
         return self.g_on - self.g_off
 
     # -- sampling ----------------------------------------------------------------
@@ -83,11 +85,12 @@ class RRAMDeviceModel:
     def program(
         self, targets: np.ndarray, rng: RandomState = None
     ) -> np.ndarray:
-        """Sample programmed conductances for target states.
+        """Sample programmed conductances in siemens for target states.
 
         ``targets`` holds desired conductances (``g_on`` or ``g_off``);
-        the result applies lognormal programming variability and stuck-at
-        faults.
+        the result applies lognormal programming variability (relative
+        sigma ``sigma_program``, Yu et al.'s HfOx switching-variation
+        model [27]) and stuck-at faults.
         """
         generator = as_rng(rng)
         targets = np.asarray(targets, dtype=np.float64)
@@ -112,7 +115,8 @@ class RRAMDeviceModel:
     def read_noise(
         self, conductances: np.ndarray, rng: RandomState = None
     ) -> np.ndarray:
-        """Per-read multiplicative noise sample for ``conductances``."""
+        """One read's noisy conductances in siemens:
+        ``g * (1 + N(0, sigma_read))`` per cell (thermal + RTN + PVT)."""
         if self.sigma_read == 0:
             return np.asarray(conductances, dtype=np.float64)
         generator = as_rng(rng)

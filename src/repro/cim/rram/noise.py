@@ -99,6 +99,7 @@ class NoiseParameters:
 
     @property
     def stochastic(self) -> bool:
+        """True when any noise term (per-read or static offset) is active."""
         return self.sigma_z > 0 or self.offset_z > 0
 
     def scaled(self, factor: float) -> "NoiseParameters":

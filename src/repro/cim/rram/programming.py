@@ -33,6 +33,7 @@ class ProgrammingReport:
 
     @property
     def mean_pulses_per_cell(self) -> float:
+        """Average program pulses per cell (write-verify convergence cost)."""
         return self.total_pulses / self.cells if self.cells else 0.0
 
 
@@ -52,7 +53,9 @@ class ProgrammingModel:
         Programming voltages; the legacy 40 nm node exists precisely to
         support these high voltages (Sec. III-A).
     pulse_energy / pulse_seconds:
-        Energy and duration of one programming pulse.
+        Energy (joules; default 1e-12 J = 1 pJ) and duration of one
+        programming pulse.  ``verify_energy`` is one verify read
+        (default 5e-14 J = 50 fJ).
     """
 
     def __init__(

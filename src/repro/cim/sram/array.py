@@ -41,6 +41,7 @@ class SRAMArray:
 
     @property
     def capacity_bits(self) -> int:
+        """Total storage in bits, ``words * word_bits``."""
         return self.words * self.word_bits
 
     def _check_address(self, address: int) -> int:
@@ -59,12 +60,14 @@ class SRAMArray:
         return int(value)
 
     def write(self, address: int, value: int) -> None:
+        """Store ``value`` at ``address`` (counted for the energy model)."""
         self._check_address(address)
         self._storage[address] = self._check_value(value)
         self._valid[address] = True
         self.writes += 1
 
     def read(self, address: int) -> int:
+        """Return the word at ``address`` (counted for the energy model)."""
         self._check_address(address)
         if not self._valid[address]:
             raise ConfigurationError(f"read of unwritten address {address}")
@@ -72,6 +75,7 @@ class SRAMArray:
         return int(self._storage[address])
 
     def write_block(self, start: int, values: np.ndarray) -> None:
+        """Store consecutive ``values`` from ``start``, one write per word."""
         values = np.asarray(values, dtype=np.int64)
         if start < 0 or start + values.size > self.words:
             raise DimensionError(
@@ -85,6 +89,7 @@ class SRAMArray:
         self.writes += values.size
 
     def read_block(self, start: int, count: int) -> np.ndarray:
+        """Return ``count`` words from ``start``, one read per word."""
         if start < 0 or start + count > self.words:
             raise DimensionError(
                 f"block [{start}, {start + count}) exceeds array size "

@@ -60,18 +60,22 @@ class SRAMBuffer:
 
     @property
     def capacity_bits(self) -> int:
+        """Total buffer storage in bits (sizes the tier-1 area model)."""
         return self.capacity_entries * self.entry_bits
 
     @property
     def occupancy(self) -> int:
+        """Entries currently buffered."""
         return len(self._fifo)
 
     @property
     def full(self) -> bool:
+        """True when a push would overflow (backpressure condition)."""
         return self.occupancy >= self.capacity_entries
 
     @property
     def empty(self) -> bool:
+        """True when a pop would underflow."""
         return not self._fifo
 
     def push(self, tag: int, payload: np.ndarray) -> None:

@@ -35,6 +35,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="random seed")
 
 
+def _add_fidelity(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fidelity",
+        choices=("crossbar", "statistical"),
+        default=None,
+        help=(
+            "H3D MVM model: full tiled crossbar simulation (default) or "
+            "the aggregate statistical noise model"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="h3dfact",
@@ -47,6 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table2", help="accuracy and operational capacity")
     _add_common(p)
+    _add_fidelity(p)
     p.add_argument("--trials", type=int, default=None)
     p.add_argument("--full", action="store_true", help="paper-scale grid")
 
@@ -62,10 +75,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig6a", help="ADC precision convergence")
     _add_common(p)
+    _add_fidelity(p)
     p.add_argument("--trials", type=int, default=None)
 
     p = sub.add_parser("fig6b", help="RRAM testchip noise validation")
     _add_common(p)
+    _add_fidelity(p)
     p.add_argument("--trials", type=int, default=None)
 
     p = sub.add_parser("fig7", help="RAVEN perception task")
@@ -75,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("ablation", help="design-choice sweeps")
     _add_common(p)
+    _add_fidelity(p)
     p.add_argument("--trials", type=int, default=None)
 
     p = sub.add_parser(
@@ -103,6 +119,8 @@ def _run_one(command: str, args: argparse.Namespace) -> str:
             config = Table2Config(seed=args.seed)
         if args.trials is not None:
             config.trials = args.trials
+        if getattr(args, "fidelity", None):
+            config.fidelity = args.fidelity
         return run_table2(config).render()
     if command == "table3":
         return run_table3(
@@ -114,11 +132,15 @@ def _run_one(command: str, args: argparse.Namespace) -> str:
         config = Fig6aConfig(seed=args.seed)
         if args.trials is not None:
             config.trials = args.trials
+        if getattr(args, "fidelity", None):
+            config.fidelity = args.fidelity
         return run_fig6a(config).render()
     if command == "fig6b":
         config = Fig6bConfig(seed=args.seed)
         if args.trials is not None:
             config.trials = args.trials
+        if getattr(args, "fidelity", None):
+            config.fidelity = args.fidelity
         return run_fig6b(config).render()
     if command == "fig7":
         config = Fig7Config(seed=args.seed)
@@ -131,6 +153,8 @@ def _run_one(command: str, args: argparse.Namespace) -> str:
         config = AblationConfig(seed=args.seed)
         if args.trials is not None:
             config.trials = args.trials
+        if getattr(args, "fidelity", None):
+            config.fidelity = args.fidelity
         return run_ablation(config).render()
     if command == "serve-bench":
         return run_serve_bench(

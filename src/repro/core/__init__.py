@@ -14,7 +14,13 @@ True
 """
 
 from repro.core.cim_backend import CIMBackend
+from repro.core.crossbar_backend import (
+    CIMBatchedBackend,
+    CONDUCTANCE_CACHE,
+    ConductanceCache,
+)
 from repro.core.engine import (
+    FIDELITIES,
     BatchEngineReport,
     EngineReport,
     H3DFact,
@@ -23,6 +29,10 @@ from repro.core.engine import (
 
 __all__ = [
     "CIMBackend",
+    "CIMBatchedBackend",
+    "CONDUCTANCE_CACHE",
+    "ConductanceCache",
+    "FIDELITIES",
     "H3DFact",
     "EngineReport",
     "BatchEngineReport",

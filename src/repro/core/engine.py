@@ -10,8 +10,11 @@ import numpy as np
 from repro.arch.dataflow import DataflowSimulator, StepLatency
 from repro.arch.designs import Design, h3d_design
 from repro.cim.adc import SARADC
+from repro.cim.rram.batched import TiledArrayGeometry
+from repro.cim.rram.device import RRAMDeviceModel
 from repro.cim.rram.noise import NoiseParameters
 from repro.core.cim_backend import CIMBackend
+from repro.core.crossbar_backend import CIMBatchedBackend
 from repro.errors import ConfigurationError
 from repro.hwmodel import calibration as cal
 from repro.hwmodel.metrics import DesignMetrics, evaluate_design
@@ -91,6 +94,10 @@ def baseline_network(
     )
 
 
+#: Recognised MVM fidelity levels for the H3D similarity/projection path.
+FIDELITIES = ("statistical", "crossbar")
+
+
 class H3DFact:
     """Holographic factorization on the modeled H3D hardware.
 
@@ -106,6 +113,19 @@ class H3DFact:
         comparison).
     threshold_policy:
         VTGT calibration rule.
+    fidelity:
+        MVM model: ``"statistical"`` (aggregate read-out statistics, one
+        Gaussian per output - :class:`~repro.core.cim_backend.CIMBackend`)
+        or ``"crossbar"`` (full tiled crossbar simulation with programmed
+        conductances and per-tile converters -
+        :class:`~repro.core.crossbar_backend.CIMBatchedBackend`).  The
+        headline experiments run ``"crossbar"``; see the README's
+        "Fidelity spectrum".
+    device:
+        RRAM technology corner for the crossbar fidelity (ignored by the
+        statistical model, which consumes only the aggregate preset).
+    array_geometry:
+        Physical subarray tiling for the crossbar fidelity.
     max_iterations:
         Default sweep budget per factorization.
     """
@@ -117,6 +137,9 @@ class H3DFact:
         noise: Optional[NoiseParameters] = None,
         adc_bits: int = 4,
         threshold_policy: Optional[ThresholdPolicy] = None,
+        fidelity: str = "statistical",
+        device: Optional[RRAMDeviceModel] = None,
+        array_geometry: Optional[TiledArrayGeometry] = None,
         max_iterations: int = 1000,
         rng: RandomState = None,
     ) -> None:
@@ -124,11 +147,20 @@ class H3DFact:
             raise ConfigurationError(
                 f"max_iterations must be positive, got {max_iterations}"
             )
+        if fidelity not in FIDELITIES:
+            raise ConfigurationError(
+                f"fidelity must be one of {FIDELITIES}, got {fidelity!r}"
+            )
         self.design = design if design is not None else h3d_design(adc_bits=adc_bits)
         self.noise = noise if noise is not None else NoiseParameters.testchip()
         self.adc_bits = adc_bits
         self.threshold_policy = (
             threshold_policy if threshold_policy is not None else ThresholdPolicy()
+        )
+        self.fidelity = fidelity
+        self.device = device if device is not None else RRAMDeviceModel()
+        self.array_geometry = (
+            array_geometry if array_geometry is not None else TiledArrayGeometry()
         )
         self.max_iterations = max_iterations
         self._rng = as_rng(rng)
@@ -139,15 +171,35 @@ class H3DFact:
         """The paper's design point: testchip noise + 4-bit ADC."""
         return cls(rng=rng)
 
+    @classmethod
+    def crossbar(cls, *, rng: RandomState = None, **kwargs) -> "H3DFact":
+        """Full-fidelity design point: tiled crossbar simulation."""
+        return cls(fidelity="crossbar", rng=rng, **kwargs)
+
     # -- factorization -------------------------------------------------------
 
-    def make_backend(self, *, rng: RandomState = None) -> CIMBackend:
-        """Fresh backend with independent noise streams."""
+    def make_backend(self, *, rng: RandomState = None):
+        """Fresh MVM backend at the configured fidelity.
+
+        The statistical backend owns one shared noise stream; the crossbar
+        backend additionally supports per-trial streams bound from request
+        seeds (the basis of its cross-engine bit-identity).
+        """
+        generator = rng if rng is not None else self._rng
+        if self.fidelity == "crossbar":
+            return CIMBatchedBackend(
+                device=self.device,
+                noise=self.noise,
+                adc=SARADC(bits=self.adc_bits),
+                policy=self.threshold_policy,
+                geometry=self.array_geometry,
+                rng=generator,
+            )
         return CIMBackend(
             noise=self.noise,
             adc=SARADC(bits=self.adc_bits),
             policy=self.threshold_policy,
-            rng=rng if rng is not None else self._rng,
+            rng=generator,
         )
 
     def make_network(
@@ -334,5 +386,5 @@ class H3DFact:
     def __repr__(self) -> str:
         return (
             f"H3DFact(design={self.design.name!r}, noise={self.noise.name!r}, "
-            f"adc_bits={self.adc_bits})"
+            f"adc_bits={self.adc_bits}, fidelity={self.fidelity!r})"
         )

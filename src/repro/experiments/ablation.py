@@ -11,16 +11,25 @@ does not tabulate; the ablation bench regenerates them:
   superposition (Sec. V-D's threshold adjustment);
 * **ADC resolution** - end-to-end accuracy/latency across 2-8 bits
   (generalizes Fig. 6a beyond the two published points).
+
+All three sweeps run at **crossbar fidelity** by default (the full tiled
+RRAM simulation of :class:`~repro.core.crossbar_backend.CIMBatchedBackend`,
+batched across trials; ``H3DFACT_ENGINE=sequential`` restores the per-trial
+loop).  At that fidelity the noise-scale sweep scales the *device* read
+noise together with the calibrated peripheral residual, so ``scale=0``
+still carries the frozen programming variability - stochasticity you can
+only remove by switching ``fidelity="statistical"``.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.cim.rram.device import RRAMDeviceModel
 from repro.cim.rram.noise import NoiseParameters
 from repro.core.engine import H3DFact
 from repro.resonator.batch import factorize_batch
@@ -39,6 +48,8 @@ class AblationConfig:
     pass_counts: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0)
     adc_bits: Tuple[int, ...] = (2, 3, 4, 6, 8)
     seed: int = 0
+    #: MVM fidelity: "crossbar" (default) or "statistical".
+    fidelity: str = "crossbar"
 
 
 @dataclass
@@ -110,7 +121,21 @@ def run_ablation(config: Optional[AblationConfig] = None) -> AblationResult:
     noise_sweep: List[SweepPoint] = []
     for scale in config.noise_scales:
         noise = NoiseParameters.testchip().scaled(scale)
-        engine = H3DFact(noise=noise, rng=config.seed)
+        if config.fidelity == "crossbar":
+            # Scale the device's per-read noise with the aggregate target
+            # so the sweep spans the same axis at device granularity.
+            device = replace(
+                RRAMDeviceModel(),
+                sigma_read=RRAMDeviceModel().sigma_read * scale,
+            )
+            engine = H3DFact(
+                noise=noise,
+                device=device,
+                rng=config.seed,
+                fidelity=config.fidelity,
+            )
+        else:
+            engine = H3DFact(noise=noise, rng=config.seed, fidelity=config.fidelity)
         accuracy, iterations = _run_point(
             lambda p: engine.make_network(
                 p.codebooks, max_iterations=config.max_iterations
@@ -125,6 +150,7 @@ def run_ablation(config: Optional[AblationConfig] = None) -> AblationResult:
         engine = H3DFact(
             threshold_policy=ThresholdPolicy(target_pass_count=pass_count),
             rng=config.seed,
+            fidelity=config.fidelity,
         )
         accuracy, iterations = _run_point(
             lambda p: engine.make_network(
@@ -137,7 +163,7 @@ def run_ablation(config: Optional[AblationConfig] = None) -> AblationResult:
 
     adc_sweep: List[SweepPoint] = []
     for bits in config.adc_bits:
-        engine = H3DFact(adc_bits=bits, rng=config.seed)
+        engine = H3DFact(adc_bits=bits, rng=config.seed, fidelity=config.fidelity)
         accuracy, iterations = _run_point(
             lambda p: engine.make_network(
                 p.codebooks, max_iterations=config.max_iterations

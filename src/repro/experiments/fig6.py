@@ -16,6 +16,12 @@ batch (the second ADC setting re-uses the first's interned codebooks),
 and Fig. 6b resubmits the unsolved survivors between restarts - their
 codebooks hit the registry, so every restart is a pure query against
 already-"programmed" arrays.
+
+Both run at **crossbar fidelity** by default (full tiled RRAM simulation,
+:class:`~repro.core.crossbar_backend.CIMBatchedBackend`) with one seed per
+request, so the reported numbers are bit-identical under
+``H3DFACT_ENGINE=sequential``; set ``fidelity="statistical"`` for the
+aggregate noise model.
 """
 
 from __future__ import annotations
@@ -33,7 +39,7 @@ from repro.resonator.network import FactorizationProblem
 from repro.service.registry import CodebookRegistry
 from repro.service.request import FactorizationRequest
 from repro.service.scheduler import FactorizationService
-from repro.utils.rng import as_rng
+from repro.utils.rng import as_rng, fresh_seed
 
 
 @dataclass
@@ -56,6 +62,8 @@ class Fig6aConfig:
     #: itself is rendered either way).
     target_accuracy: float = 0.90
     seed: int = 0
+    #: MVM fidelity: "crossbar" (default) or "statistical".
+    fidelity: str = "crossbar"
 
 
 @dataclass
@@ -97,15 +105,22 @@ def run_fig6a(config: Optional[Fig6aConfig] = None) -> Fig6aResult:
     ) as service:
         for bits in config.adc_bits:
             rng = as_rng(config.seed)
-            engine = H3DFact(adc_bits=bits, rng=rng)
+            engine = H3DFact(adc_bits=bits, rng=rng, fidelity=config.fidelity)
             problems = [
                 FactorizationProblem.random(
                     config.dim, config.num_factors, config.codebook_size, rng=rng
                 )
                 for _ in range(config.trials)
             ]
+            # Per-request seeds: initial states and (at crossbar fidelity)
+            # per-trial noise streams derive from them, making the curves
+            # bit-identical across engines and batch packings.
+            seeds = [fresh_seed(rng) for _ in problems]
             responses = service.run_coalesced(
-                [FactorizationRequest.from_problem(p) for p in problems],
+                [
+                    FactorizationRequest.from_problem(p, seed=s)
+                    for p, s in zip(problems, seeds)
+                ],
                 network_factory=lambda p: engine.make_network(
                     p.codebooks, max_iterations=config.max_iterations
                 ),
@@ -137,6 +152,8 @@ class Fig6bConfig:
     #: digital pass).  The cumulative sweep count is what the curve uses.
     restart_period: int = 8
     seed: int = 0
+    #: MVM fidelity: "crossbar" (default) or "statistical".
+    fidelity: str = "crossbar"
 
 
 @dataclass
@@ -164,11 +181,20 @@ class Fig6bResult:
         )
 
 
+def _replay_seed(base: int, trial: int, segment: int) -> int:
+    """Deterministic per-(trial, restart-segment) request seed."""
+    return int(
+        np.random.SeedSequence((base, trial, segment)).generate_state(1)[0]
+    )
+
+
 def run_fig6b(config: Optional[Fig6bConfig] = None) -> Fig6bResult:
     config = config or Fig6bConfig()
     start = time.perf_counter()
     rng = as_rng(config.seed)
-    engine = H3DFact(noise=NoiseParameters.testchip(), rng=rng)
+    engine = H3DFact(
+        noise=NoiseParameters.testchip(), rng=rng, fidelity=config.fidelity
+    )
     problems = [
         FactorizationProblem.random(
             config.dim, config.num_factors, config.codebook_size, rng=rng
@@ -191,14 +217,20 @@ def run_fig6b(config: Optional[Fig6bConfig] = None) -> Fig6bResult:
         keys = [service.registry.register(p.codebooks) for p in problems]
         unsolved = list(range(config.trials))
         total = 0
+        segment_index = 0
         while total < config.max_iterations and unsolved:
             segment = min(config.restart_period, config.max_iterations - total)
+            # Each (trial, restart) carries its own derived seed: the
+            # restart's fresh superposition and (at crossbar fidelity) its
+            # noise stream replay bit-identically across engines,
+            # independent of which survivors share its batch.
             responses = service.run_coalesced(
                 [
                     FactorizationRequest(
                         product=problems[t].product,
                         codebook_key=keys[t],
                         true_indices=problems[t].true_indices,
+                        seed=_replay_seed(config.seed, t, segment_index),
                     )
                     for t in unsolved
                 ],
@@ -215,6 +247,7 @@ def run_fig6b(config: Optional[Fig6bConfig] = None) -> Fig6bResult:
                     survivors.append(trial)
             unsolved = survivors
             total += segment
+            segment_index += 1
     curve = np.zeros(config.max_iterations)
     for solved in solved_at:
         if solved is not None:

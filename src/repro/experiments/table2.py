@@ -7,6 +7,13 @@ size, labeled "D" in Table II) from 16 to 512; the default config trims the
 largest cells so the experiment runs in minutes - ``H3DFACT_FULL=1``
 restores the full grid (hours: the largest stochastic cells need millions
 of sweeps, exactly as the paper's iteration counts imply).
+
+The H3D column runs at **crossbar fidelity** by default: the full tiled
+RRAM simulation (programmed conductances, per-tile ADCs, device + residual
+read noise - :class:`~repro.core.crossbar_backend.CIMBatchedBackend`),
+batched across trials.  Every request carries its own seed, so the column
+is *bit-identical* under ``H3DFACT_ENGINE=sequential`` (the per-trial
+loop); ``fidelity="statistical"`` restores the aggregate noise model.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ from repro.resonator.metrics import BatchStatistics, summarize
 from repro.service.registry import CodebookRegistry
 from repro.service.request import FactorizationRequest
 from repro.service.scheduler import FactorizationService
-from repro.utils.rng import as_rng
+from repro.utils.rng import as_rng, fresh_seed
 
 
 @dataclass
@@ -40,6 +47,9 @@ class Table2Config:
     #: Batch execution engine: "batched" (vectorized, the default),
     #: "sequential" (per-trial loop), or None to consult H3DFACT_ENGINE.
     engine: Optional[str] = None
+    #: MVM fidelity of the H3D column: "crossbar" (full tiled crossbar
+    #: simulation, the default) or "statistical" (aggregate noise model).
+    fidelity: str = "crossbar"
 
     @classmethod
     def paper(cls) -> "Table2Config":
@@ -157,6 +167,9 @@ def run_table2(config: Optional[Table2Config] = None) -> Table2Result:
                     trials=config.trials,
                     rng=rng,
                 )
+                # The deterministic baseline keeps the historical
+                # shared-stream packing (its engine parity needs no
+                # per-request seeds - PR 1's deterministic guarantee).
                 responses = service.run_coalesced(
                     [FactorizationRequest.from_problem(p) for p in problems],
                     # Seed the network too (init tie-breaks), so the whole
@@ -179,7 +192,7 @@ def run_table2(config: Optional[Table2Config] = None) -> Table2Result:
                         ),
                     )
                 )
-                engine = H3DFact(rng=rng)
+                engine = H3DFact(rng=rng, fidelity=config.fidelity)
                 problems = generate_problems(
                     dim=config.dim,
                     num_factors=num_factors,
@@ -187,12 +200,19 @@ def run_table2(config: Optional[Table2Config] = None) -> Table2Result:
                     trials=config.trials,
                     rng=rng,
                 )
+                # One seed per H3D request: initial states and (at
+                # crossbar fidelity) per-trial noise streams derive from
+                # it, which is what makes the stochastic column
+                # bit-identical across engines and batch packings.
+                seeds = [fresh_seed(rng) for _ in problems]
                 responses = service.run_coalesced(
                     [
                         FactorizationRequest.from_problem(
-                            p, max_iterations=config.max_iterations_h3d
+                            p,
+                            seed=s,
+                            max_iterations=config.max_iterations_h3d,
                         )
-                        for p in problems
+                        for p, s in zip(problems, seeds)
                     ],
                     network_factory=lambda p: engine.make_network(
                         p.codebooks, max_iterations=config.max_iterations_h3d

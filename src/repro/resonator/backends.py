@@ -6,11 +6,14 @@ The resonator needs, per factor and per iteration:
 * ``project(codebook, weights)``   -> ``y = X a``    (step IV of Fig. 3)
 
 Backends let the same algorithm run on an exact software oracle, on additive
-Gaussian-noise models, on quantizing (ADC) models, or on the full RRAM
-crossbar simulation (:class:`repro.core.cim_backend.CIMBackend`).  Table II's
-"Baseline" column is :class:`ExactBackend`; the "H3D" column is the crossbar
-backend, whose behaviour is bracketed in tests by the two intermediate
-models here.
+Gaussian-noise models, on quantizing (ADC) models, on the aggregate
+statistical CIM model (:class:`repro.core.cim_backend.CIMBackend`), or on
+the full tiled crossbar simulation
+(:class:`repro.core.crossbar_backend.CIMBatchedBackend`).  Table II's
+"Baseline" column is the rectified deterministic configuration; the "H3D"
+column runs the full crossbar backend, whose behaviour is bracketed in
+tests by the intermediate models here (see the "Fidelity spectrum" section
+of the README and ``docs/ARCHITECTURE.md``).
 
 Batched execution
 -----------------
@@ -109,6 +112,19 @@ class MVMBackend(ABC):
 
     def begin_trial(self) -> None:
         """Hook called once per factorization trial (e.g. re-program arrays)."""
+
+    # -- per-trial noise identity (default: no-op) -------------------------
+    #
+    # Stochastic backends that want packing-independent noise override
+    # these: the replay layer binds one stream per request seed, and the
+    # batched network declares which global trial each stacked row of the
+    # next batch calls belongs to.  Deterministic backends ignore both.
+
+    def bind_trials(self, seeds: Sequence[int]) -> None:
+        """Associate per-trial noise streams with the given request seeds."""
+
+    def select_trials(self, rows: np.ndarray) -> None:
+        """Declare the global trial index of each row in upcoming batches."""
 
     # -- batched execution (default: per-trial loop) -----------------------
 
@@ -392,6 +408,12 @@ class QuantizedSimilarityBackend(MVMBackend):
 
     def begin_trial(self) -> None:
         self.inner.begin_trial()
+
+    def bind_trials(self, seeds: Sequence[int]) -> None:
+        self.inner.bind_trials(seeds)
+
+    def select_trials(self, rows: np.ndarray) -> None:
+        self.inner.select_trials(rows)
 
     def __repr__(self) -> str:
         return f"QuantizedSimilarityBackend(adc={self.adc!r}, inner={self.inner!r})"

@@ -449,6 +449,9 @@ class BatchedResonatorNetwork:
         write_rows = compute_idx[write_mask]
         n_active = int(write_mask.sum())
         dim = self.dim
+        # Tell per-trial-stream backends which global trial each stacked
+        # row belongs to (no-op for backends without trial identity).
+        self.backend.select_trials(compute_idx)
         for f in range(num_factors):
             books = self._factor_batch(f, compute_idx)
             tick = time.perf_counter() if profiler is not None else 0.0

@@ -23,9 +23,15 @@ One same-geometry batch executes in one of two modes (:func:`run_group`):
   fixed-seed request stream yields bit-identical
   :class:`~repro.resonator.network.FactorizationResult`\\ s regardless of
   arrival order or batch packing (PR 1's batched/sequential parity
-  guarantee).  Stochastic configurations still run correctly under seeded
-  replay, but their noise is drawn batch-wide, so only the statistics are
-  packing-independent.
+  guarantee).  Stochastic backends with *per-trial noise streams*
+  (:meth:`~repro.resonator.backends.MVMBackend.bind_trials`, implemented
+  by the crossbar backend
+  :class:`~repro.core.crossbar_backend.CIMBatchedBackend`) extend the same
+  guarantee to noisy runs: each trial's noise derives from its own request
+  seed, so seeded stochastic trials are also bit-identical across engines
+  and packings.  Stochastic backends *without* trial streams still run
+  correctly under seeded replay, but their noise is drawn batch-wide, so
+  only their statistics are packing-independent.
 
 The planner (:func:`run_problems_grouped`) partitions an arbitrary
 problem list into same-geometry groups (first-appearance order,
@@ -130,6 +136,12 @@ def run_group(
         results: List[FactorizationResult] = []
         for problem, seed in zip(problems, seeds):
             network = network_factory(problem)
+            # Per-trial-stream backends draw this trial's noise from its
+            # own request seed - the same stream the batched engine binds
+            # for this trial, which is what makes seeded stochastic
+            # backends (the crossbar backend) bit-identical across
+            # engines.  No-op for backends without trial identity.
+            network.backend.bind_trials([seed])
             results.append(
                 network.factorize(
                     problem.product,
@@ -144,6 +156,7 @@ def run_group(
         return results
 
     network = batched_network_for(network_factory, problems)
+    network.backend.bind_trials(list(seeds))
     per_trial = [
         seeded_initial_estimates(problem.codebooks, seed, init=network.init)
         for problem, seed in zip(problems, seeds)

@@ -18,35 +18,27 @@ eviction never invalidates running work.
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Tuple
 
-import numpy as np
-
 from repro.errors import ConfigurationError, ServiceError
-from repro.vsa.codebook import CodebookSet
+from repro.vsa.codebook import CodebookSet, codebook_set_fingerprint
 
 
 def codebook_fingerprint(codebooks: CodebookSet) -> str:
-    """Stable content hash of a codebook set (geometry, names, matrices).
+    """Stable content hash of a codebook set - the registry's key format.
 
     Two sets with identical factor names, sizes and item vectors map to
     the same key regardless of object identity - the "same arrays would be
-    programmed" equivalence.
+    programmed" equivalence.  The hash itself lives at the VSA layer
+    (:func:`repro.vsa.codebook.codebook_set_fingerprint`) so that lower
+    layers - notably the crossbar conductance cache of
+    :mod:`repro.core.crossbar_backend` - key off the same content identity
+    without importing the serving stack.
     """
-    hasher = hashlib.sha256()
-    hasher.update(f"dim={codebooks.dim};factors={codebooks.num_factors}".encode())
-    for codebook in codebooks:
-        hasher.update(f";{codebook.name}:{codebook.size}:".encode())
-        # Bipolar entries fit int8 exactly; hashing the compact form keeps
-        # the key independent of the float dtype the matrix is stored in.
-        hasher.update(
-            np.ascontiguousarray(codebook.matrix, dtype=np.int8).tobytes()
-        )
-    return hasher.hexdigest()
+    return codebook_set_fingerprint(codebooks)
 
 
 @dataclass

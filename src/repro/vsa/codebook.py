@@ -8,6 +8,7 @@ the product vector to factorize).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -252,3 +253,44 @@ class CodebookSet:
             codebook.name: codebook.label(index)
             for codebook, index in zip(self.codebooks, indices)
         }
+
+
+# -- content addressing -------------------------------------------------------
+#
+# Content hashes are the "same arrays would be programmed" equivalence used
+# by the serving registry (:mod:`repro.service.registry`) and the crossbar
+# conductance cache (:mod:`repro.core.crossbar_backend`): two codebooks with
+# identical item vectors hash identically regardless of object identity or
+# the float dtype their matrices are stored in.
+
+
+def codebook_fingerprint(codebook: Codebook) -> str:
+    """Stable content hash of one codebook's item-vector matrix.
+
+    Keyed on geometry plus the bipolar entries only - the codebook *name*
+    is excluded, since programming an RRAM array depends on the weights,
+    not on what the attribute is called.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"dim={codebook.dim};size={codebook.size}:".encode())
+    hasher.update(np.ascontiguousarray(codebook.matrix, dtype=np.int8).tobytes())
+    return hasher.hexdigest()
+
+
+def codebook_set_fingerprint(codebooks: CodebookSet) -> str:
+    """Stable content hash of a codebook set (geometry, names, matrices).
+
+    Two sets with identical factor names, sizes and item vectors map to
+    the same key regardless of object identity.  This is the key format of
+    :class:`repro.service.registry.CodebookRegistry`.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"dim={codebooks.dim};factors={codebooks.num_factors}".encode())
+    for codebook in codebooks:
+        hasher.update(f";{codebook.name}:{codebook.size}:".encode())
+        # Bipolar entries fit int8 exactly; hashing the compact form keeps
+        # the key independent of the float dtype the matrix is stored in.
+        hasher.update(
+            np.ascontiguousarray(codebook.matrix, dtype=np.int8).tobytes()
+        )
+    return hasher.hexdigest()

@@ -1,0 +1,356 @@
+"""Full-fidelity crossbar backend: parity, noise statistics, caching.
+
+Pins the three contracts of :class:`repro.core.crossbar_backend.CIMBatchedBackend`:
+
+* **Batched == sequential, bit for bit** - a seeded stochastic batch takes
+  identical steps whether it runs stacked or as the per-trial loop
+  (``H3DFACT_ENGINE=sequential``), including mixed-geometry workloads
+  routed through the grouped planner.
+* **Column-aggregated noise == per-cell noise, statistically** - the
+  vectorized one-Gaussian-per-output sampler reproduces the mean/variance
+  of the device-granular :class:`~repro.cim.rram.CrossbarArray` sampler.
+* **Program-once caching** - conductances are keyed by codebook content,
+  repeated codebooks hit, and eviction re-programs bit-identically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cim.adc import SARADC
+from repro.cim.rram.batched import (
+    TiledArrayGeometry,
+    column_read_noise_sigma,
+    program_codebook,
+)
+from repro.cim.rram.crossbar import CrossbarArray
+from repro.cim.rram.device import RRAMDeviceModel
+from repro.core.crossbar_backend import CIMBatchedBackend, ConductanceCache
+from repro.core.engine import H3DFact
+from repro.resonator.batch import generate_problems
+from repro.resonator.network import FactorizationProblem
+from repro.resonator.replay import run_group, run_problems_grouped
+from repro.utils.rng import as_rng
+from repro.vsa.codebook import Codebook, CodebookSet, codebook_fingerprint
+
+
+def _results_equal(a, b):
+    return (
+        a.indices == b.indices
+        and a.outcome == b.outcome
+        and a.iterations == b.iterations
+        and a.product_match == b.product_match
+        and a.correct == b.correct
+        and a.first_correct_iteration == b.first_correct_iteration
+    )
+
+
+class TestBatchScalarParity:
+    """similarity_batch/project_batch == per-row scalar calls, bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def codebook(self):
+        return Codebook.random("attr", 512, 48, rng=as_rng(3))
+
+    def test_similarity_batch_matches_scalar_rows(self, codebook):
+        queries = (
+            2 * as_rng(1).integers(0, 2, size=(4, 512), dtype=np.int8) - 1
+        ).astype(np.float32)
+        batched = CIMBatchedBackend(rng=0)
+        batched.bind_trials([11, 22, 33, 44])
+        stacked = batched.similarity_batch(codebook, queries)
+        for row, seed in enumerate([11, 22, 33, 44]):
+            solo = CIMBatchedBackend(rng=row)
+            solo.bind_trials([seed])
+            np.testing.assert_array_equal(
+                solo.similarity(codebook, queries[row]), stacked[row]
+            )
+
+    def test_project_batch_matches_scalar_rows(self, codebook):
+        batched = CIMBatchedBackend(rng=0)
+        batched.bind_trials([5, 6, 7])
+        step = batched.weight_step()
+        weights = step * as_rng(2).integers(0, 20, size=(3, 48)).astype(np.float64)
+        stacked = batched.project_batch(codebook, weights)
+        for row, seed in enumerate([5, 6, 7]):
+            solo = CIMBatchedBackend(rng=100 + row)
+            solo.bind_trials([seed])
+            np.testing.assert_array_equal(
+                solo.project(codebook, weights[row]), stacked[row]
+            )
+
+    def test_per_trial_codebooks_match_scalar_rows(self):
+        books = [Codebook.random(f"b{i}", 512, 16, rng=as_rng(i)) for i in range(3)]
+        queries = (
+            2 * as_rng(9).integers(0, 2, size=(3, 512), dtype=np.int8) - 1
+        ).astype(np.float32)
+        batched = CIMBatchedBackend(rng=0)
+        batched.bind_trials([70, 71, 72])
+        stacked = batched.similarity_batch(books, queries)
+        for row, seed in enumerate([70, 71, 72]):
+            solo = CIMBatchedBackend(rng=row)
+            solo.bind_trials([seed])
+            np.testing.assert_array_equal(
+                solo.similarity(books[row], queries[row]), stacked[row]
+            )
+
+
+class TestEngineParity:
+    """Seeded crossbar batches replay bit-identically across engines."""
+
+    def _factory(self, max_iterations=400):
+        engine = H3DFact(fidelity="crossbar", rng=0)
+        return lambda p: engine.make_network(p.codebooks, max_iterations=max_iterations)
+
+    def test_batched_vs_sequential_bit_identical(self):
+        problems = generate_problems(
+            dim=512, num_factors=3, codebook_size=32, trials=10, rng=as_rng(4)
+        )
+        seeds = [900 + i for i in range(len(problems))]
+        batched = run_group(
+            self._factory(), problems, seeds=seeds,
+            check_correct_every=2, engine="batched",
+        )
+        sequential = run_group(
+            self._factory(), problems, seeds=seeds,
+            check_correct_every=2, engine="sequential",
+        )
+        assert all(_results_equal(a, b) for a, b in zip(batched, sequential))
+        # The workload must actually exercise the stochastic chain.
+        assert any(r.iterations > 1 for r in batched)
+
+    def test_mixed_geometry_groups_bit_identical(self):
+        rng = as_rng(6)
+        problems = []
+        problems += generate_problems(
+            dim=512, num_factors=3, codebook_size=16, trials=4, rng=rng
+        )
+        problems += generate_problems(
+            dim=256, num_factors=3, codebook_size=8, trials=3, rng=rng
+        )
+        problems += generate_problems(
+            dim=512, num_factors=3, codebook_size=16, trials=2, rng=rng
+        )
+        seeds = [1300 + i for i in range(len(problems))]
+        batched = run_problems_grouped(
+            self._factory(), problems, seeds=seeds,
+            check_correct_every=2, engine="batched",
+        )
+        sequential = run_problems_grouped(
+            self._factory(), problems, seeds=seeds,
+            check_correct_every=2, engine="sequential",
+        )
+        assert all(_results_equal(a, b) for a, b in zip(batched, sequential))
+
+    def test_table2_multicell_engine_parity(self):
+        """A multi-cell Table II grid replays identically across engines.
+
+        Regression test: building one backend (batched) vs one per trial
+        (sequential) must consume the shared experiment stream
+        identically, or every cell after the first diverges.
+        """
+        from repro.experiments.table2 import Table2Config, run_table2
+
+        cfg = dict(
+            dim=256,
+            factor_counts=(3,),
+            codebook_sizes=(8, 12),
+            trials=4,
+            max_iterations_baseline=200,
+            max_iterations_h3d=500,
+        )
+        batched = run_table2(Table2Config(**cfg, engine="batched"))
+        sequential = run_table2(Table2Config(**cfg, engine="sequential"))
+        assert batched.render() == sequential.render()
+        for a, b in zip(batched.cells, sequential.cells):
+            assert a.stats.accuracy == b.stats.accuracy
+            assert a.stats.mean_iterations == b.stats.mean_iterations
+
+    def test_packing_independent(self):
+        """A seeded trial's result does not depend on its batch-mates."""
+        problems = generate_problems(
+            dim=512, num_factors=3, codebook_size=16, trials=6, rng=as_rng(8)
+        )
+        seeds = [2000 + i for i in range(len(problems))]
+        whole = run_group(
+            self._factory(), problems, seeds=seeds, engine="batched"
+        )
+        halves = run_group(
+            self._factory(), problems[:3], seeds=seeds[:3], engine="batched"
+        ) + run_group(
+            self._factory(), problems[3:], seeds=seeds[3:], engine="batched"
+        )
+        assert all(_results_equal(a, b) for a, b in zip(whole, halves))
+
+
+class TestNoiseStatistics:
+    """Aggregated column sampler == per-cell CrossbarArray sampler."""
+
+    def test_batched_sigma_matches_percell_std(self):
+        # No programming variability or faults: both models then hold the
+        # same conductances and differ only in how read noise is sampled.
+        device = RRAMDeviceModel(
+            sigma_program=0.0, p_stuck_on=0.0, p_stuck_off=0.0
+        )
+        rows, cols = 128, 24
+        rng = as_rng(5)
+        weights = (2 * rng.integers(0, 2, size=(rows, cols), dtype=np.int8) - 1)
+        inputs = (2 * rng.integers(0, 2, size=rows, dtype=np.int8) - 1)
+
+        crossbar = CrossbarArray(rows, cols, device=device, rng=as_rng(7))
+        crossbar.program(weights)
+        reads = np.stack([crossbar.mvm(inputs) for _ in range(4000)])
+
+        book = Codebook("stat", weights.astype(np.float32))
+        prog = program_codebook(
+            book.matrix,
+            codebook_fingerprint(book),
+            device=device,
+            geometry=TiledArrayGeometry(rows=rows, cols=cols),
+        )
+        clean = (inputs.astype(np.float64) @ prog.g_sim) * prog.unit_scale
+        sigma = np.sqrt((prog.sim_read_sigma**2).sum(axis=0))
+
+        # Means agree up to the write-verify grid (no noise bias).
+        np.testing.assert_allclose(reads.mean(axis=0), clean, atol=0.35)
+        # The analytic per-column sigma matches the per-cell sampler's
+        # empirical std (4000 reads -> ~2 % sampling error on the std).
+        np.testing.assert_allclose(reads.std(axis=0), sigma, rtol=0.12)
+
+    def test_batched_draws_match_declared_sigma(self):
+        """The backend's sampled similarity noise realizes its own sigma."""
+        device = RRAMDeviceModel(sigma_program=0.0, p_stuck_on=0.0, p_stuck_off=0.0)
+        book = Codebook.random("attr", 256, 8, rng=as_rng(1))
+        backend = CIMBatchedBackend(
+            device=device,
+            policy=None,
+            adc=SARADC(bits=14),
+            # Wide converter range: nothing rectifies or clips on the
+            # matched column, isolating the sampled noise.
+            adc_full_scale_zscore=64.0,
+            geometry=TiledArrayGeometry(rows=256, cols=256),
+            rng=0,
+        )
+        prog = backend.programmed_for(book)
+        # Query the first item vector: its own column reads ~dim >> sigma.
+        query = book.matrix[:, 0].astype(np.float32)
+        reads = np.stack(
+            [backend.similarity(book, query) for _ in range(3000)]
+        )
+        clean = (query.astype(np.float64) @ prog.g_sim) * prog.unit_scale
+        expected = np.sqrt(
+            (prog.sim_read_sigma**2).sum(axis=0)
+            + backend._residual_z**2 * 256
+        )
+        # Rectification never binds on clearly-positive columns.
+        positive = clean > 4 * expected
+        assert positive.any()
+        np.testing.assert_allclose(
+            reads.std(axis=0)[positive], expected[positive], rtol=0.15
+        )
+
+    def test_column_read_noise_sigma_closed_form(self):
+        device = RRAMDeviceModel()
+        gsq = np.array([4.0, 9.0])
+        sigma = column_read_noise_sigma(gsq, device=device, grid_step=1e-6)
+        expected = device.sigma_read * np.sqrt(gsq) * 1e-6 / device.delta_g
+        np.testing.assert_allclose(sigma, expected)
+
+
+class TestConductanceCache:
+    def test_content_hit_across_objects(self):
+        cache = ConductanceCache()
+        matrix = (2 * as_rng(3).integers(0, 2, size=(128, 8), dtype=np.int8) - 1)
+        a = Codebook("a", matrix.astype(np.float32))
+        b = Codebook("b", matrix.astype(np.float32).copy())
+        backend = CIMBatchedBackend(cache=cache, rng=0)
+        assert backend.programmed_for(a) is backend.programmed_for(b)
+        assert cache.hits >= 1 and cache.misses == 1
+
+    def test_eviction_reprograms_bit_identically(self):
+        tiny = ConductanceCache(capacity_bytes=1)  # evicts beyond one entry
+        backend = CIMBatchedBackend(cache=tiny, rng=0)
+        first = Codebook.random("x", 128, 8, rng=as_rng(1))
+        second = Codebook.random("y", 128, 8, rng=as_rng(2))
+        before = backend.programmed_for(first)
+        backend.programmed_for(second)  # evicts `first`
+        after = backend.programmed_for(first)
+        assert after is not before
+        np.testing.assert_array_equal(after.g_sim, before.g_sim)
+        np.testing.assert_array_equal(after.g_proj, before.g_proj)
+        assert tiny.evictions >= 1
+
+    def test_sequential_backends_share_programming(self):
+        """Per-trial sequential backends see the same programmed arrays."""
+        cache = ConductanceCache()
+        book = Codebook.random("shared", 128, 8, rng=as_rng(4))
+        one = CIMBatchedBackend(cache=cache, rng=1)
+        two = CIMBatchedBackend(cache=cache, rng=2)
+        assert one.programmed_for(book) is two.programmed_for(book)
+
+
+class TestChainProperties:
+    def test_similarity_outputs_on_adc_grid(self):
+        backend = CIMBatchedBackend(rng=0, policy=None)
+        backend.bind_trials([1, 2])
+        book = Codebook.random("attr", 512, 16, rng=as_rng(5))
+        queries = (
+            2 * as_rng(6).integers(0, 2, size=(2, 512), dtype=np.int8) - 1
+        ).astype(np.float32)
+        sims = backend.similarity_batch(book, queries)
+        codes = sims / backend.weight_step()
+        np.testing.assert_allclose(codes, np.rint(codes), atol=1e-9)
+        assert (sims >= 0).all()
+
+    def test_deterministic_when_noise_free(self):
+        device = RRAMDeviceModel(sigma_read=0.0)
+        backend = CIMBatchedBackend(
+            device=device,
+            noise=__import__("repro.cim.rram.noise", fromlist=["NoiseParameters"])
+            .NoiseParameters.ideal(),
+            rng=0,
+        )
+        assert backend.deterministic
+        book = Codebook.random("attr", 256, 8, rng=as_rng(7))
+        query = (2 * as_rng(8).integers(0, 2, size=256, dtype=np.int8) - 1).astype(
+            np.float32
+        )
+        np.testing.assert_array_equal(
+            backend.similarity(book, query), backend.similarity(book, query)
+        )
+
+    def test_mismatched_row_mapping_raises(self):
+        """A stale select_trials mapping must fail loudly, not remap."""
+        from repro.errors import ConfigurationError
+
+        backend = CIMBatchedBackend(rng=0)
+        backend.bind_trials([1, 2, 3])
+        backend.select_trials(np.array([0, 1, 2]))
+        book = Codebook.random("attr", 256, 8, rng=as_rng(1))
+        queries = (
+            2 * as_rng(2).integers(0, 2, size=(2, 256), dtype=np.int8) - 1
+        ).astype(np.float32)
+        with pytest.raises(ConfigurationError):
+            backend.similarity_batch(book, queries)
+        # begin_trial resets the mapping; the call then succeeds.
+        backend.begin_trial()
+        assert backend.similarity_batch(book, queries).shape == (2, 8)
+
+    def test_backend_construction_consumes_no_rng(self):
+        """Seeded-replay runs draw nothing from the constructor stream."""
+        rng = as_rng(0)
+        backend = CIMBatchedBackend(rng=rng)
+        backend.bind_trials([7])
+        book = Codebook.random("attr", 256, 8, rng=as_rng(1))
+        query = (2 * as_rng(2).integers(0, 2, size=256, dtype=np.int8) - 1).astype(
+            np.float32
+        )
+        backend.similarity(book, query)
+        # The shared stream is untouched: next draw equals a fresh rng's.
+        assert rng.integers(0, 2**31) == as_rng(0).integers(0, 2**31)
+
+    def test_engine_fidelity_validation(self):
+        with pytest.raises(Exception):
+            H3DFact(fidelity="nope")
+        assert isinstance(
+            H3DFact(fidelity="crossbar").make_backend(), CIMBatchedBackend
+        )

@@ -1,0 +1,52 @@
+"""Documentation gates: Markdown links + repro.cim docstring coverage.
+
+Runs the same checker CI's docs job uses (``tools/check_docs.py``), so a
+broken intra-repo link or a missing-docstring regression in the CIM
+hardware models fails the tier-1 suite locally before it fails CI.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_docs.py"
+
+
+def test_checker_exists():
+    assert CHECKER.exists()
+
+
+def test_docs_clean():
+    result = subprocess.run(
+        [sys.executable, str(CHECKER)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, (
+        "documentation checks failed:\n" + result.stdout + result.stderr
+    )
+
+
+def test_checker_catches_broken_link(tmp_path):
+    """The link checker actually detects a dangling relative target."""
+    sys.path.insert(0, str(CHECKER.parent))
+    try:
+        import check_docs
+    finally:
+        sys.path.pop(0)
+    (tmp_path / "page.md").write_text("see [other](missing.md)")
+    problems = check_docs.check_markdown_links(tmp_path)
+    assert len(problems) == 1 and "missing.md" in problems[0]
+
+
+def test_checker_catches_missing_docstring(tmp_path):
+    sys.path.insert(0, str(CHECKER.parent))
+    try:
+        import check_docs
+    finally:
+        sys.path.pop(0)
+    (tmp_path / "mod.py").write_text('"""Mod."""\n\ndef naked():\n    pass\n')
+    problems = check_docs.check_docstrings([tmp_path])
+    assert len(problems) == 1 and "naked" in problems[0]

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Documentation checks: intra-repo Markdown links + repro.cim docstrings.
+
+Two independent checks, both purely static (no imports, no dependencies
+beyond the standard library), wired into CI's fast workflow and the
+tier-1 suite (``tests/test_docs.py``):
+
+* **Markdown links** - every relative link target in the repository's
+  ``*.md`` files must exist on disk (anchors are stripped; external
+  ``http(s)``/``mailto`` links are ignored).  Catches renames that strand
+  the README / ARCHITECTURE cross-references.
+* **Docstring coverage** - every module, public class and public
+  function/method under ``src/repro/cim`` must carry a docstring.  The
+  CIM package is the hardware-model boundary where units (conductance in
+  uS, energy in fJ) and paper-equation pointers live, so regressions
+  there are treated as failures rather than style nits.
+
+Exit status 0 when clean; 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCSTRING_ROOTS = [REPO_ROOT / "src" / "repro" / "cim"]
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+
+#: Inline Markdown links: [text](target). Images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def iter_markdown_files(root: Path):
+    """All tracked-looking Markdown files under ``root``."""
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        yield path
+
+
+def check_markdown_links(root: Path) -> list:
+    """Relative link targets that do not exist, as report strings."""
+    problems = []
+    for path in iter_markdown_files(root):
+        text = path.read_text(encoding="utf-8")
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            # Strip anchors and angle brackets.
+            target = target.split("#", 1)[0].strip("<>")
+            if not target:
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                line = text[: match.start()].count("\n") + 1
+                problems.append(
+                    f"{path.relative_to(root)}:{line}: broken link -> {target}"
+                )
+    return problems
+
+
+def _missing_docstrings(tree: ast.Module) -> list:
+    """(name, lineno) of public definitions lacking docstrings."""
+    missing = []
+    if ast.get_docstring(tree) is None:
+        missing.append(("<module>", 1))
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name.startswith("_"):
+                continue
+            if ast.get_docstring(node) is None:
+                missing.append((node.name, node.lineno))
+    return missing
+
+
+def check_docstrings(roots) -> list:
+    """Public definitions in ``roots`` without docstrings, as reports."""
+    problems = []
+    for root in roots:
+        for path in sorted(Path(root).rglob("*.py")):
+            if any(part in SKIP_DIRS for part in path.parts):
+                continue
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            try:
+                label = path.relative_to(REPO_ROOT)
+            except ValueError:  # roots outside the repo (tests)
+                label = path
+            for name, lineno in _missing_docstrings(tree):
+                problems.append(f"{label}:{lineno}: missing docstring on {name}")
+    return problems
+
+
+def main() -> int:
+    problems = check_markdown_links(REPO_ROOT)
+    problems += check_docstrings(DOCSTRING_ROOTS)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print("docs OK: markdown links resolve, repro.cim fully docstringed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
