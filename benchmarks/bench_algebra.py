@@ -1,0 +1,109 @@
+"""FHRR algebra benchmarks (not a paper artifact).
+
+The acceptance number for the FFT binding path: at D = 8192,
+:func:`repro.vsa.fhrr.bind` (O(D log D) spectral multiply) must beat the
+direct O(D^2) circulant-MVM reference
+(:func:`repro.vsa.fhrr.mvm_bind_reference`) by >= 3x wall-clock while
+producing the same circular convolution to float tolerance.  This is the
+asymptotic win that makes FHRR binding practical at hypervector scale -
+and exactly the operation an in-memory circulant crossbar would
+accelerate (Langenegger et al.), so the reference doubles as the
+software model of that MVM.
+
+Also pins the phasor resonator's per-sweep cost model: the profiled FFT
+flop count per unbind must match :func:`repro.vsa.fhrr.unbind_flops`.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_algebra.py -q``.
+Each run appends a machine-readable record to ``BENCH_algebra.json``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.resonator.profiler import ResonatorProfiler
+from repro.resonator.network import FactorizationProblem, ResonatorNetwork
+from repro.utils.rng import as_rng
+from repro.vsa import fhrr
+
+DIM = 8192
+REPEATS = 5
+
+
+def _measure(fn, *args, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_fft_bind_beats_mvm_reference(emit, record):
+    """Acceptance: >= 3x over the O(D^2) circulant MVM at D = 8192."""
+    rng = as_rng(0)
+    a = fhrr.random_phasor(DIM, rng=rng)
+    b = fhrr.random_phasor(DIM, rng=rng)
+
+    # Correctness first: both paths compute the same circular convolution.
+    np.testing.assert_allclose(
+        fhrr.bind(a, b), fhrr.mvm_bind_reference(a, b), atol=1e-9
+    )
+
+    # Warm both paths (FFT plan/import costs, BLAS threads), then measure.
+    _measure(fhrr.bind, a, b, repeats=2)
+    _measure(fhrr.mvm_bind_reference, a, b, repeats=1)
+
+    fft_seconds = _measure(fhrr.bind, a, b)
+    mvm_seconds = _measure(fhrr.mvm_bind_reference, a, b)
+    speedup = mvm_seconds / fft_seconds
+    emit(
+        f"\nFFT bind vs O(D^2) MVM reference (D={DIM}): "
+        f"fft {1e3 * fft_seconds:.2f} ms, mvm {1e3 * mvm_seconds:.2f} ms "
+        f"-> {speedup:.1f}x"
+    )
+    record(
+        "algebra",
+        benchmark="fft_bind_vs_mvm_reference",
+        dim=DIM,
+        fft_seconds=fft_seconds,
+        mvm_seconds=mvm_seconds,
+        speedup=speedup,
+    )
+    assert speedup >= 3.0
+
+
+def test_phasor_resonator_cost_model(emit, record):
+    """The profiler's FFT flop accounting matches the analytic formulas."""
+    rng = as_rng(3)
+    problem = FactorizationProblem.random(512, 3, 12, rng=rng, algebra="fhrr")
+    profiler = ResonatorProfiler()
+    network = ResonatorNetwork(problem.codebooks, max_iterations=20)
+    network.profiler = profiler
+    # A random (non-composed) product never recomposes exactly, so the
+    # run exercises the full sweep budget and the totals are meaningful.
+    result = network.factorize(fhrr.random_phasor(512, rng=rng))
+    sweeps = result.iterations
+    assert sweeps > 1
+    per_sweep_unbinds = problem.codebooks.num_factors
+    expected_unbind = (
+        sweeps * per_sweep_unbinds * fhrr.unbind_flops(512, 3)
+    )
+    assert profiler.steps["unbind"].flops == expected_unbind
+    expected_activation = (
+        sweeps * per_sweep_unbinds * fhrr.phase_activation_flops(512)
+    )
+    assert profiler.steps["activation"].flops == expected_activation
+    emit(
+        f"\nphasor cost model: {sweeps} sweeps, unbind "
+        f"{profiler.steps['unbind'].flops} flops "
+        f"(= {per_sweep_unbinds} x {fhrr.unbind_flops(512, 3)}/sweep)"
+    )
+    record(
+        "algebra",
+        benchmark="phasor_cost_model",
+        dim=512,
+        sweeps=sweeps,
+        unbind_flops=profiler.steps["unbind"].flops,
+        activation_flops=profiler.steps["activation"].flops,
+    )

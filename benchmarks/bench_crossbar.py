@@ -63,7 +63,7 @@ def _run(problems, seeds, engine):
     )
 
 
-def test_crossbar_batched_speedup_32(emit):
+def test_crossbar_batched_speedup_32(emit, record):
     """Acceptance: >= 3x over the per-trial loop at 32 full-fidelity trials."""
     problems = _fixed_sweep_problems()
     seeds = [4_000 + i for i in range(len(problems))]
@@ -86,6 +86,15 @@ def test_crossbar_batched_speedup_32(emit):
         f"(D={DIM}, F={FACTORS}, M={CODEBOOK_SIZE}): sequential "
         f"{sequential_seconds:.3f} s, batched {batched_seconds:.3f} s "
         f"-> {speedup:.1f}x"
+    )
+    record(
+        "crossbar",
+        benchmark="batched_speedup_32",
+        trials=TRIALS,
+        sweeps=SWEEPS,
+        sequential_seconds=sequential_seconds,
+        batched_seconds=batched_seconds,
+        speedup=speedup,
     )
     # Bit-identical replay: each seeded trial's noise stream and exact
     # integer crossbar arithmetic are engine-independent.

@@ -89,7 +89,7 @@ def _serve_coalesced(requests, *, max_batch_size=32, workers=2):
     return responses, service
 
 
-def test_service_coalescing_speedup_32(emit):
+def test_service_coalescing_speedup_32(emit, record):
     """Acceptance: >= 3x over per-request serving at 32 coalesced requests."""
     requests = _make_requests(32)
 
@@ -112,6 +112,15 @@ def test_service_coalescing_speedup_32(emit):
         f"{coalesced_seconds:.3f} s -> {speedup:.1f}x "
         f"(batches: {service.stats.batches}, mean size "
         f"{service.stats.mean_batch_size:.1f})"
+    )
+    record(
+        "service",
+        benchmark="coalescing_speedup_32",
+        requests=len(requests),
+        per_request_seconds=per_request_seconds,
+        coalesced_seconds=coalesced_seconds,
+        speedup=speedup,
+        batches=service.stats.batches,
     )
     # Bit-identical replay: seeded deterministic trials do not depend on
     # how the scheduler packed them.

@@ -1,11 +1,53 @@
-"""Shared benchmark fixtures.
+"""Shared benchmark fixtures and the perf-trajectory recorder.
 
 ``emit`` prints straight to the terminal, bypassing pytest's output
 capture, so the regenerated paper tables/series are visible in the
 ``pytest benchmarks/ --benchmark-only`` output (and in bench_output.txt).
+
+Every ``benchmarks/bench_<area>.py`` run also appends one machine-readable
+record to ``BENCH_<area>.json`` at the repo root - the per-test outcomes
+and wall-clock durations are captured automatically by the session hooks
+below, and benchmarks with headline numbers (speedups, throughput) attach
+them explicitly through the ``record`` fixture.  The files are
+append-only JSON arrays, so successive runs accumulate a perf trajectory
+that can be diffed across commits.
 """
 
+import json
+import platform
+import time
+from pathlib import Path
+
 import pytest
+
+_BENCH_PREFIX = "bench_"
+
+
+def _area_for(nodeid: str):
+    """``benchmarks/bench_crossbar.py::test_x`` -> ``crossbar`` (or None)."""
+    stem = Path(nodeid.split("::")[0]).stem
+    if not stem.startswith(_BENCH_PREFIX):
+        return None
+    return stem[len(_BENCH_PREFIX):]
+
+
+def _append_record(root: Path, area: str, payload: dict) -> Path:
+    """Append one record to ``BENCH_<area>.json`` (an append-only array)."""
+    target = root / f"BENCH_{area}.json"
+    records = []
+    if target.exists():
+        try:
+            loaded = json.loads(target.read_text())
+            records = loaded if isinstance(loaded, list) else [loaded]
+        except ValueError:
+            records = []
+    records.append(payload)
+    target.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def _machine_tag() -> str:
+    return f"{platform.system()}-{platform.machine()}-py{platform.python_version()}"
 
 
 @pytest.fixture(scope="session")
@@ -20,3 +62,64 @@ def emit(pytestconfig):
             print(text)
 
     return _emit
+
+
+@pytest.fixture(scope="session")
+def record(pytestconfig):
+    """Append a headline metrics record to ``BENCH_<area>.json``.
+
+    ``record(area, **metrics)`` - e.g. ``record("algebra", dim=8192,
+    speedup=5.2)``.  Timestamp and machine tag are filled in
+    automatically; everything else is caller-defined, so each area keeps
+    whatever headline numbers make sense for it.
+    """
+    root = Path(str(pytestconfig.rootpath))
+
+    def _record(area: str, **metrics) -> Path:
+        payload = {
+            "kind": "metrics",
+            "timestamp": time.time(),
+            "machine": _machine_tag(),
+        }
+        payload.update(metrics)
+        return _append_record(root, area, payload)
+
+    return _record
+
+
+_RUNS = {}
+
+
+def pytest_runtest_logreport(report):
+    """Collect per-test outcome/duration for every bench_* file."""
+    if report.when != "call":
+        return
+    area = _area_for(report.nodeid)
+    if area is None:
+        return
+    _RUNS.setdefault(area, []).append(
+        {
+            "test": report.nodeid.split("::", 1)[1],
+            "outcome": report.outcome,
+            "seconds": round(report.duration, 4),
+        }
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """One run record per exercised area, appended at session end."""
+    if not _RUNS:
+        return
+    root = Path(str(session.config.rootpath))
+    for area, tests in sorted(_RUNS.items()):
+        _append_record(
+            root,
+            area,
+            {
+                "kind": "run",
+                "timestamp": time.time(),
+                "machine": _machine_tag(),
+                "tests": tests,
+            },
+        )
+    _RUNS.clear()

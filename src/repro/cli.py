@@ -12,6 +12,7 @@ from typing import List, Optional
 
 from repro.experiments import (
     AblationConfig,
+    FhrrPointConfig,
     Fig1cConfig,
     Fig5Config,
     Fig6aConfig,
@@ -20,6 +21,7 @@ from repro.experiments import (
     Table2Config,
     Table3Config,
     run_ablation,
+    run_fhrr_point,
     run_fig1c,
     run_fig5,
     run_fig6a,
@@ -60,6 +62,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table2", help="accuracy and operational capacity")
     _add_common(p)
     _add_fidelity(p)
+    p.add_argument("--trials", type=int, default=None)
+    p.add_argument("--full", action="store_true", help="paper-scale grid")
+
+    p = sub.add_parser(
+        "fhrr", help="FHRR phasor-resonator accuracy point (Table II companion)"
+    )
+    _add_common(p)
     p.add_argument("--trials", type=int, default=None)
     p.add_argument("--full", action="store_true", help="paper-scale grid")
 
@@ -104,6 +113,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=64, help="codebook size")
     p.add_argument("--iterations", type=int, default=30, help="sweep budget")
     p.add_argument("--workers", type=int, default=2)
+    p.add_argument(
+        "--algebra",
+        choices=("bipolar", "fhrr"),
+        default="bipolar",
+        help="holographic algebra of the request stream",
+    )
 
     sub.add_parser("all", help="run every experiment at default scale")
     return parser
@@ -122,6 +137,14 @@ def _run_one(command: str, args: argparse.Namespace) -> str:
         if getattr(args, "fidelity", None):
             config.fidelity = args.fidelity
         return run_table2(config).render()
+    if command == "fhrr":
+        if getattr(args, "full", False):
+            config = FhrrPointConfig.paper()
+        else:
+            config = FhrrPointConfig(seed=args.seed)
+        if args.trials is not None:
+            config.trials = args.trials
+        return run_fhrr_point(config).render()
     if command == "table3":
         return run_table3(
             Table3Config(measure_accuracy=args.measure_accuracy)
@@ -167,6 +190,7 @@ def _run_one(command: str, args: argparse.Namespace) -> str:
                 max_iterations=args.iterations,
                 workers=args.workers,
                 seed=args.seed,
+                algebra=args.algebra,
             )
         ).render()
     raise ValueError(f"unknown command {command!r}")
@@ -181,6 +205,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         for command in (
             "fig1c",
             "table2",
+            "fhrr",
             "table3",
             "fig5",
             "fig6a",

@@ -18,7 +18,8 @@ from repro.core.crossbar_backend import CIMBatchedBackend
 from repro.errors import ConfigurationError
 from repro.hwmodel import calibration as cal
 from repro.hwmodel.metrics import DesignMetrics, evaluate_design
-from repro.resonator.activations import SignActivation
+from repro.resonator.activations import PhaseActivation, SignActivation
+from repro.resonator.backends import PhasorBackend
 from repro.resonator.batched import BatchedResonatorNetwork, CodebookSetBatch
 from repro.resonator.replay import run_problems_grouped
 from repro.resonator.network import (
@@ -29,6 +30,7 @@ from repro.resonator.network import (
 from repro.resonator.stochastic import RectifiedBackend, ThresholdPolicy
 from repro.thermal.analysis import ThermalReport, analyze_h3d
 from repro.utils.rng import RandomState, as_rng
+from repro.vsa.algebra import ALGEBRAS
 from repro.vsa.codebook import CodebookSet
 
 
@@ -84,7 +86,20 @@ def baseline_network(
     no noise, no threshold and full-precision similarities; limit-cycle
     detection is enabled (a deterministic trajectory that repeats can
     never recover).
+
+    FHRR codebook sets get the phasor equivalents instead: the complex
+    exact-MVM backend and phase-only activation (Frady et al.'s original
+    complex resonator), which is the deterministic baseline for that
+    algebra.
     """
+    if codebooks.algebra == "fhrr":
+        return ResonatorNetwork(
+            codebooks,
+            backend=PhasorBackend(),
+            activation=PhaseActivation(),
+            max_iterations=max_iterations,
+            rng=rng,
+        )
     return ResonatorNetwork(
         codebooks,
         backend=RectifiedBackend(),
@@ -128,6 +143,11 @@ class H3DFact:
         Physical subarray tiling for the crossbar fidelity.
     max_iterations:
         Default sweep budget per factorization.
+    algebra:
+        Holographic algebra: ``"bipolar"`` (default - the paper's MAP/BSC
+        representation, runs on every fidelity) or ``"fhrr"`` (complex
+        phasor vectors with FFT binding; runs the exact phasor MVM path,
+        so it is incompatible with ``fidelity="crossbar"``).
     """
 
     def __init__(
@@ -142,6 +162,7 @@ class H3DFact:
         array_geometry: Optional[TiledArrayGeometry] = None,
         max_iterations: int = 1000,
         rng: RandomState = None,
+        algebra: str = "bipolar",
     ) -> None:
         if max_iterations <= 0:
             raise ConfigurationError(
@@ -151,6 +172,18 @@ class H3DFact:
             raise ConfigurationError(
                 f"fidelity must be one of {FIDELITIES}, got {fidelity!r}"
             )
+        if algebra not in ALGEBRAS:
+            raise ConfigurationError(
+                f"algebra must be one of {ALGEBRAS}, got {algebra!r}"
+            )
+        if algebra == "fhrr" and fidelity == "crossbar":
+            raise ConfigurationError(
+                "algebra='fhrr' requires the exact phasor MVM path; the "
+                "crossbar fidelity models bipolar conductance arrays and "
+                "cannot carry complex state (use fidelity='statistical' "
+                "with algebra='bipolar', or drop the crossbar fidelity)"
+            )
+        self.algebra = algebra
         self.design = design if design is not None else h3d_design(adc_bits=adc_bits)
         self.noise = noise if noise is not None else NoiseParameters.testchip()
         self.adc_bits = adc_bits
@@ -183,9 +216,14 @@ class H3DFact:
 
         The statistical backend owns one shared noise stream; the crossbar
         backend additionally supports per-trial streams bound from request
-        seeds (the basis of its cross-engine bit-identity).
+        seeds (the basis of its cross-engine bit-identity).  The FHRR
+        algebra always runs the exact phasor backend: the CIM models
+        quantize through bipolar conductances and would destroy complex
+        state.
         """
         generator = rng if rng is not None else self._rng
+        if self.algebra == "fhrr":
+            return PhasorBackend()
         if self.fidelity == "crossbar":
             return CIMBatchedBackend(
                 device=self.device,
@@ -210,14 +248,29 @@ class H3DFact:
         rng: RandomState = None,
     ) -> ResonatorNetwork:
         """Resonator network wired to this engine's CIM backend."""
+        self._check_codebook_algebra(codebooks.algebra)
         generator = as_rng(rng) if rng is not None else self._rng
         return ResonatorNetwork(
             codebooks,
             backend=self.make_backend(rng=generator),
-            activation=SignActivation("random", rng=generator),
+            activation=self._make_activation(generator),
             max_iterations=max_iterations or self.max_iterations,
             rng=generator,
         )
+
+    def _make_activation(self, generator):
+        """Per-algebra nonlinearity: stochastic sign vs. phase projection."""
+        if self.algebra == "fhrr":
+            return PhaseActivation()
+        return SignActivation("random", rng=generator)
+
+    def _check_codebook_algebra(self, algebra: str) -> None:
+        if algebra != self.algebra:
+            raise ConfigurationError(
+                f"engine configured for algebra={self.algebra!r} but the "
+                f"codebooks are {algebra!r}; build the engine with "
+                f"H3DFact(algebra={algebra!r})"
+            )
 
     def make_batched_network(
         self,
@@ -233,11 +286,13 @@ class H3DFact:
         situation) or one set per trial of identical geometry.  All trials
         advance through stacked MVMs with per-trial convergence masking.
         """
+        first = codebooks if isinstance(codebooks, CodebookSet) else codebooks[0]
+        self._check_codebook_algebra(first.algebra)
         generator = as_rng(rng) if rng is not None else self._rng
         return BatchedResonatorNetwork(
             codebooks,
             backend=self.make_backend(rng=generator),
-            activation=SignActivation("random", rng=generator),
+            activation=self._make_activation(generator),
             max_iterations=max_iterations or self.max_iterations,
             rng=generator,
         )
@@ -386,5 +441,6 @@ class H3DFact:
     def __repr__(self) -> str:
         return (
             f"H3DFact(design={self.design.name!r}, noise={self.noise.name!r}, "
-            f"adc_bits={self.adc_bits}, fidelity={self.fidelity!r})"
+            f"adc_bits={self.adc_bits}, fidelity={self.fidelity!r}, "
+            f"algebra={self.algebra!r})"
         )

@@ -7,6 +7,12 @@ configurations are sized for interactive wall-clock; set
 """
 
 from repro.experiments.runner import ExperimentResult, full_scale
+from repro.experiments.fhrr import (
+    FhrrCell,
+    FhrrPointConfig,
+    FhrrPointResult,
+    run_fhrr_point,
+)
 from repro.experiments.fig1c import Fig1cConfig, Fig1cResult, run_fig1c
 from repro.experiments.table2 import Table2Config, Table2Result, run_table2
 from repro.experiments.table3 import Table3Config, Table3Result, run_table3
@@ -32,6 +38,10 @@ __all__ = [
     "run_ablation",
     "ExperimentResult",
     "full_scale",
+    "FhrrCell",
+    "FhrrPointConfig",
+    "FhrrPointResult",
+    "run_fhrr_point",
     "Fig1cConfig",
     "Fig1cResult",
     "run_fig1c",

@@ -1,0 +1,179 @@
+"""FHRR companion point to Table II: phasor-resonator accuracy.
+
+The paper's evaluation (and Table II) runs the bipolar MAP algebra end to
+end.  This driver reports the same accuracy/iterations summary for the
+complex FHRR algebra (unit-modulus phasor codebooks, FFT binding, the
+phase-only resonator of Frady et al.) at matched geometry, side by side
+with the bipolar deterministic baseline - the "holographic" half of
+H3DFact's representational claim, and the algebra Langenegger et al.'s
+in-memory factorizer machine targets.
+
+Both columns are noise-free exact-MVM resonators (the rectified bipolar
+baseline of Table II's left column; the exact phasor backend for FHRR),
+so the comparison isolates the *algebra* - and every request carries its
+own seed and routes through the factorization service, so each cell is
+bit-identical across engines (``H3DFACT_ENGINE=sequential``) and batch
+packings, exactly like the Table II columns.
+
+Expect the FHRR column to roll off at smaller codebooks than bipolar:
+the deterministic phasor resonator has finite operational capacity
+(Frady et al. 2020) and the default grid deliberately crosses it, which
+is the point of the comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.engine import H3DFact, baseline_network
+from repro.experiments.runner import full_scale
+from repro.resonator.batch import generate_problems
+from repro.resonator.metrics import BatchStatistics, summarize
+from repro.service.registry import CodebookRegistry
+from repro.service.request import FactorizationRequest
+from repro.service.scheduler import FactorizationService
+from repro.utils.rng import as_rng, fresh_seed
+from repro.vsa.algebra import ALGEBRAS
+
+
+@dataclass
+class FhrrPointConfig:
+    dim: int = 1024
+    num_factors: int = 3
+    codebook_sizes: Tuple[int, ...] = (16, 32, 64)
+    max_iterations: int = 200
+    trials: int = 20
+    target_accuracy: float = 0.99
+    seed: int = 0
+    #: Batch execution engine, as in Table II.
+    engine: Optional[str] = None
+
+    @classmethod
+    def paper(cls) -> "FhrrPointConfig":
+        """The Table II-matched grid (larger codebooks, more trials)."""
+        return cls(codebook_sizes=(16, 32, 64, 128, 256), trials=25)
+
+    @classmethod
+    def from_environment(cls) -> "FhrrPointConfig":
+        return cls.paper() if full_scale() else cls()
+
+
+@dataclass
+class FhrrCell:
+    """One (algebra, M) accuracy point."""
+
+    algebra: str
+    codebook_size: int
+    stats: BatchStatistics
+
+    @property
+    def accuracy_pct(self) -> float:
+        return 100 * self.stats.accuracy
+
+    @property
+    def iterations_label(self) -> str:
+        value = self.stats.iterations_to_target
+        return "Fail" if value is None else f"{value:.0f}"
+
+
+@dataclass
+class FhrrPointResult:
+    cells: List[FhrrCell]
+    config: FhrrPointConfig
+    elapsed_seconds: float
+
+    def cell(self, algebra: str, size: int) -> FhrrCell:
+        for cell in self.cells:
+            if cell.algebra == algebra and cell.codebook_size == size:
+                return cell
+        raise KeyError((algebra, size))
+
+    def render(self) -> str:
+        f = self.config.num_factors
+        lines = [
+            f"FHRR companion point (D={self.config.dim}, F={f}) - "
+            "accuracy (%) / iterations to 99 %",
+            f"{'M':>5} | {'bipolar acc/it':>16} | {'fhrr acc/it':>16}",
+        ]
+        for size in self.config.codebook_sizes:
+            parts = [f"{size:>5}"]
+            for algebra in ALGEBRAS:
+                cell = self.cell(algebra, size)
+                parts.append(
+                    f"{cell.accuracy_pct:6.1f}/{cell.iterations_label:>6}"
+                )
+            lines.append(" | ".join(parts))
+        return "\n".join(lines)
+
+
+def run_fhrr_point(config: Optional[FhrrPointConfig] = None) -> FhrrPointResult:
+    config = config or FhrrPointConfig()
+    start = time.perf_counter()
+    rng = as_rng(config.seed)
+    cells: List[FhrrCell] = []
+    service = FactorizationService(
+        registry=CodebookRegistry(capacity=max(2 * config.trials, 8))
+    )
+    with service:
+        for algebra in ALGEBRAS:
+            if algebra == "fhrr":
+                # The product knob end to end: the engine resolves to the
+                # exact phasor backend + phase activation.
+                engine = H3DFact(rng=rng, algebra=algebra)
+
+                def factory(p, _engine=engine):
+                    return _engine.make_network(
+                        p.codebooks, max_iterations=config.max_iterations
+                    )
+
+            else:
+                # The deterministic rectified baseline (Table II's left
+                # column): exact MVMs on both sides, so the two columns
+                # compare algebras at matched noise-free fidelity.  A
+                # stochastic bipolar engine would also consume unseeded
+                # noise from the shared stream and break cross-engine
+                # bit-identity for every later cell.
+                def factory(p):
+                    return baseline_network(
+                        p.codebooks,
+                        max_iterations=config.max_iterations,
+                        rng=rng,
+                    )
+
+            for size in config.codebook_sizes:
+                problems = generate_problems(
+                    dim=config.dim,
+                    num_factors=config.num_factors,
+                    codebook_size=size,
+                    trials=config.trials,
+                    rng=rng,
+                    algebra=algebra,
+                )
+                seeds = [fresh_seed(rng) for _ in problems]
+                responses = service.run_coalesced(
+                    [
+                        FactorizationRequest.from_problem(
+                            p, seed=s, max_iterations=config.max_iterations
+                        )
+                        for p, s in zip(problems, seeds)
+                    ],
+                    network_factory=factory,
+                    engine=config.engine,
+                )
+                cells.append(
+                    FhrrCell(
+                        algebra,
+                        size,
+                        summarize(
+                            [r.result for r in responses],
+                            target_accuracy=config.target_accuracy,
+                        ),
+                    )
+                )
+    return FhrrPointResult(
+        cells=cells,
+        config=config,
+        elapsed_seconds=time.perf_counter() - start,
+    )

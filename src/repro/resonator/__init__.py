@@ -10,6 +10,7 @@ profiler used to reproduce Fig. 1c.
 from repro.resonator.activations import (
     Activation,
     IdentityActivation,
+    PhaseActivation,
     SignActivation,
     make_activation,
 )
@@ -18,6 +19,7 @@ from repro.resonator.backends import (
     ExactBackend,
     MVMBackend,
     NoisySimilarityBackend,
+    PhasorBackend,
     QuantizedSimilarityBackend,
     codebooks_per_trial,
 )
@@ -65,12 +67,14 @@ from repro.resonator.stochastic import (
 __all__ = [
     "Activation",
     "IdentityActivation",
+    "PhaseActivation",
     "SignActivation",
     "make_activation",
     "CodebookBatch",
     "ExactBackend",
     "MVMBackend",
     "NoisySimilarityBackend",
+    "PhasorBackend",
     "QuantizedSimilarityBackend",
     "codebooks_per_trial",
     "BatchedResonatorNetwork",

@@ -79,6 +79,28 @@ class SignActivation(Activation):
         return f"SignActivation(tie_break={self.tie_break!r})"
 
 
+class PhaseActivation(Activation):
+    """Spectral phase normalization - the FHRR resonator activation.
+
+    The phasor resonator's analogue of the sign threshold: the projection
+    output ``X a`` (a complex vector with arbitrary spectral magnitudes)
+    is renormalized to unit modulus in the frequency domain, keeping the
+    state on the unitary-phasor manifold while preserving every phase.
+    Fully deterministic - phases never tie the way signs do at zero - so
+    deterministic phasor runs replay bit-identically.
+    """
+
+    deterministic = True
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        from repro.vsa.fhrr import spectral_normalize
+
+        return spectral_normalize(values)
+
+    def __repr__(self) -> str:
+        return "PhaseActivation()"
+
+
 class IdentityActivation(Activation):
     """Pass-through activation (real-valued resonator states).
 
@@ -96,13 +118,15 @@ class IdentityActivation(Activation):
 
 
 def make_activation(name: str, *, rng: RandomState = None) -> Activation:
-    """Factory: ``"sign"``, ``"sign-random"`` or ``"identity"``."""
+    """Factory: ``"sign"``, ``"sign-random"``, ``"phase"`` or ``"identity"``."""
     if name == "sign":
         return SignActivation("positive")
     if name == "sign-random":
         return SignActivation("random", rng=rng)
+    if name == "phase":
+        return PhaseActivation()
     if name == "identity":
         return IdentityActivation()
     raise ConfigurationError(
-        f"unknown activation {name!r}; expected sign/sign-random/identity"
+        f"unknown activation {name!r}; expected sign/sign-random/phase/identity"
     )

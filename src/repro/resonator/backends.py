@@ -102,6 +102,12 @@ class MVMBackend(ABC):
     #: True if repeated calls with identical inputs return identical outputs.
     deterministic: bool = True
 
+    #: True if the backend accepts complex (FHRR) codebooks and queries.
+    #: The float32 fast paths of the bipolar backends silently destroy
+    #: imaginary parts, so the networks refuse to route complex states
+    #: through a backend that does not raise this flag.
+    supports_complex: bool = False
+
     @abstractmethod
     def similarity(self, codebook: Codebook, query: np.ndarray) -> np.ndarray:
         """Return ``X^T query`` (length ``codebook.size``), possibly noisy."""
@@ -279,6 +285,63 @@ class ExactBackend(MVMBackend):
 
     def __repr__(self) -> str:
         return "ExactBackend()"
+
+
+class PhasorBackend(MVMBackend):
+    """Exact complex MVMs for the FHRR (phasor) resonator.
+
+    * ``similarity`` - ``Re(X^H u)``: the real part of the Hermitian inner
+      product of the unbound estimate with every item phasor (step II).
+    * ``project``    - ``X a`` with *real* similarity weights against the
+      complex item matrix (step IV).
+
+    The batched variants deliberately inherit the base class's per-trial
+    loop: running each stacked row through the *same* numpy call sequence
+    as the sequential engine is what makes batched/sequential FHRR runs
+    bit-identical (``tests/test_phasor_engine_parity.py``), the complex
+    analogue of the float32 exactness argument for bipolar backends.
+
+    Flop accounting uses 8 real flops per complex-complex MAC (similarity)
+    and 4 per complex-real MAC (projection), so profiler totals remain
+    exact and machine-independent.
+    """
+
+    deterministic = True
+    supports_complex = True
+
+    def __init__(self) -> None:
+        # Cache the conjugate transpose per codebook: the resonator calls
+        # similarity() thousands of times against the same matrix.
+        self._conj_t: Dict[int, Tuple[Codebook, np.ndarray]] = {}
+
+    def _conjugate_transpose(self, codebook: Codebook) -> np.ndarray:
+        key = id(codebook)
+        entry = self._conj_t.get(key)
+        if entry is None:
+            entry = (codebook, np.ascontiguousarray(codebook.matrix.conj().T))
+            self._conj_t[key] = entry
+        return entry[1]
+
+    def similarity(self, codebook: Codebook, query: np.ndarray) -> np.ndarray:
+        query = np.asarray(query, dtype=np.complex128)
+        return np.real(self._conjugate_transpose(codebook) @ query)
+
+    def project(self, codebook: Codebook, weights: np.ndarray) -> np.ndarray:
+        weights = np.asarray(weights, dtype=np.float64)
+        return codebook.matrix @ weights
+
+    def similarity_flops(self, codebooks: CodebookBatch) -> int:
+        """8 real flops per complex-complex MAC of ``Re(X^H u)``."""
+        dim, size = batch_geometry(codebooks)
+        return 8 * dim * size
+
+    def project_flops(self, codebooks: CodebookBatch) -> int:
+        """4 real flops per complex-real MAC of ``X a``."""
+        dim, size = batch_geometry(codebooks)
+        return 4 * dim * size
+
+    def __repr__(self) -> str:
+        return "PhasorBackend()"
 
 
 class NoisySimilarityBackend(MVMBackend):

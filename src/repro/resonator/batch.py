@@ -174,6 +174,7 @@ def generate_problems(
     trials: int,
     rng: RandomState = None,
     share_codebooks: bool = False,
+    algebra: str = "bipolar",
 ) -> List[FactorizationProblem]:
     """Random problems for one (D, F, M) configuration.
 
@@ -182,6 +183,7 @@ def generate_problems(
     workloads.  With ``share_codebooks`` all trials reuse one codebook set
     with fresh random ground-truth indices - the hardware situation where
     arrays are programmed once and many queries stream through.
+    ``algebra`` selects bipolar (default) or FHRR problem generation.
     """
     generator = as_rng(rng)
     problems: List[FactorizationProblem] = []
@@ -194,7 +196,7 @@ def generate_problems(
             problem = FactorizationProblem.from_indices(shared.codebooks, indices)
         else:
             problem = FactorizationProblem.random(
-                dim, num_factors, codebook_size, rng=generator
+                dim, num_factors, codebook_size, rng=generator, algebra=algebra
             )
             if share_codebooks:
                 shared = problem
@@ -215,6 +217,7 @@ def factorize_batch(
     share_codebooks: bool = False,
     check_correct_every: int = 1,
     engine: Optional[str] = None,
+    algebra: str = "bipolar",
 ) -> BatchResult:
     """Run ``trials`` independent factorizations of random problems.
 
@@ -231,6 +234,8 @@ def factorize_batch(
     engine:
         ``"batched"``, ``"sequential"``, or ``None`` to consult
         :func:`engine_from_environment`.
+    algebra:
+        ``"bipolar"`` (default) or ``"fhrr"`` problem generation.
     """
     problems = generate_problems(
         dim=dim,
@@ -239,6 +244,7 @@ def factorize_batch(
         trials=trials,
         rng=rng,
         share_codebooks=share_codebooks,
+        algebra=algebra,
     )
     return factorize_problems(
         network_factory,

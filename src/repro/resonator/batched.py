@@ -51,11 +51,12 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.errors import ConfigurationError, DimensionError
-from repro.resonator.activations import Activation, SignActivation
+from repro.resonator.activations import Activation, PhaseActivation, SignActivation
 from repro.resonator.backends import (
     CodebookBatch,
     ExactBackend,
     MVMBackend,
+    PhasorBackend,
 )
 from repro.resonator.convergence import CycleDetector, Outcome, state_digest
 from repro.resonator.network import (
@@ -65,7 +66,8 @@ from repro.resonator.network import (
 )
 from repro.resonator.profiler import ResonatorProfiler
 from repro.utils.rng import RandomState, as_rng
-from repro.utils.validation import check_bipolar
+from repro.utils.validation import check_vector
+from repro.vsa import fhrr
 from repro.vsa.codebook import CodebookSet
 from repro.vsa.ops import DEFAULT_DTYPE
 
@@ -104,18 +106,29 @@ class BatchedResonatorNetwork:
             sets = list(codebooks)
             if not sets:
                 raise ConfigurationError("at least one codebook set required")
-            geometries = {(s.dim, s.sizes) for s in sets}
+            geometries = {(s.dim, s.sizes, s.algebra) for s in sets}
             if len(geometries) != 1:
                 raise DimensionError(
-                    "per-trial codebook sets must share (dim, sizes); got "
-                    f"{sorted(geometries)}"
+                    "per-trial codebook sets must share (dim, sizes, algebra); "
+                    f"got {sorted(geometries)}"
                 )
             self.shared = len(sets) == 1
             self.codebook_sets = sets
-        self.backend = backend if backend is not None else ExactBackend()
-        self.activation = (
-            activation if activation is not None else SignActivation("positive")
-        )
+        complex_algebra = self.codebook_sets[0].algebra == "fhrr"
+        if backend is None:
+            backend = PhasorBackend() if complex_algebra else ExactBackend()
+        if complex_algebra and not backend.supports_complex:
+            raise ConfigurationError(
+                f"backend {backend!r} does not support complex (FHRR) "
+                "codebooks; use PhasorBackend or another backend with "
+                "supports_complex=True"
+            )
+        self.backend = backend
+        if activation is None:
+            activation = (
+                PhaseActivation() if complex_algebra else SignActivation("positive")
+            )
+        self.activation = activation
         self.max_iterations = int(max_iterations)
         if self.max_iterations <= 0:
             raise ConfigurationError(
@@ -166,6 +179,10 @@ class BatchedResonatorNetwork:
     def num_factors(self) -> int:
         return self.codebook_sets[0].num_factors
 
+    @property
+    def algebra(self) -> str:
+        return self.codebook_sets[0].algebra
+
     def _factor_batch(self, factor: int, trial_rows: np.ndarray) -> CodebookBatch:
         """Backend ``codebooks`` argument for one factor over ``trial_rows``."""
         if self.shared:
@@ -184,8 +201,9 @@ class BatchedResonatorNetwork:
         with its own tie-break draws, in trial-major order - the same
         per-trial recipe as :meth:`ResonatorNetwork.initial_estimates`.
         """
+        dtype = fhrr.COMPLEX_DTYPE if self.algebra == "fhrr" else DEFAULT_DTYPE
         estimates = [
-            np.empty((trials, self.dim), dtype=DEFAULT_DTYPE)
+            np.empty((trials, self.dim), dtype=dtype)
             for _ in range(self.num_factors)
         ]
         for trial in range(trials):
@@ -206,9 +224,18 @@ class BatchedResonatorNetwork:
         Runs on the exact similarity (a clean final read), matching
         :meth:`ResonatorNetwork.decode` bit for bit: bipolar similarities
         are integer-valued and exact in float32, and ``argmax`` breaks ties
-        identically.
+        identically.  The complex (FHRR) path loops per row through
+        ``Codebook.similarities`` - the very call the sequential decode
+        makes - so the argmax inputs are bitwise identical by construction.
         """
         decoded = np.empty((len(rows), self.num_factors), dtype=np.int64)
+        if self.algebra == "fhrr":
+            for pos, t in enumerate(rows):
+                codebooks = self._set_for(int(t))
+                for f, codebook in enumerate(codebooks):
+                    sims = codebook.similarities(estimates[f][t])
+                    decoded[pos, f] = int(np.argmax(sims))
+            return decoded
         for f in range(self.num_factors):
             books = self._factor_batch(f, rows)
             sims = self._decoder.similarity_batch(books, estimates[f][rows])
@@ -217,6 +244,16 @@ class BatchedResonatorNetwork:
 
     def _recompose_rows(self, decoded: np.ndarray, rows: np.ndarray) -> np.ndarray:
         """Products of the decoded item vectors, shape ``(len(rows), dim)``."""
+        if self.algebra == "fhrr":
+            # Per-row compose() keeps the FFT call sequence identical to
+            # the sequential solved check, so recompose equality agrees
+            # bitwise between engines.
+            product = np.empty((len(rows), self.dim), dtype=fhrr.COMPLEX_DTYPE)
+            for pos, t in enumerate(rows):
+                product[pos] = self._set_for(int(t)).compose(
+                    [int(i) for i in decoded[pos]]
+                )
+            return product
         product = np.ones((len(rows), self.dim), dtype=np.float32)
         for f in range(self.num_factors):
             books = self._factor_batch(f, rows)
@@ -257,7 +294,7 @@ class BatchedResonatorNetwork:
                 f"products shape {products.shape} does not match "
                 f"(trials, {self.dim})"
             )
-        check_bipolar("products", products)
+        check_vector("products", products, algebra=self.algebra)
         trials = products.shape[0]
         if not self.shared and trials != len(self.codebook_sets):
             raise DimensionError(
@@ -272,11 +309,13 @@ class BatchedResonatorNetwork:
         )
         self.backend.begin_trial()
 
+        complex_algebra = self.algebra == "fhrr"
+        state_dtype = fhrr.COMPLEX_DTYPE if complex_algebra else DEFAULT_DTYPE
         if initial_estimates is None:
             estimates = self.initial_estimates(trials)
         else:
             estimates = [
-                np.asarray(e).astype(DEFAULT_DTYPE) for e in initial_estimates
+                np.asarray(e).astype(state_dtype) for e in initial_estimates
             ]
             if len(estimates) != self.num_factors:
                 raise DimensionError(
@@ -303,7 +342,9 @@ class BatchedResonatorNetwork:
                 for t in true_indices
             ]
 
-        products_f32 = products.astype(np.float32)
+        products_cast = products.astype(
+            fhrr.COMPLEX_DTYPE if complex_algebra else np.float32
+        )
         profiler = self.profiler
         cadence = max(check_correct_every, 1)
         start = time.perf_counter()
@@ -330,7 +371,7 @@ class BatchedResonatorNetwork:
             rows = compute_idx[active[compute_idx]]
             if rows.size == 0:
                 break
-            self._sweep(products_f32, estimates, compute_idx, active, profiler)
+            self._sweep(products_cast, estimates, compute_idx, active, profiler)
             iterations[rows] = iteration + 1
             check_now = iteration % cadence == 0 or iteration + 1 >= budget
             decoded: Optional[np.ndarray] = None
@@ -354,7 +395,7 @@ class BatchedResonatorNetwork:
                         active[compute_idx]
                     ]
                     solved = np.all(
-                        recomposed == products_f32[rows], axis=1
+                        recomposed == products_cast[rows], axis=1
                     )
                     for pos, t in enumerate(rows):
                         if solved[pos]:
@@ -372,7 +413,26 @@ class BatchedResonatorNetwork:
                                 stable_checks[t] = 0
                             previous_decode[t] = this_decode
             else:
+                solved_rows: set = set()
+                if complex_algebra and decoded is not None:
+                    # Mirror of the sequential deterministic solved check
+                    # (see ResonatorNetwork.factorize): a phasor trajectory
+                    # never repeats bitwise, so exact recomposition - via
+                    # the same per-row compose() call - is the complex
+                    # convergence criterion, evaluated before the digest
+                    # tests in both engines.
+                    recomposed = self._recompose_rows(decoded_all, compute_idx)[
+                        active[compute_idx]
+                    ]
+                    solved = np.all(recomposed == products_cast[rows], axis=1)
+                    for pos, t in enumerate(rows):
+                        if solved[pos]:
+                            outcomes[t] = Outcome.CONVERGED
+                            active[t] = False
+                            solved_rows.add(int(t))
                 for t in rows:
+                    if int(t) in solved_rows:
+                        continue
                     digest = state_digest(
                         [estimates[f][t] for f in range(self.num_factors)]
                     )
@@ -400,7 +460,7 @@ class BatchedResonatorNetwork:
         all_rows = np.arange(trials)
         decoded = self._decode_rows(estimates, all_rows)
         recomposed = self._recompose_rows(decoded, all_rows)
-        matches = np.all(recomposed == products_f32, axis=1)
+        matches = np.all(recomposed == products_cast, axis=1)
         results: List[FactorizationResult] = []
         for t in range(trials):
             indices = tuple(int(i) for i in decoded[t])
@@ -430,7 +490,7 @@ class BatchedResonatorNetwork:
 
     def _sweep(
         self,
-        products_f32: np.ndarray,
+        products_cast: np.ndarray,
         estimates: List[np.ndarray],
         compute_idx: np.ndarray,
         active: np.ndarray,
@@ -452,12 +512,17 @@ class BatchedResonatorNetwork:
         # Tell per-trial-stream backends which global trial each stacked
         # row belongs to (no-op for backends without trial identity).
         self.backend.select_trials(compute_idx)
+        if self.algebra == "fhrr":
+            self._sweep_complex(
+                products_cast, estimates, write_rows, n_active, profiler
+            )
+            return
         for f in range(num_factors):
             books = self._factor_batch(f, compute_idx)
             tick = time.perf_counter() if profiler is not None else 0.0
             # Advanced indexing already yields a fresh array, safe to
             # mutate in place below.
-            unbound = products_f32[compute_idx]
+            unbound = products_cast[compute_idx]
             for g in range(num_factors):
                 if g != f:
                     unbound *= estimates[g][compute_idx]
@@ -506,6 +571,110 @@ class BatchedResonatorNetwork:
                     calls=n_active,
                 )
             estimates[f][write_rows] = updated[write_mask]
+
+    def _sweep_complex(
+        self,
+        products_cast: np.ndarray,
+        estimates: List[np.ndarray],
+        write_rows: np.ndarray,
+        n_active: int,
+        profiler: Optional[ResonatorProfiler],
+    ) -> None:
+        """One asynchronous sweep of the FHRR (phasor) state, per trial.
+
+        Deliberately loops per active row through the *same* kernels the
+        sequential network calls - :func:`repro.vsa.fhrr.resonator_unbind`,
+        ``backend.similarity`` / ``backend.project``, and the activation -
+        so a deterministic phasor trial takes bit-identical steps in both
+        engines (the complex analogue of the bipolar float32-exactness
+        argument).  Rows are independent, so the row-major inner loop
+        changes nothing relative to the sequential factor-major order
+        within each trial.
+
+        Profiler records use the same exact cost formulas per trial as
+        :meth:`ResonatorNetwork._sweep`, scaled by ``n_active``.
+        """
+        num_factors = self.num_factors
+        dim = self.dim
+        unbind_cost = fhrr.unbind_flops(dim, num_factors)
+        activation_cost = fhrr.phase_activation_flops(dim)
+        for f in range(num_factors):
+            size = self._set_for(int(write_rows[0]))[f].size if n_active else 0
+            tick = time.perf_counter() if profiler is not None else 0.0
+            unbound_rows = {}
+            for t in write_rows:
+                unbound_rows[int(t)] = fhrr.resonator_unbind(
+                    products_cast[t],
+                    [estimates[g][t] for g in range(num_factors)],
+                    f,
+                )
+            if profiler is not None:
+                tock = time.perf_counter()
+                profiler.record(
+                    "unbind",
+                    elements=dim * num_factors * n_active,
+                    flops=unbind_cost * n_active,
+                    seconds=tock - tick,
+                    calls=n_active,
+                )
+                tick = tock
+            sims_rows = {}
+            for t in write_rows:
+                codebook = self._set_for(int(t))[f]
+                sims_rows[int(t)] = self.backend.similarity(
+                    codebook, unbound_rows[int(t)]
+                )
+            if profiler is not None:
+                tock = time.perf_counter()
+                profiler.record(
+                    "similarity",
+                    elements=dim * size * n_active,
+                    flops=(
+                        self.backend.similarity_flops(
+                            self._set_for(int(write_rows[0]))[f]
+                        )
+                        * n_active
+                        if n_active
+                        else 0
+                    ),
+                    seconds=tock - tick,
+                    calls=n_active,
+                )
+                tick = tock
+            projected_rows = {}
+            for t in write_rows:
+                codebook = self._set_for(int(t))[f]
+                projected_rows[int(t)] = self.backend.project(
+                    codebook, sims_rows[int(t)]
+                )
+            if profiler is not None:
+                tock = time.perf_counter()
+                profiler.record(
+                    "projection",
+                    elements=dim * size * n_active,
+                    flops=(
+                        self.backend.project_flops(
+                            self._set_for(int(write_rows[0]))[f]
+                        )
+                        * n_active
+                        if n_active
+                        else 0
+                    ),
+                    seconds=tock - tick,
+                    calls=n_active,
+                )
+                tick = tock
+            for t in write_rows:
+                estimates[f][t] = self.activation(projected_rows[int(t)])
+            if profiler is not None:
+                tock = time.perf_counter()
+                profiler.record(
+                    "activation",
+                    elements=dim * n_active,
+                    flops=activation_cost * n_active,
+                    seconds=tock - tick,
+                    calls=n_active,
+                )
 
     def __repr__(self) -> str:
         mode = "shared" if self.shared else f"{len(self.codebook_sets)} sets"

@@ -34,12 +34,18 @@ def state_digest(estimates: Sequence[np.ndarray]) -> bytes:
     """Collision-resistant digest of a resonator state.
 
     Bipolar estimates are packed to bits first so the digest cost stays low
-    even at D = 2048; blake2b keeps the digest short and fast.
+    even at D = 2048.  Complex phasor estimates (the FHRR resonator) have
+    no 1-bit canonical form - the ``> 0`` comparison is not even defined on
+    complex dtypes - so their raw bytes are hashed instead; blake2b keeps
+    the digest short and fast either way.
     """
     hasher = hashlib.blake2b(digest_size=16)
     for estimate in estimates:
-        packed = np.packbits(np.asarray(estimate) > 0)
-        hasher.update(packed.tobytes())
+        values = np.asarray(estimate)
+        if np.issubdtype(values.dtype, np.complexfloating):
+            hasher.update(np.ascontiguousarray(values).tobytes())
+        else:
+            hasher.update(np.packbits(values > 0).tobytes())
     return hasher.digest()
 
 

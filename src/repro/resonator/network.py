@@ -18,12 +18,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError, DimensionError
-from repro.resonator.activations import Activation, SignActivation
-from repro.resonator.backends import ExactBackend, MVMBackend
+from repro.resonator.activations import Activation, PhaseActivation, SignActivation
+from repro.resonator.backends import ExactBackend, MVMBackend, PhasorBackend
 from repro.resonator.convergence import ConvergenceMonitor, Outcome, state_digest
 from repro.resonator.profiler import ResonatorProfiler
 from repro.utils.rng import RandomState, as_rng
-from repro.utils.validation import check_bipolar
+from repro.utils.validation import check_vector
+from repro.vsa import fhrr
 from repro.vsa.codebook import CodebookSet
 from repro.vsa.ops import DEFAULT_DTYPE, sign_with_tiebreak
 
@@ -39,6 +40,12 @@ def initial_factor_estimate(
     bit-identical-trajectory guarantees require the three call sites to
     stay in lockstep.
     """
+    if codebook.algebra == "fhrr":
+        if init == "random":
+            return fhrr.random_phasor(codebook.dim, rng=rng)
+        # Superposition: phase-preserving normalization of the item sum
+        # (deterministic - phasors have no zero-sum ties to break).
+        return fhrr.spectral_normalize(codebook.matrix.sum(axis=1))
     if init == "random":
         return (
             2 * rng.integers(0, 2, size=codebook.dim, dtype=np.int8) - 1
@@ -66,7 +73,7 @@ class FactorizationProblem:
                 f"product shape {product.shape} does not match codebook dim "
                 f"({self.codebooks.dim},)"
             )
-        check_bipolar("product", product)
+        check_vector("product", product, algebra=self.codebooks.algebra)
         if self.true_indices is not None:
             if len(self.true_indices) != self.codebooks.num_factors:
                 raise ConfigurationError(
@@ -88,6 +95,7 @@ class FactorizationProblem:
         codebook_size: int,
         *,
         rng: RandomState = None,
+        algebra: str = "bipolar",
     ) -> "FactorizationProblem":
         """Random codebooks and a random ground-truth composition.
 
@@ -96,7 +104,7 @@ class FactorizationProblem:
         """
         generator = as_rng(rng)
         codebooks = CodebookSet.random_uniform(
-            dim, num_factors, codebook_size, rng=generator
+            dim, num_factors, codebook_size, rng=generator, algebra=algebra
         )
         true_indices = tuple(
             int(generator.integers(0, codebook_size)) for _ in range(num_factors)
@@ -202,10 +210,21 @@ class ResonatorNetwork:
                 f"init must be 'superposition' or 'random', got {init!r}"
             )
         self.codebooks = codebooks
-        self.backend = backend if backend is not None else ExactBackend()
-        self.activation = (
-            activation if activation is not None else SignActivation("positive")
-        )
+        complex_algebra = codebooks.algebra == "fhrr"
+        if backend is None:
+            backend = PhasorBackend() if complex_algebra else ExactBackend()
+        if complex_algebra and not backend.supports_complex:
+            raise ConfigurationError(
+                f"backend {backend!r} does not support complex (FHRR) "
+                "codebooks; use PhasorBackend or another backend with "
+                "supports_complex=True"
+            )
+        self.backend = backend
+        if activation is None:
+            activation = (
+                PhaseActivation() if complex_algebra else SignActivation("positive")
+            )
+        self.activation = activation
         self.max_iterations = int(max_iterations)
         if self.max_iterations <= 0:
             raise ConfigurationError(
@@ -313,10 +332,12 @@ class ResonatorNetwork:
         )
         self.backend.begin_trial()
 
+        complex_algebra = self.codebooks.algebra == "fhrr"
+        state_dtype = fhrr.COMPLEX_DTYPE if complex_algebra else DEFAULT_DTYPE
         if initial_estimates is None:
             estimates = self.initial_estimates()
         else:
-            estimates = [np.asarray(e).astype(DEFAULT_DTYPE) for e in initial_estimates]
+            estimates = [np.asarray(e).astype(state_dtype) for e in initial_estimates]
             if len(estimates) != self.codebooks.num_factors:
                 raise DimensionError(
                     f"{len(estimates)} initial estimates for "
@@ -324,7 +345,9 @@ class ResonatorNetwork:
                 )
 
         truth = tuple(true_indices) if true_indices is not None else None
-        product_f32 = product.astype(np.float32)
+        product_cast = product.astype(
+            fhrr.COMPLEX_DTYPE if complex_algebra else np.float32
+        )
         profiler = self.profiler
         trace: Optional[List[np.ndarray]] = [] if record_trace else None
         first_correct: Optional[int] = None
@@ -337,7 +360,7 @@ class ResonatorNetwork:
         iterations_run = 0
 
         for iteration in range(budget):
-            self._sweep(product_f32, estimates, profiler)
+            self._sweep(product_cast, estimates, profiler)
             iterations_run = iteration + 1
             check_now = (
                 iteration % cadence == 0
@@ -369,6 +392,18 @@ class ResonatorNetwork:
                 if iteration + 1 >= budget:
                     outcome = Outcome.MAX_ITERATIONS
             else:
+                if complex_algebra and decoded is not None:
+                    # A deterministic phasor trajectory refines phases
+                    # indefinitely and never repeats bit-for-bit, so the
+                    # digest fixed-point test below cannot fire; the exact
+                    # recompose check is the complex convergence criterion
+                    # (compose() is the same call sequence that built the
+                    # product, so equality is bitwise for solved trials).
+                    recomposed = self.codebooks.compose(decoded)
+                    if np.array_equal(recomposed, product):
+                        outcome = Outcome.CONVERGED
+                        monitor.iterations_run = iteration + 1
+                        break
                 outcome = monitor.update(estimates, previous_digest, iteration)
                 previous_digest = state_digest(estimates)
                 if outcome in (Outcome.CONVERGED, Outcome.LIMIT_CYCLE):
@@ -399,24 +434,32 @@ class ResonatorNetwork:
 
     def _sweep(
         self,
-        product_f32: np.ndarray,
+        product_cast: np.ndarray,
         estimates: List[np.ndarray],
         profiler: Optional[ResonatorProfiler],
     ) -> None:
         """One full asynchronous sweep updating every factor estimate."""
         num_factors = self.codebooks.num_factors
+        complex_algebra = self.codebooks.algebra == "fhrr"
+        dim = product_cast.size
+        if complex_algebra:
+            unbind_cost = fhrr.unbind_flops(dim, num_factors)
+            activation_cost = fhrr.phase_activation_flops(dim)
+        else:
+            unbind_cost = dim * (num_factors - 1)
+            activation_cost = dim
         for f in range(num_factors):
             codebook = self.codebooks[f]
             # Step I: unbind all other estimates from the product.
             if profiler is not None:
                 with profiler.step(
                     "unbind",
-                    elements=product_f32.size * num_factors,
-                    flops=product_f32.size * (num_factors - 1),
+                    elements=dim * num_factors,
+                    flops=unbind_cost,
                 ):
-                    unbound = self._unbind(product_f32, estimates, f)
+                    unbound = self._unbind(product_cast, estimates, f)
             else:
-                unbound = self._unbind(product_f32, estimates, f)
+                unbound = self._unbind(product_cast, estimates, f)
             # Step II: similarity MVM (RRAM tier-3 in hardware).
             if profiler is not None:
                 with profiler.step(
@@ -436,7 +479,7 @@ class ResonatorNetwork:
                 ):
                     projected = self.backend.project(codebook, sims)
                 with profiler.step(
-                    "activation", elements=codebook.dim, flops=codebook.dim
+                    "activation", elements=codebook.dim, flops=activation_cost
                 ):
                     estimates[f] = self.activation(projected)
             else:
@@ -445,10 +488,18 @@ class ResonatorNetwork:
 
     @staticmethod
     def _unbind(
-        product_f32: np.ndarray, estimates: Sequence[np.ndarray], skip: int
+        product_cast: np.ndarray, estimates: Sequence[np.ndarray], skip: int
     ) -> np.ndarray:
-        """``product ⊙ (⊙_{g != skip} estimate_g)`` in float32."""
-        unbound = product_f32.copy()
+        """Unbind every estimate but ``skip`` from the product.
+
+        Bipolar: element-wise multiply in float32 (exact - all values are
+        -1/+1).  FHRR: circular correlation via the shared
+        :func:`repro.vsa.fhrr.resonator_unbind` kernel, which the batched
+        engine calls too so both engines take bit-identical steps.
+        """
+        if np.issubdtype(product_cast.dtype, np.complexfloating):
+            return fhrr.resonator_unbind(product_cast, estimates, skip)
+        unbound = product_cast.copy()
         for g, estimate in enumerate(estimates):
             if g != skip:
                 unbound *= estimate

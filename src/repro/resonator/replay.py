@@ -62,13 +62,15 @@ from repro.resonator.network import (
 from repro.utils.rng import as_rng
 from repro.vsa.codebook import CodebookSet
 
-#: Batchability key: hypervector dimension + per-factor codebook sizes.
-GeometryKey = Tuple[int, Tuple[int, ...]]
+#: Batchability key: hypervector dimension, per-factor codebook sizes, and
+#: algebra - bipolar and FHRR trials can never share a stacked batch (their
+#: state dtypes and MVM kernels differ).
+GeometryKey = Tuple[int, Tuple[int, ...], str]
 
 
 def geometry_key(codebooks: CodebookSet) -> GeometryKey:
-    """The (dim, sizes) signature that decides batch compatibility."""
-    return codebooks.dim, codebooks.sizes
+    """The (dim, sizes, algebra) signature that decides batch compatibility."""
+    return codebooks.dim, codebooks.sizes, codebooks.algebra
 
 
 def seeded_initial_estimates(

@@ -30,6 +30,7 @@ from repro.service.registry import CodebookRegistry
 from repro.service.request import FactorizationRequest
 from repro.service.scheduler import BatchPolicy, FactorizationService
 from repro.utils.rng import as_rng
+from repro.vsa.algebra import ALGEBRAS
 from repro.vsa.codebook import CodebookSet
 
 
@@ -43,11 +44,18 @@ class ServeBenchConfig:
     max_iterations: int = 30
     workers: int = 2
     seed: int = 0
+    #: Holographic algebra of the request stream ("bipolar" or "fhrr");
+    #: the default factory resolves the matching deterministic baseline.
+    algebra: str = "bipolar"
 
     def __post_init__(self) -> None:
         if self.requests <= 0:
             raise ConfigurationError(
                 f"requests must be positive, got {self.requests}"
+            )
+        if self.algebra not in ALGEBRAS:
+            raise ConfigurationError(
+                f"algebra must be one of {ALGEBRAS}, got {self.algebra!r}"
             )
 
 
@@ -92,8 +100,9 @@ class ServeBenchResult:
             [
                 "Serve-bench - micro-batching factorization service",
                 f"  workload: {config.requests} requests, D={config.dim} "
-                f"F={config.num_factors} M={config.codebook_size}, shared "
-                f"codebooks, budget {config.max_iterations} sweeps",
+                f"F={config.num_factors} M={config.codebook_size}, "
+                f"algebra={config.algebra}, shared codebooks, budget "
+                f"{config.max_iterations} sweeps",
                 f"  accuracy: {100.0 * self.accuracy:.1f} % "
                 f"({self.solved}/{config.requests} solved)",
                 "  deterministic parity (coalesced == per-request): "
@@ -123,7 +132,11 @@ def run_serve_bench(config: Optional[ServeBenchConfig] = None) -> ServeBenchResu
     config = config or ServeBenchConfig()
     rng = as_rng(config.seed)
     codebooks = CodebookSet.random_uniform(
-        config.dim, config.num_factors, config.codebook_size, rng=rng
+        config.dim,
+        config.num_factors,
+        config.codebook_size,
+        rng=rng,
+        algebra=config.algebra,
     )
     problems: List[FactorizationProblem] = []
     requests: List[FactorizationRequest] = []

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, DimensionError
 from repro.resonator.network import FactorizationProblem, FactorizationResult
-from repro.utils.validation import check_bipolar
+from repro.utils.validation import check_vector
 from repro.vsa.codebook import CodebookSet
 
 
@@ -32,7 +32,8 @@ from repro.vsa.codebook import CodebookSet
 class FactorizationRequest:
     """One factorization query against a referenced codebook set."""
 
-    #: Bipolar product vector to factorize.
+    #: Product vector to factorize (bipolar int, or complex phasor for
+    #: FHRR codebooks).
     product: np.ndarray
     #: Inline codebooks (interned on submission) - exclusive with ``codebook_key``.
     codebooks: Optional[CodebookSet] = None
@@ -57,7 +58,16 @@ class FactorizationRequest:
             raise DimensionError(
                 f"request product must be 1-D, got shape {product.shape}"
             )
-        check_bipolar("request product", product)
+        # Inline codebooks name the algebra; a registry-key request is
+        # validated from the product's own dtype (the scheduler re-checks
+        # against the resolved set when it builds the problem).
+        if self.codebooks is not None:
+            algebra = self.codebooks.algebra
+        elif np.issubdtype(product.dtype, np.complexfloating):
+            algebra = "fhrr"
+        else:
+            algebra = "bipolar"
+        check_vector("request product", product, algebra=algebra)
         if self.codebooks is not None and product.shape != (self.codebooks.dim,):
             raise DimensionError(
                 f"request product shape {product.shape} does not match "

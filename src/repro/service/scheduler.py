@@ -47,8 +47,11 @@ from repro.resonator.replay import geometry_key, run_group
 from repro.service.registry import CodebookRegistry
 from repro.service.request import FactorizationRequest, FactorizationResponse
 
-#: Geometry + sweep budget + seededness: what may share a stacked batch.
-BatchKey = Tuple[int, Tuple[int, ...], Optional[int], bool]
+#: Geometry (incl. algebra) + sweep budget + seededness: what may share a
+#: stacked batch.  Bipolar and FHRR traffic never coalesce - their state
+#: dtypes and MVM kernels differ - so mixed-algebra streams batch per
+#: algebra without cross-contamination.
+BatchKey = Tuple[int, Tuple[int, ...], str, Optional[int], bool]
 
 _BACKPRESSURE_POLICIES = ("block", "error")
 
@@ -206,10 +209,11 @@ class FactorizationService:
         )
 
     def _batch_key(self, pending: _Pending) -> BatchKey:
-        dim, sizes = geometry_key(pending.problem.codebooks)
+        dim, sizes, algebra = geometry_key(pending.problem.codebooks)
         return (
             dim,
             sizes,
+            algebra,
             pending.request.max_iterations,
             pending.request.seed is None,
         )

@@ -44,12 +44,56 @@ def check_shape(
 def check_bipolar(name: str, array: np.ndarray) -> np.ndarray:
     """Ensure every element of ``array`` is -1 or +1."""
     values = np.asarray(array)
+    if np.issubdtype(values.dtype, np.complexfloating):
+        # A complex array can never be bipolar; saying so directly beats
+        # printing a page of complex "offending values".
+        raise DimensionError(
+            f"{name} is complex-valued; the bipolar (MAP) algebra expects "
+            "-1/+1 entries - did you mean algebra='fhrr'?"
+        )
     if values.size and not np.all(np.isin(values, (-1, 1))):
         bad = np.unique(values[~np.isin(values, (-1, 1))])[:5]
         raise DimensionError(
             f"{name} must be bipolar (-1/+1); found values {bad.tolist()}"
         )
     return values
+
+
+def check_complex_phasor(name: str, array: np.ndarray) -> np.ndarray:
+    """Ensure ``array`` is a finite complex array (an FHRR phasor vector).
+
+    FHRR/HRR hypervectors are complex-valued with unit-modulus spectra;
+    the cheap structural checks here (complex dtype, finite entries) catch
+    the common mix-ups - handing a bipolar int8 vector to the phasor
+    resonator, or propagating NaNs through a spectral division - without
+    paying an FFT per validation.
+    """
+    values = np.asarray(array)
+    if not np.issubdtype(values.dtype, np.complexfloating):
+        raise DimensionError(
+            f"{name} has dtype {values.dtype}; the FHRR algebra expects a "
+            "complex phasor vector - did you mean algebra='bipolar'?"
+        )
+    if values.size and not np.all(np.isfinite(values)):
+        raise DimensionError(f"{name} contains non-finite (NaN/inf) values")
+    return values
+
+
+def check_vector(name: str, array: np.ndarray, algebra: str = "bipolar") -> np.ndarray:
+    """Algebra-aware hypervector validation.
+
+    Dispatches to :func:`check_bipolar` for the MAP algebra and
+    :func:`check_complex_phasor` for FHRR, so call sites that serve both
+    algebras (problems, service requests, batched products) raise the
+    right error instead of a misleading bipolar complaint on complex data.
+    """
+    if algebra == "bipolar":
+        return check_bipolar(name, array)
+    if algebra == "fhrr":
+        return check_complex_phasor(name, array)
+    raise ConfigurationError(
+        f"algebra must be 'bipolar' or 'fhrr', got {algebra!r}"
+    )
 
 
 def check_choice(name: str, value: str, choices: Sequence[str]) -> str:

@@ -1,16 +1,41 @@
-"""Holographic (vector-symbolic) algebra over bipolar hypervectors.
+"""Holographic (vector-symbolic) algebras over hypervectors.
 
 This package implements the computational primitives of Sec. II-A of the
-H3DFact paper: randomly generated bipolar item vectors, binding/unbinding by
-element-wise multiplication, bundling (superposition) by element-wise
-addition with sign thresholding, and permutation for sequence encoding.
+H3DFact paper in two interchangeable algebras:
+
+* **bipolar** (:mod:`repro.vsa.ops`) - the paper's MAP VSA: random -1/+1
+  item vectors, binding by element-wise multiplication, bundling by
+  addition with sign thresholding, permutation for sequence encoding.
+* **fhrr** (:mod:`repro.vsa.fhrr`) - Fourier HRR in the style of
+  Langenegger et al. 2023: unitary complex phasor vectors, binding by
+  circular convolution (``ifft(fft(a) * fft(b))``), phase-preserving
+  bundle normalization.
+
+:mod:`repro.vsa.algebra` exposes both behind one :class:`Algebra`
+interface selected by the library-wide ``algebra="bipolar"|"fhrr"`` knob.
 """
 
-from repro.vsa.codebook import Codebook, CodebookSet
+from repro.vsa import fhrr
+from repro.vsa.algebra import (
+    ALGEBRAS,
+    BIPOLAR,
+    FHRR,
+    Algebra,
+    BipolarAlgebra,
+    FhrrAlgebra,
+    get_algebra,
+)
+from repro.vsa.codebook import (
+    Codebook,
+    CodebookSet,
+    codebook_fingerprint,
+    codebook_set_fingerprint,
+)
 from repro.vsa.encoding import SceneEncoder, bind_factors, product_vector
 from repro.vsa.ops import (
     bind,
     bundle,
+    ensure_vector,
     expected_similarity_floor,
     hamming_similarity,
     inverse_permute,
@@ -25,16 +50,29 @@ from repro.vsa.scene import (
     VISUAL_OBJECT_ATTRIBUTES,
     AttributeScene,
     AttributeSpec,
+    ConvolutionalSceneEncoder,
 )
 
 __all__ = [
+    "ALGEBRAS",
+    "Algebra",
+    "BipolarAlgebra",
+    "FhrrAlgebra",
+    "BIPOLAR",
+    "FHRR",
+    "get_algebra",
+    "fhrr",
     "Codebook",
     "CodebookSet",
+    "codebook_fingerprint",
+    "codebook_set_fingerprint",
     "SceneEncoder",
+    "ConvolutionalSceneEncoder",
     "bind_factors",
     "product_vector",
     "bind",
     "bundle",
+    "ensure_vector",
     "expected_similarity_floor",
     "hamming_similarity",
     "inverse_permute",

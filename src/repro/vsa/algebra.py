@@ -1,0 +1,197 @@
+"""Algebra abstraction: one interface over the bipolar (MAP) and FHRR VSAs.
+
+The reproduction started bipolar-only (Sec. II-A of the paper); the FHRR
+layer (:mod:`repro.vsa.fhrr`) adds circular-convolution binding in the
+style of Langenegger et al. 2023.  Everything downstream - codebooks,
+resonator engines, the factorization service, experiments - selects a VSA
+through this module's :func:`get_algebra` rather than importing either
+primitive set directly, so an ``algebra="bipolar"|"fhrr"`` knob is enough
+to switch the entire stack.
+
+The two singletons are stateless; all randomness flows through explicitly
+passed generators, which is what keeps seeded replay bit-identical across
+engines and service arrival orders.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_vector
+from repro.vsa import fhrr, ops
+
+#: Valid values of every ``algebra=`` knob in the library.
+ALGEBRAS = ("bipolar", "fhrr")
+
+
+class Algebra(abc.ABC):
+    """Primitive hypervector operations of one vector-symbolic architecture."""
+
+    #: Knob value selecting this algebra (``"bipolar"`` or ``"fhrr"``).
+    name: str
+    #: Storage dtype of this algebra's hypervectors.
+    dtype: np.dtype
+
+    @abc.abstractmethod
+    def random_hypervector(self, dim: int, *, rng: RandomState = None) -> np.ndarray:
+        """Draw one random item vector of length ``dim``."""
+
+    @abc.abstractmethod
+    def random_matrix(
+        self, dim: int, size: int, *, rng: RandomState = None
+    ) -> np.ndarray:
+        """Draw a ``(dim, size)`` codebook matrix of random item columns."""
+
+    @abc.abstractmethod
+    def bind(self, *vectors: np.ndarray) -> np.ndarray:
+        """Compose vectors into a product vector."""
+
+    @abc.abstractmethod
+    def unbind(self, product: np.ndarray, *factors: np.ndarray) -> np.ndarray:
+        """Remove known ``factors`` from ``product``."""
+
+    @abc.abstractmethod
+    def bundle(
+        self, vectors: Sequence[np.ndarray], *, rng: RandomState = None
+    ) -> np.ndarray:
+        """Superpose vectors back onto the algebra's vector manifold."""
+
+    @abc.abstractmethod
+    def normalize(self, vector: np.ndarray, *, rng: RandomState = None) -> np.ndarray:
+        """Project an arbitrary vector back onto the algebra's manifold."""
+
+    @abc.abstractmethod
+    def similarity(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Un-normalized similarity (the quantity the similarity MVM computes)."""
+
+    @abc.abstractmethod
+    def normalized_similarity(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Similarity scaled to [-1, 1]."""
+
+    def permute(self, vector: np.ndarray, shift: int = 1) -> np.ndarray:
+        """Cyclic shift for sequence/position encoding (both algebras)."""
+        return np.roll(np.asarray(vector), shift)
+
+    def inverse_permute(self, vector: np.ndarray, shift: int = 1) -> np.ndarray:
+        """Inverse of :meth:`permute` with the same ``shift``."""
+        return np.roll(np.asarray(vector), -shift)
+
+    def check_vector(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Validate that ``array`` belongs to this algebra's vector space."""
+        return check_vector(name, array, algebra=self.name)
+
+    @abc.abstractmethod
+    def noise_sigma(self, dim: int) -> float:
+        """Std-dev of the normalized similarity of two random vectors."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class BipolarAlgebra(Algebra):
+    """The paper's multiply-add-permute VSA over {-1, +1} int8 vectors."""
+
+    name = "bipolar"
+    dtype = np.dtype(ops.DEFAULT_DTYPE)
+
+    def random_hypervector(self, dim: int, *, rng: RandomState = None) -> np.ndarray:
+        return ops.random_hypervector(dim, rng=rng)
+
+    def random_matrix(
+        self, dim: int, size: int, *, rng: RandomState = None
+    ) -> np.ndarray:
+        from repro.utils.rng import as_rng
+
+        generator = as_rng(rng)
+        return (
+            2 * generator.integers(0, 2, size=(dim, size), dtype=np.int8) - 1
+        ).astype(ops.DEFAULT_DTYPE)
+
+    def bind(self, *vectors: np.ndarray) -> np.ndarray:
+        return ops.bind(*vectors)
+
+    def unbind(self, product: np.ndarray, *factors: np.ndarray) -> np.ndarray:
+        return ops.unbind(product, *factors)
+
+    def bundle(
+        self, vectors: Sequence[np.ndarray], *, rng: RandomState = None
+    ) -> np.ndarray:
+        return ops.bundle(vectors, rng=rng)
+
+    def normalize(self, vector: np.ndarray, *, rng: RandomState = None) -> np.ndarray:
+        return ops.sign_with_tiebreak(np.asarray(vector), rng=rng)
+
+    def similarity(self, a: np.ndarray, b: np.ndarray) -> float:
+        return float(ops.similarity(a, b))
+
+    def normalized_similarity(self, a: np.ndarray, b: np.ndarray) -> float:
+        return float(ops.normalized_similarity(a, b))
+
+    def noise_sigma(self, dim: int) -> float:
+        return 1.0 / float(np.sqrt(dim))
+
+
+class FhrrAlgebra(Algebra):
+    """Fourier HRR: circular-convolution binding over unitary phasors."""
+
+    name = "fhrr"
+    dtype = np.dtype(fhrr.COMPLEX_DTYPE)
+
+    def random_hypervector(self, dim: int, *, rng: RandomState = None) -> np.ndarray:
+        return fhrr.random_phasor(dim, rng=rng)
+
+    def random_matrix(
+        self, dim: int, size: int, *, rng: RandomState = None
+    ) -> np.ndarray:
+        return fhrr.random_phasor_matrix(dim, size, rng=rng)
+
+    def bind(self, *vectors: np.ndarray) -> np.ndarray:
+        return fhrr.bind(*vectors)
+
+    def unbind(self, product: np.ndarray, *factors: np.ndarray) -> np.ndarray:
+        return fhrr.unbind(product, *factors)
+
+    def bundle(
+        self, vectors: Sequence[np.ndarray], *, rng: RandomState = None
+    ) -> np.ndarray:
+        # Phase-preserving normalization is deterministic; rng accepted for
+        # interface symmetry with the bipolar tiebreak.
+        return fhrr.bundle(vectors)
+
+    def normalize(self, vector: np.ndarray, *, rng: RandomState = None) -> np.ndarray:
+        return fhrr.spectral_normalize(vector)
+
+    def similarity(self, a: np.ndarray, b: np.ndarray) -> float:
+        return fhrr.similarity(a, b)
+
+    def normalized_similarity(self, a: np.ndarray, b: np.ndarray) -> float:
+        return fhrr.normalized_similarity(a, b)
+
+    def noise_sigma(self, dim: int) -> float:
+        # Re<a, b> of two random unitary vectors sums 2*dim independent
+        # phase terms; the variance halves relative to bipolar.
+        return 1.0 / float(np.sqrt(2.0 * dim))
+
+
+#: Singleton instances - algebras are stateless, so share them freely.
+BIPOLAR = BipolarAlgebra()
+FHRR = FhrrAlgebra()
+
+_BY_NAME = {BIPOLAR.name: BIPOLAR, FHRR.name: FHRR}
+
+
+def get_algebra(name: str) -> Algebra:
+    """Resolve an ``algebra=`` knob value to its singleton instance."""
+    if isinstance(name, Algebra):
+        return name
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"algebra must be one of {list(ALGEBRAS)}, got {name!r}"
+        ) from None

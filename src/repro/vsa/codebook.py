@@ -14,9 +14,10 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import CodebookError, DimensionError
+from repro.errors import CodebookError, ConfigurationError, DimensionError
 from repro.utils.rng import RandomState, as_rng
-from repro.utils.validation import check_bipolar
+from repro.utils.validation import check_vector
+from repro.vsa import fhrr
 from repro.vsa.ops import DEFAULT_DTYPE, random_hypervector
 
 
@@ -29,23 +30,36 @@ class Codebook:
     name:
         Human-readable attribute name (``"shape"``, ``"color"``, ...).
     matrix:
-        ``(dim, size)`` bipolar matrix; column ``m`` is item vector ``m``.
+        ``(dim, size)`` matrix; column ``m`` is item vector ``m``.  Bipolar
+        codebooks hold -1/+1 int8 entries, FHRR codebooks hold complex128
+        unitary phasors.
     labels:
         Optional item labels, e.g. ``["circle", "triangle"]``.
+    algebra:
+        ``"bipolar"`` (the paper's MAP VSA, default) or ``"fhrr"``
+        (circular-convolution binding, :mod:`repro.vsa.fhrr`).
     """
 
     name: str
     matrix: np.ndarray
     labels: Optional[List[str]] = None
+    algebra: str = "bipolar"
 
     def __post_init__(self) -> None:
+        if self.algebra not in ("bipolar", "fhrr"):
+            raise ConfigurationError(
+                f"codebook {self.name!r}: algebra must be 'bipolar' or "
+                f"'fhrr', got {self.algebra!r}"
+            )
         self.matrix = np.asarray(self.matrix)
+        if self.algebra == "fhrr":
+            self.matrix = self.matrix.astype(fhrr.COMPLEX_DTYPE, copy=False)
         if self.matrix.ndim != 2:
             raise DimensionError(
                 f"codebook {self.name!r} matrix must be 2-D, got "
                 f"{self.matrix.ndim}-D"
             )
-        check_bipolar(f"codebook {self.name!r}", self.matrix)
+        check_vector(f"codebook {self.name!r}", self.matrix, algebra=self.algebra)
         if self.labels is not None and len(self.labels) != self.size:
             raise CodebookError(
                 f"codebook {self.name!r} has {self.size} items but "
@@ -63,15 +77,24 @@ class Codebook:
         *,
         rng: RandomState = None,
         labels: Optional[Sequence[str]] = None,
+        algebra: str = "bipolar",
     ) -> "Codebook":
         """Generate ``size`` random item vectors of dimension ``dim``."""
         if size <= 0:
             raise CodebookError(f"codebook size must be positive, got {size}")
         generator = as_rng(rng)
-        matrix = (
-            2 * generator.integers(0, 2, size=(dim, size), dtype=np.int8) - 1
-        ).astype(DEFAULT_DTYPE)
-        return cls(name=name, matrix=matrix, labels=list(labels) if labels else None)
+        if algebra == "fhrr":
+            matrix = fhrr.random_phasor_matrix(dim, size, rng=generator)
+        else:
+            matrix = (
+                2 * generator.integers(0, 2, size=(dim, size), dtype=np.int8) - 1
+            ).astype(DEFAULT_DTYPE)
+        return cls(
+            name=name,
+            matrix=matrix,
+            labels=list(labels) if labels else None,
+            algebra=algebra,
+        )
 
     # -- basic properties -------------------------------------------------
 
@@ -106,16 +129,22 @@ class Codebook:
     # -- similarity-based decoding -----------------------------------------
 
     def similarities(self, query: np.ndarray) -> np.ndarray:
-        """Dot product of ``query`` with every item vector (``X^T q``).
+        """Similarity of ``query`` with every item vector.
 
-        This is exactly the MVM the RRAM similarity tier performs
-        (Sec. IV-A, step II).
+        Bipolar: the integer dot product ``X^T q`` - exactly the MVM the
+        RRAM similarity tier performs (Sec. IV-A, step II).  FHRR: the
+        real part of the Hermitian product ``Re(X^H q)``; a matching
+        unitary item scores ~1 (Parseval), a random one ~N(0, 1/sqrt(2D)).
         """
         query = np.asarray(query)
         if query.shape != (self.dim,):
             raise DimensionError(
                 f"query shape {query.shape} does not match codebook dim "
                 f"({self.dim},)"
+            )
+        if self.algebra == "fhrr":
+            return np.real(
+                self.matrix.conj().T @ query.astype(fhrr.COMPLEX_DTYPE)
             )
         return self.matrix.T.astype(np.int64) @ query.astype(np.int64)
 
@@ -133,10 +162,21 @@ class Codebook:
                 f"weights shape {weights.shape} does not match codebook size "
                 f"({self.size},)"
             )
+        if self.algebra == "fhrr":
+            # Similarity weights are real; the items are complex phasors.
+            return self.matrix @ weights.astype(np.float64)
         return self.matrix.astype(np.int64) @ weights.astype(np.int64)
 
     def contains_vector(self, query: np.ndarray) -> bool:
         """True if ``query`` equals one of the item vectors exactly."""
+        if self.algebra == "fhrr":
+            query = np.asarray(query, dtype=fhrr.COMPLEX_DTYPE)
+            if query.shape != (self.dim,):
+                raise DimensionError(
+                    f"query shape {query.shape} does not match codebook dim "
+                    f"({self.dim},)"
+                )
+            return bool(np.any(np.all(self.matrix == query[:, None], axis=0)))
         sims = self.similarities(query)
         return bool(np.max(sims) == self.dim)
 
@@ -155,6 +195,11 @@ class CodebookSet:
             raise DimensionError(
                 f"codebooks must share a dimension, got dims {sorted(dims)}"
             )
+        algebras = {cb.algebra for cb in self.codebooks}
+        if len(algebras) != 1:
+            raise ConfigurationError(
+                f"codebooks must share an algebra, got {sorted(algebras)}"
+            )
         names = [cb.name for cb in self.codebooks]
         if len(set(names)) != len(names):
             raise CodebookError(f"duplicate codebook names: {names}")
@@ -167,6 +212,7 @@ class CodebookSet:
         *,
         names: Optional[Sequence[str]] = None,
         rng: RandomState = None,
+        algebra: str = "bipolar",
     ) -> "CodebookSet":
         """Random codebooks with per-attribute ``sizes``."""
         generator = as_rng(rng)
@@ -177,7 +223,7 @@ class CodebookSet:
                 f"{len(names)} names provided for {len(sizes)} sizes"
             )
         books = [
-            Codebook.random(name, dim, size, rng=generator)
+            Codebook.random(name, dim, size, rng=generator, algebra=algebra)
             for name, size in zip(names, sizes)
         ]
         return cls(books)
@@ -190,9 +236,10 @@ class CodebookSet:
         size: int,
         *,
         rng: RandomState = None,
+        algebra: str = "bipolar",
     ) -> "CodebookSet":
         """``num_factors`` codebooks of identical ``size`` (the Table II setup)."""
-        return cls.random(dim, [size] * num_factors, rng=rng)
+        return cls.random(dim, [size] * num_factors, rng=rng, algebra=algebra)
 
     # -- container protocol -------------------------------------------------
 
@@ -225,6 +272,11 @@ class CodebookSet:
         return tuple(cb.size for cb in self.codebooks)
 
     @property
+    def algebra(self) -> str:
+        """The shared algebra of every codebook (``"bipolar"`` or ``"fhrr"``)."""
+        return self.codebooks[0].algebra
+
+    @property
     def names(self) -> Tuple[str, ...]:
         return tuple(cb.name for cb in self.codebooks)
 
@@ -241,6 +293,13 @@ class CodebookSet:
         if len(indices) != self.num_factors:
             raise CodebookError(
                 f"{len(indices)} indices provided for {self.num_factors} factors"
+            )
+        if self.algebra == "fhrr":
+            return fhrr.bind(
+                *(
+                    codebook.vector(index)
+                    for codebook, index in zip(self.codebooks, indices)
+                )
             )
         product = np.ones(self.dim, dtype=np.int32)
         for codebook, index in zip(self.codebooks, indices):
@@ -264,33 +323,58 @@ class CodebookSet:
 # the float dtype their matrices are stored in.
 
 
+def _matrix_digest_bytes(codebook: Codebook) -> bytes:
+    """Canonical byte form of a codebook matrix for content hashing.
+
+    Bipolar entries fit int8 exactly; hashing the compact form keeps the
+    key independent of the float dtype the matrix is stored in (and keeps
+    bipolar fingerprints byte-identical to the pre-FHRR format).  FHRR
+    matrices hash their full complex128 bytes so the key covers every
+    phase, not just a sign pattern.
+    """
+    if codebook.algebra == "fhrr":
+        return np.ascontiguousarray(
+            codebook.matrix, dtype=fhrr.COMPLEX_DTYPE
+        ).tobytes()
+    return np.ascontiguousarray(codebook.matrix, dtype=np.int8).tobytes()
+
+
+def _algebra_tag(algebra: str) -> bytes:
+    """Hash-domain separator for non-default algebras.
+
+    Empty for bipolar so pre-existing bipolar fingerprints are unchanged;
+    FHRR keys get an explicit tag so a (hypothetical) byte collision with
+    a bipolar matrix cannot alias in the registry.
+    """
+    return b"" if algebra == "bipolar" else f"algebra={algebra};".encode()
+
+
 def codebook_fingerprint(codebook: Codebook) -> str:
     """Stable content hash of one codebook's item-vector matrix.
 
-    Keyed on geometry plus the bipolar entries only - the codebook *name*
-    is excluded, since programming an RRAM array depends on the weights,
-    not on what the attribute is called.
+    Keyed on geometry plus the entries only - the codebook *name* is
+    excluded, since programming an RRAM array depends on the weights,
+    not on what the attribute is called.  FHRR fingerprints cover the
+    complex phases of every item.
     """
     hasher = hashlib.sha256()
+    hasher.update(_algebra_tag(codebook.algebra))
     hasher.update(f"dim={codebook.dim};size={codebook.size}:".encode())
-    hasher.update(np.ascontiguousarray(codebook.matrix, dtype=np.int8).tobytes())
+    hasher.update(_matrix_digest_bytes(codebook))
     return hasher.hexdigest()
 
 
 def codebook_set_fingerprint(codebooks: CodebookSet) -> str:
     """Stable content hash of a codebook set (geometry, names, matrices).
 
-    Two sets with identical factor names, sizes and item vectors map to
-    the same key regardless of object identity.  This is the key format of
-    :class:`repro.service.registry.CodebookRegistry`.
+    Two sets with identical algebra, factor names, sizes and item vectors
+    map to the same key regardless of object identity.  This is the key
+    format of :class:`repro.service.registry.CodebookRegistry`.
     """
     hasher = hashlib.sha256()
+    hasher.update(_algebra_tag(codebooks.algebra))
     hasher.update(f"dim={codebooks.dim};factors={codebooks.num_factors}".encode())
     for codebook in codebooks:
         hasher.update(f";{codebook.name}:{codebook.size}:".encode())
-        # Bipolar entries fit int8 exactly; hashing the compact form keeps
-        # the key independent of the float dtype the matrix is stored in.
-        hasher.update(
-            np.ascontiguousarray(codebook.matrix, dtype=np.int8).tobytes()
-        )
+        hasher.update(_matrix_digest_bytes(codebook))
     return hasher.hexdigest()

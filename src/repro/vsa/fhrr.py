@@ -1,0 +1,264 @@
+"""FHRR/HRR holographic algebra: circular-convolution binding via the FFT.
+
+The paper's "holographic perceptual representations" family extends the
+in-memory factorization line of Langenegger et al. 2023 (PAPERS.md), whose
+resonators run on *complex phasor* vectors bound by circular convolution.
+This module provides those primitives in the convention of the
+``HolographicMemory`` exemplars (SNIPPETS.md): binding is computed as
+``ifft(fft(a) * fft(b))`` - the O(D log D) transform-domain form of the
+O(D^2) circular convolution - and keys are kept *unitary* (unit-modulus
+spectrum), which makes unbinding an exact inverse.
+
+Representation
+--------------
+Hypervectors are complex128 arrays stored in the spatial domain whose DFT
+coefficients all have modulus 1 ("unitary" phasor vectors):
+
+* :func:`random_phasor` draws i.i.d. uniform spectral phases and inverse
+  transforms, so ``|fft(v)| == 1`` exactly;
+* :func:`bind` multiplies spectra, hence preserves unit modulus;
+* :func:`unbind` multiplies by the conjugate spectrum (circular
+  correlation) - for unitary keys this is an *exact* inverse, which is
+  what the resonator's unbinding step relies on;
+* :func:`spectral_normalize` restores unit modulus after bundling while
+  preserving every spectral phase (the "phase-preserving normalization").
+
+With this convention the self-similarity ``Re<v, v>`` of a unitary vector
+is exactly 1 (Parseval), and the cross-similarity of two random unitary
+vectors is zero-mean with standard deviation ``1/sqrt(2 D)`` - the FHRR
+analogue of the bipolar ``1/sqrt(D)`` quasi-orthogonality floor (see
+:func:`repro.vsa.ops.expected_similarity_floor`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.utils.rng import RandomState, as_rng
+
+#: Storage dtype of FHRR hypervectors.
+COMPLEX_DTYPE = np.complex128
+
+
+def random_phasor(dim: int, *, rng: RandomState = None) -> np.ndarray:
+    """Draw a random unitary hypervector (unit-modulus spectrum).
+
+    Phases are drawn i.i.d. uniform on [0, 2*pi) in the *frequency*
+    domain, so the spectrum has modulus exactly 1 in every bin and
+    binding/unbinding round-trips are exact.
+    """
+    if dim <= 0:
+        raise DimensionError(f"hypervector dim must be positive, got {dim}")
+    generator = as_rng(rng)
+    phases = generator.uniform(0.0, 2.0 * np.pi, size=dim)
+    return np.fft.ifft(np.exp(1j * phases)).astype(COMPLEX_DTYPE)
+
+
+def random_phasor_matrix(
+    dim: int, size: int, *, rng: RandomState = None
+) -> np.ndarray:
+    """``(dim, size)`` matrix of random unitary item vectors (columns).
+
+    Column ``m`` is one codebook item; phases are drawn column-major so a
+    single matrix draw equals ``size`` successive :func:`random_phasor`
+    draws from the same generator.
+    """
+    if dim <= 0 or size <= 0:
+        raise DimensionError(
+            f"phasor matrix needs positive (dim, size), got ({dim}, {size})"
+        )
+    generator = as_rng(rng)
+    columns = [random_phasor(dim, rng=generator) for _ in range(size)]
+    return np.stack(columns, axis=1)
+
+
+def bind(*vectors: np.ndarray) -> np.ndarray:
+    """Bind by circular convolution, computed in the spectral domain.
+
+    ``bind(a, b) == ifft(fft(a) * fft(b))`` is exactly the O(D^2) circular
+    convolution ``out[n] = sum_m a[m] b[(n - m) mod D]`` evaluated in
+    O(D log D) (asserted against :func:`mvm_bind_reference` by the
+    property suite).  Binding unitary vectors yields a unitary vector.
+    """
+    if not vectors:
+        raise DimensionError("bind() requires at least one vector")
+    first = np.asarray(vectors[0], dtype=COMPLEX_DTYPE)
+    spectrum = np.fft.fft(first)
+    for vector in vectors[1:]:
+        other = np.asarray(vector, dtype=COMPLEX_DTYPE)
+        if other.shape != first.shape:
+            raise DimensionError(
+                f"cannot bind shapes {first.shape} and {other.shape}"
+            )
+        spectrum = spectrum * np.fft.fft(other)
+    return np.fft.ifft(spectrum)
+
+
+def unbind(product: np.ndarray, *factors: np.ndarray) -> np.ndarray:
+    """Remove known ``factors`` from ``product`` by circular correlation.
+
+    Multiplies by the conjugate spectra of the factors.  For unitary keys
+    (``|fft(k)| == 1``) this is the exact inverse of :func:`bind`:
+    ``unbind(bind(a, k), k) == a`` up to float rounding.
+    """
+    product = np.asarray(product, dtype=COMPLEX_DTYPE)
+    spectrum = np.fft.fft(product)
+    for factor in factors:
+        other = np.asarray(factor, dtype=COMPLEX_DTYPE)
+        if other.shape != product.shape:
+            raise DimensionError(
+                f"cannot unbind shapes {product.shape} and {other.shape}"
+            )
+        spectrum = spectrum * np.conj(np.fft.fft(other))
+    return np.fft.ifft(spectrum)
+
+
+def spectral_normalize(vector: np.ndarray) -> np.ndarray:
+    """Project onto the unitary manifold, preserving every spectral phase.
+
+    Divides each spectral coefficient by its modulus (zero-modulus bins
+    pass through unscaled rather than dividing by zero).  This is the
+    FHRR activation ``g`` and the phase-preserving step that makes
+    bundles unitary again.
+    """
+    spectrum = np.fft.fft(np.asarray(vector, dtype=COMPLEX_DTYPE))
+    modulus = np.abs(spectrum)
+    modulus = np.where(modulus == 0.0, 1.0, modulus)
+    return np.fft.ifft(spectrum / modulus)
+
+
+def bundle(vectors: Sequence[np.ndarray]) -> np.ndarray:
+    """Superpose by addition, then phase-preserving normalization.
+
+    The sum of unitary vectors is not unitary; :func:`spectral_normalize`
+    restores unit modulus while keeping the bundle maximally similar to
+    each operand (only spectral magnitudes are discarded).
+    """
+    if len(vectors) == 0:
+        raise DimensionError("bundle() requires at least one vector")
+    stacked = np.stack([np.asarray(v, dtype=COMPLEX_DTYPE) for v in vectors])
+    return spectral_normalize(stacked.sum(axis=0))
+
+
+def similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Real part of the Hermitian inner product ``Re <a, b>``.
+
+    For unitary vectors the self-similarity is exactly 1, so this plays
+    the role the (un-normalized) integer dot product plays for bipolar
+    vectors - the quantity the similarity MVM computes.
+    """
+    a = np.asarray(a, dtype=COMPLEX_DTYPE)
+    b = np.asarray(b, dtype=COMPLEX_DTYPE)
+    if a.shape != b.shape:
+        raise DimensionError(f"similarity shapes differ: {a.shape} vs {b.shape}")
+    return float(np.real(np.vdot(a, b)))
+
+
+def normalized_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity ``Re <a, b> / (|a| |b|)``, in [-1, 1]."""
+    a = np.asarray(a, dtype=COMPLEX_DTYPE)
+    b = np.asarray(b, dtype=COMPLEX_DTYPE)
+    if a.shape != b.shape:
+        raise DimensionError(f"similarity shapes differ: {a.shape} vs {b.shape}")
+    norms = float(np.linalg.norm(a)) * float(np.linalg.norm(b))
+    if norms == 0.0:
+        return 0.0
+    return float(np.real(np.vdot(a, b))) / norms
+
+
+def is_unitary(vector: np.ndarray, *, atol: float = 1e-8) -> bool:
+    """True if every spectral coefficient has modulus 1 (within ``atol``)."""
+    spectrum = np.fft.fft(np.asarray(vector, dtype=COMPLEX_DTYPE))
+    return bool(np.allclose(np.abs(spectrum), 1.0, atol=atol))
+
+
+def mvm_bind_reference(
+    a: np.ndarray, b: np.ndarray, *, block: int = 256
+) -> np.ndarray:
+    """Direct O(D^2) circular convolution - the MVM-bind oracle.
+
+    Evaluates ``out[n] = sum_m a[m] b[(n - m) mod D]`` as blocked
+    gather-then-matvec products against the circulant of ``b`` - the work
+    a crossbar would perform if binding were programmed as a D x D MVM.
+    Used by the property suite (FFT bind must match it exactly) and by
+    ``benchmarks/bench_algebra.py`` as the baseline the FFT path must
+    beat.  ``block`` bounds the materialized circulant slice so the
+    reference stays usable at D = 8192 without a D^2 allocation.
+    """
+    a = np.asarray(a, dtype=COMPLEX_DTYPE)
+    b = np.asarray(b, dtype=COMPLEX_DTYPE)
+    if a.shape != b.shape or a.ndim != 1:
+        raise DimensionError(
+            f"mvm_bind_reference needs two 1-D vectors of equal length, "
+            f"got shapes {a.shape} and {b.shape}"
+        )
+    dim = a.size
+    out = np.empty(dim, dtype=COMPLEX_DTYPE)
+    m = np.arange(dim)
+    for start in range(0, dim, block):
+        n = np.arange(start, min(start + block, dim))
+        # (block, dim) slice of the circulant of b: row n holds b[(n-m)%D].
+        rows = b[(n[:, None] - m[None, :]) % dim]
+        out[n] = rows @ a
+    return out
+
+
+# -- resonator step kernels ---------------------------------------------------
+#
+# Both resonator engines (sequential and batched) call these exact
+# functions per trial, which is what makes the FHRR engine-parity
+# guarantee hold bitwise: identical inputs go through identical numpy call
+# sequences, so the trajectories cannot diverge between engines.
+
+
+def resonator_unbind(
+    product: np.ndarray, estimates: Sequence[np.ndarray], skip: int
+) -> np.ndarray:
+    """Unbind every estimate except ``skip`` from ``product``.
+
+    The FHRR analogue of the bipolar ``product * prod(other estimates)``
+    step: one forward FFT of the product, one conjugate spectral multiply
+    per other factor, one inverse FFT.
+    """
+    spectrum = np.fft.fft(np.asarray(product, dtype=COMPLEX_DTYPE))
+    for g, estimate in enumerate(estimates):
+        if g != skip:
+            spectrum = spectrum * np.conj(np.fft.fft(estimate))
+    return np.fft.ifft(spectrum)
+
+
+def fft_flops(dim: int) -> int:
+    """Deterministic flop model of one length-``dim`` complex FFT.
+
+    Uses the standard ``5 D log2 D`` radix-2 account (exact for powers of
+    two, a stable deterministic convention otherwise) so profiler totals
+    stay machine-independent.
+    """
+    if dim <= 1:
+        return 0
+    return int(5 * dim * math.log2(dim))
+
+
+def unbind_flops(dim: int, num_factors: int) -> int:
+    """Exact flop account of one :func:`resonator_unbind` call.
+
+    ``num_factors`` forward FFTs (product + each non-skipped estimate
+    re-transformed), one inverse FFT, and ``num_factors - 1`` spectral
+    conjugate multiplies at 6 real flops per complex multiply.
+    """
+    transforms = num_factors + 1
+    return transforms * fft_flops(dim) + (num_factors - 1) * 6 * dim
+
+
+def phase_activation_flops(dim: int) -> int:
+    """Exact flop account of one spectral phase normalization.
+
+    One forward and one inverse FFT plus per-bin modulus + divide
+    (modulus: 2 mult + 1 add + 1 sqrt ~ 4; complex-by-real divide: 2),
+    giving ``2 * fft + 6 D``.
+    """
+    return 2 * fft_flops(dim) + 6 * dim

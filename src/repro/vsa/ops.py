@@ -20,9 +20,9 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import DimensionError
+from repro.errors import ConfigurationError, DimensionError
 from repro.utils.rng import RandomState, as_rng
-from repro.utils.validation import check_bipolar
+from repro.utils.validation import check_bipolar, check_vector
 
 DEFAULT_DTYPE = np.int8
 
@@ -147,17 +147,28 @@ def hamming_similarity(a: np.ndarray, b: np.ndarray) -> float:
     return float(np.mean(a == b))
 
 
-def expected_similarity_floor(dim: int, num_vectors: int = 1) -> float:
+def expected_similarity_floor(
+    dim: int, num_vectors: int = 1, *, algebra: str = "bipolar"
+) -> float:
     """3-sigma noise floor of normalized similarity between random vectors.
 
     Useful to decide whether a measured similarity is meaningful: two random
     bipolar vectors of dimension ``dim`` have normalized similarity with
-    sigma ``1/sqrt(dim)``; with ``num_vectors`` comparisons the max grows
+    sigma ``1/sqrt(dim)``; for FHRR phasor vectors the real-part inner
+    product averages twice as many independent terms, so sigma tightens to
+    ``1/sqrt(2 dim)``.  With ``num_vectors`` comparisons the max grows
     roughly with ``sqrt(2 log num_vectors)``.
     """
     if dim <= 0:
         raise DimensionError(f"dim must be positive, got {dim}")
-    sigma = 1.0 / np.sqrt(dim)
+    if algebra == "bipolar":
+        sigma = 1.0 / np.sqrt(dim)
+    elif algebra == "fhrr":
+        sigma = 1.0 / np.sqrt(2.0 * dim)
+    else:
+        raise ConfigurationError(
+            f"algebra must be 'bipolar' or 'fhrr', got {algebra!r}"
+        )
     spread = np.sqrt(2.0 * np.log(max(num_vectors, 2)))
     return float(sigma * (3.0 + spread))
 
@@ -165,3 +176,14 @@ def expected_similarity_floor(dim: int, num_vectors: int = 1) -> float:
 def ensure_bipolar(name: str, vector: np.ndarray) -> np.ndarray:
     """Re-export of :func:`repro.utils.validation.check_bipolar` for callers."""
     return check_bipolar(name, vector)
+
+
+def ensure_vector(
+    name: str, vector: np.ndarray, *, algebra: str = "bipolar"
+) -> np.ndarray:
+    """Algebra-aware validation (re-export of ``check_vector``).
+
+    Bipolar callers get the classic -1/+1 check; FHRR callers get a
+    complex-phasor check instead of a misleading bipolar complaint.
+    """
+    return check_vector(name, vector, algebra=algebra)

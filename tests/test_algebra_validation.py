@@ -1,0 +1,169 @@
+"""Focused error-path tests for algebra-aware validation.
+
+The FHRR layer made several formerly bipolar-only checks dispatch on the
+algebra: product validation, the expected-similarity floor, backend
+complex-capability gating, and the engine/service configuration knobs.
+Each error path must fire with an actionable message (naming the other
+algebra when the dtype suggests a mix-up) and the happy paths must keep
+their exact historical values for bipolar.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import H3DFact
+from repro.errors import ConfigurationError, DimensionError
+from repro.resonator.activations import PhaseActivation, make_activation
+from repro.resonator.backends import ExactBackend, PhasorBackend
+from repro.resonator.network import FactorizationProblem, ResonatorNetwork
+from repro.resonator.batched import BatchedResonatorNetwork
+from repro.service.bench import ServeBenchConfig
+from repro.utils.validation import (
+    check_bipolar,
+    check_complex_phasor,
+    check_vector,
+)
+from repro.vsa import fhrr
+from repro.vsa.algebra import get_algebra
+from repro.vsa.codebook import Codebook, CodebookSet
+from repro.vsa.ops import expected_similarity_floor
+
+
+class TestCheckVector:
+    def test_bipolar_rejects_complex_with_hint(self):
+        vector = np.exp(1j * np.linspace(0, 1, 8))
+        with pytest.raises(DimensionError, match="algebra='fhrr'"):
+            check_bipolar("v", vector)
+
+    def test_fhrr_rejects_real_with_hint(self):
+        vector = np.ones(8, dtype=np.int8)
+        with pytest.raises(DimensionError, match="algebra='bipolar'"):
+            check_complex_phasor("v", vector)
+
+    def test_fhrr_rejects_non_finite(self):
+        vector = np.ones(8, dtype=np.complex128)
+        vector[3] = np.nan + 1j
+        with pytest.raises(DimensionError, match="non-finite"):
+            check_complex_phasor("v", vector)
+
+    def test_dispatch_unknown_algebra(self):
+        with pytest.raises(ConfigurationError, match="quaternion"):
+            check_vector("v", np.ones(4), algebra="quaternion")
+
+    def test_dispatch_routes_by_algebra(self):
+        bipolar = np.ones(4, dtype=np.int8)
+        phasor = np.exp(1j * np.zeros(4))
+        assert check_vector("v", bipolar, algebra="bipolar") is not None
+        assert check_vector("v", phasor, algebra="fhrr") is not None
+        with pytest.raises(DimensionError):
+            check_vector("v", phasor, algebra="bipolar")
+        with pytest.raises(DimensionError):
+            check_vector("v", bipolar, algebra="fhrr")
+
+
+class TestSimilarityFloor:
+    @staticmethod
+    def _floor(sigma, num_vectors=1):
+        return sigma * (3.0 + np.sqrt(2.0 * np.log(max(num_vectors, 2))))
+
+    def test_bipolar_floor_unchanged(self):
+        # The historical value: sigma = 1/sqrt(D) under the 3-sigma +
+        # extreme-value spread formula.
+        assert expected_similarity_floor(1024) == pytest.approx(
+            self._floor(1 / 32)
+        )
+
+    def test_fhrr_floor_is_tighter(self):
+        bipolar = expected_similarity_floor(1024, algebra="bipolar")
+        phasor = expected_similarity_floor(1024, algebra="fhrr")
+        assert phasor == pytest.approx(bipolar / np.sqrt(2))
+
+    def test_floor_scales_with_bundle_size(self):
+        single = expected_similarity_floor(1024, algebra="fhrr")
+        bundled = expected_similarity_floor(1024, 16, algebra="fhrr")
+        sigma = 1 / np.sqrt(2 * 1024)
+        assert bundled > single
+        assert bundled == pytest.approx(self._floor(sigma, 16))
+
+    def test_unknown_algebra_raises(self):
+        with pytest.raises(ConfigurationError, match="algebra"):
+            expected_similarity_floor(1024, algebra="binary")
+
+    def test_matches_algebra_noise_sigma(self):
+        for name in ("bipolar", "fhrr"):
+            algebra = get_algebra(name)
+            assert expected_similarity_floor(512, algebra=name) == pytest.approx(
+                self._floor(algebra.noise_sigma(512))
+            )
+
+
+class TestComplexCapabilityGating:
+    def test_sequential_network_rejects_real_backend(self):
+        problem = FactorizationProblem.random(128, 3, 6, rng=0, algebra="fhrr")
+        with pytest.raises(ConfigurationError, match="complex"):
+            ResonatorNetwork(problem.codebooks, backend=ExactBackend())
+
+    def test_batched_network_rejects_real_backend(self):
+        problem = FactorizationProblem.random(128, 3, 6, rng=0, algebra="fhrr")
+        with pytest.raises(ConfigurationError, match="complex"):
+            BatchedResonatorNetwork(problem.codebooks, backend=ExactBackend())
+
+    def test_phasor_backend_defaults_for_fhrr(self):
+        problem = FactorizationProblem.random(128, 3, 6, rng=0, algebra="fhrr")
+        network = ResonatorNetwork(problem.codebooks)
+        assert isinstance(network.backend, PhasorBackend)
+        assert isinstance(network.activation, PhaseActivation)
+
+    def test_make_activation_phase(self):
+        activation = make_activation("phase")
+        assert isinstance(activation, PhaseActivation)
+        v = fhrr.random_phasor(64, rng=np.random.default_rng(0)) * 2.5
+        np.testing.assert_allclose(
+            activation(v), fhrr.spectral_normalize(v), atol=1e-12
+        )
+
+
+class TestEngineKnobs:
+    def test_unknown_algebra(self):
+        with pytest.raises(ConfigurationError, match="algebra"):
+            H3DFact(algebra="holographic")
+
+    def test_fhrr_crossbar_rejected(self):
+        with pytest.raises(ConfigurationError, match="crossbar"):
+            H3DFact(algebra="fhrr", fidelity="crossbar")
+
+    def test_algebra_mismatch_rejected(self):
+        engine = H3DFact(algebra="fhrr")
+        bipolar = FactorizationProblem.random(128, 3, 6, rng=0)
+        with pytest.raises(ConfigurationError, match="bipolar"):
+            engine.make_network(bipolar.codebooks)
+        with pytest.raises(ConfigurationError, match="bipolar"):
+            engine.make_batched_network(bipolar.codebooks)
+
+    def test_serve_bench_algebra_validated(self):
+        with pytest.raises(ConfigurationError, match="algebra"):
+            ServeBenchConfig(algebra="ternary")
+
+
+class TestCodebookAlgebraConsistency:
+    def test_codebook_rejects_unknown_algebra(self):
+        with pytest.raises(ConfigurationError, match="algebra"):
+            Codebook(
+                name="f0",
+                matrix=np.ones((8, 2), dtype=np.int8),
+                algebra="spatter",
+            )
+
+    def test_set_rejects_mixed_algebras(self):
+        rng = np.random.default_rng(0)
+        bipolar = Codebook.random("f0", 64, 4, rng=rng)
+        phasor = Codebook.random("f1", 64, 4, rng=rng, algebra="fhrr")
+        with pytest.raises(ConfigurationError, match="algebra"):
+            CodebookSet(codebooks=(bipolar, phasor))
+
+    def test_problem_product_validated_per_algebra(self):
+        rng = np.random.default_rng(1)
+        phasor_set = CodebookSet.random_uniform(64, 3, 4, rng=rng, algebra="fhrr")
+        bipolar_product = np.ones(64, dtype=np.int8)
+        with pytest.raises(DimensionError, match="algebra='bipolar'"):
+            FactorizationProblem(codebooks=phasor_set, product=bipolar_product)

@@ -25,6 +25,7 @@ class TestParser:
         for command in (
             "fig1c",
             "table2",
+            "fhrr",
             "table3",
             "fig5",
             "fig6a",
@@ -50,6 +51,10 @@ class TestParser:
     def test_table2_options(self):
         args = build_parser().parse_args(["table2", "--trials", "5", "--full"])
         assert args.trials == 5 and args.full
+
+    def test_fhrr_options(self):
+        args = build_parser().parse_args(["fhrr", "--trials", "2", "--seed", "7"])
+        assert args.trials == 2 and args.seed == 7 and not args.full
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
@@ -103,6 +108,13 @@ class TestSeedPropagation:
             capsys, ["table2", "--trials", "2", "--seed", "3"]
         )
         assert any("Table II" in row for row in rows)
+
+    @pytest.mark.slow
+    def test_fhrr_seeded(self, capsys):
+        rows = self.check_reproducible(
+            capsys, ["fhrr", "--trials", "2", "--seed", "3"]
+        )
+        assert any("FHRR companion point" in row for row in rows)
 
     def test_table3_deterministic(self, capsys):
         self.check_reproducible(capsys, ["table3"])

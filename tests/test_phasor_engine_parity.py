@@ -1,0 +1,244 @@
+"""Regression: the batched phasor resonator reproduces the sequential one.
+
+The FHRR twin of ``tests/test_batched_resonator.py``: for the
+deterministic phasor configuration (exact complex MVM backend +
+phase-only activation), a trial must take *bit-identical* steps under
+:class:`~repro.resonator.batched.BatchedResonatorNetwork` and
+:class:`~repro.resonator.network.ResonatorNetwork` - same decoded
+factors, same outcome, same convergence sweep, same profiled op/flop
+totals - because the batched complex path deliberately routes every
+per-trial row through the very same FFT kernels the sequential engine
+calls.  Mixed-geometry and mixed-algebra batches must partition cleanly
+through the grouped planner and still match the sequential reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import H3DFact, baseline_network
+from repro.resonator import (
+    BatchedResonatorNetwork,
+    FactorizationProblem,
+    PhaseActivation,
+    PhasorBackend,
+)
+from repro.resonator.batch import factorize_problems, generate_problems
+from repro.resonator.profiler import ResonatorProfiler
+from repro.resonator.replay import (
+    geometry_key,
+    group_by_geometry,
+    run_problems_grouped,
+)
+
+
+def sequential_results(problems, max_iterations):
+    results = []
+    for problem in problems:
+        network = baseline_network(
+            problem.codebooks, max_iterations=max_iterations
+        )
+        results.append(
+            network.factorize(problem.product, true_indices=problem.true_indices)
+        )
+    return results
+
+
+class TestPhasorDeterministicParity:
+    """Seeded phasor configuration: identical per-trial results."""
+
+    @pytest.fixture(scope="class")
+    def problems(self):
+        # M = 20 at D = 256 sits past the deterministic phasor capacity
+        # cliff: the batch mixes quick fixed points, long stalls and
+        # budget exhaustion, exercising the per-trial masking.
+        return generate_problems(
+            dim=256,
+            num_factors=3,
+            codebook_size=20,
+            trials=8,
+            rng=0,
+            algebra="fhrr",
+        )
+
+    @pytest.fixture(scope="class")
+    def pair(self, problems):
+        sequential = sequential_results(problems, 100)
+        template = baseline_network(problems[0].codebooks, max_iterations=100)
+        assert isinstance(template.backend, PhasorBackend)
+        assert isinstance(template.activation, PhaseActivation)
+        network = BatchedResonatorNetwork.from_network(
+            template, [problem.codebooks for problem in problems]
+        )
+        batched = network.factorize(
+            np.stack([problem.product for problem in problems]),
+            true_indices=[problem.true_indices for problem in problems],
+        )
+        return sequential, batched
+
+    def test_indices_equal(self, pair):
+        sequential, batched = pair
+        for seq, bat in zip(sequential, batched):
+            assert seq.indices == bat.indices
+
+    def test_outcomes_and_iterations_equal(self, pair):
+        sequential, batched = pair
+        for seq, bat in zip(sequential, batched):
+            assert seq.outcome == bat.outcome
+            assert seq.iterations == bat.iterations
+
+    def test_accuracy_bookkeeping_equal(self, pair):
+        sequential, batched = pair
+        for seq, bat in zip(sequential, batched):
+            assert seq.correct == bat.correct
+            assert seq.first_correct_iteration == bat.first_correct_iteration
+
+    def test_masking_mixes_termination_sweeps(self, pair):
+        _, batched = pair
+        assert len({result.iterations for result in batched}) > 1
+
+    def test_some_trials_converge(self, pair):
+        sequential, _ = pair
+        assert sum(bool(result.correct) for result in sequential) >= 4
+
+
+class TestPhasorDriverParity:
+    def test_factorize_problems_engines_agree(self):
+        problems = generate_problems(
+            dim=256,
+            num_factors=3,
+            codebook_size=12,
+            trials=6,
+            rng=3,
+            algebra="fhrr",
+        )
+        factory = lambda p: baseline_network(  # noqa: E731
+            p.codebooks, max_iterations=100
+        )
+        seq = factorize_problems(factory, problems, engine="sequential")
+        bat = factorize_problems(factory, problems, engine="batched")
+        assert seq.accuracy == bat.accuracy
+        for a, b in zip(seq.results, bat.results):
+            assert a.indices == b.indices
+            assert a.outcome == b.outcome
+            assert a.iterations == b.iterations
+            assert a.first_correct_iteration == b.first_correct_iteration
+
+    def test_shared_codebooks_parity(self):
+        problems = generate_problems(
+            dim=256,
+            num_factors=3,
+            codebook_size=12,
+            trials=6,
+            rng=4,
+            algebra="fhrr",
+            share_codebooks=True,
+        )
+        factory = lambda p: baseline_network(  # noqa: E731
+            p.codebooks, max_iterations=100
+        )
+        seq = factorize_problems(factory, problems, engine="sequential")
+        bat = factorize_problems(factory, problems, engine="batched")
+        for a, b in zip(seq.results, bat.results):
+            assert a.indices == b.indices
+            assert a.iterations == b.iterations
+
+
+class TestPhasorOpCountParity:
+    def test_profiled_ops_match_sequential(self):
+        """Both engines record identical FFT-aware op/flop totals."""
+        problems = generate_problems(
+            dim=256,
+            num_factors=3,
+            codebook_size=12,
+            trials=5,
+            rng=5,
+            algebra="fhrr",
+        )
+        seq_profiler = ResonatorProfiler()
+        for problem in problems:
+            network = baseline_network(problem.codebooks, max_iterations=50)
+            network.profiler = seq_profiler
+            network.factorize(problem.product, true_indices=problem.true_indices)
+        bat_profiler = ResonatorProfiler()
+        template = baseline_network(problems[0].codebooks, max_iterations=50)
+        network = BatchedResonatorNetwork.from_network(
+            template, [problem.codebooks for problem in problems]
+        )
+        network.profiler = bat_profiler
+        network.factorize(
+            np.stack([problem.product for problem in problems]),
+            true_indices=[problem.true_indices for problem in problems],
+        )
+        for name in ("unbind", "similarity", "projection", "activation"):
+            assert (
+                seq_profiler.steps[name].elements
+                == bat_profiler.steps[name].elements
+            )
+            assert seq_profiler.steps[name].flops == bat_profiler.steps[name].flops
+            assert seq_profiler.steps[name].calls == bat_profiler.steps[name].calls
+
+
+class TestMixedGeometryGroups:
+    def test_grouped_planner_partitions_by_algebra(self):
+        bipolar = generate_problems(
+            dim=256, num_factors=3, codebook_size=8, trials=2, rng=0
+        )
+        phasor = generate_problems(
+            dim=256, num_factors=3, codebook_size=8, trials=2, rng=0, algebra="fhrr"
+        )
+        groups = group_by_geometry(
+            [bipolar[0], phasor[0], bipolar[1], phasor[1]]
+        )
+        assert groups == [[0, 2], [1, 3]]
+        assert geometry_key(bipolar[0].codebooks)[2] == "bipolar"
+        assert geometry_key(phasor[0].codebooks)[2] == "fhrr"
+
+    def test_mixed_geometry_batch_matches_sequential(self):
+        """Heterogeneous FHRR batch (mixed D and M) through the planner."""
+        rng = np.random.default_rng(6)
+        problems = []
+        for dim, size in ((256, 10), (128, 8), (256, 10), (128, 8), (256, 14)):
+            problems.append(
+                FactorizationProblem.random(dim, 3, size, rng=rng, algebra="fhrr")
+            )
+        factory = lambda p: baseline_network(  # noqa: E731
+            p.codebooks, max_iterations=100
+        )
+        expected = sequential_results(problems, 100)
+        grouped = run_problems_grouped(factory, problems, engine="batched")
+        for a, b in zip(expected, grouped):
+            assert a.indices == b.indices
+            assert a.outcome == b.outcome
+            assert a.iterations == b.iterations
+
+    def test_mixed_algebra_batch_matches_sequential(self):
+        """Bipolar and FHRR trials in one submission, planner-partitioned."""
+        rng = np.random.default_rng(7)
+        problems = [
+            FactorizationProblem.random(256, 3, 9, rng=rng),
+            FactorizationProblem.random(256, 3, 9, rng=rng, algebra="fhrr"),
+            FactorizationProblem.random(256, 3, 9, rng=rng),
+            FactorizationProblem.random(256, 3, 9, rng=rng, algebra="fhrr"),
+        ]
+        factory = lambda p: baseline_network(  # noqa: E731
+            p.codebooks, max_iterations=100
+        )
+        expected = sequential_results(problems, 100)
+        grouped = run_problems_grouped(factory, problems, engine="batched")
+        for a, b in zip(expected, grouped):
+            assert a.indices == b.indices
+            assert a.outcome == b.outcome
+            assert a.iterations == b.iterations
+
+    def test_h3dfact_factorize_batch_fhrr(self):
+        """End-to-end: the engine's batch path carries FHRR problems."""
+        rng = np.random.default_rng(8)
+        engine = H3DFact(algebra="fhrr", rng=0)
+        problems = [
+            FactorizationProblem.random(256, 3, 8, rng=rng, algebra="fhrr")
+            for _ in range(4)
+        ]
+        report = engine.factorize_batch(problems, max_iterations=100)
+        assert report.batch == 4
+        assert report.accuracy >= 0.75
+        assert report.cycles > 0

@@ -1,0 +1,234 @@
+"""Service regressions for FHRR traffic.
+
+Seeded FHRR requests must coalesce, intern, and replay *bit-identically*
+through :class:`~repro.service.scheduler.FactorizationService` and
+:class:`~repro.service.registry.CodebookRegistry` regardless of arrival
+order or batch packing - the same deterministic-replay guarantee the
+bipolar path has, extended to the phasor resonator.  Mixed bipolar+FHRR
+traffic must batch per algebra: the two algebras share neither state
+dtype nor MVM kernels, so a batch that mixed them would corrupt both.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.resonator.network import FactorizationProblem
+from repro.service import (
+    BatchPolicy,
+    CodebookRegistry,
+    FactorizationRequest,
+    FactorizationService,
+    codebook_fingerprint,
+)
+from repro.vsa import fhrr
+from repro.vsa.codebook import Codebook, CodebookSet
+
+
+def fhrr_problems(count, *, dim=256, size=10, seed=0, share=False):
+    rng = np.random.default_rng(seed)
+    if share:
+        codebooks = CodebookSet.random_uniform(dim, 3, size, rng=rng, algebra="fhrr")
+        problems = []
+        for _ in range(count):
+            indices = tuple(int(rng.integers(0, size)) for _ in range(3))
+            problems.append(FactorizationProblem.from_indices(codebooks, indices))
+        return problems
+    return [
+        FactorizationProblem.random(dim, 3, size, rng=rng, algebra="fhrr")
+        for _ in range(count)
+    ]
+
+
+def result_signature(response):
+    result = response.result
+    return (result.indices, result.outcome, result.iterations)
+
+
+class TestArrivalOrderReplay:
+    def test_run_coalesced_is_order_independent(self):
+        problems = fhrr_problems(6, share=True, seed=1)
+        requests = [
+            FactorizationRequest.from_problem(
+                p, seed=1000 + i, max_iterations=100, request_id=str(i)
+            )
+            for i, p in enumerate(problems)
+        ]
+        with FactorizationService() as service:
+            forward = service.run_coalesced(requests)
+        with FactorizationService() as service:
+            reversed_ = service.run_coalesced(list(reversed(requests)))
+        by_id_fwd = {r.request_id: result_signature(r) for r in forward}
+        by_id_rev = {r.request_id: result_signature(r) for r in reversed_}
+        assert by_id_fwd == by_id_rev
+
+    def test_async_submission_matches_coalesced(self):
+        problems = fhrr_problems(5, share=True, seed=2)
+        requests = [
+            FactorizationRequest.from_problem(
+                p, seed=2000 + i, max_iterations=100, request_id=str(i)
+            )
+            for i, p in enumerate(problems)
+        ]
+        with FactorizationService() as service:
+            reference = service.run_coalesced(requests)
+        with FactorizationService(
+            policy=BatchPolicy(max_batch_size=2, max_wait_seconds=0.001)
+        ) as service:
+            futures = service.submit_many(requests)
+            service.flush()
+            responses = [f.result(timeout=30) for f in futures]
+        assert [result_signature(r) for r in reference] == [
+            result_signature(r) for r in responses
+        ]
+
+    def test_sequential_engine_replays_identically(self):
+        problems = fhrr_problems(4, share=True, seed=3)
+        requests = [
+            FactorizationRequest.from_problem(
+                p, seed=3000 + i, max_iterations=100, request_id=str(i)
+            )
+            for i, p in enumerate(problems)
+        ]
+        with FactorizationService() as service:
+            batched = service.run_coalesced(requests, engine="batched")
+        with FactorizationService() as service:
+            sequential = service.run_coalesced(requests, engine="sequential")
+        assert [result_signature(r) for r in batched] == [
+            result_signature(r) for r in sequential
+        ]
+
+
+class TestFhrrInterning:
+    def test_equal_content_interns_once(self):
+        problems = fhrr_problems(4, share=True, seed=4)
+        requests = [
+            FactorizationRequest.from_problem(p, seed=i, max_iterations=50)
+            for i, p in enumerate(problems)
+        ]
+        registry = CodebookRegistry(capacity=8)
+        with FactorizationService(registry=registry) as service:
+            responses = service.run_coalesced(requests)
+        keys = {r.codebook_key for r in responses}
+        assert len(keys) == 1
+        assert registry.stats.misses == 1
+        assert registry.stats.hits == len(requests) - 1
+        # The key is the content hash, so a bit-equal reconstruction of
+        # the set (fresh arrays, same values) resolves to the same entry.
+        rebuilt = CodebookSet(
+            codebooks=tuple(
+                Codebook(matrix=cb.matrix.copy(), name=cb.name, algebra="fhrr")
+                for cb in problems[0].codebooks
+            )
+        )
+        assert codebook_fingerprint(rebuilt) == keys.pop()
+
+    def test_phase_perturbation_changes_key(self):
+        problems = fhrr_problems(1, share=True, seed=5)
+        original = problems[0].codebooks
+        matrices = [cb.matrix.copy() for cb in original]
+        matrices[0][0, 0] *= np.exp(1j * 1e-9)
+        perturbed = CodebookSet(
+            codebooks=tuple(
+                Codebook(matrix=m, name=cb.name, algebra="fhrr")
+                for m, cb in zip(matrices, original)
+            )
+        )
+        assert codebook_fingerprint(original) != codebook_fingerprint(perturbed)
+
+    def test_replay_through_registry_key(self):
+        """A codebook_key request replays bit-identically to inline."""
+        problems = fhrr_problems(2, share=True, seed=6)
+        registry = CodebookRegistry(capacity=4)
+        key, _, _ = registry.intern(problems[0].codebooks)
+        inline = [
+            FactorizationRequest.from_problem(p, seed=60 + i, max_iterations=80)
+            for i, p in enumerate(problems)
+        ]
+        by_key = [
+            FactorizationRequest(
+                product=p.product,
+                codebook_key=key,
+                seed=60 + i,
+                max_iterations=80,
+                true_indices=p.true_indices,
+            )
+            for i, p in enumerate(problems)
+        ]
+        with FactorizationService(registry=registry) as service:
+            a = service.run_coalesced(inline)
+        with FactorizationService(registry=registry) as service:
+            b = service.run_coalesced(by_key)
+        assert [result_signature(r) for r in a] == [
+            result_signature(r) for r in b
+        ]
+        assert all(r.cache_hit for r in b)
+
+
+class TestMixedTraffic:
+    def test_mixed_algebra_requests_batch_separately(self):
+        rng = np.random.default_rng(7)
+        bipolar_set = CodebookSet.random_uniform(256, 3, 10, rng=rng)
+        phasor_set = CodebookSet.random_uniform(
+            256, 3, 10, rng=rng, algebra="fhrr"
+        )
+        requests = []
+        for i in range(3):
+            for codebooks, tag in ((bipolar_set, "bp"), (phasor_set, "fh")):
+                indices = tuple(int(rng.integers(0, 10)) for _ in range(3))
+                problem = FactorizationProblem.from_indices(codebooks, indices)
+                requests.append(
+                    FactorizationRequest.from_problem(
+                        problem,
+                        seed=100 * i + (0 if tag == "bp" else 1),
+                        max_iterations=100,
+                        request_id=f"{tag}-{i}",
+                    )
+                )
+        with FactorizationService() as service:
+            responses = service.run_coalesced(requests)
+        by_algebra = {"bp": set(), "fh": set()}
+        for response in responses:
+            by_algebra[response.request_id[:2]].add(response.batch_id)
+        # Same-algebra requests coalesce into one batch each; the two
+        # algebras never share one.
+        assert len(by_algebra["bp"]) == 1
+        assert len(by_algebra["fh"]) == 1
+        assert by_algebra["bp"].isdisjoint(by_algebra["fh"])
+
+    def test_mixed_traffic_matches_isolated_runs(self):
+        """Riding in mixed traffic must not change any result."""
+        rng = np.random.default_rng(8)
+        bipolar = [
+            FactorizationProblem.random(256, 3, 9, rng=rng) for _ in range(3)
+        ]
+        phasor = fhrr_problems(3, seed=8)
+        make = lambda p, i: FactorizationRequest.from_problem(  # noqa: E731
+            p, seed=500 + i, max_iterations=100, request_id=str(i)
+        )
+        mixed = [
+            make(p, i)
+            for i, p in enumerate(
+                [bipolar[0], phasor[0], bipolar[1], phasor[1], bipolar[2], phasor[2]]
+            )
+        ]
+        with FactorizationService() as service:
+            mixed_responses = {
+                r.request_id: result_signature(r)
+                for r in service.run_coalesced(mixed)
+            }
+        with FactorizationService() as service:
+            isolated = service.run_coalesced(
+                [r for r in mixed if int(r.request_id) % 2 == 1]
+            )
+        for response in isolated:
+            assert mixed_responses[response.request_id] == result_signature(
+                response
+            )
+
+    def test_fhrr_product_on_bipolar_codebooks_rejected(self):
+        rng = np.random.default_rng(9)
+        bipolar_set = CodebookSet.random_uniform(128, 3, 8, rng=rng)
+        phasor_product = fhrr.random_phasor(128, rng=rng)
+        with pytest.raises(DimensionError):
+            FactorizationRequest(product=phasor_product, codebooks=bipolar_set)

@@ -1,0 +1,233 @@
+"""Algebraic invariants of the holographic algebras (bipolar and FHRR).
+
+Seeded-deterministic property checks over both algebras through one
+parametrized fixture: binding round-trips under unbinding, is commutative
+and associative, preserves the algebra's normalization (bipolar values,
+unit-modulus spectra), and permutation/trajectory encodings invert
+exactly.  The FHRR FFT bind is additionally pinned against a direct
+O(D^2) circular-convolution reference - the definitional check that the
+spectral product really is circular convolution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.vsa import fhrr
+from repro.vsa.algebra import ALGEBRAS, get_algebra
+from repro.vsa.codebook import CodebookSet
+from repro.vsa.scene import (
+    VISUAL_OBJECT_ATTRIBUTES,
+    AttributeScene,
+    ConvolutionalSceneEncoder,
+)
+
+DIM = 256
+
+
+@pytest.fixture(params=ALGEBRAS)
+def algebra(request):
+    return get_algebra(request.param)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+def _cosine(algebra, a, b):
+    return algebra.normalized_similarity(a, b)
+
+
+class TestBindRoundTrip:
+    def test_unbind_bind_recovers_operand(self, algebra, rng):
+        a = algebra.random_hypervector(DIM, rng=rng)
+        b = algebra.random_hypervector(DIM, rng=rng)
+        recovered = algebra.unbind(algebra.bind(a, b), b)
+        assert _cosine(algebra, recovered, a) == pytest.approx(1.0, abs=1e-9)
+
+    def test_three_factor_roundtrip(self, algebra, rng):
+        factors = [algebra.random_hypervector(DIM, rng=rng) for _ in range(3)]
+        product = algebra.bind(*factors)
+        recovered = algebra.unbind(product, factors[1], factors[2])
+        assert _cosine(algebra, recovered, factors[0]) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_bound_product_dissimilar_to_operands(self, algebra, rng):
+        a = algebra.random_hypervector(DIM, rng=rng)
+        b = algebra.random_hypervector(DIM, rng=rng)
+        product = algebra.bind(a, b)
+        # Binding randomizes similarity: the product should sit in the
+        # noise band around either operand, far from self-similarity 1.
+        assert abs(_cosine(algebra, product, a)) < 10 * algebra.noise_sigma(DIM)
+
+
+class TestBindStructure:
+    def test_commutative(self, algebra, rng):
+        a = algebra.random_hypervector(DIM, rng=rng)
+        b = algebra.random_hypervector(DIM, rng=rng)
+        np.testing.assert_allclose(
+            algebra.bind(a, b), algebra.bind(b, a), atol=1e-12
+        )
+
+    def test_associative(self, algebra, rng):
+        a = algebra.random_hypervector(DIM, rng=rng)
+        b = algebra.random_hypervector(DIM, rng=rng)
+        c = algebra.random_hypervector(DIM, rng=rng)
+        left = algebra.bind(algebra.bind(a, b), c)
+        right = algebra.bind(a, algebra.bind(b, c))
+        np.testing.assert_allclose(left, right, atol=1e-11)
+
+    def test_self_similarity_is_one(self, algebra, rng):
+        v = algebra.random_hypervector(DIM, rng=rng)
+        assert algebra.normalized_similarity(v, v) == pytest.approx(1.0)
+
+    def test_cross_similarity_in_noise_band(self, algebra, rng):
+        sims = [
+            algebra.normalized_similarity(
+                algebra.random_hypervector(DIM, rng=rng),
+                algebra.random_hypervector(DIM, rng=rng),
+            )
+            for _ in range(50)
+        ]
+        assert np.std(sims) < 3 * algebra.noise_sigma(DIM)
+        assert abs(np.mean(sims)) < 3 * algebra.noise_sigma(DIM) / np.sqrt(50)
+
+
+class TestNormalizationPreserved:
+    def test_bind_preserves_normalization(self, algebra, rng):
+        a = algebra.random_hypervector(DIM, rng=rng)
+        b = algebra.random_hypervector(DIM, rng=rng)
+        product = algebra.bind(a, b)
+        if algebra.name == "fhrr":
+            assert fhrr.is_unitary(product)
+        else:
+            assert set(np.unique(product)) <= {-1, 1}
+
+    def test_bundle_is_normalized(self, algebra, rng):
+        vectors = [algebra.random_hypervector(DIM, rng=rng) for _ in range(5)]
+        bundled = algebra.bundle(vectors, rng=rng)
+        if algebra.name == "fhrr":
+            assert fhrr.is_unitary(bundled)
+        else:
+            assert set(np.unique(bundled)) <= {-1, 1}
+
+    def test_bundle_similar_to_components(self, algebra, rng):
+        vectors = [algebra.random_hypervector(DIM, rng=rng) for _ in range(3)]
+        bundled = algebra.bundle(vectors, rng=rng)
+        floor = 3 * algebra.noise_sigma(DIM)
+        for vector in vectors:
+            assert algebra.normalized_similarity(bundled, vector) > floor
+
+
+class TestPermutationInversion:
+    def test_permute_roundtrip_exact(self, algebra, rng):
+        v = algebra.random_hypervector(DIM, rng=rng)
+        for steps in (1, 7, DIM - 1):
+            assert np.array_equal(
+                algebra.inverse_permute(algebra.permute(v, steps), steps), v
+            )
+
+    def test_trajectory_encoding_inverts(self, algebra, rng):
+        encoder = ConvolutionalSceneEncoder(
+            VISUAL_OBJECT_ATTRIBUTES, DIM, algebra=algebra.name, rng=rng
+        )
+        scenes = [
+            AttributeScene.random(VISUAL_OBJECT_ATTRIBUTES, rng=rng)
+            for _ in range(3)
+        ]
+        trajectory = encoder.encode_trajectory(scenes)
+        for step, scene in enumerate(scenes):
+            recovered = encoder.recover_step(trajectory, scenes, step)
+            expected = encoder.encode(scene)
+            if algebra.name == "bipolar":
+                assert np.array_equal(recovered, expected)
+            else:
+                np.testing.assert_allclose(recovered, expected, atol=1e-9)
+            for attribute, value in scene.as_dict().items():
+                assert (
+                    encoder.decode_step_attribute(recovered, scene, attribute)
+                    == value
+                )
+
+
+class TestFhrrAgainstDirectConvolution:
+    """FFT binding is definitionally circular convolution - pin it."""
+
+    def test_fft_bind_matches_mvm_reference(self, rng):
+        a = fhrr.random_phasor(DIM, rng=rng)
+        b = fhrr.random_phasor(DIM, rng=rng)
+        np.testing.assert_allclose(
+            fhrr.bind(a, b), fhrr.mvm_bind_reference(a, b), atol=1e-10
+        )
+
+    def test_reference_blocking_is_invisible(self, rng):
+        a = fhrr.random_phasor(100, rng=rng)
+        b = fhrr.random_phasor(100, rng=rng)
+        np.testing.assert_allclose(
+            fhrr.mvm_bind_reference(a, b, block=7),
+            fhrr.mvm_bind_reference(a, b, block=1000),
+            atol=1e-12,
+        )
+
+    def test_random_phasor_is_unitary(self, rng):
+        assert fhrr.is_unitary(fhrr.random_phasor(DIM, rng=rng))
+
+    def test_spectral_normalize_idempotent(self, rng):
+        v = fhrr.random_phasor(DIM, rng=rng) + 0.1 * fhrr.random_phasor(
+            DIM, rng=rng
+        )
+        once = fhrr.spectral_normalize(v)
+        np.testing.assert_allclose(
+            fhrr.spectral_normalize(once), once, atol=1e-12
+        )
+        assert fhrr.is_unitary(once)
+
+    def test_codebook_compose_matches_manual_bind(self, rng):
+        codebooks = CodebookSet.random(
+            DIM, (4, 5, 6), rng=rng, algebra="fhrr"
+        )
+        indices = (1, 3, 2)
+        manual = fhrr.bind(*(cb.vector(i) for cb, i in zip(codebooks, indices)))
+        np.testing.assert_allclose(
+            codebooks.compose(indices), manual, atol=1e-12
+        )
+
+
+class TestSeededDeterminism:
+    def test_same_seed_same_vectors(self, algebra):
+        a = algebra.random_hypervector(DIM, rng=np.random.default_rng(9))
+        b = algebra.random_hypervector(DIM, rng=np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+    def test_codebook_fingerprints_distinguish_algebras(self):
+        from repro.vsa.codebook import codebook_set_fingerprint
+
+        bipolar = CodebookSet.random(
+            128, (4, 4), rng=np.random.default_rng(0), algebra="bipolar"
+        )
+        phasor = CodebookSet.random(
+            128, (4, 4), rng=np.random.default_rng(0), algebra="fhrr"
+        )
+        assert codebook_set_fingerprint(bipolar) != codebook_set_fingerprint(
+            phasor
+        )
+
+    def test_fhrr_fingerprint_covers_phases(self):
+        from repro.vsa.codebook import codebook_set_fingerprint
+
+        rng = np.random.default_rng(3)
+        original = CodebookSet.random(128, (4, 4), rng=rng, algebra="fhrr")
+        perturbed_matrices = [cb.matrix.copy() for cb in original]
+        perturbed_matrices[0][0, 0] *= np.exp(1j * 1e-6)
+        from repro.vsa.codebook import Codebook
+
+        perturbed = CodebookSet(
+            codebooks=tuple(
+                Codebook(matrix=m, name=cb.name, algebra="fhrr")
+                for m, cb in zip(perturbed_matrices, original)
+            )
+        )
+        assert codebook_set_fingerprint(original) != codebook_set_fingerprint(
+            perturbed
+        )
