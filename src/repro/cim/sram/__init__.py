@@ -1,8 +1,43 @@
-"""Digital tier-1 building blocks: SRAM storage, XNOR unbinding, counters."""
+"""Digital tier-1 building blocks: SRAM storage, XNOR unbinding, counters.
+
+Per-cell units model one gate / counter at a time; the batched kernels
+(:mod:`repro.cim.sram.batched`) run the same arithmetic word-parallel over
+uint64 bit-planes, optionally through a runtime-compiled fused kernel
+(:mod:`repro.cim.sram.native`).
+"""
 
 from repro.cim.sram.array import SRAMArray
+from repro.cim.sram.batched import (
+    PACKED_CODEBOOK_CACHE,
+    PackedCodebook,
+    PackedCodebookCache,
+    pack_bipolar,
+    pack_codebook,
+    packed_xnor_unbind,
+    popcount,
+    tail_mask,
+    unpack_bipolar,
+    xnor_popcount_mvm,
+)
 from repro.cim.sram.buffer import SRAMBuffer
 from repro.cim.sram.counter import NegOnesCounter
+from repro.cim.sram.native import native_available
 from repro.cim.sram.xnor import XNORUnbindUnit
 
-__all__ = ["SRAMArray", "SRAMBuffer", "NegOnesCounter", "XNORUnbindUnit"]
+__all__ = [
+    "PACKED_CODEBOOK_CACHE",
+    "PackedCodebook",
+    "PackedCodebookCache",
+    "NegOnesCounter",
+    "SRAMArray",
+    "SRAMBuffer",
+    "XNORUnbindUnit",
+    "native_available",
+    "pack_bipolar",
+    "pack_codebook",
+    "packed_xnor_unbind",
+    "popcount",
+    "tail_mask",
+    "unpack_bipolar",
+    "xnor_popcount_mvm",
+]

@@ -52,10 +52,15 @@ class SRAMArray:
         return address
 
     def _check_value(self, value: int) -> int:
-        limit = 1 << self.word_bits
-        if not -(limit // 2) <= value < limit:
+        # Signed two's-complement range [-2^(b-1), 2^(b-1)).  The old bound
+        # (-2^(b-1) <= value < 2^b) mixed the unsigned-positive and
+        # signed-negative ranges in the same word, so values that cannot
+        # coexist in one b-bit encoding were both accepted.
+        limit = 1 << (self.word_bits - 1)
+        if not -limit <= value < limit:
             raise ConfigurationError(
-                f"value {value} does not fit in {self.word_bits} bits"
+                f"value {value} does not fit in a signed {self.word_bits}-bit "
+                f"word [{-limit}, {limit})"
             )
         return int(value)
 

@@ -51,8 +51,12 @@ class NegOnesCounter:
 
         The SRAM CIM baseline evaluates one column per counter per cycle
         group; this models the arithmetic (costs live in the timing model).
+
+        Both operands are validated as bipolar: the counter identity
+        ``n - 2k`` only holds for -1/+1 entries, so a float or non-bipolar
+        ``matrix`` would silently produce wrong mismatch counts.
         """
-        matrix = np.asarray(matrix)
+        matrix = check_bipolar("matrix", np.asarray(matrix))
         if matrix.ndim != 2 or matrix.shape[0] != self.width:
             raise DimensionError(
                 f"matrix shape {matrix.shape} incompatible with width "

@@ -1,0 +1,137 @@
+"""Runtime-compiled XNOR + popcount MVM kernel (tier-1 fast path).
+
+The packed bit-plane similarity MVM (:mod:`repro.cim.sram.batched`) is a
+three-pass operation in numpy (XOR, per-word popcount, reduction) and the
+intermediate traffic keeps it roughly at parity with the float32 GEMM it
+is supposed to beat.  The hardware argument of Sec. III-A - one fused
+XNOR -> popcount -> accumulate pipeline per column - needs a fused kernel
+in software too, so this module compiles a ~20-line C kernel with the
+host toolchain at first use and loads it through :mod:`ctypes`.
+
+Design constraints:
+
+* **Optional.** No compiler (or ``H3DFACT_NO_NATIVE=1``) degrades to the
+  pure-numpy kernel, which is the bit-exactness reference anyway; every
+  result is identical, only the wall-clock changes.
+* **No dependencies.** Only the C toolchain already on the host plus the
+  standard library; nothing is installed.
+* **Process-cached.** The shared object is built once into a private
+  temporary directory and reused for the life of the process.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from typing import Optional
+
+#: Environment variable disabling the compiled kernel (forces numpy).
+NO_NATIVE_ENV = "H3DFACT_NO_NATIVE"
+
+#: The fused kernel: for every (query t, item m) pair, XOR the packed
+#: uint64 words, popcount, and accumulate - ``out[t, m]`` is the mismatch
+#: count ``k`` of the counter identity ``dot = n - 2k``.
+_SOURCE = r"""
+#include <stdint.h>
+
+void xnor_popcount_mvm(const uint64_t *items, const uint64_t *queries,
+                       int64_t *out, long trials, long size, long words) {
+    for (long t = 0; t < trials; ++t) {
+        const uint64_t *q = queries + t * words;
+        for (long m = 0; m < size; ++m) {
+            const uint64_t *item = items + m * words;
+            int64_t acc = 0;
+            for (long w = 0; w < words; ++w)
+                acc += __builtin_popcountll(q[w] ^ item[w]);
+            out[t * size + m] = acc;
+        }
+    }
+}
+"""
+
+_lock = threading.Lock()
+_attempted = False
+_kernel: Optional[ctypes.CFUNCTYPE] = None
+
+
+def _find_compiler() -> Optional[str]:
+    """A usable C compiler, honouring ``CC``; ``None`` when absent."""
+    candidates = [os.environ.get("CC"), "cc", "gcc", "clang"]
+    for candidate in candidates:
+        if candidate and shutil.which(candidate):
+            return candidate
+    return None
+
+
+def _compile() -> Optional[ctypes.CFUNCTYPE]:
+    """Build and load the shared object; ``None`` on any failure."""
+    compiler = _find_compiler()
+    if compiler is None:
+        return None
+    build_dir = tempfile.mkdtemp(prefix="h3dfact-sram-")
+    source = os.path.join(build_dir, "xnor_popcount.c")
+    library = os.path.join(build_dir, "xnor_popcount.so")
+    with open(source, "w", encoding="utf-8") as handle:
+        handle.write(_SOURCE)
+    base = ["-O3", "-funroll-loops", "-shared", "-fPIC", source, "-o", library]
+    # -march=native unlocks hardware popcount / vectorization but is not
+    # universally supported (e.g. some clang/arch combinations), so retry
+    # portably before giving up.
+    for flags in (["-march=native"] + base, base):
+        try:
+            result = subprocess.run(
+                [compiler] + flags,
+                capture_output=True,
+                timeout=120,
+                check=False,
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        if result.returncode == 0:
+            break
+    else:
+        return None
+    try:
+        lib = ctypes.CDLL(library)
+    except OSError:
+        return None
+    fn = lib.xnor_popcount_mvm
+    fn.argtypes = [
+        ctypes.c_void_p,
+        ctypes.c_void_p,
+        ctypes.c_void_p,
+        ctypes.c_long,
+        ctypes.c_long,
+        ctypes.c_long,
+    ]
+    fn.restype = None
+    return fn
+
+
+def popcount_mvm_kernel() -> Optional[ctypes.CFUNCTYPE]:
+    """The fused mismatch-count kernel, or ``None`` when unavailable.
+
+    The callable signature is ``fn(items_ptr, queries_ptr, out_ptr,
+    trials, size, words)`` over C-contiguous uint64 ``(size, words)`` /
+    ``(trials, words)`` inputs and an int64 ``(trials, size)`` output.
+    Compilation happens once per process; failures (no compiler, sandbox
+    restrictions) are cached as ``None`` so callers fall back to numpy
+    without retry storms.
+    """
+    global _attempted, _kernel
+    if os.environ.get(NO_NATIVE_ENV):
+        return None
+    with _lock:
+        if not _attempted:
+            _kernel = _compile()
+            _attempted = True
+        return _kernel
+
+
+def native_available() -> bool:
+    """True when the compiled kernel is usable in this process."""
+    return popcount_mvm_kernel() is not None

@@ -28,9 +28,10 @@ def to_bits(vector: np.ndarray) -> np.ndarray:
 
 
 def from_bits(bits: np.ndarray) -> np.ndarray:
-    """Decode bits {0,1} back to bipolar {-1,+1}."""
+    """Decode bits {0,1} back to bipolar {-1,+1} (int64, the library's
+    signed-arithmetic convention - matches ``NegOnesCounter`` outputs)."""
     bits = np.asarray(bits)
-    return (2 * bits.astype(np.int8) - 1)
+    return 2 * bits.astype(np.int64) - 1
 
 
 class XNORUnbindUnit:
@@ -78,11 +79,27 @@ class XNORUnbindUnit:
 
         This is the representation the hardware actually streams over the
         register files; exposed for the dataflow simulator.
+
+        When ``width`` is not a multiple of 8 the last byte carries padding
+        lanes; the full-byte NOT of the XNOR would set those lanes to 1, so
+        the result is masked back to the valid lanes (``np.packbits`` pads
+        at the low end of the last byte, i.e. the valid lanes are its top
+        ``width % 8`` bits).  Downstream popcounts/unpacks over the packed
+        words would otherwise overcount.
         """
-        packed = np.asarray(product_bits, dtype=np.uint8)
+        packed = np.array(product_bits, dtype=np.uint8)  # copy: masked in place
+        expected_bytes = (self.width + 7) // 8
+        if packed.shape != (expected_bytes,):
+            raise DimensionError(
+                f"packed shape {packed.shape} does not match unit width "
+                f"{self.width} (({expected_bytes},) bytes)"
+            )
         for factor in factor_bits:
             packed = np.invert(np.bitwise_xor(packed, np.asarray(factor, dtype=np.uint8)))
             self.operations += 1
+        tail = self.width % 8
+        if tail:
+            packed[-1] &= np.uint8((0xFF << (8 - tail)) & 0xFF)
         return packed
 
     def __repr__(self) -> str:

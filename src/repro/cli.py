@@ -40,11 +40,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 def _add_fidelity(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--fidelity",
-        choices=("crossbar", "statistical"),
+        choices=("crossbar", "statistical", "sram", "hybrid"),
         default=None,
         help=(
-            "H3D MVM model: full tiled crossbar simulation (default) or "
-            "the aggregate statistical noise model"
+            "H3D MVM model: full tiled crossbar simulation (default), the "
+            "aggregate statistical noise model, the all-digital SRAM "
+            "tier-1 baseline (exact XNOR + popcount MVMs), or the "
+            "GEM3D-style hybrid stack (SRAM similarity, crossbar "
+            "projection)"
         ),
     )
 

@@ -26,6 +26,11 @@ from repro.core.engine import (
     H3DFact,
     baseline_network,
 )
+from repro.core.sram_backend import (
+    HybridTierBackend,
+    SRAMBatchedBackend,
+    SRAMPerCellBackend,
+)
 
 __all__ = [
     "CIMBackend",
@@ -34,6 +39,9 @@ __all__ = [
     "ConductanceCache",
     "FIDELITIES",
     "H3DFact",
+    "HybridTierBackend",
+    "SRAMBatchedBackend",
+    "SRAMPerCellBackend",
     "EngineReport",
     "BatchEngineReport",
     "baseline_network",

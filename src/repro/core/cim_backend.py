@@ -105,9 +105,11 @@ class CIMBackend(MVMBackend):
     # values for size=(M,) and size=(1, M)).
 
     def similarity(self, codebook: Codebook, query: np.ndarray) -> np.ndarray:
+        """One-row batch of :meth:`similarity_batch` (same noise stream)."""
         return self.similarity_batch(codebook, np.asarray(query)[None])[0]
 
     def project(self, codebook: Codebook, weights: np.ndarray) -> np.ndarray:
+        """One-row batch of :meth:`project_batch` (same noise stream)."""
         return self.project_batch(codebook, np.asarray(weights)[None])[0]
 
     # -- batched MVMs (Sec. IV-A: SRAM-buffered batch operation) ------------
@@ -143,6 +145,7 @@ class CIMBackend(MVMBackend):
     def project_batch(
         self, codebooks: CodebookBatch, weights: np.ndarray
     ) -> np.ndarray:
+        """Exact projection plus (optionally) aggregate projection noise."""
         values = self._exact.project_batch(codebooks, weights)
         if self.projection_noise and self.noise.sigma_z > 0:
             _, size = batch_geometry(codebooks)

@@ -125,6 +125,7 @@ class ConductanceCache:
         grid_bits: int,
         program_seed: int,
     ) -> ProgrammedConductances:
+        """Programmed conductances for the key, programming on first sight."""
         fingerprint = codebook_fingerprint(codebook)
         key = (fingerprint, device, geometry, grid_bits, program_seed)
         with self._lock:
@@ -406,9 +407,11 @@ class CIMBatchedBackend(MVMBackend):
     # exactly what the per-trial sequential loop binds (replay layer).
 
     def similarity(self, codebook: Codebook, query: np.ndarray) -> np.ndarray:
+        """One-row batch of :meth:`similarity_batch` on trial stream 0."""
         return self.similarity_batch(codebook, np.asarray(query)[None])[0]
 
     def project(self, codebook: Codebook, weights: np.ndarray) -> np.ndarray:
+        """One-row batch of :meth:`project_batch` on trial stream 0."""
         return self.project_batch(codebook, np.asarray(weights)[None])[0]
 
     def similarity_batch(

@@ -15,6 +15,7 @@ from repro.cim.rram.device import RRAMDeviceModel
 from repro.cim.rram.noise import NoiseParameters
 from repro.core.cim_backend import CIMBackend
 from repro.core.crossbar_backend import CIMBatchedBackend
+from repro.core.sram_backend import HybridTierBackend, SRAMBatchedBackend
 from repro.errors import ConfigurationError
 from repro.hwmodel import calibration as cal
 from repro.hwmodel.metrics import DesignMetrics, evaluate_design
@@ -48,6 +49,7 @@ class EngineReport:
 
     @property
     def hardware_microseconds(self) -> float:
+        """Modeled wall-clock in microseconds."""
         return 1e6 * self.hardware_seconds
 
 
@@ -64,10 +66,12 @@ class BatchEngineReport:
 
     @property
     def batch(self) -> int:
+        """Number of factorizations in the batch."""
         return len(self.results)
 
     @property
     def accuracy(self) -> float:
+        """Fraction correct among results with a known ground truth."""
         known = [r.correct for r in self.results if r.correct is not None]
         if not known:
             return float("nan")
@@ -110,7 +114,7 @@ def baseline_network(
 
 
 #: Recognised MVM fidelity levels for the H3D similarity/projection path.
-FIDELITIES = ("statistical", "crossbar")
+FIDELITIES = ("statistical", "crossbar", "sram", "hybrid")
 
 
 class H3DFact:
@@ -130,10 +134,17 @@ class H3DFact:
         VTGT calibration rule.
     fidelity:
         MVM model: ``"statistical"`` (aggregate read-out statistics, one
-        Gaussian per output - :class:`~repro.core.cim_backend.CIMBackend`)
-        or ``"crossbar"`` (full tiled crossbar simulation with programmed
+        Gaussian per output - :class:`~repro.core.cim_backend.CIMBackend`),
+        ``"crossbar"`` (full tiled crossbar simulation with programmed
         conductances and per-tile converters -
-        :class:`~repro.core.crossbar_backend.CIMBatchedBackend`).  The
+        :class:`~repro.core.crossbar_backend.CIMBatchedBackend`),
+        ``"sram"`` (the all-digital tier-1 baseline: packed XNOR +
+        popcount similarity and integer adder-tree projection, exact and
+        deterministic -
+        :class:`~repro.core.sram_backend.SRAMBatchedBackend`), or
+        ``"hybrid"`` (heterogeneous stack: SRAM tier-1 similarity, RRAM
+        crossbar tier-2 projection - the GEM3D-style mixed configuration,
+        :class:`~repro.core.sram_backend.HybridTierBackend`).  The
         headline experiments run ``"crossbar"``; see the README's
         "Fidelity spectrum".
     device:
@@ -176,12 +187,13 @@ class H3DFact:
             raise ConfigurationError(
                 f"algebra must be one of {ALGEBRAS}, got {algebra!r}"
             )
-        if algebra == "fhrr" and fidelity == "crossbar":
+        if algebra == "fhrr" and fidelity in ("crossbar", "sram", "hybrid"):
             raise ConfigurationError(
-                "algebra='fhrr' requires the exact phasor MVM path; the "
-                "crossbar fidelity models bipolar conductance arrays and "
-                "cannot carry complex state (use fidelity='statistical' "
-                "with algebra='bipolar', or drop the crossbar fidelity)"
+                f"algebra='fhrr' requires the exact phasor MVM path; the "
+                f"{fidelity!r} fidelity models bipolar hardware (conductance "
+                "arrays / 1-bit SRAM planes) and cannot carry complex state "
+                "(use fidelity='statistical' with algebra='bipolar', or "
+                "drop the hardware fidelity)"
             )
         self.algebra = algebra
         self.design = design if design is not None else h3d_design(adc_bits=adc_bits)
@@ -209,6 +221,16 @@ class H3DFact:
         """Full-fidelity design point: tiled crossbar simulation."""
         return cls(fidelity="crossbar", rng=rng, **kwargs)
 
+    @classmethod
+    def sram(cls, *, rng: RandomState = None, **kwargs) -> "H3DFact":
+        """All-digital tier-1 baseline: packed XNOR + popcount MVMs."""
+        return cls(fidelity="sram", rng=rng, **kwargs)
+
+    @classmethod
+    def hybrid(cls, *, rng: RandomState = None, **kwargs) -> "H3DFact":
+        """GEM3D-style mixed stack: SRAM similarity, crossbar projection."""
+        return cls(fidelity="hybrid", rng=rng, **kwargs)
+
     # -- factorization -------------------------------------------------------
 
     def make_backend(self, *, rng: RandomState = None):
@@ -232,6 +254,23 @@ class H3DFact:
                 policy=self.threshold_policy,
                 geometry=self.array_geometry,
                 rng=generator,
+            )
+        if self.fidelity == "sram":
+            return SRAMBatchedBackend()
+        if self.fidelity == "hybrid":
+            # Heterogeneous stack: exact digital tier-1 similarity (no
+            # noise to bind), tier-2 crossbar projection with the usual
+            # per-trial noise streams.
+            return HybridTierBackend(
+                similarity_backend=SRAMBatchedBackend(),
+                projection_backend=CIMBatchedBackend(
+                    device=self.device,
+                    noise=self.noise,
+                    adc=SARADC(bits=self.adc_bits),
+                    policy=self.threshold_policy,
+                    geometry=self.array_geometry,
+                    rng=generator,
+                ),
             )
         return CIMBackend(
             noise=self.noise,
@@ -259,9 +298,19 @@ class H3DFact:
         )
 
     def _make_activation(self, generator):
-        """Per-algebra nonlinearity: stochastic sign vs. phase projection."""
+        """Per-algebra nonlinearity: stochastic sign vs. phase projection.
+
+        The exact digital tier ("sram") gets the deterministic tie-break:
+        its integer projections *can* land on true zeros, and a digital
+        comparator resolves them by convention, not by noise - which also
+        keeps rng consumption independent of batch packing (the analog
+        fidelities' projections are continuous, so their random tie-break
+        fires with probability zero).
+        """
         if self.algebra == "fhrr":
             return PhaseActivation()
+        if self.fidelity == "sram":
+            return SignActivation("positive")
         return SignActivation("random", rng=generator)
 
     def _check_codebook_algebra(self, algebra: str) -> None:

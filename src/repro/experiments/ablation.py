@@ -48,7 +48,8 @@ class AblationConfig:
     pass_counts: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0)
     adc_bits: Tuple[int, ...] = (2, 3, 4, 6, 8)
     seed: int = 0
-    #: MVM fidelity: "crossbar" (default) or "statistical".
+    #: MVM fidelity: "crossbar" (default), "statistical", "sram" (exact
+    #: digital tier-1), or "hybrid" (SRAM similarity + crossbar projection).
     fidelity: str = "crossbar"
 
 

@@ -48,7 +48,9 @@ class Table2Config:
     #: "sequential" (per-trial loop), or None to consult H3DFACT_ENGINE.
     engine: Optional[str] = None
     #: MVM fidelity of the H3D column: "crossbar" (full tiled crossbar
-    #: simulation, the default) or "statistical" (aggregate noise model).
+    #: simulation, the default), "statistical" (aggregate noise model),
+    #: "sram" (exact all-digital tier-1), or "hybrid" (GEM3D-style SRAM
+    #: similarity + crossbar projection companion point).
     fidelity: str = "crossbar"
 
     @classmethod

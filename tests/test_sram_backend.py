@@ -1,0 +1,185 @@
+"""SRAM tier-1 backend: batched-vs-per-cell bit-identity, engine wiring,
+cross-engine parity for the "sram" and "hybrid" fidelities.
+
+The geometry deliberately uses widths not divisible by 64 (300, 257) so
+every equivalence below exercises the tail-word handling of the packed
+kernels - the regime of the historical packed-bit bugs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FIDELITIES,
+    H3DFact,
+    HybridTierBackend,
+    SRAMBatchedBackend,
+    SRAMPerCellBackend,
+)
+from repro.core.crossbar_backend import CIMBatchedBackend
+from repro.errors import ConfigurationError
+from repro.resonator.network import FactorizationProblem
+from repro.resonator.replay import run_group
+from repro.utils.rng import as_rng
+from repro.vsa.codebook import CodebookSet
+
+
+def _queries(rng, trials, dim):
+    return (
+        2 * rng.integers(0, 2, size=(trials, dim), dtype=np.int8) - 1
+    ).astype(np.float32)
+
+
+class TestBatchedVsPerCell:
+    @pytest.mark.parametrize("dim", [64, 100, 257, 300])
+    def test_similarity_bit_identity_shared(self, dim):
+        rng = as_rng(0)
+        book = CodebookSet.random_uniform(dim, 1, 9, rng=rng)[0]
+        queries = _queries(rng, 6, dim)
+        batched = SRAMBatchedBackend()
+        per_cell = SRAMPerCellBackend()
+        stacked = batched.similarity_batch(book, queries)
+        reference = np.stack([per_cell.similarity(book, q) for q in queries])
+        assert stacked.dtype == np.int64
+        assert np.array_equal(stacked, reference)
+        # The scalar path runs the same kernel as the batch path.
+        assert np.array_equal(batched.similarity(book, queries[0]), stacked[0])
+
+    @pytest.mark.parametrize("dim", [100, 300])
+    def test_projection_bit_identity(self, dim):
+        rng = as_rng(1)
+        book = CodebookSet.random_uniform(dim, 1, 9, rng=rng)[0]
+        queries = _queries(rng, 6, dim)
+        batched = SRAMBatchedBackend()
+        per_cell = SRAMPerCellBackend()
+        sims = batched.similarity_batch(book, queries)
+        stacked = batched.project_batch(book, sims)
+        reference = np.stack([per_cell.project(book, s) for s in sims])
+        assert stacked.dtype == np.int64
+        assert np.array_equal(stacked, reference)
+
+    def test_per_trial_codebooks_bit_identity(self):
+        rng = as_rng(2)
+        books = [
+            CodebookSet.random_uniform(129, 1, 7, rng=rng)[0] for _ in range(4)
+        ]
+        queries = _queries(rng, 4, 129)
+        batched = SRAMBatchedBackend()
+        per_cell = SRAMPerCellBackend()
+        sims = batched.similarity_batch(books, queries)
+        assert np.array_equal(sims, per_cell.similarity_batch(books, queries))
+        projected = batched.project_batch(books, sims)
+        assert np.array_equal(
+            projected, per_cell.project_batch(books, sims)
+        )
+
+    def test_op_accounting_exact(self):
+        rng = as_rng(3)
+        book = CodebookSet.random_uniform(130, 1, 5, rng=rng)[0]
+        queries = _queries(rng, 3, 130)
+        backend = SRAMBatchedBackend()
+        sims = backend.similarity_batch(book, queries)
+        words = (130 + 63) // 64  # 3 words per 130-lane vector
+        assert backend.dot_products == 3 * 5
+        assert backend.xnor_words == 3 * 5 * words
+        assert backend.popcount_words == 3 * 5 * words
+        backend.project_batch(book, sims)
+        assert backend.projection_macs == 3 * 130 * 5
+
+
+class TestEngineWiring:
+    def test_fidelities_registered(self):
+        assert "sram" in FIDELITIES and "hybrid" in FIDELITIES
+
+    def test_sram_backend_dispatch(self):
+        backend = H3DFact.sram(rng=0).make_backend()
+        assert isinstance(backend, SRAMBatchedBackend)
+        assert backend.deterministic
+
+    def test_hybrid_backend_dispatch(self):
+        backend = H3DFact.hybrid(rng=0).make_backend()
+        assert isinstance(backend, HybridTierBackend)
+        assert isinstance(backend.similarity_backend, SRAMBatchedBackend)
+        assert isinstance(backend.projection_backend, CIMBatchedBackend)
+        assert not backend.deterministic
+
+    @pytest.mark.parametrize("fidelity", ["sram", "hybrid"])
+    def test_fhrr_rejected(self, fidelity):
+        with pytest.raises(ConfigurationError):
+            H3DFact(fidelity=fidelity, algebra="fhrr")
+
+    def test_sram_factorizes(self):
+        engine = H3DFact.sram(rng=0)
+        correct = 0
+        for seed in range(8):
+            problem = FactorizationProblem.random(256, 3, 8, rng=100 + seed)
+            result = engine.factorize(problem, max_iterations=200)
+            correct += bool(result.correct)
+        # Deterministic dynamics: some trials end in limit cycles (the
+        # paper's argument for stochasticity), but most small problems
+        # solve.  Integer-exact arithmetic makes the count reproducible.
+        assert correct >= 4
+
+    def test_hybrid_factorizes(self):
+        engine = H3DFact.hybrid(rng=0)
+        problem = FactorizationProblem.random(256, 3, 8, rng=107)
+        result = engine.factorize(problem, max_iterations=300)
+        assert result.indices is not None
+
+
+class TestEngineParity:
+    """Seeded batched runs == ``H3DFACT_ENGINE=sequential``, bit for bit."""
+
+    @staticmethod
+    def _problems(trials, dim=300, seed=0):
+        rng = as_rng(seed)
+        codebooks = CodebookSet.random_uniform(dim, 3, 16, rng=rng)
+        return [
+            FactorizationProblem.from_indices(
+                codebooks,
+                tuple(int(rng.integers(0, 16)) for _ in range(3)),
+            )
+            for _ in range(trials)
+        ]
+
+    @pytest.mark.parametrize("fidelity", ["sram", "hybrid"])
+    def test_batched_matches_sequential(self, fidelity):
+        problems = self._problems(10)
+        seeds = [900 + i for i in range(len(problems))]
+
+        def run(engine):
+            h3d = H3DFact(fidelity=fidelity, rng=1)
+            return run_group(
+                lambda p: h3d.make_network(p.codebooks, max_iterations=40),
+                problems,
+                seeds=seeds,
+                engine=engine,
+            )
+
+        sequential = run("sequential")
+        batched = run("batched")
+        for a, b in zip(batched, sequential):
+            assert a.indices == b.indices
+            assert a.iterations == b.iterations
+            assert a.outcome == b.outcome
+
+
+class TestHybridCompanionPoint:
+    def test_table2_runs_at_hybrid_fidelity(self):
+        from repro.experiments import Table2Config, run_table2
+
+        config = Table2Config(
+            dim=256,
+            factor_counts=(3,),
+            codebook_sizes=(8,),
+            trials=3,
+            max_iterations_baseline=60,
+            max_iterations_h3d=200,
+            fidelity="hybrid",
+            seed=0,
+        )
+        result = run_table2(config)
+        rendered = result.render()
+        assert rendered
+        cell = result.cell("h3d", 3, 8)
+        assert 0.0 <= cell.stats.accuracy <= 1.0

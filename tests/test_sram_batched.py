@@ -1,0 +1,181 @@
+"""Packed tier-1 kernels vs the per-cell units, bit for bit.
+
+Exhaustive width sweeps 1..129 cover every ``width % 8`` and
+``width % 64`` residue, the regime where the historical packed-bit bugs
+lived (full-byte inversion leaking 1s into tail padding lanes, and the
+word-range check accepting unsigned and signed encodings at once).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cim.sram import (
+    NegOnesCounter,
+    SRAMArray,
+    XNORUnbindUnit,
+    native_available,
+    pack_bipolar,
+    packed_xnor_unbind,
+    popcount,
+    tail_mask,
+    unpack_bipolar,
+    xnor_popcount_mvm,
+)
+from repro.cim.sram.xnor import from_bits, to_bits
+from repro.errors import ConfigurationError, DimensionError
+
+ALL_WIDTHS = range(1, 130)
+
+
+def _bipolar(rng, *shape):
+    return 2 * rng.integers(0, 2, size=shape, dtype=np.int8) - 1
+
+
+class TestPackedRepresentation:
+    def test_roundtrip_and_zero_tail_all_widths(self):
+        rng = np.random.default_rng(0)
+        for width in ALL_WIDTHS:
+            vector = _bipolar(rng, width)
+            packed = pack_bipolar(vector)
+            assert packed.dtype == np.uint64
+            assert np.array_equal(unpack_bipolar(packed, width), vector)
+            # The invariant every popcount relies on: padding lanes are 0.
+            assert packed[-1] & ~tail_mask(width) == 0
+
+    def test_popcount_matches_python(self):
+        rng = np.random.default_rng(1)
+        words = rng.integers(0, 2**63, size=32, dtype=np.uint64)
+        expected = np.array([bin(int(w)).count("1") for w in words])
+        assert np.array_equal(popcount(words), expected)
+
+    def test_from_bits_signed_dtype(self):
+        decoded = from_bits(np.array([0, 1, 1, 0], dtype=np.uint8))
+        assert decoded.dtype == np.int64
+        assert np.array_equal(decoded, [-1, 1, 1, -1])
+
+
+class TestPackedXnorParity:
+    def test_word_unbind_matches_unit_all_widths(self):
+        rng = np.random.default_rng(2)
+        for width in ALL_WIDTHS:
+            unit = XNORUnbindUnit(width)
+            a, b, c = (_bipolar(rng, width) for _ in range(3))
+            product = a * b * c
+            reference = unit.unbind(product, b, c)
+            packed = packed_xnor_unbind(
+                pack_bipolar(product), [pack_bipolar(b), pack_bipolar(c)], width
+            )
+            assert np.array_equal(unpack_bipolar(packed, width), reference)
+            assert np.array_equal(reference, a)
+            # Tail lanes stay zero through the inversions.
+            assert packed[-1] & ~tail_mask(width) == 0
+
+    def test_byte_unbind_packed_masks_tail_all_widths(self):
+        rng = np.random.default_rng(3)
+        for width in ALL_WIDTHS:
+            unit = XNORUnbindUnit(width)
+            a, b = _bipolar(rng, width), _bipolar(rng, width)
+            packed = unit.unbind_packed(
+                np.packbits(to_bits(a * b)), [np.packbits(to_bits(b))]
+            )
+            bits = np.unpackbits(packed)
+            assert np.array_equal(bits[:width], to_bits(a))
+            # The historical bug: NOT set these padding bits to 1, so any
+            # popcount over the packed bytes overcounted.
+            assert not bits[width:].any()
+
+    def test_byte_unbind_packed_rejects_wrong_length(self):
+        unit = XNORUnbindUnit(16)
+        with pytest.raises(DimensionError):
+            unit.unbind_packed(np.zeros(3, dtype=np.uint8), [])
+
+
+class TestCounterMvmParity:
+    def test_mvm_matches_per_cell_counter_all_widths(self):
+        rng = np.random.default_rng(4)
+        for width in ALL_WIDTHS:
+            counter = NegOnesCounter(width)
+            matrix = _bipolar(rng, width, 5)
+            queries = _bipolar(rng, 3, width)
+            sims = xnor_popcount_mvm(
+                pack_bipolar(np.ascontiguousarray(matrix.T)),
+                pack_bipolar(queries),
+                width,
+            )
+            expected = np.stack(
+                [counter.similarity_vector(matrix, q) for q in queries]
+            )
+            assert sims.dtype == np.int64
+            assert np.array_equal(sims, expected)
+
+    @given(st.integers(1, 400), st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_counter_equals_float_dot(self, width, seed):
+        rng = np.random.default_rng(seed)
+        counter = NegOnesCounter(width)
+        matrix = _bipolar(rng, width, 4)
+        query = _bipolar(rng, width)
+        sims = counter.similarity_vector(matrix, query)
+        expected = matrix.T.astype(np.float64) @ query.astype(np.float64)
+        assert np.array_equal(sims.astype(np.float64), expected)
+
+    def test_counter_rejects_non_bipolar_matrix(self):
+        counter = NegOnesCounter(4)
+        query = np.array([1, -1, 1, -1])
+        with pytest.raises(DimensionError):
+            counter.similarity_vector(np.ones((4, 3)) * 0.5, query)
+
+    def test_counter_accepts_float_bipolar_operands(self):
+        counter = NegOnesCounter(4)
+        matrix = np.array([[1.0, -1.0], [1.0, 1.0], [-1.0, 1.0], [1.0, -1.0]])
+        sims = counter.similarity_vector(matrix, np.ones(4, dtype=np.float32))
+        assert np.array_equal(sims, [2, 0])
+
+    def test_native_and_numpy_paths_agree(self, monkeypatch):
+        if not native_available():
+            pytest.skip("no C toolchain: only the numpy path exists")
+        rng = np.random.default_rng(5)
+        items = pack_bipolar(_bipolar(rng, 11, 200))
+        queries = pack_bipolar(_bipolar(rng, 7, 200))
+        with_native = xnor_popcount_mvm(items, queries, 200)
+        monkeypatch.setenv("H3DFACT_NO_NATIVE", "1")
+        numpy_only = xnor_popcount_mvm(items, queries, 200)
+        assert np.array_equal(with_native, numpy_only)
+
+
+class TestSRAMArraySignedRange:
+    def test_signed_roundtrip_extremes(self):
+        sram = SRAMArray(4, word_bits=8)
+        sram.write(0, 127)
+        sram.write(1, -128)
+        sram.write(2, -1)
+        assert sram.read(0) == 127
+        assert sram.read(1) == -128
+        assert sram.read(2) == -1
+
+    @pytest.mark.parametrize("value", [128, -129, 255])
+    def test_rejects_out_of_signed_range(self, value):
+        sram = SRAMArray(4, word_bits=8)
+        with pytest.raises(ConfigurationError):
+            sram.write(0, value)
+
+    def test_write_block_uses_same_signed_check(self):
+        sram = SRAMArray(8, word_bits=8)
+        sram.write_block(0, np.array([-128, 0, 127]))
+        assert np.array_equal(sram.read_block(0, 3), [-128, 0, 127])
+        with pytest.raises(ConfigurationError):
+            sram.write_block(4, np.array([1, 200]))
+
+    @given(st.integers(1, 16), st.integers(-(2**16), 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_signed_bound_property(self, word_bits, value):
+        sram = SRAMArray(2, word_bits=word_bits)
+        limit = 1 << (word_bits - 1)
+        if -limit <= value < limit:
+            sram.write(0, value)
+            assert sram.read(0) == value
+        else:
+            with pytest.raises(ConfigurationError):
+                sram.write(0, value)

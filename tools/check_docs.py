@@ -10,10 +10,12 @@ tier-1 suite (``tests/test_docs.py``):
   ``http(s)``/``mailto`` links are ignored).  Catches renames that strand
   the README / ARCHITECTURE cross-references.
 * **Docstring coverage** - every module, public class and public
-  function/method under ``src/repro/cim`` must carry a docstring.  The
-  CIM package is the hardware-model boundary where units (conductance in
-  uS, energy in fJ) and paper-equation pointers live, so regressions
-  there are treated as failures rather than style nits.
+  function/method under ``src/repro/cim`` (including the packed SRAM
+  tier-1 kernels in ``repro.cim.sram``) and ``src/repro/core`` must
+  carry a docstring.  These packages are the hardware-model boundary
+  where units (conductance in uS, energy in fJ), bit-layout invariants
+  and paper-equation pointers live, so regressions there are treated as
+  failures rather than style nits.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
@@ -26,7 +28,10 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DOCSTRING_ROOTS = [REPO_ROOT / "src" / "repro" / "cim"]
+DOCSTRING_ROOTS = [
+    REPO_ROOT / "src" / "repro" / "cim",
+    REPO_ROOT / "src" / "repro" / "core",
+]
 SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
 
 #: Inline Markdown links: [text](target). Images share the syntax.
@@ -102,7 +107,9 @@ def main() -> int:
     if problems:
         print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
         return 1
-    print("docs OK: markdown links resolve, repro.cim fully docstringed")
+    print(
+        "docs OK: markdown links resolve, repro.cim + repro.core fully docstringed"
+    )
     return 0
 
 
