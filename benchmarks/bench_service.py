@@ -1,14 +1,23 @@
-"""Micro-batching service benchmarks (not a paper artifact).
+"""Micro-batching + HTTP serving-tier benchmarks (not a paper artifact).
 
-The acceptance number for the serving layer: coalescing 32 concurrent
-same-geometry requests through the scheduler must beat per-request
-sequential serving by >= 3x wall-clock, while returning bit-identical
-results (deterministic configuration, per-request seeds).  Also measures
-the codebook registry's program-once amortization across request waves.
+Two acceptance numbers for the serving layer, both appended to
+``BENCH_service.json`` through the conftest recording hooks:
+
+* coalescing 32 concurrent same-geometry requests through the scheduler
+  must beat per-request sequential serving by >= 3x wall-clock, while
+  returning bit-identical results (deterministic configuration,
+  per-request seeds);
+* the closed-loop load generator at 64 concurrent requests must show
+  >= 2x throughput with 4 worker shards vs. the single-process service -
+  *when the machine has >= 4 cores* (the assert is core-gated: process
+  sharding cannot beat one process on a single-core box, so there the
+  run records measurements and checks bit-identity only; nightly CI runs
+  on 4-vCPU runners where the full assert applies).
 
 Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_service.py -q``.
 """
 
+import os
 import time
 
 import pytest
@@ -154,6 +163,100 @@ def test_registry_amortization_across_waves(emit):
     # One programming event, every other lookup served from the registry.
     assert misses == 1
     assert hits == 31
+
+
+def test_loadgen_shard_scaling_c64(emit, record):
+    """Shard scaling at 64 concurrent requests over HTTP.
+
+    Same seeded workload offered to two deployments: the single-process
+    service and a 4-shard worker pool, both behind the HTTP server.  The
+    result digests must match bit for bit unconditionally; the >= 2x
+    throughput assert applies on >= 4 cores (weaker floor at 2-3, record
+    only on 1 - see the module docstring).
+    """
+    from repro.service import InProcessTransport, ShardedWorkerPool, WorkerPoolConfig
+    from repro.service.http import H3DFactHTTPServer, HTTPTransport
+    from repro.service.http.loadgen import LoadGenConfig, run_loadgen
+
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+    config = LoadGenConfig(
+        dim=512,
+        num_factors=3,
+        codebook_size=32,
+        codebook_sets=4,
+        requests=64,
+        concurrency=(64,),
+        max_iterations=30,
+        seed=11,
+    )
+
+    def measure(transport):
+        with H3DFactHTTPServer(transport, own_transport=True) as server:
+            client = HTTPTransport(server.url)
+            # Warm sockets, registries and worker caches, then measure.
+            warm = run_loadgen(
+                client,
+                LoadGenConfig(
+                    dim=config.dim,
+                    codebook_size=config.codebook_size,
+                    codebook_sets=config.codebook_sets,
+                    requests=8,
+                    concurrency=(8,),
+                    max_iterations=config.max_iterations,
+                    seed=config.seed,
+                ),
+                timeout=120.0,
+            )
+            assert warm.levels[0].errors == 0
+            report = run_loadgen(client, config, timeout=120.0)
+        level = report.levels[0]
+        assert level.errors == 0
+        return level
+
+    single = measure(InProcessTransport())
+    sharded = measure(ShardedWorkerPool(WorkerPoolConfig(shards=4)))
+
+    speedup = sharded.throughput_rps / single.throughput_rps
+    emit(
+        f"\nloadgen C=64 (D=512, F=3, M=32, 4 codebook sets, HTTP): "
+        f"single-process {single.throughput_rps:.1f} req/s "
+        f"(p95 {single.p95_ms:.1f} ms), 4 shards "
+        f"{sharded.throughput_rps:.1f} req/s (p95 {sharded.p95_ms:.1f} ms) "
+        f"-> {speedup:.2f}x on {cores} core(s)"
+    )
+    record(
+        "service",
+        benchmark="loadgen_shard_scaling_c64",
+        cores=cores,
+        requests=config.requests,
+        concurrency=64,
+        rps_single=single.throughput_rps,
+        rps_sharded_4=sharded.throughput_rps,
+        p95_ms_single=single.p95_ms,
+        p95_ms_sharded_4=sharded.p95_ms,
+        speedup=speedup,
+        digest_match=single.digest == sharded.digest,
+    )
+    # Bit-identity across deployments is unconditional: sharding must
+    # never change a seeded factorization.
+    assert single.digest == sharded.digest
+    assert single.solved == sharded.solved
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"4 shards gave only {speedup:.2f}x over single-process "
+            f"at C=64 on {cores} cores"
+        )
+    elif cores >= 2:
+        assert speedup >= 1.2, (
+            f"4 shards gave only {speedup:.2f}x on {cores} cores"
+        )
+    else:
+        emit(
+            "\n  (1 core: shard-scaling assert skipped; measurements "
+            "and bit-identity recorded)"
+        )
 
 
 @pytest.mark.parametrize("batch_size", [1, 8, 32])

@@ -123,8 +123,183 @@ def build_parser() -> argparse.ArgumentParser:
         help="holographic algebra of the request stream",
     )
 
+    p = sub.add_parser(
+        "serve", help="HTTP serving tier over sharded worker processes"
+    )
+    _add_common(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8373, help="0 = ephemeral")
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="worker processes (0 = single-process in-process transport)",
+    )
+    p.add_argument("--batch", type=int, default=32, help="max batch size")
+    p.add_argument(
+        "--capacity", type=int, default=256, help="per-shard queue bound"
+    )
+    p.add_argument(
+        "--backpressure",
+        choices=("block", "error"),
+        default="block",
+        help="full-queue policy",
+    )
+    p.add_argument(
+        "--smoke",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve N seeded self-requests on an ephemeral port, print "
+        "the deterministic result rows, and exit (CI mode)",
+    )
+
+    p = sub.add_parser(
+        "loadgen", help="closed-loop load generator (latency/throughput)"
+    )
+    _add_common(p)
+    p.add_argument(
+        "--url",
+        default=None,
+        help="target an already-running server (default: self-hosted)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="self-hosted worker processes (0 = in-process; ignored with --url)",
+    )
+    p.add_argument(
+        "--concurrency",
+        default="1,8,64",
+        help="comma-separated closed-loop concurrency levels",
+    )
+    p.add_argument("--requests", type=int, default=64, help="per level")
+    p.add_argument("--dim", type=int, default=256)
+    p.add_argument("--factors", type=int, default=3)
+    p.add_argument("--size", type=int, default=32, help="codebook size")
+    p.add_argument(
+        "--sets", type=int, default=4, help="distinct codebook sets"
+    )
+    p.add_argument("--iterations", type=int, default=30, help="sweep budget")
+    p.add_argument(
+        "--algebra",
+        choices=("bipolar", "fhrr"),
+        default="bipolar",
+        help="holographic algebra of the request stream",
+    )
+    p.add_argument(
+        "--fidelity",
+        choices=("baseline", "statistical", "crossbar", "sram", "hybrid"),
+        default="baseline",
+        help="execution profile requests carry",
+    )
+
     sub.add_parser("all", help="run every experiment at default scale")
     return parser
+
+
+def _make_transport(shards: int, batch: int, capacity: int, backpressure: str):
+    """Serving transport for the CLI: sharded pool, or in-process at 0."""
+    from repro.service.scheduler import BatchPolicy, FactorizationService
+    from repro.service.transport import InProcessTransport
+    from repro.service.workers import ShardedWorkerPool, WorkerPoolConfig
+
+    if shards <= 0:
+        return InProcessTransport(
+            FactorizationService(
+                policy=BatchPolicy(
+                    max_batch_size=batch,
+                    queue_capacity=capacity,
+                    backpressure=backpressure,
+                )
+            )
+        )
+    return ShardedWorkerPool(
+        WorkerPoolConfig(
+            shards=shards,
+            max_batch_size=batch,
+            queue_capacity=capacity,
+            backpressure=backpressure,
+        )
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> str:
+    """``h3dfact serve``: run the HTTP front door (or a seeded smoke)."""
+    from repro.service.http import H3DFactHTTPServer, HTTPTransport
+    from repro.service.http.loadgen import LoadGenConfig, run_loadgen
+
+    transport = _make_transport(
+        args.shards, args.batch, args.capacity, args.backpressure
+    )
+    if args.smoke is not None:
+        # CI mode: ephemeral port, seeded self-traffic, deterministic rows.
+        with H3DFactHTTPServer(
+            transport, host=args.host, port=0, own_transport=True
+        ) as server:
+            report = run_loadgen(
+                HTTPTransport(server.url),
+                LoadGenConfig(
+                    requests=args.smoke,
+                    concurrency=(min(8, args.smoke),),
+                    seed=args.seed,
+                ),
+            )
+        lines = ["h3dfact serve --smoke: HTTP serving tier self-test"]
+        lines.append(
+            f"  shards={args.shards} batch={args.batch} "
+            f"capacity={args.capacity} backpressure={args.backpressure} "
+            f"seed={args.seed}"
+        )
+        for level in report.levels:
+            lines.append(
+                f"  served={level.requests - level.errors}/{level.requests} "
+                f"solved={level.solved} digest={level.digest[:16]}"
+            )
+            lines.append(
+                f"    {level.throughput_rps:.1f} req/s over HTTP "
+                "[machine-dependent]"
+            )
+        return "\n".join(lines)
+    server = H3DFactHTTPServer(
+        transport, host=args.host, port=args.port, own_transport=True
+    )
+    print(f"h3dfact serving on {server.url} (ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return "h3dfact serve: stopped"
+
+
+def _run_loadgen(args: argparse.Namespace) -> str:
+    """``h3dfact loadgen``: sweep concurrency levels, report percentiles."""
+    from repro.service.http import H3DFactHTTPServer, HTTPTransport
+    from repro.service.http.loadgen import LoadGenConfig, run_loadgen
+
+    levels = tuple(
+        int(token) for token in str(args.concurrency).split(",") if token
+    )
+    config = LoadGenConfig(
+        dim=args.dim,
+        num_factors=args.factors,
+        codebook_size=args.size,
+        codebook_sets=args.sets,
+        requests=args.requests,
+        concurrency=levels,
+        max_iterations=args.iterations,
+        seed=args.seed,
+        algebra=args.algebra,
+        fidelity=args.fidelity,
+    )
+    if args.url is not None:
+        return run_loadgen(HTTPTransport(args.url), config).render()
+    transport = _make_transport(args.shards, 32, 256, "block")
+    with H3DFactHTTPServer(transport, own_transport=True) as server:
+        return run_loadgen(HTTPTransport(server.url), config).render()
 
 
 def _run_one(command: str, args: argparse.Namespace) -> str:
@@ -196,6 +371,10 @@ def _run_one(command: str, args: argparse.Namespace) -> str:
                 algebra=args.algebra,
             )
         ).render()
+    if command == "serve":
+        return _run_serve(args)
+    if command == "loadgen":
+        return _run_loadgen(args)
     raise ValueError(f"unknown command {command!r}")
 
 

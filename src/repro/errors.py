@@ -49,3 +49,31 @@ class ServiceError(ReproError):
 
 class BackpressureError(ServiceError):
     """The service's bounded request queue is full (reject policy)."""
+
+
+class WorkerLostError(ServiceError):
+    """A worker shard died while requests routed to it were in flight.
+
+    Retryable: the pool restarts the shard (re-programming its registry
+    from the control plane), so resubmitting the same seeded request
+    yields the same bit-identical response.
+    """
+
+
+class RequestTimeoutError(ServiceError):
+    """A request did not complete within its caller-supplied deadline.
+
+    Not retryable by default: the work may still complete server-side, so
+    the caller decides whether resubmission is appropriate (seeded
+    requests are idempotent, making retry safe when desired).
+    """
+
+
+class UnknownCodebookError(ServiceError):
+    """A request referenced a codebook key the serving shard has not programmed.
+
+    Retryable: after a worker restart the pool replays codebook
+    registrations, so a key that raced the replay resolves on resubmit.
+    A key that was never registered keeps failing until the client
+    re-registers the set.
+    """

@@ -8,6 +8,16 @@ interned once into a content-addressed LRU :class:`CodebookRegistry`, and
 per-request seeding makes deterministic configurations replay
 bit-identically regardless of arrival order or batch packing.
 
+The serving tier extends the same guarantee over process and network
+boundaries: dispatch is transport-agnostic behind the :class:`Transport`
+seam (:class:`InProcessTransport` here,
+:class:`~repro.service.workers.ShardedWorkerPool` over registry-sharded
+worker processes, :class:`~repro.service.http.HTTPTransport` over the
+stdlib HTTP server in :mod:`repro.service.http`), requests may name an
+execution profile (:mod:`repro.service.profiles`), and the
+:class:`~repro.service.sharding.ConsistentHashRing` routes live traffic
+by codebook fingerprint so program-once amortization survives sharding.
+
 >>> from repro.service import FactorizationRequest, FactorizationService
 >>> from repro import FactorizationProblem
 >>> with FactorizationService() as service:
@@ -35,29 +45,62 @@ from repro.service.registry import (
     codebook_fingerprint,
 )
 from repro.service.request import FactorizationRequest, FactorizationResponse
+from repro.service.profiles import (
+    BASELINE_PROFILE,
+    PROFILE_FIDELITIES,
+    check_profile,
+    network_factory_for,
+)
 from repro.service.scheduler import (
     BatchPolicy,
     FactorizationService,
     ServiceStats,
 )
-from repro.service.sharding import CellOutcome, SweepCell, run_cell, run_cells
+from repro.service.sharding import (
+    CellOutcome,
+    ConsistentHashRing,
+    SweepCell,
+    run_cell,
+    run_cells,
+)
+from repro.service.transport import (
+    InProcessTransport,
+    Transport,
+    request_routing_key,
+)
+from repro.service.workers import (
+    PoolStats,
+    ShardedWorkerPool,
+    WorkerPoolConfig,
+)
 
 __all__ = [
+    "BASELINE_PROFILE",
     "BatchPolicy",
     "CellOutcome",
     "CodebookRegistry",
+    "ConsistentHashRing",
     "FactorizationRequest",
     "FactorizationResponse",
     "FactorizationService",
     "GeometryKey",
+    "InProcessTransport",
+    "PROFILE_FIDELITIES",
+    "PoolStats",
     "RegistryStats",
     "ServeBenchConfig",
     "ServeBenchResult",
     "ServiceStats",
+    "ShardedWorkerPool",
     "SweepCell",
+    "Transport",
+    "WorkerPoolConfig",
+    "check_profile",
     "codebook_fingerprint",
     "geometry_key",
     "group_by_geometry",
+    "network_factory_for",
+    "request_routing_key",
     "run_cell",
     "run_cells",
     "run_group",

@@ -36,6 +36,8 @@ from repro.vsa.codebook import CodebookSet
 
 @dataclass
 class ServeBenchConfig:
+    """Workload knobs for ``h3dfact serve-bench`` (one shared codebook set)."""
+
     dim: int = 1024
     num_factors: int = 3
     codebook_size: int = 64
@@ -61,6 +63,8 @@ class ServeBenchConfig:
 
 @dataclass
 class ServeBenchResult:
+    """Measurements from one serve-bench run (parity + packing + timing)."""
+
     config: ServeBenchConfig
     solved: int
     parity: bool
@@ -74,15 +78,18 @@ class ServeBenchResult:
 
     @property
     def accuracy(self) -> float:
+        """Fraction of requests solved within the sweep budget."""
         return self.solved / self.config.requests
 
     @property
     def speedup(self) -> float:
+        """Per-request wall-clock over coalesced wall-clock."""
         if self.coalesced_seconds <= 0:
             return float("inf")
         return self.per_request_seconds / self.coalesced_seconds
 
     def render(self) -> str:
+        """Human-readable report (wall-clock rows marked machine-dependent)."""
         config = self.config
         hit_total = self.cache_hits + self.cache_misses
         hit_rate = 100.0 * self.cache_hits / hit_total if hit_total else 0.0
@@ -129,6 +136,7 @@ def _same_result(a: FactorizationResult, b: FactorizationResult) -> bool:
 
 
 def run_serve_bench(config: Optional[ServeBenchConfig] = None) -> ServeBenchResult:
+    """Serve one seeded stream per-request then coalesced; compare and time."""
     config = config or ServeBenchConfig()
     rng = as_rng(config.seed)
     codebooks = CodebookSet.random_uniform(

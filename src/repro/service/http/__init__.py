@@ -1,0 +1,32 @@
+"""HTTP serving tier: stdlib-only server, retrying client, load generator.
+
+The network front door for factorization traffic (ROADMAP "serving from
+millions of users" north star).  Three pieces, all speaking the wire
+codec of :mod:`repro.service.wire`:
+
+* :class:`~repro.service.http.server.H3DFactHTTPServer` - a threaded
+  ``http.server`` exposing ``/health``, ``/eval``, ``/batch_eval``,
+  ``/metrics`` and ``/codebooks`` over any
+  :class:`~repro.service.transport.Transport`;
+* :class:`~repro.service.http.client.HTTPTransport` - a keep-alive
+  client with a deterministic retry ladder for retryable failures
+  (backpressure, worker loss, unknown-codebook races);
+* :mod:`~repro.service.http.loadgen` - a closed-loop load generator
+  reporting p50/p95/p99 latency and throughput vs. offered load, plus an
+  order-independent result digest for cross-deployment bit-identity
+  checks.
+"""
+
+from repro.service.http.client import FactorizationClient, HTTPTransport, RetryPolicy
+from repro.service.http.loadgen import LoadGenConfig, LoadGenReport, run_loadgen
+from repro.service.http.server import H3DFactHTTPServer
+
+__all__ = [
+    "H3DFactHTTPServer",
+    "HTTPTransport",
+    "FactorizationClient",
+    "RetryPolicy",
+    "LoadGenConfig",
+    "LoadGenReport",
+    "run_loadgen",
+]

@@ -1,0 +1,297 @@
+"""Retrying keep-alive HTTP client for the serving tier.
+
+:class:`HTTPTransport` is the :class:`~repro.service.transport.Transport`
+that speaks to a remote :class:`~repro.service.http.server.H3DFactHTTPServer`.
+Connections are per-thread keep-alive :class:`http.client.HTTPConnection`
+objects, so the closed-loop load generator's worker threads each hold one
+socket.  Failures retry on a *deterministic* backoff ladder
+(:class:`RetryPolicy` - no jitter, so test runs are reproducible) in two
+cases:
+
+* **connection-level** errors (reset, refused, dropped keep-alive) -
+  always retryable: the request may not have reached a worker, and
+  seeded requests are idempotent so a duplicate execution is harmless
+  *and* bit-identical;
+* **typed retryable envelopes** (backpressure, worker lost,
+  unknown-codebook races) - the server said "try again".
+
+Scatter calls resubmit only the failed positions, so a mid-load worker
+kill costs retries, never lost or duplicated responses - the
+fault-injection suite pins exactly that.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.service import wire
+from repro.service.request import FactorizationRequest, FactorizationResponse
+from repro.service.transport import ResponseOrError, Transport
+from repro.vsa.codebook import CodebookSet
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic retry ladder for retryable failures."""
+
+    #: Total attempts per request (first try included).
+    max_attempts: int = 5
+    #: Sleep before retry k (clamped to the last rung).
+    backoff_seconds: Tuple[float, ...] = (0.02, 0.05, 0.1, 0.2, 0.5)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts <= 0:
+            raise ConfigurationError(
+                f"max_attempts must be positive, got {self.max_attempts}"
+            )
+        if not self.backoff_seconds:
+            raise ConfigurationError("backoff_seconds must not be empty")
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to sleep before retry number ``attempt`` (1-based)."""
+        index = min(attempt - 1, len(self.backoff_seconds) - 1)
+        return self.backoff_seconds[index]
+
+
+class _Connection(http.client.HTTPConnection):
+    """Keep-alive connection with Nagle disabled (small JSON exchanges)."""
+
+    def connect(self) -> None:
+        """Connect, then set ``TCP_NODELAY`` (avoids ~40ms ACK stalls)."""
+        super().connect()
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+@dataclass
+class ClientStats:
+    """Retry/resubmission counters for one client."""
+
+    requests: int = 0
+    retries: int = 0
+    resubmitted: int = 0
+
+
+class HTTPTransport(Transport):
+    """Transport over HTTP with typed-error retries.
+
+    ``timeout`` is the default per-request serving deadline forwarded to
+    the server; the socket timeout stretches beyond it so the typed 504
+    arrives instead of a raw socket error.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        timeout: Optional[float] = None,
+        socket_margin: float = 10.0,
+    ) -> None:
+        parts = urlsplit(url)
+        if parts.scheme not in ("http", "") or not parts.netloc and not parts.path:
+            raise ConfigurationError(f"unsupported server url {url!r}")
+        netloc = parts.netloc or parts.path
+        host, _, port = netloc.partition(":")
+        if not host or not port:
+            raise ConfigurationError(
+                f"server url must name host:port, got {url!r}"
+            )
+        self.host = host
+        self.port = int(port)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.timeout = timeout
+        self.socket_margin = socket_margin
+        self.stats = ClientStats()
+        self._stats_lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- connection management ----------------------------------------------
+
+    def _socket_timeout(self, timeout: Optional[float]) -> float:
+        deadline = timeout if timeout is not None else self.timeout
+        return (deadline or 0.0) + self.socket_margin
+
+    def _connection(self, timeout: Optional[float]) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = _Connection(
+                self.host, self.port, timeout=self._socket_timeout(timeout)
+            )
+            self._local.connection = connection
+        else:
+            connection.timeout = self._socket_timeout(timeout)
+        return connection
+
+    def _drop_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+
+    # -- request plumbing ----------------------------------------------------
+
+    def _roundtrip(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]],
+        *,
+        timeout: Optional[float],
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One HTTP exchange; raises ``OSError``-family on transport loss."""
+        connection = self._connection(timeout)
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        try:
+            connection.request(method, path, body=payload, headers=headers)
+            answer = connection.getresponse()
+            raw = answer.read()
+        except BaseException:
+            self._drop_connection()
+            raise
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as error:
+            raise ServiceError(
+                f"server answered non-JSON ({answer.status}): {error}"
+            ) from None
+        return answer.status, decoded
+
+    def _send(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]],
+        *,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Exchange with retries; raises the typed error on final failure."""
+        with self._stats_lock:
+            self.stats.requests += 1
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                status, payload = self._roundtrip(
+                    method, path, body, timeout=timeout
+                )
+            except (OSError, http.client.HTTPException) as error:
+                if attempt >= self.retry.max_attempts:
+                    raise ServiceError(
+                        f"{method} {path} failed after {attempt} attempts: "
+                        f"{error}"
+                    ) from error
+                with self._stats_lock:
+                    self.stats.retries += 1
+                time.sleep(self.retry.backoff(attempt))
+                continue
+            if status < 400:
+                return payload
+            error = wire.decode_error(payload)
+            retryable = (
+                isinstance(payload, dict)
+                and payload.get("error", {}).get("retryable", False)
+            )
+            if not retryable or attempt >= self.retry.max_attempts:
+                raise error
+            with self._stats_lock:
+                self.stats.retries += 1
+            time.sleep(self.retry.backoff(attempt))
+
+    # -- Transport implementation --------------------------------------------
+
+    def evaluate(
+        self,
+        request: FactorizationRequest,
+        *,
+        timeout: Optional[float] = None,
+    ) -> FactorizationResponse:
+        """POST /eval with retries; returns the decoded response."""
+        body: Dict[str, Any] = {"request": wire.encode_request(request)}
+        deadline = timeout if timeout is not None else self.timeout
+        if deadline is not None:
+            body["timeout"] = deadline
+        payload = self._send("POST", "/eval", body, timeout=deadline)
+        return wire.decode_response(payload["response"])
+
+    def evaluate_scatter(
+        self,
+        requests: Sequence[FactorizationRequest],
+        *,
+        timeout: Optional[float] = None,
+    ) -> List[ResponseOrError]:
+        """POST /batch_eval, resubmitting only retryable failed positions."""
+        deadline = timeout if timeout is not None else self.timeout
+        results: List[Optional[ResponseOrError]] = [None] * len(requests)
+        open_positions = list(range(len(requests)))
+        attempt = 0
+        while open_positions:
+            attempt += 1
+            body: Dict[str, Any] = {
+                "requests": [
+                    wire.encode_request(requests[position])
+                    for position in open_positions
+                ]
+            }
+            if deadline is not None:
+                body["timeout"] = deadline
+            payload = self._send(
+                "POST", "/batch_eval", body, timeout=deadline
+            )
+            items = payload.get("results", [])
+            if len(items) != len(open_positions):
+                raise ServiceError(
+                    f"/batch_eval answered {len(items)} items for "
+                    f"{len(open_positions)} requests"
+                )
+            retry_positions = []
+            for position, item in zip(open_positions, items):
+                if "response" in item:
+                    results[position] = wire.decode_response(item["response"])
+                    continue
+                envelope = item.get("error", {})
+                if (
+                    envelope.get("retryable", False)
+                    and attempt < self.retry.max_attempts
+                ):
+                    retry_positions.append(position)
+                else:
+                    results[position] = wire.decode_error(item)
+            if retry_positions:
+                with self._stats_lock:
+                    self.stats.resubmitted += len(retry_positions)
+                time.sleep(self.retry.backoff(attempt))
+            open_positions = retry_positions
+        return list(results)  # type: ignore[arg-type]
+
+    def register_codebooks(self, codebooks: CodebookSet) -> str:
+        """POST /codebooks; returns the registry key."""
+        payload = self._send(
+            "POST", "/codebooks", {"codebooks": wire.encode_codebooks(codebooks)}
+        )
+        return payload["codebook_key"]
+
+    def health(self) -> Dict[str, Any]:
+        """GET /health."""
+        return self._send("GET", "/health", None)
+
+    def metrics(self) -> Dict[str, Any]:
+        """GET /metrics."""
+        return self._send("GET", "/metrics", None)
+
+    def close(self) -> None:
+        """Drop this thread's keep-alive connection."""
+        self._drop_connection()
+
+
+#: The ROADMAP names this surface after EvoAlpha's ``factor_eval_client``;
+#: keep that spelling available.
+FactorizationClient = HTTPTransport

@@ -1,0 +1,291 @@
+"""Closed-loop load generator for the serving tier.
+
+Offers a deterministic seeded workload to any
+:class:`~repro.service.transport.Transport` at a fixed concurrency: C
+worker threads each hold one in-flight request at a time (closed loop),
+pulling work from a shared cursor until the request list is exhausted.
+Per level the report carries throughput, p50/p95/p99 latency, error and
+retry counts - and an order-independent sha256 digest over the
+factorizations, so two deployments (in-process vs. HTTP, 1 vs. 4 shards)
+can be checked for bit-identity by comparing one hex string.  Wall-clock
+rows are labelled machine-dependent; the digest/solved rows are what the
+seeded CLI smokes compare.
+
+The workload spreads requests round-robin over several codebook sets
+because the pool routes by codebook fingerprint: one set pins all traffic
+to one shard (correct, but serial), while K >= shards sets exercise the
+ring's load spreading - the honest way to measure shard scaling.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.service import wire
+from repro.service.http.client import HTTPTransport
+from repro.service.request import FactorizationRequest, FactorizationResponse
+from repro.service.transport import Transport
+from repro.utils.rng import as_rng
+from repro.vsa.codebook import CodebookSet
+
+#: Per-request seed stride (a prime, so request seeds never collide with
+#: the small consecutive seeds tests like to use for codebooks).
+_SEED_STRIDE = 1_000_003
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """Workload shape and sweep levels for one load-generator run."""
+
+    #: Hypervector dimensionality of the workload.
+    dim: int = 256
+    #: Number of factors (codebooks per set).
+    num_factors: int = 3
+    #: Code vectors per factor.
+    codebook_size: int = 32
+    #: Distinct codebook sets traffic round-robins over (>= shard count
+    #: exercises ring load-spreading).
+    codebook_sets: int = 4
+    #: Requests per concurrency level.
+    requests: int = 64
+    #: Closed-loop concurrency levels to sweep.
+    concurrency: Tuple[int, ...] = (1, 8, 64)
+    #: Sweep budget per request.
+    max_iterations: int = 30
+    #: Master seed: codebooks, ground truths and request seeds derive
+    #: from it, so equal configs mean equal workloads bit for bit.
+    seed: int = 0
+    #: Workload algebra ("bipolar" or "fhrr").
+    algebra: str = "bipolar"
+    #: Execution profile requests carry (see :mod:`repro.service.profiles`).
+    fidelity: str = "baseline"
+    #: Pre-register codebook sets and send keyed requests (small wire
+    #: payloads, program-once); inline codebooks otherwise.
+    use_registry: bool = True
+
+    def __post_init__(self) -> None:
+        if self.requests <= 0:
+            raise ConfigurationError(
+                f"requests must be positive, got {self.requests}"
+            )
+        if self.codebook_sets <= 0:
+            raise ConfigurationError(
+                f"codebook_sets must be positive, got {self.codebook_sets}"
+            )
+        if not self.concurrency or any(c <= 0 for c in self.concurrency):
+            raise ConfigurationError(
+                f"concurrency levels must be positive, got {self.concurrency}"
+            )
+
+
+@dataclass
+class LevelReport:
+    """One concurrency level's closed-loop measurements."""
+
+    concurrency: int
+    requests: int
+    seconds: float
+    throughput_rps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    errors: int
+    solved: int
+    digest: str
+
+
+@dataclass
+class LoadGenReport:
+    """Full sweep: per-level rows plus workload identity."""
+
+    config: LoadGenConfig
+    levels: List[LevelReport] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable report (stable rows first, wall-clock labelled)."""
+        lines = [
+            "h3dfact loadgen - closed-loop latency/throughput sweep",
+            f"  workload: D={self.config.dim} F={self.config.num_factors} "
+            f"M={self.config.codebook_size} sets={self.config.codebook_sets} "
+            f"algebra={self.config.algebra} fidelity={self.config.fidelity} "
+            f"seed={self.config.seed}",
+            f"  requests per level: {self.config.requests} "
+            f"(registry={'on' if self.config.use_registry else 'off'})",
+        ]
+        for level in self.levels:
+            lines.append(
+                f"  C={level.concurrency:<4d} solved={level.solved}/"
+                f"{level.requests} errors={level.errors} "
+                f"digest={level.digest[:16]}"
+            )
+            lines.append(
+                f"    {level.throughput_rps:8.1f} req/s  "
+                f"p50={level.p50_ms:7.2f}ms p95={level.p95_ms:7.2f}ms "
+                f"p99={level.p99_ms:7.2f}ms "
+                f"({level.seconds:.2f}s wall) [machine-dependent]"
+            )
+        digests = {level.digest for level in self.levels}
+        lines.append(
+            "  digest across levels: "
+            + ("IDENTICAL" if len(digests) == 1 else "DIVERGENT")
+        )
+        return "\n".join(lines)
+
+
+def build_workload(
+    config: LoadGenConfig,
+) -> Tuple[List[CodebookSet], List[FactorizationRequest]]:
+    """Deterministic codebook sets + seeded request list for a config.
+
+    Request ``i`` targets set ``i % codebook_sets`` with per-request seed
+    ``seed * stride + i``; everything derives from ``config.seed``, so
+    two load generators pointed at different deployments offer the *same*
+    workload and their digests are comparable.
+    """
+    sets = [
+        CodebookSet.random(
+            dim=config.dim,
+            sizes=(config.codebook_size,) * config.num_factors,
+            rng=as_rng(config.seed * _SEED_STRIDE + 7919 * (index + 1)),
+            algebra=config.algebra,
+        )
+        for index in range(config.codebook_sets)
+    ]
+    requests = []
+    for index in range(config.requests):
+        codebooks = sets[index % config.codebook_sets]
+        rng = as_rng(config.seed * _SEED_STRIDE + index)
+        indices = tuple(
+            int(rng.integers(0, config.codebook_size))
+            for _ in range(config.num_factors)
+        )
+        requests.append(
+            FactorizationRequest(
+                product=codebooks.compose(indices),
+                codebooks=codebooks,
+                seed=config.seed * _SEED_STRIDE + index,
+                max_iterations=config.max_iterations,
+                true_indices=indices,
+                request_id=str(index),
+                fidelity=config.fidelity,
+            )
+        )
+    return sets, requests
+
+
+def _keyed(
+    requests: Sequence[FactorizationRequest], keys: Sequence[str]
+) -> List[FactorizationRequest]:
+    """Rewrite inline-codebook requests to keyed requests (same seeds)."""
+    keyed = []
+    for index, request in enumerate(requests):
+        keyed.append(
+            FactorizationRequest(
+                product=request.product,
+                codebook_key=keys[index % len(keys)],
+                seed=request.seed,
+                max_iterations=request.max_iterations,
+                true_indices=request.true_indices,
+                request_id=request.request_id,
+                fidelity=request.fidelity,
+            )
+        )
+    return keyed
+
+
+def _run_level(
+    transport: Transport,
+    requests: Sequence[FactorizationRequest],
+    concurrency: int,
+    *,
+    timeout: Optional[float],
+) -> LevelReport:
+    """Offer the request list at one closed-loop concurrency."""
+    cursor = iter(range(len(requests)))
+    cursor_lock = threading.Lock()
+    latencies: List[float] = []
+    responses: List[FactorizationResponse] = []
+    errors: List[BaseException] = []
+    sink_lock = threading.Lock()
+
+    def worker() -> None:
+        """One closed-loop lane: keep exactly one request in flight."""
+        while True:
+            with cursor_lock:
+                index = next(cursor, None)
+            if index is None:
+                return
+            started = time.perf_counter()
+            try:
+                response = transport.evaluate(requests[index], timeout=timeout)
+            except BaseException as error:
+                with sink_lock:
+                    errors.append(error)
+                continue
+            elapsed = time.perf_counter() - started
+            with sink_lock:
+                latencies.append(elapsed)
+                responses.append(response)
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=worker, name=f"loadgen-{i}", daemon=True)
+        for i in range(min(concurrency, len(requests)))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - started
+
+    ordered = sorted(latencies)
+
+    def pct(fraction: float) -> float:
+        """Nearest-rank latency percentile, in milliseconds."""
+        if not ordered:
+            return 0.0
+        rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+        return 1e3 * ordered[rank]
+
+    solved = sum(1 for response in responses if response.result.correct)
+    return LevelReport(
+        concurrency=concurrency,
+        requests=len(requests),
+        seconds=seconds,
+        throughput_rps=len(responses) / seconds if seconds > 0 else 0.0,
+        p50_ms=pct(0.50),
+        p95_ms=pct(0.95),
+        p99_ms=pct(0.99),
+        errors=len(errors),
+        solved=solved,
+        digest=wire.batch_digest(responses),
+    )
+
+
+def run_loadgen(
+    transport: Transport,
+    config: Optional[LoadGenConfig] = None,
+    *,
+    timeout: Optional[float] = None,
+) -> LoadGenReport:
+    """Sweep the config's concurrency levels against ``transport``.
+
+    With ``use_registry`` the codebook sets are registered once up front
+    and every request travels as a keyed reference - the program-once
+    pattern the sharded pool's routing is built around.
+    """
+    config = config if config is not None else LoadGenConfig()
+    sets, requests = build_workload(config)
+    if config.use_registry:
+        keys = [transport.register_codebooks(codebooks) for codebooks in sets]
+        requests = _keyed(requests, keys)
+    report = LoadGenReport(config=config)
+    for concurrency in config.concurrency:
+        report.levels.append(
+            _run_level(transport, requests, concurrency, timeout=timeout)
+        )
+    return report

@@ -1,0 +1,308 @@
+"""Stdlib-only HTTP server over the transport seam.
+
+:class:`H3DFactHTTPServer` binds a threaded :mod:`http.server` to any
+:class:`~repro.service.transport.Transport` - usually a
+:class:`~repro.service.workers.ShardedWorkerPool`, but the in-process
+transport works identically (the determinism tests exploit that).  The
+endpoint surface follows the retrieval-service shape the ROADMAP calls
+for:
+
+=====================  ====  ==================================================
+path                   verb  body / answer
+=====================  ====  ==================================================
+``/health``            GET   liveness + transport health
+``/metrics``           GET   latency percentiles + transport counters
+``/eval``              POST  ``{"request": <request>, "timeout": s?}`` ->
+                             ``{"response": <response>}``
+``/batch_eval``        POST  ``{"requests": [...], "timeout": s?}`` ->
+                             ``{"results": [{"response":..}|{"error":..}]}``
+``/codebooks``         POST  ``{"codebooks": <set>}`` -> ``{"codebook_key"}``
+=====================  ====  ==================================================
+
+Errors answer the typed envelope of :mod:`repro.service.wire` with its
+HTTP status mapping (400 bad request, 404 unknown codebook, 503
+backpressure / worker lost, 504 timeout), so the retrying client can
+decide retryability without string matching.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import Counter, deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Deque, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.service import wire
+from repro.service.transport import Transport
+
+#: Latency samples kept for the /metrics percentiles (bounded memory).
+_LATENCY_WINDOW = 4096
+
+
+def _percentile(samples: list, fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sorted sample list."""
+    rank = min(len(samples) - 1, max(0, int(fraction * len(samples))))
+    return samples[rank]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler: routes the five endpoints onto the transport."""
+
+    protocol_version = "HTTP/1.1"
+    # Small JSON request/response pairs on keep-alive connections are the
+    # worst case for Nagle + delayed ACK (~40ms stalls); disable it.
+    disable_nagle_algorithm = True
+    server: "_Server"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr logging (the tests hammer the API)."""
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ConfigurationError("request body must be JSON (empty body)")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"request body is not JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise ConfigurationError("request body must be a JSON object")
+        return payload
+
+    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_error(self, error: BaseException) -> None:
+        envelope = wire.encode_error(error)
+        self._reply(wire.http_status(envelope["error"]["type"]), envelope)
+
+    # -- endpoints -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        """Serve ``/health`` and ``/metrics``."""
+        started = time.monotonic()
+        try:
+            if self.path == "/health":
+                self._reply(200, self.server.app.health_payload())
+            elif self.path == "/metrics":
+                self._reply(200, self.server.app.metrics_payload())
+            else:
+                self._reply(
+                    404, {"error": {"type": "service",
+                                    "message": f"no route {self.path!r}",
+                                    "retryable": False}}
+                )
+        except BaseException as error:
+            self._reply_error(error)
+        finally:
+            self.server.app.observe(self.path, time.monotonic() - started)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        """Serve ``/eval``, ``/batch_eval`` and ``/codebooks``."""
+        started = time.monotonic()
+        try:
+            if self.path == "/eval":
+                self._reply(200, self.server.app.eval_one(self._read_json()))
+            elif self.path == "/batch_eval":
+                self._reply(200, self.server.app.eval_batch(self._read_json()))
+            elif self.path == "/codebooks":
+                self._reply(200, self.server.app.register(self._read_json()))
+            else:
+                self._reply(
+                    404, {"error": {"type": "service",
+                                    "message": f"no route {self.path!r}",
+                                    "retryable": False}}
+                )
+        except BaseException as error:
+            self._reply_error(error)
+        finally:
+            self.server.app.observe(self.path, time.monotonic() - started)
+
+
+class _Server(ThreadingHTTPServer):
+    """Threaded HTTP server carrying a reference to the application."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    app: "H3DFactHTTPServer"
+
+
+class H3DFactHTTPServer:
+    """The serving tier's front door: five endpoints over a transport.
+
+    ``port=0`` binds an ephemeral port (the tests' pattern); :meth:`start`
+    runs the accept loop on a daemon thread and :attr:`url` names the
+    bound address.  With ``own_transport=True`` closing the server closes
+    the transport too (the CLI uses that; tests usually share one).
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        own_transport: bool = False,
+    ) -> None:
+        self.transport = transport
+        self._own_transport = own_transport
+        self._httpd = _Server((host, port), _Handler)
+        self._httpd.app = self
+        self._thread: Optional[threading.Thread] = None
+        self._started = time.monotonic()
+        self._metrics_lock = threading.Lock()
+        self._endpoint_counts: Counter = Counter()
+        self._latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
+
+    # -- address -------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` pair."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound server (``http://host:port``)."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # -- application logic (called from handler threads) ---------------------
+
+    def observe(self, path: str, seconds: float) -> None:
+        """Record one served request for the /metrics percentiles."""
+        with self._metrics_lock:
+            self._endpoint_counts[path] += 1
+            self._latencies.append(seconds)
+
+    def health_payload(self) -> Dict[str, Any]:
+        """GET /health body."""
+        return {
+            "status": "ok",
+            "uptime_seconds": time.monotonic() - self._started,
+            "transport": self.transport.health(),
+        }
+
+    def metrics_payload(self) -> Dict[str, Any]:
+        """GET /metrics body: server percentiles + transport counters."""
+        with self._metrics_lock:
+            samples = sorted(self._latencies)
+            counts = dict(self._endpoint_counts)
+        latency = {}
+        if samples:
+            latency = {
+                "p50_ms": 1e3 * _percentile(samples, 0.50),
+                "p95_ms": 1e3 * _percentile(samples, 0.95),
+                "p99_ms": 1e3 * _percentile(samples, 0.99),
+                "samples": len(samples),
+            }
+        return {
+            "endpoints": counts,
+            "latency": latency,
+            "transport": self.transport.metrics(),
+        }
+
+    def eval_one(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """POST /eval body -> response envelope (errors propagate typed)."""
+        if "request" not in body:
+            raise ConfigurationError("POST /eval body needs a 'request' field")
+        request = wire.decode_request(body["request"])
+        timeout = body.get("timeout")
+        response = self.transport.evaluate(
+            request, timeout=float(timeout) if timeout is not None else None
+        )
+        return {"response": wire.encode_response(response)}
+
+    def eval_batch(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """POST /batch_eval body -> per-item response/error envelopes.
+
+        The HTTP status is 200 whenever the *batch* was processed; each
+        item reports its own success or typed error, so one poisoned
+        request never hides the rest of the batch.
+        """
+        if "requests" not in body or not isinstance(body["requests"], list):
+            raise ConfigurationError(
+                "POST /batch_eval body needs a 'requests' list"
+            )
+        timeout = body.get("timeout")
+        requests = []
+        decode_errors: Dict[int, BaseException] = {}
+        for position, payload in enumerate(body["requests"]):
+            try:
+                requests.append(wire.decode_request(payload))
+            except BaseException as error:
+                decode_errors[position] = error
+                requests.append(None)
+        valid = [request for request in requests if request is not None]
+        outcomes = iter(
+            self.transport.evaluate_scatter(
+                valid,
+                timeout=float(timeout) if timeout is not None else None,
+            )
+            if valid
+            else []
+        )
+        results = []
+        for position, request in enumerate(requests):
+            if request is None:
+                results.append(wire.encode_error(decode_errors[position]))
+                continue
+            outcome = next(outcomes)
+            if isinstance(outcome, BaseException):
+                results.append(wire.encode_error(outcome))
+            else:
+                results.append({"response": wire.encode_response(outcome)})
+        return {"results": results}
+
+    def register(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """POST /codebooks body -> the content-hash registry key."""
+        if "codebooks" not in body:
+            raise ConfigurationError(
+                "POST /codebooks body needs a 'codebooks' field"
+            )
+        codebooks = wire.decode_codebooks(body["codebooks"])
+        return {"codebook_key": self.transport.register_codebooks(codebooks)}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "H3DFactHTTPServer":
+        """Run the accept loop on a daemon thread; returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="h3dfact-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Run the accept loop in the calling thread (the CLI's path)."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Stop accepting, join the accept thread, release the socket."""
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+        if self._own_transport:
+            self.transport.close()
+
+    def __enter__(self) -> "H3DFactHTTPServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

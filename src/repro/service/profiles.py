@@ -1,0 +1,117 @@
+"""Named execution profiles: transport-safe fidelity -> factory resolution.
+
+A request travelling over a wire (HTTP body, multiprocess queue) cannot
+carry a Python closure, so the serving tier names its execution
+configuration instead: a *profile* string that every transport resolves to
+the same network factory.  The profile set is the engine's fidelity
+spectrum plus the deterministic baseline:
+
+* ``"baseline"`` - :func:`~repro.core.engine.baseline_network` (exact
+  rectified resonator for bipolar codebooks, exact phasor resonator for
+  FHRR), the service's historical default;
+* ``"statistical"`` / ``"crossbar"`` / ``"sram"`` / ``"hybrid"`` - the
+  :class:`~repro.core.engine.H3DFact` fidelities (see the README's
+  "Fidelity spectrum").
+
+Engines are cached per ``(fidelity, algebra)`` so program-once artifacts
+(conductance tiles, packed codebook planes) amortize across batches within
+one process, and every network is built from a fixed-seed generator so
+profile resolution adds no hidden entropy: a seeded request's trajectory
+still depends only on its own seed, its product and its codebooks - the
+basis of the cross-transport bit-identity guarantee.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.core.engine import FIDELITIES, H3DFact, baseline_network
+from repro.errors import ConfigurationError
+from repro.resonator.batch import NetworkFactory
+from repro.resonator.network import FactorizationProblem, ResonatorNetwork
+from repro.utils.rng import as_rng
+
+#: The deterministic default profile (exact MVMs, no hardware model).
+BASELINE_PROFILE = "baseline"
+
+#: Every profile name a request's ``fidelity`` field may carry.
+PROFILE_FIDELITIES = (BASELINE_PROFILE,) + FIDELITIES
+
+#: Fidelities that model bipolar hardware and cannot carry complex state.
+_BIPOLAR_ONLY = ("crossbar", "sram", "hybrid")
+
+#: Fixed seed for profile-owned engines and per-network generators.  The
+#: generator only feeds probability-zero tie-breaks (analog projections
+#: are continuous) and batch-wide fallbacks that seeded replay overrides,
+#: so pinning it removes the last source of ambient entropy.
+_ENGINE_SEED = 0x4833_4446  # "H3DF"
+
+_engines: Dict[Tuple[str, str], H3DFact] = {}
+_engines_lock = threading.Lock()
+
+
+def check_profile(fidelity: str, algebra: Optional[str] = None) -> str:
+    """Validate a profile name (and its algebra pairing); returns the name.
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown profiles
+    and for FHRR requests against the bipolar-hardware fidelities, the
+    same incompatibility :class:`~repro.core.engine.H3DFact` enforces.
+    """
+    if fidelity not in PROFILE_FIDELITIES:
+        raise ConfigurationError(
+            f"fidelity must be one of {PROFILE_FIDELITIES}, got {fidelity!r}"
+        )
+    if algebra == "fhrr" and fidelity in _BIPOLAR_ONLY:
+        raise ConfigurationError(
+            f"fidelity={fidelity!r} models bipolar hardware and cannot "
+            "serve FHRR (complex phasor) requests; use 'baseline' or "
+            "'statistical'"
+        )
+    return fidelity
+
+
+def engine_for(fidelity: str, algebra: str) -> H3DFact:
+    """The process-wide cached engine for one ``(fidelity, algebra)`` pair.
+
+    Caching is what makes program-once economics survive profile dispatch:
+    every batch of the same profile reuses one engine, whose backends key
+    their caches (conductances, packed planes) by codebook content hash.
+    """
+    check_profile(fidelity, algebra)
+    if fidelity == BASELINE_PROFILE:
+        raise ConfigurationError(
+            "the 'baseline' profile has no H3DFact engine; use "
+            "network_factory_for('baseline')"
+        )
+    key = (fidelity, algebra)
+    with _engines_lock:
+        engine = _engines.get(key)
+        if engine is None:
+            engine = H3DFact(
+                fidelity=fidelity, algebra=algebra, rng=as_rng(_ENGINE_SEED)
+            )
+            _engines[key] = engine
+        return engine
+
+
+def network_factory_for(fidelity: str) -> NetworkFactory:
+    """Resolve a profile name to a network factory (algebra-dispatching).
+
+    The returned factory reads the problem's codebook algebra, so one
+    profile serves mixed bipolar/FHRR traffic (each batch is single-
+    algebra by construction - the scheduler's batch key includes it).
+    """
+    check_profile(fidelity)
+
+    def factory(problem: FactorizationProblem) -> ResonatorNetwork:
+        """Build the profile's resonator for one problem's codebooks."""
+        algebra = problem.codebooks.algebra
+        check_profile(fidelity, algebra)
+        if fidelity == BASELINE_PROFILE:
+            return baseline_network(problem.codebooks)
+        return engine_for(fidelity, algebra).make_network(
+            problem.codebooks, rng=as_rng(_ENGINE_SEED)
+        )
+
+    return factory

@@ -23,7 +23,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Tuple
 
-from repro.errors import ConfigurationError, ServiceError
+from repro.errors import ConfigurationError, UnknownCodebookError
 from repro.vsa.codebook import CodebookSet, codebook_set_fingerprint
 
 
@@ -51,10 +51,12 @@ class RegistryStats:
 
     @property
     def lookups(self) -> int:
+        """Total lookups (hits + misses)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served without re-programming."""
         return self.hits / self.lookups if self.lookups else 0.0
 
 
@@ -98,11 +100,16 @@ class CodebookRegistry:
         return key
 
     def get(self, key: str) -> CodebookSet:
-        """Look up a previously registered set by key."""
+        """Look up a previously registered set by key.
+
+        Raises :class:`~repro.errors.UnknownCodebookError` (a retryable
+        :class:`~repro.errors.ServiceError`) on a miss - over the wire
+        this surfaces as HTTP 404 with a typed envelope.
+        """
         with self._lock:
             cached = self._entries.get(key)
             if cached is None:
-                raise ServiceError(
+                raise UnknownCodebookError(
                     f"no codebook set registered under key {key[:16]!r}... "
                     "(evicted, or never registered)"
                 )

@@ -47,6 +47,10 @@ class FactorizationRequest:
     true_indices: Optional[Tuple[int, ...]] = None
     #: Client-side correlation id, echoed back on the response.
     request_id: Optional[str] = None
+    #: Named execution profile ("baseline" or an engine fidelity); ``None``
+    #: means the serving endpoint's default factory (requests batch only
+    #: with equal profiles - see :mod:`repro.service.profiles`).
+    fidelity: Optional[str] = None
 
     def __post_init__(self) -> None:
         if (self.codebooks is None) == (self.codebook_key is None):
@@ -68,6 +72,10 @@ class FactorizationRequest:
         else:
             algebra = "bipolar"
         check_vector("request product", product, algebra=algebra)
+        if self.fidelity is not None:
+            from repro.service.profiles import check_profile
+
+            check_profile(self.fidelity, algebra)
         if self.codebooks is not None and product.shape != (self.codebooks.dim,):
             raise DimensionError(
                 f"request product shape {product.shape} does not match "
@@ -90,6 +98,7 @@ class FactorizationRequest:
         seed: Optional[int] = None,
         max_iterations: Optional[int] = None,
         request_id: Optional[str] = None,
+        fidelity: Optional[str] = None,
     ) -> "FactorizationRequest":
         """Wrap an existing problem (keeps its ground-truth bookkeeping)."""
         return cls(
@@ -99,6 +108,7 @@ class FactorizationRequest:
             max_iterations=max_iterations,
             true_indices=problem.true_indices,
             request_id=request_id,
+            fidelity=fidelity,
         )
 
 
@@ -118,6 +128,9 @@ class FactorizationResponse:
     cache_hit: bool
     #: Registry key of the codebook set the request ran against.
     codebook_key: str
+    #: Index of the worker shard that served the request (``None`` for the
+    #: single-process in-process path).
+    shard: Optional[int] = None
 
     @property
     def coalesced(self) -> bool:

@@ -44,14 +44,17 @@ from repro.errors import BackpressureError, ConfigurationError, ServiceError
 from repro.resonator.batch import NetworkFactory
 from repro.resonator.network import FactorizationProblem
 from repro.resonator.replay import geometry_key, run_group
+from repro.service.profiles import network_factory_for
 from repro.service.registry import CodebookRegistry
 from repro.service.request import FactorizationRequest, FactorizationResponse
 
-#: Geometry (incl. algebra) + sweep budget + seededness: what may share a
-#: stacked batch.  Bipolar and FHRR traffic never coalesce - their state
-#: dtypes and MVM kernels differ - so mixed-algebra streams batch per
-#: algebra without cross-contamination.
-BatchKey = Tuple[int, Tuple[int, ...], str, Optional[int], bool]
+#: Geometry (incl. algebra) + sweep budget + seededness + execution
+#: profile: what may share a stacked batch.  Bipolar and FHRR traffic
+#: never coalesce - their state dtypes and MVM kernels differ - and
+#: requests naming different fidelities (see
+#: :mod:`repro.service.profiles`) never coalesce either, so one traffic
+#: stream can mix algebras and fidelities without cross-contamination.
+BatchKey = Tuple[int, Tuple[int, ...], str, Optional[int], bool, str]
 
 _BACKPRESSURE_POLICIES = ("block", "error")
 
@@ -104,6 +107,7 @@ class ServiceStats:
 
     @property
     def mean_batch_size(self) -> float:
+        """Average requests packed per executed batch."""
         return self.completed / self.batches if self.batches else 0.0
 
 
@@ -216,6 +220,7 @@ class FactorizationService:
             algebra,
             pending.request.max_iterations,
             pending.request.seed is None,
+            pending.request.fidelity or "",
         )
 
     def submit(
@@ -305,7 +310,6 @@ class FactorizationService:
             )
         if self._closed:
             raise ServiceError("service is closed")
-        factory = network_factory if network_factory is not None else self.network_factory
         cadence = (
             self.check_correct_every
             if check_correct_every is None
@@ -322,7 +326,7 @@ class FactorizationService:
             for start in range(0, len(members), step):
                 self._run_batch(
                     members[start : start + step],
-                    network_factory=factory,
+                    network_factory=network_factory,
                     check_correct_every=cadence,
                     engine=engine,
                 )
@@ -334,6 +338,7 @@ class FactorizationService:
         buffers: Dict[BatchKey, List[_Pending]] = {}
 
         def flush_all() -> None:
+            """Submit every buffered group, regardless of age or size."""
             for members in buffers.values():
                 self._submit_batch(members)
             buffers.clear()
@@ -378,8 +383,18 @@ class FactorizationService:
         check_correct_every: Optional[int] = None,
         engine: Optional[str] = None,
     ) -> None:
-        """Execute one coalesced batch and resolve its futures."""
-        factory = network_factory if network_factory is not None else self.network_factory
+        """Execute one coalesced batch and resolve its futures.
+
+        Factory resolution: an explicit ``network_factory`` wins, then the
+        batch's named fidelity profile (uniform across the batch - it is
+        part of the batch key), then the service default.
+        """
+        if network_factory is not None:
+            factory = network_factory
+        elif batch[0].request.fidelity is not None:
+            factory = network_factory_for(batch[0].request.fidelity)
+        else:
+            factory = self.network_factory
         cadence = (
             self.check_correct_every
             if check_correct_every is None
@@ -420,6 +435,11 @@ class FactorizationService:
                 self.stats.coalesced_requests += len(batch)
 
     # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has begun (no further intake)."""
+        return self._closed
 
     def close(self) -> None:
         """Flush pending work, stop the dispatcher and the worker pool."""

@@ -1,20 +1,30 @@
-"""Process-sharded experiment sweeps.
+"""Process sharding: sweep cells and live-traffic routing.
 
 The thread worker pool is the right tool for serving one process's
-traffic (numpy releases the GIL inside the stacked MVMs), but a grid
-sweep - many independent (design, F, M) cells - parallelizes better
-across *processes*: each shard owns its arrays and interpreter.  This
-module describes one cell as a picklable :class:`SweepCell` and fans a
-cell list out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+traffic (numpy releases the GIL inside the stacked MVMs), but independent
+work parallelizes better across *processes*: each shard owns its arrays
+and interpreter.  This module covers both sharded workloads the repo has:
 
-Cells are seeded individually, so the outcome of a cell is independent of
-which shard ran it and of the shard count - the same
-arrival-order-independence contract the request scheduler gives
+* **Sweep cells** - a grid sweep's independent (design, F, M) cells as
+  picklable :class:`SweepCell` objects fanned over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (:func:`run_cells`).
+* **Live traffic** - the :class:`ConsistentHashRing` the serving tier's
+  :class:`~repro.service.workers.ShardedWorkerPool` routes requests with.
+  Routing hashes the *codebook fingerprint*, so every request against one
+  codebook set lands on the shard that programmed it (program-once
+  amortization survives sharding), and the ring's virtual nodes keep the
+  key space balanced and mostly stable when the shard count changes.
+
+Cells and requests are seeded individually, so the outcome of a unit of
+work is independent of which shard ran it and of the shard count - the
+same arrival-order-independence contract the request scheduler gives
 individual requests.
 """
 
 from __future__ import annotations
 
+import bisect
+import hashlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
@@ -108,3 +118,47 @@ def run_cells(
         return [run_cell(cell) for cell in cells]
     with ProcessPoolExecutor(max_workers=processes) as pool:
         return list(pool.map(run_cell, cells))
+
+
+class ConsistentHashRing:
+    """Consistent hashing of string keys onto shard indices.
+
+    Each shard contributes ``vnodes`` virtual points on a sha256 ring;
+    a key routes to the first point clockwise of its own hash.  The
+    construction is deterministic (pure function of ``shards`` and
+    ``vnodes``), so every frontend - and every test - computes the same
+    placement, and growing the ring from N to N+1 shards moves only
+    ~1/(N+1) of the key space.
+    """
+
+    def __init__(self, shards: int, *, vnodes: int = 64) -> None:
+        if shards <= 0:
+            raise ConfigurationError(f"shards must be positive, got {shards}")
+        if vnodes <= 0:
+            raise ConfigurationError(f"vnodes must be positive, got {vnodes}")
+        self.shards = int(shards)
+        self.vnodes = int(vnodes)
+        points = []
+        for shard in range(self.shards):
+            for replica in range(self.vnodes):
+                token = f"shard:{shard}:vnode:{replica}".encode("ascii")
+                points.append((self._hash(token), shard))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    @staticmethod
+    def _hash(data: bytes) -> int:
+        """First 8 bytes of sha256 as the ring position."""
+        return int.from_bytes(hashlib.sha256(data).digest()[:8], "big")
+
+    def route(self, key: str) -> int:
+        """The shard index owning ``key`` (e.g. a codebook fingerprint)."""
+        position = self._hash(key.encode("utf-8"))
+        index = bisect.bisect_right(self._hashes, position)
+        if index == len(self._hashes):
+            index = 0
+        return self._owners[index]
+
+    def __repr__(self) -> str:
+        return f"ConsistentHashRing(shards={self.shards}, vnodes={self.vnodes})"

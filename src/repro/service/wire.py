@@ -1,0 +1,344 @@
+"""Wire codec for the serving tier: JSON-safe, bit-exact round trips.
+
+Every transport that crosses a process boundary (the multiprocess worker
+queues, the HTTP API) speaks this codec.  Arrays travel as base64 raw
+bytes plus their exact dtype string and shape, so decode reproduces the
+original array *bit for bit* - the codec adds no quantization, which is
+what lets the wire-determinism tests demand bit-identical factorizations
+across transports.  Errors travel as a typed envelope
+(``{"type", "message", "retryable"}``) that maps back onto the
+:mod:`repro.errors` hierarchy on the client, so fault handling (retry a
+lost worker, surface a timeout) works the same over HTTP as in process.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import (
+    BackpressureError,
+    CodebookError,
+    ConfigurationError,
+    DimensionError,
+    RequestTimeoutError,
+    ServiceError,
+    UnknownCodebookError,
+    WorkerLostError,
+)
+from repro.resonator.convergence import Outcome
+from repro.resonator.network import FactorizationResult
+from repro.service.request import FactorizationRequest, FactorizationResponse
+from repro.vsa.codebook import Codebook, CodebookSet
+
+# -- arrays ------------------------------------------------------------------
+
+
+def encode_array(array: np.ndarray) -> Dict[str, Any]:
+    """Encode an array as ``{dtype, shape, data}`` with base64 raw bytes."""
+    contiguous = np.ascontiguousarray(array)
+    return {
+        "dtype": contiguous.dtype.str,
+        "shape": list(contiguous.shape),
+        "data": base64.b64encode(contiguous.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(payload: Dict[str, Any]) -> np.ndarray:
+    """Invert :func:`encode_array`; the round trip is bit-exact."""
+    try:
+        dtype = np.dtype(payload["dtype"])
+        shape = tuple(int(n) for n in payload["shape"])
+        raw = base64.b64decode(payload["data"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ConfigurationError(f"malformed array payload: {error}") from None
+    expected = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+    if len(raw) != expected:
+        raise DimensionError(
+            f"array payload carries {len(raw)} bytes but dtype/shape "
+            f"{payload['dtype']}/{shape} needs {expected}"
+        )
+    return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+
+# -- codebooks ---------------------------------------------------------------
+
+
+def encode_codebooks(codebooks: CodebookSet) -> Dict[str, Any]:
+    """Encode a codebook set (algebra tag + per-factor matrices/labels)."""
+    return {
+        "algebra": codebooks.algebra,
+        "codebooks": [
+            {
+                "name": book.name,
+                "labels": list(book.labels) if book.labels else None,
+                "matrix": encode_array(book.matrix),
+            }
+            for book in codebooks.codebooks
+        ],
+    }
+
+
+def decode_codebooks(payload: Dict[str, Any]) -> CodebookSet:
+    """Invert :func:`encode_codebooks` (content hash is preserved)."""
+    try:
+        algebra = payload["algebra"]
+        books = [
+            Codebook(
+                name=entry["name"],
+                matrix=decode_array(entry["matrix"]),
+                labels=list(entry["labels"]) if entry.get("labels") else None,
+                algebra=algebra,
+            )
+            for entry in payload["codebooks"]
+        ]
+    except (KeyError, TypeError) as error:
+        raise ConfigurationError(
+            f"malformed codebook payload: {error}"
+        ) from None
+    return CodebookSet(tuple(books))
+
+
+# -- requests ----------------------------------------------------------------
+
+
+def encode_request(request: FactorizationRequest) -> Dict[str, Any]:
+    """Encode a request; exactly one of codebooks / codebook_key travels."""
+    payload: Dict[str, Any] = {"product": encode_array(request.product)}
+    if request.codebooks is not None:
+        payload["codebooks"] = encode_codebooks(request.codebooks)
+    if request.codebook_key is not None:
+        payload["codebook_key"] = request.codebook_key
+    if request.seed is not None:
+        payload["seed"] = int(request.seed)
+    if request.max_iterations is not None:
+        payload["max_iterations"] = int(request.max_iterations)
+    if request.true_indices is not None:
+        payload["true_indices"] = [int(i) for i in request.true_indices]
+    if request.request_id is not None:
+        payload["request_id"] = request.request_id
+    if request.fidelity is not None:
+        payload["fidelity"] = request.fidelity
+    return payload
+
+
+def decode_request(payload: Dict[str, Any]) -> FactorizationRequest:
+    """Invert :func:`encode_request` (re-runs request validation)."""
+    if not isinstance(payload, dict) or "product" not in payload:
+        raise ConfigurationError(
+            "malformed request payload: missing 'product'"
+        )
+    codebooks = (
+        decode_codebooks(payload["codebooks"])
+        if payload.get("codebooks") is not None
+        else None
+    )
+    true_indices = payload.get("true_indices")
+    return FactorizationRequest(
+        product=decode_array(payload["product"]),
+        codebooks=codebooks,
+        codebook_key=payload.get("codebook_key"),
+        seed=payload.get("seed"),
+        max_iterations=payload.get("max_iterations"),
+        true_indices=tuple(true_indices) if true_indices is not None else None,
+        request_id=payload.get("request_id"),
+        fidelity=payload.get("fidelity"),
+    )
+
+
+# -- results / responses -----------------------------------------------------
+
+
+def encode_result(result: FactorizationResult) -> Dict[str, Any]:
+    """Encode a factorization result (the trace, if any, is dropped)."""
+    return {
+        "indices": [int(i) for i in result.indices],
+        "outcome": result.outcome.value,
+        "iterations": int(result.iterations),
+        "product_match": bool(result.product_match),
+        "correct": result.correct,
+        "first_correct_iteration": result.first_correct_iteration,
+        "cycle_period": result.cycle_period,
+        "elapsed_seconds": float(result.elapsed_seconds),
+    }
+
+
+def decode_result(payload: Dict[str, Any]) -> FactorizationResult:
+    """Invert :func:`encode_result`."""
+    try:
+        return FactorizationResult(
+            indices=tuple(int(i) for i in payload["indices"]),
+            outcome=Outcome(payload["outcome"]),
+            iterations=int(payload["iterations"]),
+            product_match=bool(payload["product_match"]),
+            correct=payload.get("correct"),
+            first_correct_iteration=payload.get("first_correct_iteration"),
+            cycle_period=payload.get("cycle_period"),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ConfigurationError(f"malformed result payload: {error}") from None
+
+
+def encode_response(response: FactorizationResponse) -> Dict[str, Any]:
+    """Encode a response (result + how the scheduler served it)."""
+    return {
+        "request_id": response.request_id,
+        "result": encode_result(response.result),
+        "batch_id": int(response.batch_id),
+        "batch_size": int(response.batch_size),
+        "cache_hit": bool(response.cache_hit),
+        "codebook_key": response.codebook_key,
+        "shard": response.shard,
+    }
+
+
+def decode_response(payload: Dict[str, Any]) -> FactorizationResponse:
+    """Invert :func:`encode_response`."""
+    try:
+        return FactorizationResponse(
+            request_id=payload.get("request_id"),
+            result=decode_result(payload["result"]),
+            batch_id=int(payload["batch_id"]),
+            batch_size=int(payload["batch_size"]),
+            cache_hit=bool(payload["cache_hit"]),
+            codebook_key=payload["codebook_key"],
+            shard=payload.get("shard"),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ConfigurationError(
+            f"malformed response payload: {error}"
+        ) from None
+
+
+# -- errors ------------------------------------------------------------------
+
+#: Wire name -> exception class, in decode-priority order (subclasses
+#: before bases so :func:`error_code` picks the most specific name).
+_ERROR_TYPES: List[Any] = [
+    ("backpressure", BackpressureError),
+    ("worker_lost", WorkerLostError),
+    ("timeout", RequestTimeoutError),
+    ("unknown_codebook", UnknownCodebookError),
+    ("dimension", DimensionError),
+    ("configuration", ConfigurationError),
+    ("codebook", CodebookError),
+    ("service", ServiceError),
+]
+
+#: Error codes a client may safely retry: the failure is about serving
+#: capacity or a restartable worker, not about the request itself, and
+#: seeded requests are idempotent.
+RETRYABLE_ERRORS = frozenset({"backpressure", "worker_lost", "unknown_codebook"})
+
+#: Error code -> HTTP status for the serving tier's responses.
+HTTP_STATUS = {
+    "configuration": 400,
+    "dimension": 400,
+    "codebook": 400,
+    "unknown_codebook": 404,
+    "backpressure": 503,
+    "worker_lost": 503,
+    "timeout": 504,
+    "service": 500,
+}
+
+
+def error_code(error: BaseException) -> str:
+    """Most specific wire name for an exception (``"service"`` fallback)."""
+    for name, cls in _ERROR_TYPES:
+        if isinstance(error, cls):
+            return name
+    return "service"
+
+
+def is_retryable(code: str) -> bool:
+    """True when a client may resubmit after this error code."""
+    return code in RETRYABLE_ERRORS
+
+
+def http_status(code: str) -> int:
+    """HTTP status the serving tier answers with for an error code."""
+    return HTTP_STATUS.get(code, 500)
+
+
+def encode_error(error: BaseException) -> Dict[str, Any]:
+    """Encode an exception as the typed wire envelope."""
+    code = error_code(error)
+    return {
+        "error": {
+            "type": code,
+            "message": str(error),
+            "retryable": is_retryable(code),
+        }
+    }
+
+
+def decode_error(payload: Dict[str, Any]) -> ServiceError:
+    """Rebuild the typed exception from a wire envelope.
+
+    Unknown types decode as plain :class:`~repro.errors.ServiceError`, so
+    a newer server never crashes an older client.
+    """
+    envelope = payload.get("error", payload) if isinstance(payload, dict) else {}
+    code = envelope.get("type", "service")
+    message = envelope.get("message", "unknown server error")
+    for name, cls in _ERROR_TYPES:
+        if name == code:
+            return cls(message)
+    return ServiceError(message)
+
+
+def batch_digest(
+    pairs: Sequence[Any],
+) -> str:
+    """Order-independent sha256 digest over (request_id, result) pairs.
+
+    Accepts ``FactorizationResponse`` objects; the digest covers the
+    fields that must replay bit-identically (indices, outcome,
+    iterations), sorted by request id so shuffled arrival orders and
+    different shard counts produce the same digest iff the factorizations
+    match.  The load generator and the determinism tests both use it.
+    """
+    import hashlib
+
+    rows = []
+    for response in pairs:
+        result = response.result
+        rows.append(
+            (
+                str(response.request_id),
+                ",".join(str(int(i)) for i in result.indices),
+                result.outcome.value,
+                str(int(result.iterations)),
+            )
+        )
+    digest = hashlib.sha256()
+    for row in sorted(rows):
+        digest.update("|".join(row).encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+__all__ = [
+    "encode_array",
+    "decode_array",
+    "encode_codebooks",
+    "decode_codebooks",
+    "encode_request",
+    "decode_request",
+    "encode_result",
+    "decode_result",
+    "encode_response",
+    "decode_response",
+    "error_code",
+    "is_retryable",
+    "http_status",
+    "encode_error",
+    "decode_error",
+    "batch_digest",
+    "RETRYABLE_ERRORS",
+    "HTTP_STATUS",
+]

@@ -33,6 +33,8 @@ class TestParser:
             "fig7",
             "ablation",
             "serve-bench",
+            "serve",
+            "loadgen",
             "all",
         ):
             args = parser.parse_args([command])
@@ -43,6 +45,21 @@ class TestParser:
             ["serve-bench", "--requests", "16", "--batch", "4", "--seed", "3"]
         )
         assert args.requests == 16 and args.batch == 4 and args.seed == 3
+
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--shards", "4", "--smoke", "8", "--seed", "3"]
+        )
+        assert args.shards == 4 and args.smoke == 8 and args.seed == 3
+        assert args.backpressure == "block"
+
+    def test_loadgen_options(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--concurrency", "1,4", "--requests", "8",
+             "--fidelity", "sram", "--seed", "3"]
+        )
+        assert args.concurrency == "1,4" and args.requests == 8
+        assert args.fidelity == "sram" and args.url is None
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -81,6 +98,23 @@ class TestExecution:
         )
         assert "deterministic parity" in output
         assert "OK" in output
+
+    def test_serve_smoke_runs_sharded(self, capsys):
+        output = run_cli(
+            capsys, ["serve", "--smoke", "6", "--shards", "2", "--seed", "3"]
+        )
+        assert "HTTP serving tier self-test" in output
+        assert "served=6/6" in output
+
+    def test_loadgen_runs(self, capsys):
+        output = run_cli(
+            capsys,
+            ["loadgen", "--shards", "0", "--concurrency", "1,4",
+             "--requests", "6", "--dim", "128", "--size", "16",
+             "--sets", "2", "--iterations", "15", "--seed", "3"],
+        )
+        assert "closed-loop latency/throughput sweep" in output
+        assert "digest across levels: IDENTICAL" in output
 
 
 class TestSeedPropagation:
@@ -159,6 +193,37 @@ class TestSeedPropagation:
             ["serve-bench", "--requests", "8", "--batch", "8", "--seed", "3"],
         )
         assert any("parity" in row and "OK" in row for row in rows)
+
+    def test_serve_smoke_seeded(self, capsys):
+        """Same seed => same digest rows, even across worker processes."""
+        rows = self.check_reproducible(
+            capsys, ["serve", "--smoke", "6", "--shards", "2", "--seed", "3"]
+        )
+        assert any("digest=" in row for row in rows)
+
+    def test_loadgen_seeded(self, capsys):
+        rows = self.check_reproducible(
+            capsys,
+            ["loadgen", "--shards", "2", "--concurrency", "1,4",
+             "--requests", "6", "--dim", "128", "--size", "16",
+             "--sets", "2", "--iterations", "15", "--seed", "3"],
+        )
+        assert any("digest across levels: IDENTICAL" in row for row in rows)
+
+    def test_loadgen_seed_changes_digest(self, capsys):
+        base = stable_rows(run_cli(
+            capsys,
+            ["loadgen", "--shards", "0", "--concurrency", "1",
+             "--requests", "6", "--dim", "128", "--size", "16",
+             "--sets", "2", "--iterations", "15", "--seed", "3"],
+        ))
+        other = stable_rows(run_cli(
+            capsys,
+            ["loadgen", "--shards", "0", "--concurrency", "1",
+             "--requests", "6", "--dim", "128", "--size", "16",
+             "--sets", "2", "--iterations", "15", "--seed", "4"],
+        ))
+        assert base != other
 
     def test_seed_changes_output(self, capsys):
         """The flag actually reaches the workload generator."""

@@ -1,8 +1,10 @@
-"""Documentation gates: Markdown links + repro.cim docstring coverage.
+"""Documentation gates: Markdown links + docstring coverage.
 
 Runs the same checker CI's docs job uses (``tools/check_docs.py``), so a
 broken intra-repo link or a missing-docstring regression in the CIM
-hardware models fails the tier-1 suite locally before it fails CI.
+hardware models, the engine layer or the serving tier
+(``repro.cim`` / ``repro.core`` / ``repro.service``) fails the tier-1
+suite locally before it fails CI.
 """
 
 import subprocess

@@ -1,0 +1,343 @@
+"""Fault injection for the sharded serving tier.
+
+Three failure families, each surfaced as a *typed* error over every
+transport so clients can make retry decisions without string matching:
+
+* **worker loss** (``SIGKILL`` mid-load) - in-flight requests fail with
+  :class:`~repro.errors.WorkerLostError`, the pool restarts the shard and
+  replays its codebook registrations, and the retrying HTTP client
+  resubmits - ending with exactly one bit-identical response per request
+  id (no losses, no duplicates);
+* **backpressure** (``SIGSTOP`` freezes a worker so its bounded inbox
+  fills) - the ``"error"`` policy raises
+  :class:`~repro.errors.BackpressureError`, the ``"block"`` policy stalls
+  the submitter until the worker resumes;
+* **timeout** - a caller deadline maps to
+  :class:`~repro.errors.RequestTimeoutError` (HTTP 504, not retryable);
+  the late result is discarded, not delivered to a later request.
+"""
+
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.errors import (
+    BackpressureError,
+    RequestTimeoutError,
+    WorkerLostError,
+)
+from repro.service import (
+    FactorizationRequest,
+    FactorizationResponse,
+    InProcessTransport,
+    ShardedWorkerPool,
+    WorkerPoolConfig,
+    wire,
+)
+from repro.service.http import H3DFactHTTPServer, HTTPTransport, RetryPolicy
+from repro.utils.rng import as_rng
+from repro.vsa.codebook import CodebookSet
+
+DIM = 128
+SIZE = 16
+FACTORS = 3
+
+
+def make_workload(sets=2, requests=24, budget=20):
+    """Seeded requests spread round-robin over ``sets`` codebook sets."""
+    codebook_sets = [
+        CodebookSet.random(
+            dim=DIM, sizes=(SIZE,) * FACTORS, rng=as_rng(60 + i)
+        )
+        for i in range(sets)
+    ]
+    stream = []
+    for index in range(requests):
+        codebooks = codebook_sets[index % sets]
+        rng = as_rng(300 + index)
+        indices = tuple(int(rng.integers(0, SIZE)) for _ in range(FACTORS))
+        stream.append(
+            FactorizationRequest(
+                product=codebooks.compose(indices),
+                codebooks=codebooks,
+                seed=5000 + index,
+                max_iterations=budget,
+                true_indices=indices,
+                request_id=f"f{index}",
+            )
+        )
+    return stream
+
+
+@contextmanager
+def frozen_worker(pool, index=0):
+    """SIGSTOP one shard for the block's duration (deterministic stall)."""
+    process = pool._shards[index].process
+    os.kill(process.pid, signal.SIGSTOP)
+    try:
+        yield process
+    finally:
+        try:
+            os.kill(process.pid, signal.SIGCONT)
+        except ProcessLookupError:
+            pass
+
+
+class TestWorkerLoss:
+    def test_kill_mid_load_retrying_client_loses_nothing(self):
+        """SIGKILL a shard under live HTTP load: every request id answers
+        exactly once, bit-identical to the in-process reference."""
+        stream = make_workload(sets=4, requests=32)
+        with InProcessTransport() as transport:
+            reference = {
+                response.request_id: response
+                for response in transport.evaluate_batch(stream)
+            }
+        pool = ShardedWorkerPool(WorkerPoolConfig(shards=2))
+        try:
+            with H3DFactHTTPServer(pool) as server:
+                client = HTTPTransport(server.url)
+                killer = threading.Timer(0.05, pool.kill_shard, args=(0,))
+                killer.start()
+                try:
+                    responses = client.evaluate_batch(stream)
+                finally:
+                    killer.cancel()
+        finally:
+            pool.close()
+        ids = [response.request_id for response in responses]
+        assert sorted(ids) == sorted(reference)  # no losses, no duplicates
+        for response in responses:
+            expected = reference[response.request_id].result
+            assert response.result.indices == expected.indices
+            assert response.result.outcome == expected.outcome
+            assert response.result.iterations == expected.iterations
+        assert wire.batch_digest(responses) == wire.batch_digest(
+            reference.values()
+        )
+        assert pool.stats.worker_losses >= 1
+        assert pool.stats.restarts >= 1
+
+    def test_restart_replays_codebook_registrations(self):
+        """Keyed traffic survives a kill: the control plane re-programs
+        the restarted shard's registry."""
+        stream = make_workload(sets=1, requests=4)
+        pool = ShardedWorkerPool(WorkerPoolConfig(shards=1))
+        try:
+            key = pool.register_codebooks(stream[0].codebooks)
+            keyed = [
+                FactorizationRequest(
+                    product=request.product,
+                    codebook_key=key,
+                    seed=request.seed,
+                    max_iterations=request.max_iterations,
+                    true_indices=request.true_indices,
+                    request_id=request.request_id,
+                )
+                for request in stream
+            ]
+            before = pool.evaluate_batch(keyed)
+            pool.kill_shard(0)
+            deadline = time.monotonic() + 10.0
+            while pool.stats.restarts < 1:
+                assert time.monotonic() < deadline, "restart never happened"
+                time.sleep(0.02)
+            # Give the replayed registration a moment to land, then the
+            # keyed requests must resolve without client re-registration.
+            after = None
+            for _ in range(50):
+                try:
+                    after = pool.evaluate_batch(keyed, timeout=10.0)
+                    break
+                except WorkerLostError:
+                    time.sleep(0.05)
+            assert after is not None, "keyed traffic never recovered"
+            for left, right in zip(before, after):
+                assert left.result.indices == right.result.indices
+                assert left.result.iterations == right.result.iterations
+        finally:
+            pool.close()
+
+    def test_pool_without_restart_raises_typed_error(self):
+        stream = make_workload(sets=1, requests=2)
+        pool = ShardedWorkerPool(
+            WorkerPoolConfig(shards=1, restart_workers=False)
+        )
+        try:
+            pool.evaluate(stream[0])
+            pool.kill_shard(0)
+            deadline = time.monotonic() + 10.0
+            while pool.stats.worker_losses < 1:
+                assert time.monotonic() < deadline, "loss never detected"
+                time.sleep(0.02)
+            with pytest.raises(WorkerLostError):
+                pool.evaluate(stream[1], timeout=10.0)
+            assert pool.stats.restarts == 0
+        finally:
+            pool.close()
+
+    def test_in_flight_requests_fail_with_worker_lost(self):
+        """Without a retrying client, the loss surfaces, typed."""
+        stream = make_workload(sets=1, requests=6, budget=200)
+        pool = ShardedWorkerPool(
+            WorkerPoolConfig(shards=1, restart_workers=False)
+        )
+        try:
+            with frozen_worker(pool) as process:
+                # Dispatch while frozen so the requests are provably in
+                # flight, then kill: every one must fail typed, not hang.
+                futures = [
+                    pool._dispatch(0, "eval", wire.encode_request(request))
+                    for request in stream
+                ]
+                os.kill(process.pid, signal.SIGKILL)
+            results = []
+            for future in futures:
+                with pytest.raises(WorkerLostError):
+                    future.result(timeout=10.0)
+                results.append(True)
+            assert len(results) == len(stream)
+        finally:
+            pool.close()
+
+
+class TestBackpressure:
+    def test_error_policy_raises_typed(self):
+        stream = make_workload(sets=1, requests=8)
+        pool = ShardedWorkerPool(
+            WorkerPoolConfig(
+                shards=1, queue_capacity=2, backpressure="error"
+            )
+        )
+        try:
+            with frozen_worker(pool):
+                outcomes = pool.evaluate_scatter(stream, timeout=0.01)
+            rejected = [
+                outcome
+                for outcome in outcomes
+                if isinstance(outcome, BackpressureError)
+            ]
+            assert rejected, "a frozen worker with capacity 2 must reject"
+            assert pool.stats.rejected >= len(rejected)
+        finally:
+            pool.close()
+
+    def test_error_policy_over_http_is_typed_503(self):
+        stream = make_workload(sets=1, requests=8)
+        pool = ShardedWorkerPool(
+            WorkerPoolConfig(
+                shards=1, queue_capacity=2, backpressure="error"
+            )
+        )
+        try:
+            with H3DFactHTTPServer(pool) as server:
+                client = HTTPTransport(
+                    server.url,
+                    retry=RetryPolicy(max_attempts=1, backoff_seconds=(0.01,)),
+                )
+                with frozen_worker(pool):
+                    outcomes = client.evaluate_scatter(stream, timeout=0.01)
+            assert any(
+                isinstance(outcome, BackpressureError)
+                for outcome in outcomes
+            )
+        finally:
+            pool.close()
+
+    def test_block_policy_completes_after_thaw(self):
+        stream = make_workload(sets=1, requests=6)
+        pool = ShardedWorkerPool(
+            WorkerPoolConfig(
+                shards=1, queue_capacity=2, backpressure="block"
+            )
+        )
+        try:
+            responses = []
+            errors = []
+
+            def submit():
+                try:
+                    responses.extend(pool.evaluate_batch(stream))
+                except BaseException as error:  # pragma: no cover
+                    errors.append(error)
+
+            with frozen_worker(pool):
+                thread = threading.Thread(target=submit, daemon=True)
+                thread.start()
+                time.sleep(0.2)
+                assert thread.is_alive(), "block policy should stall"
+            thread.join(timeout=30.0)
+            assert not thread.is_alive() and not errors
+            assert len(responses) == len(stream)
+        finally:
+            pool.close()
+
+    def test_retrying_client_rides_out_backpressure(self):
+        """Default retry ladder turns 503s into eventual completion."""
+        stream = make_workload(sets=1, requests=6)
+        pool = ShardedWorkerPool(
+            WorkerPoolConfig(
+                shards=1, queue_capacity=2, backpressure="error"
+            )
+        )
+        try:
+            with H3DFactHTTPServer(pool) as server:
+                client = HTTPTransport(server.url)
+                with frozen_worker(pool):
+                    # Freeze only briefly: retries outlive the freeze.
+                    thaw = threading.Timer(
+                        0.15,
+                        os.kill,
+                        args=(pool._shards[0].process.pid, signal.SIGCONT),
+                    )
+                    thaw.start()
+                    responses = client.evaluate_batch(stream, timeout=30.0)
+                    thaw.cancel()
+            assert len(responses) == len(stream)
+            assert sorted(r.request_id for r in responses) == sorted(
+                r.request_id for r in stream
+            )
+        finally:
+            pool.close()
+
+
+class TestTimeouts:
+    def test_pool_timeout_is_typed(self):
+        stream = make_workload(sets=1, requests=1)
+        pool = ShardedWorkerPool(WorkerPoolConfig(shards=1))
+        try:
+            with frozen_worker(pool):
+                with pytest.raises(RequestTimeoutError):
+                    pool.evaluate(stream[0], timeout=0.1)
+            assert pool.stats.failed == 0  # timed out, not failed
+        finally:
+            pool.close()
+
+    def test_http_timeout_is_504_not_retried(self):
+        stream = make_workload(sets=1, requests=2)
+        pool = ShardedWorkerPool(WorkerPoolConfig(shards=1))
+        try:
+            with H3DFactHTTPServer(pool) as server:
+                client = HTTPTransport(server.url)
+                with frozen_worker(pool):
+                    before = client.stats.retries
+                    with pytest.raises(RequestTimeoutError):
+                        client.evaluate(stream[0], timeout=0.1)
+                    assert client.stats.retries == before  # 504: no retry
+                # Thawed: the same transport still serves fresh requests,
+                # and the orphaned late result was discarded.
+                response = client.evaluate(stream[1], timeout=30.0)
+                assert response.request_id == stream[1].request_id
+        finally:
+            pool.close()
+
+    def test_in_process_timeout_is_typed_too(self):
+        """The seam's reference implementation honors the same contract."""
+        stream = make_workload(sets=1, requests=1, budget=500)
+        with InProcessTransport() as transport:
+            with pytest.raises(RequestTimeoutError):
+                transport.evaluate(stream[0], timeout=1e-6)

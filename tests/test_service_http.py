@@ -1,0 +1,410 @@
+"""Wire-determinism suite for the HTTP serving tier.
+
+The serving tier's contract: a seeded request's factorization is a pure
+function of the request - not of the transport (in-process vs. HTTP), the
+arrival order, or the shard count.  These tests pin that by running one
+mixed traffic stream (bipolar x {baseline, crossbar, sram, hybrid} plus
+FHRR baseline, two codebook sets per algebra) through the in-process
+reference path, then replaying it over HTTP at shard counts 1/2/4 in
+shuffled arrival orders and demanding bit-identical responses.
+
+The statistical fidelity is deliberately absent: its noise draws have no
+per-trial streams, so it is the one profile whose results legitimately
+depend on batch packing (see PR 3's replay notes).
+"""
+
+import json
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    BackpressureError,
+    ConfigurationError,
+    RequestTimeoutError,
+    ServiceError,
+    UnknownCodebookError,
+    WorkerLostError,
+)
+from repro.resonator.convergence import Outcome
+from repro.resonator.network import FactorizationResult
+from repro.service import (
+    ConsistentHashRing,
+    FactorizationRequest,
+    FactorizationResponse,
+    InProcessTransport,
+    ShardedWorkerPool,
+    WorkerPoolConfig,
+    wire,
+)
+from repro.service.http import H3DFactHTTPServer, HTTPTransport, RetryPolicy
+from repro.utils.rng import as_rng
+from repro.vsa.codebook import CodebookSet
+
+DIM = 128
+SIZE = 16
+FACTORS = 3
+BUDGET = 20
+
+BIPOLAR_FIDELITIES = ("baseline", "crossbar", "sram", "hybrid")
+
+
+def make_sets():
+    """Two bipolar sets + one FHRR set (multi-set -> multi-shard routing)."""
+    bipolar = [
+        CodebookSet.random(
+            dim=DIM, sizes=(SIZE,) * FACTORS, rng=as_rng(40 + i)
+        )
+        for i in range(2)
+    ]
+    fhrr = CodebookSet.random(
+        dim=DIM, sizes=(SIZE,) * FACTORS, rng=as_rng(50), algebra="fhrr"
+    )
+    return bipolar, fhrr
+
+
+def make_stream():
+    """One mixed stream: algebras and fidelities interleaved, all seeded."""
+    bipolar, fhrr = make_sets()
+    requests = []
+    counter = 0
+    for fidelity in BIPOLAR_FIDELITIES:
+        for repeat in range(3):
+            codebooks = bipolar[counter % 2]
+            rng = as_rng(900 + counter)
+            indices = tuple(
+                int(rng.integers(0, SIZE)) for _ in range(FACTORS)
+            )
+            requests.append(
+                FactorizationRequest(
+                    product=codebooks.compose(indices),
+                    codebooks=codebooks,
+                    seed=7000 + counter,
+                    max_iterations=BUDGET,
+                    true_indices=indices,
+                    request_id=f"r{counter}",
+                    fidelity=fidelity,
+                )
+            )
+            counter += 1
+    for repeat in range(4):
+        rng = as_rng(900 + counter)
+        indices = tuple(int(rng.integers(0, SIZE)) for _ in range(FACTORS))
+        requests.append(
+            FactorizationRequest(
+                product=fhrr.compose(indices),
+                codebooks=fhrr,
+                seed=7000 + counter,
+                max_iterations=BUDGET,
+                true_indices=indices,
+                request_id=f"r{counter}",
+                fidelity="baseline",
+            )
+        )
+        counter += 1
+    return requests
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return make_stream()
+
+
+@pytest.fixture(scope="module")
+def reference(stream):
+    """The in-process transport's responses, keyed by request id."""
+    with InProcessTransport() as transport:
+        responses = transport.evaluate_batch(stream)
+    return {response.request_id: response for response in responses}
+
+
+@contextmanager
+def serving(shards, **config):
+    """A sharded pool behind an HTTP server, with a connected client."""
+    pool = ShardedWorkerPool(WorkerPoolConfig(shards=shards, **config))
+    try:
+        with H3DFactHTTPServer(pool) as server:
+            yield HTTPTransport(server.url), pool
+    finally:
+        pool.close()
+
+
+def assert_same_result(left: FactorizationResult, right: FactorizationResult):
+    """Bit-identical on every replay-covered field."""
+    assert left.indices == right.indices
+    assert left.outcome == right.outcome
+    assert left.iterations == right.iterations
+    assert left.product_match == right.product_match
+    assert left.correct == right.correct
+    assert left.first_correct_iteration == right.first_correct_iteration
+    assert left.cycle_period == right.cycle_period
+
+
+class TestWireCodec:
+    """The codec must round-trip arrays bit for bit - no quantization."""
+
+    @pytest.mark.parametrize(
+        "array",
+        [
+            np.array([1, -1, 1, 1, -1], dtype=np.int8),
+            np.arange(12, dtype=np.int64).reshape(3, 4) - 6,
+            np.exp(1j * np.linspace(0.0, 6.0, 7)).astype(np.complex128),
+            np.array([0.1, -0.2, float("inf")], dtype=np.float64),
+        ],
+    )
+    def test_array_roundtrip_exact(self, array):
+        decoded = wire.decode_array(
+            json.loads(json.dumps(wire.encode_array(array)))
+        )
+        assert decoded.dtype == array.dtype
+        assert decoded.shape == array.shape
+        assert decoded.tobytes() == np.ascontiguousarray(array).tobytes()
+
+    def test_array_payload_length_checked(self):
+        payload = wire.encode_array(np.ones(4, dtype=np.int8))
+        payload["shape"] = [5]
+        with pytest.raises(ConfigurationError):
+            wire.decode_array(payload)
+
+    def test_codebooks_roundtrip_preserves_fingerprint(self):
+        from repro.service import codebook_fingerprint
+
+        bipolar, fhrr = make_sets()
+        for codebooks in (bipolar[0], fhrr):
+            decoded = wire.decode_codebooks(
+                json.loads(json.dumps(wire.encode_codebooks(codebooks)))
+            )
+            assert codebook_fingerprint(decoded) == codebook_fingerprint(
+                codebooks
+            )
+
+    def test_request_roundtrip(self, stream):
+        for request in stream[:4]:
+            decoded = wire.decode_request(
+                json.loads(json.dumps(wire.encode_request(request)))
+            )
+            assert np.array_equal(decoded.product, request.product)
+            assert decoded.seed == request.seed
+            assert decoded.max_iterations == request.max_iterations
+            assert decoded.true_indices == request.true_indices
+            assert decoded.request_id == request.request_id
+            assert decoded.fidelity == request.fidelity
+
+    def test_response_roundtrip(self):
+        response = FactorizationResponse(
+            request_id="x",
+            result=FactorizationResult(
+                indices=(1, 2, 3),
+                outcome=Outcome.CONVERGED,
+                iterations=9,
+                product_match=True,
+                correct=True,
+                first_correct_iteration=4,
+            ),
+            batch_id=3,
+            batch_size=8,
+            cache_hit=True,
+            codebook_key="k" * 64,
+            shard=2,
+        )
+        decoded = wire.decode_response(
+            json.loads(json.dumps(wire.encode_response(response)))
+        )
+        assert_same_result(decoded.result, response.result)
+        assert decoded.shard == 2 and decoded.codebook_key == "k" * 64
+
+    @pytest.mark.parametrize(
+        "error,code,status,retryable",
+        [
+            (BackpressureError("full"), "backpressure", 503, True),
+            (WorkerLostError("died"), "worker_lost", 503, True),
+            (UnknownCodebookError("miss"), "unknown_codebook", 404, True),
+            (RequestTimeoutError("late"), "timeout", 504, False),
+            (ConfigurationError("bad"), "configuration", 400, False),
+            (ServiceError("oops"), "service", 500, False),
+        ],
+    )
+    def test_error_envelope(self, error, code, status, retryable):
+        envelope = wire.encode_error(error)
+        assert envelope["error"]["type"] == code
+        assert envelope["error"]["retryable"] is retryable
+        assert wire.http_status(code) == status
+        decoded = wire.decode_error(envelope)
+        assert type(decoded) is type(error)
+        assert str(decoded) == str(error)
+
+    def test_batch_digest_order_independent(self, reference):
+        responses = list(reference.values())
+        rotated = responses[5:] + responses[:5]
+        assert wire.batch_digest(responses) == wire.batch_digest(rotated)
+        assert wire.batch_digest(responses) == wire.batch_digest(
+            list(reversed(responses))
+        )
+
+
+class TestHTTPDeterminism:
+    """The tentpole guarantee: bit-identity across the wire."""
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("order_seed", [0, 1])
+    def test_http_matches_in_process(
+        self, stream, reference, shards, order_seed
+    ):
+        order = np.arange(len(stream))
+        as_rng(order_seed).shuffle(order)
+        shuffled = [stream[i] for i in order]
+        with serving(shards) as (client, _pool):
+            responses = client.evaluate_batch(shuffled)
+        assert len(responses) == len(stream)
+        for response in responses:
+            assert_same_result(
+                response.result, reference[response.request_id].result
+            )
+        assert wire.batch_digest(responses) == wire.batch_digest(
+            reference.values()
+        )
+
+    def test_keyed_requests_match_inline(self, stream, reference):
+        """Pre-registered codebooks + keyed traffic replay identically."""
+        with serving(2) as (client, pool):
+            keys = {}
+            for request in stream:
+                if id(request.codebooks) not in keys:
+                    keys[id(request.codebooks)] = client.register_codebooks(
+                        request.codebooks
+                    )
+            keyed = [
+                FactorizationRequest(
+                    product=request.product,
+                    codebook_key=keys[id(request.codebooks)],
+                    seed=request.seed,
+                    max_iterations=request.max_iterations,
+                    true_indices=request.true_indices,
+                    request_id=request.request_id,
+                    fidelity=request.fidelity,
+                )
+                for request in stream
+            ]
+            responses = client.evaluate_batch(keyed)
+        for response in responses:
+            assert_same_result(
+                response.result, reference[response.request_id].result
+            )
+
+    def test_single_eval_matches_batch(self, stream, reference):
+        with serving(2) as (client, _pool):
+            for request in stream[:6]:
+                response = client.evaluate(request)
+                assert_same_result(
+                    response.result, reference[request.request_id].result
+                )
+
+    def test_shard_routing_spreads_and_sticks(self, stream):
+        """Each codebook set is served by exactly one shard (stickiness)."""
+        with serving(4) as (client, _pool):
+            responses = client.evaluate_batch(stream)
+        shard_by_key = {}
+        for response in responses:
+            shard_by_key.setdefault(response.codebook_key, set()).add(
+                response.shard
+            )
+        for key, shards in shard_by_key.items():
+            assert len(shards) == 1, f"codebook {key[:8]} served by {shards}"
+
+
+class TestHTTPEndpoints:
+    def test_health_and_metrics_shape(self, stream):
+        with serving(2) as (client, _pool):
+            client.evaluate(stream[0])
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["transport"]["shards"] == 2
+            assert all(health["transport"]["alive"])
+            metrics = client.metrics()
+            assert metrics["endpoints"]["/eval"] >= 1
+            assert metrics["latency"]["samples"] >= 1
+            assert metrics["transport"]["dispatched"] >= 1
+
+    def test_server_rejects_fhrr_hardware_fidelity(self, stream):
+        """Server-side profile validation (the client can't even build one)."""
+        fhrr_request = next(
+            request
+            for request in stream
+            if np.iscomplexobj(request.product)
+        )
+        payload = wire.encode_request(fhrr_request)
+        payload["fidelity"] = "crossbar"
+        with serving(1) as (client, _pool):
+            with pytest.raises(ConfigurationError):
+                client._send("POST", "/eval", {"request": payload})
+
+    def test_unknown_route_404(self):
+        with serving(1) as (client, _pool):
+            with pytest.raises(ServiceError):
+                client._send("GET", "/nope", None)
+
+    def test_malformed_body_400(self):
+        with serving(1) as (client, _pool):
+            with pytest.raises(ConfigurationError):
+                client._send("POST", "/eval", {"not_a_request": 1})
+
+    def test_unknown_codebook_is_typed_404(self, stream):
+        request = FactorizationRequest(
+            product=stream[0].product,
+            codebook_key="0" * 64,
+            seed=1,
+            request_id="missing",
+        )
+        with serving(1) as (client, _pool):
+            short = HTTPTransport(
+                f"http://{client.host}:{client.port}",
+                retry=RetryPolicy(max_attempts=1, backoff_seconds=(0.01,)),
+            )
+            with pytest.raises(UnknownCodebookError):
+                short.evaluate(request)
+
+    def test_batch_eval_isolates_poison_requests(self, stream):
+        """One bad request answers an error envelope; the rest complete."""
+        good = stream[0]
+        bad = FactorizationRequest(
+            product=good.product,
+            codebook_key="f" * 64,
+            seed=2,
+            request_id="poison",
+        )
+        with serving(1) as (client, _pool):
+            short = HTTPTransport(
+                f"http://{client.host}:{client.port}",
+                retry=RetryPolicy(max_attempts=1, backoff_seconds=(0.01,)),
+            )
+            outcomes = short.evaluate_scatter([good, bad, good])
+        assert isinstance(outcomes[0], FactorizationResponse)
+        assert isinstance(outcomes[1], UnknownCodebookError)
+        assert isinstance(outcomes[2], FactorizationResponse)
+
+
+class TestConsistentHashRing:
+    def test_routing_stable_and_total(self):
+        ring = ConsistentHashRing(4)
+        keys = [f"key-{i}" for i in range(256)]
+        first = [ring.route(key) for key in keys]
+        second = [ring.route(key) for key in keys]
+        assert first == second
+        assert set(first) == {0, 1, 2, 3}
+
+    def test_resize_moves_few_keys(self):
+        """Growing N -> N+1 should move roughly 1/(N+1) of the key space."""
+        keys = [f"cb-{i}" for i in range(2000)]
+        before = ConsistentHashRing(4)
+        after = ConsistentHashRing(5)
+        moved = sum(
+            1 for key in keys if before.route(key) != after.route(key)
+        )
+        assert moved / len(keys) < 0.45  # naive modulo would move ~0.8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing(0)
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing(2, vnodes=0)

@@ -11,11 +11,13 @@ tier-1 suite (``tests/test_docs.py``):
   the README / ARCHITECTURE cross-references.
 * **Docstring coverage** - every module, public class and public
   function/method under ``src/repro/cim`` (including the packed SRAM
-  tier-1 kernels in ``repro.cim.sram``) and ``src/repro/core`` must
-  carry a docstring.  These packages are the hardware-model boundary
-  where units (conductance in uS, energy in fJ), bit-layout invariants
-  and paper-equation pointers live, so regressions there are treated as
-  failures rather than style nits.
+  tier-1 kernels in ``repro.cim.sram``), ``src/repro/core`` and
+  ``src/repro/service`` (including the HTTP serving tier in
+  ``repro.service.http``) must carry a docstring.  These packages are
+  the hardware-model and serving-contract boundaries where units
+  (conductance in uS, energy in fJ), bit-layout invariants,
+  wire-format/retryability semantics and paper-equation pointers live,
+  so regressions there are treated as failures rather than style nits.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
@@ -31,6 +33,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCSTRING_ROOTS = [
     REPO_ROOT / "src" / "repro" / "cim",
     REPO_ROOT / "src" / "repro" / "core",
+    REPO_ROOT / "src" / "repro" / "service",
 ]
 SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
 
@@ -108,7 +111,8 @@ def main() -> int:
         print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
         return 1
     print(
-        "docs OK: markdown links resolve, repro.cim + repro.core fully docstringed"
+        "docs OK: markdown links resolve, repro.cim + repro.core + "
+        "repro.service fully docstringed"
     )
     return 0
 
