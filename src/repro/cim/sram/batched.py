@@ -230,20 +230,31 @@ class PackedCodebookCache:
         self._entries: "OrderedDict[str, PackedCodebook]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, codebook: Codebook) -> PackedCodebook:
         """Packed bit-planes for ``codebook``, packing on first sight."""
+        from repro.telemetry import get_log
+
         key = codebook_fingerprint(codebook)
+        log = get_log()
         cached = self._entries.get(key)
         if cached is not None:
             self._entries.move_to_end(key)
             self.hits += 1
+            if log.enabled:
+                log.emit("cache.hit", cache="packed_codebook", key=key[:16])
             return cached
         packed = pack_codebook(codebook)
         self.misses += 1
+        if log.enabled:
+            log.emit("cache.miss", cache="packed_codebook", key=key[:16])
         self._entries[key] = packed
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            if log.enabled:
+                log.emit("cache.eviction", cache="packed_codebook")
         return packed
 
     def __len__(self) -> int:
@@ -252,7 +263,7 @@ class PackedCodebookCache:
     def __repr__(self) -> str:
         return (
             f"PackedCodebookCache(entries={len(self)}, hits={self.hits}, "
-            f"misses={self.misses})"
+            f"misses={self.misses}, evictions={self.evictions})"
         )
 
 

@@ -153,6 +153,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve N seeded self-requests on an ephemeral port, print "
         "the deterministic result rows, and exit (CI mode)",
     )
+    p.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="append JSONL lifecycle events to PATH (sets "
+        "H3DFACT_TELEMETRY so worker processes inherit it)",
+    )
 
     p = sub.add_parser(
         "loadgen", help="closed-loop load generator (latency/throughput)"
@@ -194,9 +201,92 @@ def build_parser() -> argparse.ArgumentParser:
         default="baseline",
         help="execution profile requests carry",
     )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable report (BENCH-style records)",
+    )
+    p.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="append JSONL lifecycle events to PATH (sets "
+        "H3DFACT_TELEMETRY so worker processes inherit it)",
+    )
+
+    p = sub.add_parser(
+        "telemetry", help="summarize / validate a JSONL telemetry log"
+    )
+    p.add_argument("path", help="JSONL event log to read")
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="TRACE_ID",
+        help="render one trace's events as a relative-time waterfall",
+    )
+    p.add_argument(
+        "--validate",
+        action="store_true",
+        help="check the schema contract; exit non-zero on violations",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the summary as JSON instead of text",
+    )
 
     sub.add_parser("all", help="run every experiment at default scale")
     return parser
+
+
+def _enable_telemetry(path: Optional[str]) -> None:
+    """Point :data:`repro.telemetry.TELEMETRY_ENV` at ``path`` (if given).
+
+    Setting the environment variable (rather than calling
+    :func:`repro.telemetry.configure`) is what lets spawned worker
+    processes inherit the sink and append to the same JSONL file.
+    """
+    if path is None:
+        return
+    import os
+
+    from repro.telemetry import TELEMETRY_ENV
+
+    os.environ[TELEMETRY_ENV] = path
+
+
+def _run_telemetry(args: argparse.Namespace) -> str:
+    """``h3dfact telemetry``: summarize / validate / waterfall a JSONL log."""
+    import json as _json
+
+    from repro.telemetry import (
+        read_events,
+        summarize,
+        trace_waterfall,
+        validate_events,
+    )
+
+    events = read_events(args.path)
+    if args.validate:
+        problems = validate_events(events)
+        if problems:
+            raise SystemExit(
+                "\n".join(
+                    [f"h3dfact telemetry: {len(problems)} problem(s) in "
+                     f"{args.path}"]
+                    + [f"  {problem}" for problem in problems]
+                )
+            )
+        return (
+            f"h3dfact telemetry: {args.path} valid "
+            f"({len(events)} events, 0 problems)"
+        )
+    if args.trace is not None:
+        return "\n".join(trace_waterfall(events, args.trace))
+    summary = summarize(events)
+    if args.json:
+        return _json.dumps(summary.to_dict(), indent=2, sort_keys=True)
+    return summary.render()
 
 
 def _make_transport(shards: int, batch: int, capacity: int, backpressure: str):
@@ -230,6 +320,7 @@ def _run_serve(args: argparse.Namespace) -> str:
     from repro.service.http import H3DFactHTTPServer, HTTPTransport
     from repro.service.http.loadgen import LoadGenConfig, run_loadgen
 
+    _enable_telemetry(args.telemetry)
     transport = _make_transport(
         args.shards, args.batch, args.capacity, args.backpressure
     )
@@ -261,6 +352,10 @@ def _run_serve(args: argparse.Namespace) -> str:
                 f"    {level.throughput_rps:.1f} req/s over HTTP "
                 "[machine-dependent]"
             )
+        if args.telemetry is not None:
+            from repro.telemetry import reset as _telemetry_reset
+
+            _telemetry_reset()  # flush + close the JSONL sink before exit
         return "\n".join(lines)
     server = H3DFactHTTPServer(
         transport, host=args.host, port=args.port, own_transport=True
@@ -272,14 +367,21 @@ def _run_serve(args: argparse.Namespace) -> str:
         pass
     finally:
         server.close()
+        if args.telemetry is not None:
+            from repro.telemetry import reset as _telemetry_reset
+
+            _telemetry_reset()  # flush + close the JSONL sink before exit
     return "h3dfact serve: stopped"
 
 
 def _run_loadgen(args: argparse.Namespace) -> str:
     """``h3dfact loadgen``: sweep concurrency levels, report percentiles."""
+    import json as _json
+
     from repro.service.http import H3DFactHTTPServer, HTTPTransport
     from repro.service.http.loadgen import LoadGenConfig, run_loadgen
 
+    _enable_telemetry(args.telemetry)
     levels = tuple(
         int(token) for token in str(args.concurrency).split(",") if token
     )
@@ -296,10 +398,18 @@ def _run_loadgen(args: argparse.Namespace) -> str:
         fidelity=args.fidelity,
     )
     if args.url is not None:
-        return run_loadgen(HTTPTransport(args.url), config).render()
-    transport = _make_transport(args.shards, 32, 256, "block")
-    with H3DFactHTTPServer(transport, own_transport=True) as server:
-        return run_loadgen(HTTPTransport(server.url), config).render()
+        report = run_loadgen(HTTPTransport(args.url), config)
+    else:
+        transport = _make_transport(args.shards, 32, 256, "block")
+        with H3DFactHTTPServer(transport, own_transport=True) as server:
+            report = run_loadgen(HTTPTransport(server.url), config)
+    if args.telemetry is not None:
+        from repro.telemetry import reset as _telemetry_reset
+
+        _telemetry_reset()  # flush + close the JSONL sink before exit
+    if args.json:
+        return _json.dumps(report.to_json(), indent=2, sort_keys=True)
+    return report.render()
 
 
 def _run_one(command: str, args: argparse.Namespace) -> str:
@@ -375,6 +485,8 @@ def _run_one(command: str, args: argparse.Namespace) -> str:
         return _run_serve(args)
     if command == "loadgen":
         return _run_loadgen(args)
+    if command == "telemetry":
+        return _run_telemetry(args)
     raise ValueError(f"unknown command {command!r}")
 
 

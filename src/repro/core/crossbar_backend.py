@@ -126,14 +126,20 @@ class ConductanceCache:
         program_seed: int,
     ) -> ProgrammedConductances:
         """Programmed conductances for the key, programming on first sight."""
+        from repro.telemetry import get_log
+
         fingerprint = codebook_fingerprint(codebook)
         key = (fingerprint, device, geometry, grid_bits, program_seed)
+        log = get_log()
         with self._lock:
             cached = self._entries.get(key)
             if cached is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return cached
+        if cached is not None:
+            if log.enabled:
+                log.emit("cache.hit", cache="conductance", key=fingerprint[:16])
+            return cached
         # Program outside the lock (pure function of the key).
         programmed = program_codebook(
             codebook.matrix,
@@ -143,6 +149,7 @@ class ConductanceCache:
             grid_bits=grid_bits,
             program_seed=program_seed,
         )
+        evicted_count = 0
         with self._lock:
             if key not in self._entries:
                 self.misses += 1
@@ -152,7 +159,13 @@ class ConductanceCache:
                     _, evicted = self._entries.popitem(last=False)
                     self._bytes -= evicted.nbytes
                     self.evictions += 1
-            return self._entries[key]
+                    evicted_count += 1
+            result = self._entries[key]
+        if log.enabled:
+            log.emit("cache.miss", cache="conductance", key=fingerprint[:16])
+            for _ in range(evicted_count):
+                log.emit("cache.eviction", cache="conductance")
+        return result
 
     def __len__(self) -> int:
         with self._lock:

@@ -35,6 +35,7 @@ from repro.errors import ConfigurationError, ServiceError
 from repro.service import wire
 from repro.service.request import FactorizationRequest, FactorizationResponse
 from repro.service.transport import ResponseOrError, Transport
+from repro.telemetry import get_log
 from repro.vsa.codebook import CodebookSet
 
 
@@ -219,8 +220,19 @@ class HTTPTransport(Transport):
         deadline = timeout if timeout is not None else self.timeout
         if deadline is not None:
             body["timeout"] = deadline
+        log = get_log()
+        started = time.monotonic()
         payload = self._send("POST", "/eval", body, timeout=deadline)
-        return wire.decode_response(payload["response"])
+        response = wire.decode_response(payload["response"])
+        if log.enabled:
+            log.emit(
+                "client.request",
+                trace_id=response.trace_id or request.trace_id,
+                request_id=request.request_id,
+                seconds=time.monotonic() - started,
+                shard=response.shard,
+            )
+        return response
 
     def evaluate_scatter(
         self,
@@ -232,6 +244,8 @@ class HTTPTransport(Transport):
         deadline = timeout if timeout is not None else self.timeout
         results: List[Optional[ResponseOrError]] = [None] * len(requests)
         open_positions = list(range(len(requests)))
+        log = get_log()
+        started = time.monotonic()
         attempt = 0
         while open_positions:
             attempt += 1
@@ -270,6 +284,16 @@ class HTTPTransport(Transport):
                     self.stats.resubmitted += len(retry_positions)
                 time.sleep(self.retry.backoff(attempt))
             open_positions = retry_positions
+        if log.enabled:
+            log.emit(
+                "client.batch",
+                size=len(requests),
+                attempts=attempt,
+                seconds=time.monotonic() - started,
+                failed=sum(
+                    1 for item in results if isinstance(item, BaseException)
+                ),
+            )
         return list(results)  # type: ignore[arg-type]
 
     def register_codebooks(self, codebooks: CodebookSet) -> str:

@@ -97,6 +97,28 @@ class LevelReport:
     solved: int
     digest: str
 
+    def to_record(self) -> dict:
+        """This level as one BENCH-style metrics record (no timestamp).
+
+        Mirrors the ``{"kind": "metrics", ...}`` schema of the
+        ``BENCH_<area>.json`` trajectory files so ``h3dfact loadgen
+        --json`` output can be appended to them or diffed directly;
+        the caller stamps ``timestamp``/``machine``.
+        """
+        return {
+            "kind": "metrics",
+            "concurrency": self.concurrency,
+            "requests": self.requests,
+            "seconds": self.seconds,
+            "throughput_rps": self.throughput_rps,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "errors": self.errors,
+            "solved": self.solved,
+            "digest": self.digest,
+        }
+
 
 @dataclass
 class LoadGenReport:
@@ -135,6 +157,43 @@ class LoadGenReport:
         )
         return "\n".join(lines)
 
+    def to_json(self) -> dict:
+        """Machine-readable sweep: workload identity + BENCH-style levels.
+
+        The shape ``h3dfact loadgen --json`` prints: a ``workload`` block
+        naming the deterministic inputs, ``timestamp``/``machine`` stamps,
+        and one :meth:`LevelReport.to_record` row per level under
+        ``levels`` (the same schema the ``BENCH_<area>.json`` trajectory
+        files use).
+        """
+        import platform
+        import time as _time
+
+        machine = (
+            f"{platform.system()}-{platform.machine()}"
+            f"-py{platform.python_version()}"
+        )
+        digests = {level.digest for level in self.levels}
+        return {
+            "kind": "loadgen",
+            "timestamp": _time.time(),
+            "machine": machine,
+            "workload": {
+                "dim": self.config.dim,
+                "num_factors": self.config.num_factors,
+                "codebook_size": self.config.codebook_size,
+                "codebook_sets": self.config.codebook_sets,
+                "requests": self.config.requests,
+                "max_iterations": self.config.max_iterations,
+                "seed": self.config.seed,
+                "algebra": self.config.algebra,
+                "fidelity": self.config.fidelity,
+                "use_registry": self.config.use_registry,
+            },
+            "levels": [level.to_record() for level in self.levels],
+            "digest_identical": len(digests) == 1,
+        }
+
 
 def build_workload(
     config: LoadGenConfig,
@@ -172,6 +231,10 @@ def build_workload(
                 true_indices=indices,
                 request_id=str(index),
                 fidelity=config.fidelity,
+                # Deterministic per-request trace id: telemetry joins
+                # client rows to server lifecycle without minting (trace
+                # ids never feed seeds, so results are unaffected).
+                trace_id=f"t{config.seed}-{index}",
             )
         )
     return sets, requests
@@ -192,6 +255,7 @@ def _keyed(
                 true_indices=request.true_indices,
                 request_id=request.request_id,
                 fidelity=request.fidelity,
+                trace_id=request.trace_id,
             )
         )
     return keyed

@@ -36,7 +36,9 @@ from typing import Any, Deque, Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.service import wire
+from repro.service.request import FactorizationRequest
 from repro.service.transport import Transport
+from repro.telemetry import get_log, mint_trace_id
 
 #: Latency samples kept for the /metrics percentiles (bounded memory).
 _LATENCY_WINDOW = 4096
@@ -164,6 +166,7 @@ class H3DFactHTTPServer:
         self._metrics_lock = threading.Lock()
         self._endpoint_counts: Counter = Counter()
         self._latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self._latencies_by_path: Dict[str, Deque[float]] = {}
 
     # -- address -------------------------------------------------------------
 
@@ -185,6 +188,33 @@ class H3DFactHTTPServer:
         with self._metrics_lock:
             self._endpoint_counts[path] += 1
             self._latencies.append(seconds)
+            by_path = self._latencies_by_path.get(path)
+            if by_path is None:
+                by_path = deque(maxlen=_LATENCY_WINDOW)
+                self._latencies_by_path[path] = by_path
+            by_path.append(seconds)
+        log = get_log()
+        if log.enabled:
+            log.emit("http.request", path=path, seconds=seconds)
+
+    def _accept(self, request: FactorizationRequest) -> FactorizationRequest:
+        """Telemetry seam: mint a trace id if absent, emit ``request.accepted``.
+
+        Returns the request unchanged when telemetry is off, so the
+        disabled path builds no copies and stays bit-identical.
+        """
+        log = get_log()
+        if not log.enabled:
+            return request
+        if request.trace_id is None:
+            request = request.with_trace(mint_trace_id())
+        log.emit(
+            "request.accepted",
+            trace_id=request.trace_id,
+            request_id=request.request_id,
+            source="http",
+        )
+        return request
 
     def health_payload(self) -> Dict[str, Any]:
         """GET /health body."""
@@ -199,6 +229,10 @@ class H3DFactHTTPServer:
         with self._metrics_lock:
             samples = sorted(self._latencies)
             counts = dict(self._endpoint_counts)
+            by_path = {
+                path: sorted(values)
+                for path, values in self._latencies_by_path.items()
+            }
         latency = {}
         if samples:
             latency = {
@@ -207,17 +241,34 @@ class H3DFactHTTPServer:
                 "p99_ms": 1e3 * _percentile(samples, 0.99),
                 "samples": len(samples),
             }
+        latency_by_path = {
+            path: {
+                "p50_ms": 1e3 * _percentile(values, 0.50),
+                "p95_ms": 1e3 * _percentile(values, 0.95),
+                "p99_ms": 1e3 * _percentile(values, 0.99),
+                "samples": len(values),
+            }
+            for path, values in by_path.items()
+            if values
+        }
+        log = get_log()
         return {
             "endpoints": counts,
             "latency": latency,
+            "latency_by_path": latency_by_path,
             "transport": self.transport.metrics(),
+            "telemetry": {
+                "enabled": log.enabled,
+                "emitted": getattr(log, "emitted", 0),
+                "dropped": getattr(log, "dropped", 0),
+            },
         }
 
     def eval_one(self, body: Dict[str, Any]) -> Dict[str, Any]:
         """POST /eval body -> response envelope (errors propagate typed)."""
         if "request" not in body:
             raise ConfigurationError("POST /eval body needs a 'request' field")
-        request = wire.decode_request(body["request"])
+        request = self._accept(wire.decode_request(body["request"]))
         timeout = body.get("timeout")
         response = self.transport.evaluate(
             request, timeout=float(timeout) if timeout is not None else None
@@ -240,7 +291,7 @@ class H3DFactHTTPServer:
         decode_errors: Dict[int, BaseException] = {}
         for position, payload in enumerate(body["requests"]):
             try:
-                requests.append(wire.decode_request(payload))
+                requests.append(self._accept(wire.decode_request(payload)))
             except BaseException as error:
                 decode_errors[position] = error
                 requests.append(None)

@@ -95,6 +95,33 @@ def engine_for(fidelity: str, algebra: str) -> H3DFact:
         return engine
 
 
+def cache_metrics() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/eviction counters of the process-wide backend caches.
+
+    Reads the crossbar conductance cache and the SRAM packed-codebook
+    cache (both program-once stores keyed by codebook content) so the
+    serving tier's ``/metrics`` endpoint can surface them without
+    importing backend modules at call sites.
+    """
+    from repro.cim.sram.batched import PACKED_CODEBOOK_CACHE
+    from repro.core.crossbar_backend import CONDUCTANCE_CACHE
+
+    return {
+        "conductance": {
+            "entries": len(CONDUCTANCE_CACHE),
+            "hits": CONDUCTANCE_CACHE.hits,
+            "misses": CONDUCTANCE_CACHE.misses,
+            "evictions": CONDUCTANCE_CACHE.evictions,
+        },
+        "packed_codebook": {
+            "entries": len(PACKED_CODEBOOK_CACHE),
+            "hits": PACKED_CODEBOOK_CACHE.hits,
+            "misses": PACKED_CODEBOOK_CACHE.misses,
+            "evictions": PACKED_CODEBOOK_CACHE.evictions,
+        },
+    }
+
+
 def network_factory_for(fidelity: str) -> NetworkFactory:
     """Resolve a profile name to a network factory (algebra-dispatching).
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from repro.errors import ConfigurationError, UnknownCodebookError
+from repro.telemetry import get_log
 from repro.vsa.codebook import CodebookSet, codebook_set_fingerprint
 
 
@@ -81,18 +82,31 @@ class CodebookRegistry:
         least-recently-used set if the registry is at capacity.
         """
         key = codebook_fingerprint(codebooks)
+        evicted = 0
         with self._lock:
             cached = self._entries.get(key)
             if cached is not None:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
-                return key, cached, True
-            self.stats.misses += 1
-            self._entries[key] = codebooks
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
-            return key, codebooks, False
+                hit = True
+            else:
+                self.stats.misses += 1
+                self._entries[key] = codebooks
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+                    evicted += 1
+                cached, hit = codebooks, False
+        log = get_log()
+        if log.enabled:
+            log.emit(
+                "registry.hit" if hit else "registry.miss",
+                key=key[:16],
+                entries=len(self._entries),
+            )
+            for _ in range(evicted):
+                log.emit("registry.eviction", capacity=self.capacity)
+        return key, cached, hit
 
     def register(self, codebooks: CodebookSet) -> str:
         """Intern ``codebooks`` and return the registry key."""
@@ -108,14 +122,22 @@ class CodebookRegistry:
         """
         with self._lock:
             cached = self._entries.get(key)
-            if cached is None:
-                raise UnknownCodebookError(
-                    f"no codebook set registered under key {key[:16]!r}... "
-                    "(evicted, or never registered)"
-                )
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return cached
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+        log = get_log()
+        if log.enabled:
+            log.emit(
+                "registry.hit" if cached is not None else "registry.miss",
+                key=key[:16],
+                entries=len(self._entries),
+            )
+        if cached is None:
+            raise UnknownCodebookError(
+                f"no codebook set registered under key {key[:16]!r}... "
+                "(evicted, or never registered)"
+            )
+        return cached
 
     def __contains__(self, key: str) -> bool:
         with self._lock:

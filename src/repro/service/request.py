@@ -51,6 +51,11 @@ class FactorizationRequest:
     #: means the serving endpoint's default factory (requests batch only
     #: with equal profiles - see :mod:`repro.service.profiles`).
     fidelity: Optional[str] = None
+    #: Telemetry correlation id (see :mod:`repro.telemetry`): minted at
+    #: the transport seam when absent, propagated over the wire, echoed on
+    #: the response.  Never feeds seeds or batch keys, so tracing cannot
+    #: perturb results.
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if (self.codebooks is None) == (self.codebook_key is None):
@@ -99,6 +104,7 @@ class FactorizationRequest:
         max_iterations: Optional[int] = None,
         request_id: Optional[str] = None,
         fidelity: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> "FactorizationRequest":
         """Wrap an existing problem (keeps its ground-truth bookkeeping)."""
         return cls(
@@ -109,7 +115,14 @@ class FactorizationRequest:
             true_indices=problem.true_indices,
             request_id=request_id,
             fidelity=fidelity,
+            trace_id=trace_id,
         )
+
+    def with_trace(self, trace_id: str) -> "FactorizationRequest":
+        """Copy of this request carrying ``trace_id`` (validation re-runs)."""
+        from dataclasses import replace
+
+        return replace(self, trace_id=trace_id)
 
 
 @dataclass
@@ -131,6 +144,8 @@ class FactorizationResponse:
     #: Index of the worker shard that served the request (``None`` for the
     #: single-process in-process path).
     shard: Optional[int] = None
+    #: Echo of the request's telemetry trace id (``None`` untraced).
+    trace_id: Optional[str] = None
 
     @property
     def coalesced(self) -> bool:

@@ -47,6 +47,12 @@ from repro.resonator.replay import geometry_key, run_group
 from repro.service.profiles import network_factory_for
 from repro.service.registry import CodebookRegistry
 from repro.service.request import FactorizationRequest, FactorizationResponse
+from repro.telemetry import (
+    BATCH_SIZE_BUCKETS,
+    QUEUE_DEPTH_BUCKETS,
+    Histogram,
+    get_log,
+)
 
 #: Geometry (incl. algebra) + sweep budget + seededness + execution
 #: profile: what may share a stacked batch.  Bipolar and FHRR traffic
@@ -121,6 +127,8 @@ class _Pending:
     cache_hit: bool
     future: "Future[FactorizationResponse]"
     deadline: float = 0.0
+    #: Monotonic clock at intake (queue-wait span origin).
+    accepted_mono: float = 0.0
 
 
 class _Flush:
@@ -174,6 +182,10 @@ class FactorizationService:
         self.registry = registry if registry is not None else CodebookRegistry()
         self.check_correct_every = check_correct_every
         self.stats = ServiceStats()
+        #: Batch sizes at flush (surfaced through ``/metrics``).
+        self.batch_size_histogram = Histogram(BATCH_SIZE_BUCKETS)
+        #: Intake queue depths observed at flush (``/metrics``).
+        self.queue_depth_histogram = Histogram(QUEUE_DEPTH_BUCKETS)
         self._stats_lock = threading.Lock()
         # Serializes intake against close(): no submit can sit between the
         # closed check and its queue put while close() enqueues the stop
@@ -210,6 +222,7 @@ class FactorizationService:
             codebook_key=key,
             cache_hit=hit,
             future=Future(),
+            accepted_mono=time.monotonic(),
         )
 
     def _batch_key(self, pending: _Pending) -> BatchKey:
@@ -252,6 +265,15 @@ class FactorizationService:
                 self._queue.put(pending)
         with self._stats_lock:
             self.stats.submitted += 1
+        log = get_log()
+        if log.enabled:
+            log.emit(
+                "request.enqueued",
+                trace_id=request.trace_id,
+                request_id=request.request_id,
+                queue_depth=self._queue.qsize(),
+                cache_hit=pending.cache_hit,
+            )
         return pending.future
 
     def submit_many(
@@ -329,6 +351,7 @@ class FactorizationService:
                     network_factory=network_factory,
                     check_correct_every=cadence,
                     engine=engine,
+                    reason="coalesced",
                 )
         return [pending.future.result() for pending in pendings]
 
@@ -337,10 +360,10 @@ class FactorizationService:
     def _dispatch_loop(self) -> None:
         buffers: Dict[BatchKey, List[_Pending]] = {}
 
-        def flush_all() -> None:
+        def flush_all(reason: str) -> None:
             """Submit every buffered group, regardless of age or size."""
             for members in buffers.values():
-                self._submit_batch(members)
+                self._submit_batch(members, reason)
             buffers.clear()
 
         while True:
@@ -353,25 +376,30 @@ class FactorizationService:
             except queue.Empty:
                 item = None
             if item is _STOP:
-                flush_all()
+                flush_all("close")
                 return
             if isinstance(item, _Flush):
-                flush_all()
+                flush_all("flush")
                 item.done.set()
             elif isinstance(item, _Pending):
                 key = self._batch_key(item)
                 members = buffers.setdefault(key, [])
                 members.append(item)
                 if len(members) >= self.policy.max_batch_size:
-                    self._submit_batch(buffers.pop(key))
+                    self._submit_batch(buffers.pop(key), "size")
             now = time.monotonic()
             for key in [
                 k for k, members in buffers.items() if members[0].deadline <= now
             ]:
-                self._submit_batch(buffers.pop(key))
+                self._submit_batch(buffers.pop(key), "deadline")
 
-    def _submit_batch(self, batch: List[_Pending]) -> None:
-        self._executor.submit(self._run_batch, batch)
+    def _submit_batch(self, batch: List[_Pending], reason: str) -> None:
+        # Queue depth is sampled at the flush decision (the dispatcher's
+        # view of the backlog), not when the worker eventually runs.
+        depth = self._queue.qsize()
+        self._executor.submit(
+            self._run_batch, batch, reason=reason, queue_depth=depth
+        )
 
     # -- execution -----------------------------------------------------------
 
@@ -382,12 +410,18 @@ class FactorizationService:
         network_factory: Optional[NetworkFactory] = None,
         check_correct_every: Optional[int] = None,
         engine: Optional[str] = None,
+        reason: str = "coalesced",
+        queue_depth: int = 0,
     ) -> None:
         """Execute one coalesced batch and resolve its futures.
 
         Factory resolution: an explicit ``network_factory`` wins, then the
         batch's named fidelity profile (uniform across the batch - it is
-        part of the batch key), then the service default.
+        part of the batch key), then the service default.  ``reason``
+        records *why* the dispatcher flushed this group (``"size"``,
+        ``"deadline"``, ``"flush"``, ``"close"``, or ``"coalesced"`` for
+        the synchronous path) and ``queue_depth`` the intake backlog at
+        the flush decision - both feed the telemetry log and histograms.
         """
         if network_factory is not None:
             factory = network_factory
@@ -401,6 +435,32 @@ class FactorizationService:
             else check_correct_every
         )
         batch_id = next(self._batch_ids)
+        self.batch_size_histogram.observe(len(batch))
+        self.queue_depth_histogram.observe(queue_depth)
+        log = get_log()
+        batched_mono = time.monotonic()
+        if log.enabled:
+            key = self._batch_key(batch[0])
+            log.emit(
+                "batch.flush",
+                batch_id=batch_id,
+                reason=reason,
+                size=len(batch),
+                queue_depth=queue_depth,
+                dim=key[0],
+                algebra=key[2],
+                fidelity=key[5] or None,
+                seeded=not key[4],
+            )
+            for pending in batch:
+                log.emit(
+                    "request.batched",
+                    trace_id=pending.request.trace_id,
+                    request_id=pending.request.request_id,
+                    batch_id=batch_id,
+                    batch_size=len(batch),
+                    queue_wait_s=batched_mono - pending.accepted_mono,
+                )
         try:
             results = run_group(
                 factory,
@@ -413,9 +473,27 @@ class FactorizationService:
         except BaseException as error:  # resolve futures, never hang clients
             with self._stats_lock:
                 self.stats.failed += len(batch)
+            if log.enabled:
+                for pending in batch:
+                    log.emit(
+                        "request.failed",
+                        trace_id=pending.request.trace_id,
+                        request_id=pending.request.request_id,
+                        batch_id=batch_id,
+                        error=type(error).__name__,
+                    )
             for pending in batch:
                 pending.future.set_exception(error)
             return
+        engine_s = time.monotonic() - batched_mono
+        if log.enabled:
+            log.emit(
+                "batch.executed",
+                batch_id=batch_id,
+                size=len(batch),
+                engine_s=engine_s,
+                iterations_max=max(int(r.iterations) for r in results),
+            )
         for pending, result in zip(batch, results):
             pending.future.set_result(
                 FactorizationResponse(
@@ -425,8 +503,20 @@ class FactorizationService:
                     batch_size=len(batch),
                     cache_hit=pending.cache_hit,
                     codebook_key=pending.codebook_key,
+                    trace_id=pending.request.trace_id,
                 )
             )
+            if log.enabled:
+                log.emit(
+                    "request.completed",
+                    trace_id=pending.request.trace_id,
+                    request_id=pending.request.request_id,
+                    batch_id=batch_id,
+                    outcome=result.outcome.value,
+                    iterations=int(result.iterations),
+                    queue_wait_s=batched_mono - pending.accepted_mono,
+                    engine_s=engine_s,
+                )
         with self._stats_lock:
             self.stats.completed += len(batch)
             self.stats.batches += 1

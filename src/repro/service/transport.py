@@ -31,6 +31,7 @@ from repro.errors import RequestTimeoutError
 from repro.service.registry import codebook_fingerprint
 from repro.service.request import FactorizationRequest, FactorizationResponse
 from repro.service.scheduler import FactorizationService
+from repro.telemetry import get_log, mint_trace_id
 from repro.vsa.codebook import CodebookSet
 
 #: Scatter result: a response, or the typed error that request hit.
@@ -123,6 +124,25 @@ class InProcessTransport(Transport):
         self._own_service = service is None
         self.service = service if service is not None else FactorizationService()
 
+    def _accept(self, request: FactorizationRequest) -> FactorizationRequest:
+        """Telemetry seam: mint a trace id if absent, emit ``request.accepted``.
+
+        A no-op returning the request unchanged when telemetry is off, so
+        the disabled path builds no copies and stays bit-identical.
+        """
+        log = get_log()
+        if not log.enabled:
+            return request
+        if request.trace_id is None:
+            request = request.with_trace(mint_trace_id())
+        log.emit(
+            "request.accepted",
+            trace_id=request.trace_id,
+            request_id=request.request_id,
+            source="in-process",
+        )
+        return request
+
     def evaluate(
         self,
         request: FactorizationRequest,
@@ -130,7 +150,7 @@ class InProcessTransport(Transport):
         timeout: Optional[float] = None,
     ) -> FactorizationResponse:
         """Submit one request and wait for its micro-batch to flush."""
-        future = self.service.submit(request)
+        future = self.service.submit(self._accept(request))
         try:
             return future.result(timeout=timeout)
         except FutureTimeoutError:
@@ -146,7 +166,9 @@ class InProcessTransport(Transport):
         timeout: Optional[float] = None,
     ) -> List[ResponseOrError]:
         """Submit the whole list (coalescing applies), then gather."""
-        futures = self.service.submit_many(requests)
+        futures = self.service.submit_many(
+            [self._accept(request) for request in requests]
+        )
         self.service.flush()
         results: List[ResponseOrError] = []
         for request, future in zip(requests, futures):
@@ -176,8 +198,11 @@ class InProcessTransport(Transport):
         }
 
     def metrics(self) -> Dict[str, Any]:
-        """The service's intake/batching counters."""
+        """The service's intake/batching counters (plus cache/telemetry)."""
+        from repro.service.profiles import cache_metrics
+
         stats = self.service.stats
+        log = get_log()
         return {
             "transport": "in-process",
             "submitted": stats.submitted,
@@ -188,6 +213,14 @@ class InProcessTransport(Transport):
             "mean_batch_size": stats.mean_batch_size,
             "registry_hits": self.service.registry.stats.hits,
             "registry_misses": self.service.registry.stats.misses,
+            "registry_evictions": self.service.registry.stats.evictions,
+            "batch_size_histogram": self.service.batch_size_histogram.to_dict(),
+            "queue_depth_histogram": (
+                self.service.queue_depth_histogram.to_dict()
+            ),
+            "caches": cache_metrics(),
+            "telemetry_emitted": getattr(log, "emitted", 0),
+            "telemetry_dropped": getattr(log, "dropped", 0),
         }
 
     def close(self) -> None:

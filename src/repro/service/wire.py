@@ -121,6 +121,8 @@ def encode_request(request: FactorizationRequest) -> Dict[str, Any]:
         payload["request_id"] = request.request_id
     if request.fidelity is not None:
         payload["fidelity"] = request.fidelity
+    if request.trace_id is not None:
+        payload["trace_id"] = request.trace_id
     return payload
 
 
@@ -145,6 +147,7 @@ def decode_request(payload: Dict[str, Any]) -> FactorizationRequest:
         true_indices=tuple(true_indices) if true_indices is not None else None,
         request_id=payload.get("request_id"),
         fidelity=payload.get("fidelity"),
+        trace_id=payload.get("trace_id"),
     )
 
 
@@ -192,6 +195,7 @@ def encode_response(response: FactorizationResponse) -> Dict[str, Any]:
         "cache_hit": bool(response.cache_hit),
         "codebook_key": response.codebook_key,
         "shard": response.shard,
+        "trace_id": response.trace_id,
     }
 
 
@@ -206,6 +210,7 @@ def decode_response(payload: Dict[str, Any]) -> FactorizationResponse:
             cache_hit=bool(payload["cache_hit"]),
             codebook_key=payload["codebook_key"],
             shard=payload.get("shard"),
+            trace_id=payload.get("trace_id"),
         )
     except (KeyError, TypeError, ValueError) as error:
         raise ConfigurationError(

@@ -62,6 +62,7 @@ from repro.service.transport import (
     Transport,
     request_routing_key,
 )
+from repro.telemetry import get_log
 from repro.vsa.codebook import CodebookSet
 
 _BACKPRESSURE_POLICIES = ("block", "error")
@@ -148,6 +149,7 @@ def _shard_main(
     config: WorkerPoolConfig,
     inbox: "multiprocessing.Queue",
     outbox: "multiprocessing.Queue",
+    generation: int = 0,
 ) -> None:
     """Worker process body: one scheduler over one registry shard.
 
@@ -169,6 +171,11 @@ def _shard_main(
         workers=1,
         check_correct_every=config.check_correct_every,
     )
+    # get_log() resolves from the inherited environment; under fork it
+    # also detects the pid change and drops the parent's dead writer.
+    log = get_log()
+    if log.enabled:
+        log.emit("worker.start", shard=index, generation=generation)
 
     def handle_control(op: str, job_id: Optional[str], payload: Any) -> None:
         """Serve one non-eval message (register / metrics / unknown op)."""
@@ -178,7 +185,10 @@ def _shard_main(
                 if job_id is not None:
                     outbox.put(("ok", job_id, {"codebook_key": key}))
             elif op == "metrics":
+                from repro.service.profiles import cache_metrics
+
                 stats = service.stats
+                shard_log = get_log()
                 outbox.put(
                     (
                         "ok",
@@ -192,7 +202,17 @@ def _shard_main(
                             "mean_batch_size": stats.mean_batch_size,
                             "registry_hits": service.registry.stats.hits,
                             "registry_misses": service.registry.stats.misses,
+                            "registry_evictions": service.registry.stats.evictions,
                             "registered_codebooks": len(service.registry),
+                            "batch_size_histogram": (
+                                service.batch_size_histogram.to_dict()
+                            ),
+                            "queue_depth_histogram": (
+                                service.queue_depth_histogram.to_dict()
+                            ),
+                            "caches": cache_metrics(),
+                            "telemetry_emitted": getattr(shard_log, "emitted", 0),
+                            "telemetry_dropped": getattr(shard_log, "dropped", 0),
                         },
                     )
                 )
@@ -259,6 +279,10 @@ def _shard_main(
                 return
     finally:
         service.close()
+        log = get_log()
+        if log.enabled:
+            log.emit("worker.stop", shard=index, generation=generation)
+            log.close()
 
 
 @dataclass
@@ -288,7 +312,7 @@ class _Shard:
         self.outbox: "multiprocessing.Queue" = context.Queue()
         self.process = context.Process(
             target=_shard_main,
-            args=(index, config, self.inbox, self.outbox),
+            args=(index, config, self.inbox, self.outbox, generation),
             name=f"h3dfact-shard-{index}",
             daemon=True,
         )
@@ -400,6 +424,15 @@ class ShardedWorkerPool(Transport):
             job = self._pending.pop(job_id)
             self.stats.failed += 1
             job.future.set_exception(error)
+        log = get_log()
+        if log.enabled:
+            log.emit(
+                "worker.death",
+                shard=shard.index,
+                generation=shard.generation,
+                exit_code=shard.process.exitcode,
+                in_flight=len(lost),
+            )
         if not self.config.restart_workers:
             # No respawn: mark the shard permanently dead so new dispatches
             # fail fast instead of queueing against a corpse.
@@ -408,11 +441,26 @@ class ShardedWorkerPool(Transport):
         replacement = self._spawn(shard.index, shard.generation + 1)
         self._shards[shard.index] = replacement
         self.stats.restarts += 1
+        if log.enabled:
+            log.emit(
+                "worker.restarted",
+                shard=shard.index,
+                generation=replacement.generation,
+            )
         # Replay the control plane: re-program every codebook set this
         # shard owns so keyed requests resolve after the restart.
+        replayed = 0
         for key, payload in self._registered.items():
             if self.ring.route(key) == shard.index:
                 replacement.inbox.put(("register", None, payload))
+                replayed += 1
+        if log.enabled and replayed:
+            log.emit(
+                "worker.replay",
+                shard=shard.index,
+                generation=replacement.generation,
+                codebooks=replayed,
+            )
 
     def kill_shard(self, index: int) -> None:
         """Fault injection: SIGKILL one worker process (tests use this)."""
@@ -440,6 +488,16 @@ class ShardedWorkerPool(Transport):
             job = _PendingJob(shard=index, generation=shard.generation)
             self._pending[job_id] = job
             self.stats.dispatched += 1
+        if op == "eval":
+            log = get_log()
+            if log.enabled:
+                log.emit(
+                    "request.dispatched",
+                    trace_id=payload.get("trace_id"),
+                    request_id=payload.get("request_id"),
+                    shard=index,
+                    generation=shard.generation,
+                )
         message = (op, job_id, payload)
         if self.config.backpressure == "error":
             try:
@@ -578,6 +636,8 @@ class ShardedWorkerPool(Transport):
                 "restarts": self.stats.restarts,
                 "orphaned": self.stats.orphaned,
                 "pending": len(self._pending),
+                "telemetry_emitted": getattr(get_log(), "emitted", 0),
+                "telemetry_dropped": getattr(get_log(), "dropped", 0),
             }
         shards = []
         for index in range(self.config.shards):

@@ -1,0 +1,140 @@
+"""Process-safe structured runtime telemetry (JSONL events + histograms).
+
+The serving stack's observability layer: a schema-versioned JSONL
+:class:`EventLog` (bounded-queue non-blocking writer, drop counting),
+fixed-bucket :class:`Histogram` / :class:`Counter` primitives, and an
+offline reader/validator/summarizer (:mod:`repro.telemetry.summarize`,
+surfaced as ``h3dfact telemetry``).
+
+**Enabling.**  Telemetry is *disabled by default*: :func:`get_log`
+returns the no-op :data:`NULL_LOG` sink and instrumented call sites guard
+with ``if log.enabled:``, so a telemetry-off run builds no event dicts
+and seeded results stay bit-identical.  Two ways to turn it on:
+
+* set the :data:`TELEMETRY_ENV` environment variable
+  (``H3DFACT_TELEMETRY=/path/to/events.jsonl``) - the process-safe
+  route: worker processes inherit the environment (fork or spawn) and
+  each appends whole lines to the shared path through ``O_APPEND``;
+* call :func:`configure` for an explicit, process-local sink (tests).
+
+:func:`get_log` also detects a forked child carrying the parent's log
+(whose writer thread did not survive the fork) and transparently
+rebuilds from the environment, so ``ShardedWorkerPool`` workers log
+correctly under every start method.
+
+Trace ids (:func:`mint_trace_id`) are minted at the transport seam,
+propagated over the wire codec, and correlate one request's events
+across client, HTTP server, pool frontend and worker scheduler - they
+never feed seeds or batch keys, so tracing cannot perturb results.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.telemetry.events import (
+    ENVELOPE_FIELDS,
+    EVENT_TYPES,
+    LIFECYCLE_STAGES,
+    SCHEMA_VERSION,
+    mint_trace_id,
+)
+from repro.telemetry.log import NULL_LOG, EventLog, NullEventLog
+from repro.telemetry.metrics import (
+    BATCH_SIZE_BUCKETS,
+    QUEUE_DEPTH_BUCKETS,
+    Counter,
+    Histogram,
+)
+from repro.telemetry.summarize import (
+    LogSummary,
+    read_events,
+    summarize,
+    trace_waterfall,
+    validate_events,
+)
+
+#: Environment variable naming the JSONL path that enables telemetry.
+TELEMETRY_ENV = "H3DFACT_TELEMETRY"
+
+_active: Optional[EventLog] = None
+_explicit = False
+_env_path: Optional[str] = None
+
+
+def configure(path: Optional[str]) -> Union[EventLog, NullEventLog]:
+    """Install an explicit process-local sink (``None`` disables).
+
+    Closes any previously active sink.  Explicit configuration wins over
+    the environment variable in this process; child worker processes
+    still read the environment, so callers that shard should set
+    :data:`TELEMETRY_ENV` instead (the CLI does).
+    """
+    global _active, _explicit, _env_path
+    if _active is not None and _active.pid == os.getpid():
+        _active.close()
+    _env_path = None
+    if path is None:
+        _active, _explicit = None, True
+        return NULL_LOG
+    _active, _explicit = EventLog(path), True
+    return _active
+
+
+def reset() -> None:
+    """Close the active sink and return to environment-driven resolution."""
+    global _active, _explicit, _env_path
+    if _active is not None and _active.pid == os.getpid():
+        _active.close()
+    _active, _explicit, _env_path = None, False, None
+
+
+def get_log() -> Union[EventLog, NullEventLog]:
+    """The process's active event sink (:data:`NULL_LOG` when disabled).
+
+    Cheap enough for hot paths: one environment lookup plus comparisons.
+    Re-resolves when the environment variable changes and when the
+    process id changes (a forked worker inherits the parent's log object
+    but not its writer thread, so it must rebuild its own).
+    """
+    global _active, _explicit, _env_path
+    if _active is not None and _active.pid != os.getpid():
+        # Forked child: the inherited writer thread is gone.  Drop the
+        # inherited object (closing it would double-close the parent's
+        # file descriptor bookkeeping) and fall through to env resolution.
+        _active, _explicit, _env_path = None, False, None
+    if _explicit:
+        return _active if _active is not None else NULL_LOG
+    env = os.environ.get(TELEMETRY_ENV) or None
+    if env != _env_path:
+        if _active is not None:
+            _active.close()
+        _active = EventLog(env) if env else None
+        _env_path = env
+    return _active if _active is not None else NULL_LOG
+
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "Counter",
+    "ENVELOPE_FIELDS",
+    "EVENT_TYPES",
+    "EventLog",
+    "Histogram",
+    "LIFECYCLE_STAGES",
+    "LogSummary",
+    "NULL_LOG",
+    "NullEventLog",
+    "QUEUE_DEPTH_BUCKETS",
+    "SCHEMA_VERSION",
+    "TELEMETRY_ENV",
+    "configure",
+    "get_log",
+    "mint_trace_id",
+    "read_events",
+    "reset",
+    "summarize",
+    "trace_waterfall",
+    "validate_events",
+]

@@ -1,0 +1,119 @@
+"""Event schema for the runtime telemetry subsystem.
+
+One JSONL record per event.  Every record carries the envelope fields
+(``v`` schema version, ``event`` type, ``ts`` wall-clock seconds,
+``mono`` monotonic seconds, ``pid``, ``lid`` log instance id, ``seq``
+per-log sequence number) plus event-specific attributes.  The known
+event types and their emitting layers:
+
+======================  =====================  ===========================
+event                   emitted by             key attributes
+======================  =====================  ===========================
+``request.accepted``    transport seam (HTTP   ``trace_id``, ``request_id``,
+                        server / in-process)   ``endpoint``
+``request.dispatched``  sharded pool frontend  ``trace_id``, ``shard``,
+                                               ``generation``
+``request.enqueued``    scheduler intake       ``trace_id``, ``queue_depth``
+``request.batched``     scheduler execution    ``trace_id``, ``batch_id``,
+                                               ``batch_size``, ``queue_wait_s``
+``request.completed``   scheduler execution    ``trace_id``, ``outcome``,
+                                               ``iterations``,
+                                               ``queue_wait_s``, ``engine_s``
+``request.failed``      scheduler execution    ``trace_id``, ``error``
+``batch.flush``         scheduler dispatcher   ``batch_id``, ``reason``,
+                                               ``size``, ``queue_depth``,
+                                               ``dim``, ``algebra``,
+                                               ``fidelity``
+``batch.executed``      scheduler execution    ``batch_id``, ``size``,
+                                               ``engine_s``,
+                                               ``iterations_max``
+``registry.hit``        codebook registry      ``key``
+``registry.miss``       codebook registry      ``key``
+``registry.eviction``   codebook registry      ``key``
+``cache.hit``           conductance / packed   ``cache``, ``key``
+``cache.miss``          codebook caches        ``cache``, ``key``
+``cache.eviction``      conductance cache      ``cache``
+``worker.start``        worker process         ``shard``, ``generation``
+``worker.stop``         worker process         ``shard``, ``generation``
+``worker.death``        pool monitor           ``shard``, ``generation``,
+                                               ``exitcode``, ``in_flight``
+``worker.restarted``    pool monitor           ``shard``, ``generation``
+``worker.replay``       pool monitor           ``shard``, ``count``
+``http.request``        HTTP server            ``path``, ``seconds``
+``client.request``      HTTP client            ``trace_id``, ``request_id``,
+                                               ``seconds``
+``client.batch``        HTTP client            ``size``, ``seconds``
+``telemetry.close``     event log shutdown     ``emitted``, ``dropped``
+======================  =====================  ===========================
+
+The request lifecycle forms a state machine per trace: ``accepted`` ->
+``dispatched`` -> ``enqueued`` -> ``batched`` -> ``completed`` (or
+``failed``).  A retried request (worker loss) starts a fresh episode at
+``accepted``/``dispatched``, which is why
+:func:`repro.telemetry.summarize.validate_events` allows the stage index
+to reset to the seam stages but flags any other regression.
+"""
+
+from __future__ import annotations
+
+import uuid
+
+#: Version stamped into every record's ``v`` field; bump on any change to
+#: the envelope fields or to an existing event's attribute meanings.
+SCHEMA_VERSION = 1
+
+#: Every event type a valid log may contain (the validator rejects others).
+EVENT_TYPES = frozenset(
+    {
+        "request.accepted",
+        "request.dispatched",
+        "request.enqueued",
+        "request.batched",
+        "request.completed",
+        "request.failed",
+        "batch.flush",
+        "batch.executed",
+        "registry.hit",
+        "registry.miss",
+        "registry.eviction",
+        "cache.hit",
+        "cache.miss",
+        "cache.eviction",
+        "worker.start",
+        "worker.stop",
+        "worker.death",
+        "worker.restarted",
+        "worker.replay",
+        "http.request",
+        "client.request",
+        "client.batch",
+        "telemetry.close",
+    }
+)
+
+#: Request lifecycle stage index per event type: within one episode of a
+#: trace, the stage must never decrease.  Stages <= RESET_STAGE_MAX open a
+#: new episode (client retry after a worker loss).
+LIFECYCLE_STAGES = {
+    "request.accepted": 0,
+    "request.dispatched": 1,
+    "request.enqueued": 2,
+    "request.batched": 3,
+    "request.completed": 4,
+    "request.failed": 4,
+}
+
+#: Highest stage index allowed to open a new per-trace episode.
+RESET_STAGE_MAX = 1
+
+#: Envelope fields every record must carry (see the module docstring).
+ENVELOPE_FIELDS = ("v", "event", "ts", "mono", "pid", "lid", "seq")
+
+
+def mint_trace_id() -> str:
+    """Mint a fresh 16-hex-digit trace id (uuid4-derived, no coordination).
+
+    Trace ids correlate telemetry events only; they never feed seeds or
+    batch keys, so minting cannot perturb results.
+    """
+    return uuid.uuid4().hex[:16]

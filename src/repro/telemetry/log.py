@@ -1,0 +1,250 @@
+"""JSONL event log with a bounded-queue, non-blocking writer.
+
+:class:`EventLog` is the write side of the telemetry subsystem.  Design
+constraints, in order:
+
+* **never backpressure the hot path** - :meth:`EventLog.emit` is a dict
+  build plus a ``put_nowait``; when the bounded queue is full the event
+  is *dropped and counted* (the drop count is surfaced through
+  ``/metrics`` and in the final ``telemetry.close`` record), never
+  blocked on;
+* **process-safe** - each process owns one writer thread appending to the
+  shared path through an ``O_APPEND`` file descriptor with one
+  ``write()`` per drained burst of complete lines, so concurrent worker
+  processes interleave whole lines, never partial ones;
+* **self-describing** - every record carries the schema version and the
+  ``(pid, lid, seq)`` envelope that lets the validator detect loss and
+  order per producer.
+
+:data:`NULL_LOG` is the disabled sink: ``enabled`` is ``False`` and
+:meth:`NullEventLog.emit` is a no-op, so instrumented call sites guard
+with ``if log.enabled:`` and a telemetry-off run does no extra work
+beyond that attribute check - the basis of the bit-identical /
+unmeasurable-overhead guarantee.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import queue
+import threading
+import time
+import uuid
+from typing import Any, Optional
+
+from repro.telemetry.events import SCHEMA_VERSION
+
+#: Default bound on buffered (unwritten) events per process.
+DEFAULT_QUEUE_CAPACITY = 8192
+
+_CLOSE = object()
+
+
+def _coerce(value: Any) -> Any:
+    """JSON fallback: numpy scalars via ``.item()``, anything else ``str``."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
+
+
+class EventLog:
+    """Append-only JSONL event sink with a background writer thread.
+
+    Parameters
+    ----------
+    path:
+        JSONL file to append to (created if missing).  Multiple processes
+        may share one path; each appends whole lines.
+    queue_capacity:
+        Bound on buffered events; overflow is dropped and counted.
+    autostart:
+        Start the writer thread immediately (tests pass ``False`` to
+        exercise the queue synchronously via :meth:`close`).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+        autostart: bool = True,
+    ) -> None:
+        if queue_capacity <= 0:
+            raise ValueError(
+                f"queue_capacity must be positive, got {queue_capacity}"
+            )
+        self.path = str(path)
+        self.pid = os.getpid()
+        #: Log instance id: distinguishes producers sharing one pid (a
+        #: reconfigured log restarts ``seq``; the validator keys on it).
+        self.lid = uuid.uuid4().hex[:8]
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_capacity)
+        self._seq = itertools.count()
+        self._emitted = 0
+        self._dropped = 0
+        self._count_lock = threading.Lock()
+        self._closed = False
+        self._thread: Optional[threading.Thread] = None
+        if autostart:
+            self._thread = threading.Thread(
+                target=self._writer_loop, name="h3dfact-telemetry", daemon=True
+            )
+            self._thread.start()
+
+    @property
+    def enabled(self) -> bool:
+        """True: this sink records events (cf. :class:`NullEventLog`)."""
+        return True
+
+    @property
+    def emitted(self) -> int:
+        """Events accepted into the queue so far."""
+        return self._emitted
+
+    @property
+    def dropped(self) -> int:
+        """Events dropped on a full queue so far (logging never blocks)."""
+        return self._dropped
+
+    def emit(self, event: str, **attrs: Any) -> None:
+        """Record one event; non-blocking, drops (and counts) on overflow."""
+        if self._closed:
+            return
+        record = {
+            "v": SCHEMA_VERSION,
+            "event": event,
+            "ts": time.time(),
+            "mono": time.monotonic(),
+            "pid": self.pid,
+            "lid": self.lid,
+            "seq": next(self._seq),
+        }
+        record.update(attrs)
+        try:
+            self._queue.put_nowait(record)
+        except queue.Full:
+            with self._count_lock:
+                self._dropped += 1
+            return
+        with self._count_lock:
+            self._emitted += 1
+
+    # -- writer --------------------------------------------------------------
+
+    def _serialize(self, record: Any) -> bytes:
+        return (json.dumps(record, default=_coerce) + "\n").encode("utf-8")
+
+    def _close_record(self) -> dict:
+        """The final ``telemetry.close`` record carrying the counters."""
+        return {
+            "v": SCHEMA_VERSION,
+            "event": "telemetry.close",
+            "ts": time.time(),
+            "mono": time.monotonic(),
+            "pid": self.pid,
+            "lid": self.lid,
+            "seq": next(self._seq),
+            "emitted": self._emitted,
+            "dropped": self._dropped,
+        }
+
+    def _drain(self, fd: int, *, block: bool) -> bool:
+        """Write one burst of queued records; returns False after close."""
+        try:
+            item = self._queue.get(block=block)
+        except queue.Empty:
+            return True
+        chunks = []
+        open_ = True
+        while True:
+            if item is _CLOSE:
+                open_ = False
+                chunks.append(self._serialize(self._close_record()))
+            else:
+                chunks.append(self._serialize(item))
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+        # One write per burst: O_APPEND makes each call atomic w.r.t. the
+        # file offset, so concurrent processes interleave whole lines.
+        os.write(fd, b"".join(chunks))
+        return open_
+
+    def _writer_loop(self) -> None:
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            while self._drain(fd, block=True):
+                pass
+        finally:
+            os.close(fd)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush buffered events, append ``telemetry.close``, stop writing."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None and self._thread.is_alive():
+            self._queue.put(_CLOSE)
+            self._thread.join(timeout=10.0)
+            return
+        # Never-started writer (autostart=False): drain synchronously.  The
+        # queue may be full, so the close record is written directly rather
+        # than routed through it (put() would block with no consumer).
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            chunks = []
+            while True:
+                try:
+                    chunks.append(self._serialize(self._queue.get_nowait()))
+                except queue.Empty:
+                    break
+            chunks.append(self._serialize(self._close_record()))
+            os.write(fd, b"".join(chunks))
+        finally:
+            os.close(fd)
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"EventLog(path={self.path!r}, emitted={self.emitted}, "
+            f"dropped={self.dropped})"
+        )
+
+
+class NullEventLog:
+    """The disabled sink: telemetry off means one attribute check per site."""
+
+    path = None
+    pid = 0
+    emitted = 0
+    dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        """False: events are discarded without being built."""
+        return False
+
+    def emit(self, event: str, **attrs: Any) -> None:
+        """Discard the event (the caller's ``enabled`` guard avoids even
+        building the attribute dict on the hot path)."""
+
+    def close(self) -> None:
+        """Nothing to flush."""
+
+    def __repr__(self) -> str:
+        return "NullEventLog()"
+
+
+#: Shared disabled sink (telemetry is opt-in; this is the default).
+NULL_LOG = NullEventLog()

@@ -1,0 +1,123 @@
+"""Fixed-bucket histogram and counter primitives for runtime metrics.
+
+These are the in-memory aggregation side of telemetry: the scheduler
+keeps batch-size and queue-depth :class:`Histogram`\\ s that ``/metrics``
+surfaces, independent of whether the JSONL event log is enabled.  Buckets
+are fixed at construction (no rebinning), observation is O(log buckets)
+and thread-safe, and the JSON form (``to_dict``) is what travels over the
+worker metrics op and the HTTP ``/metrics`` payload.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Sequence
+
+#: Default buckets for batch-size distributions (powers of two up to the
+#: scheduler's plausible max batch).
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+#: Default buckets for queue-depth distributions (0 = drained intake).
+QUEUE_DEPTH_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+class Counter:
+    """Thread-safe monotonic counter (JSON-safe via :attr:`value`)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def increment(self, n: int = 1) -> None:
+        """Add ``n`` (default 1) to the counter."""
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts of observations per upper bound.
+
+    ``bounds`` are inclusive upper bounds in increasing order; one
+    overflow bucket catches observations above the last bound.  The
+    percentile estimate returns the upper bound of the bucket holding the
+    nearest-rank observation - coarse by construction, but stable,
+    mergeable and O(buckets) to serialize, which is what a ``/metrics``
+    endpoint wants.
+    """
+
+    def __init__(self, bounds: Sequence[float] = BATCH_SIZE_BUCKETS) -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = tuple(float(b) for b in bounds)
+        if any(b >= c for b, c in zip(ordered, ordered[1:])):
+            raise ValueError(f"bounds must strictly increase, got {bounds}")
+        self.bounds = ordered
+        self._counts = [0] * (len(ordered) + 1)
+        self._total = 0
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Count one observation into its bucket."""
+        index = bisect_left(self.bounds, float(value))
+        with self._lock:
+            self._counts[index] += 1
+            self._total += 1
+            self._sum += float(value)
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        with self._lock:
+            return self._sum / self._total if self._total else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Upper bound of the bucket holding the nearest-rank observation.
+
+        Returns the last finite bound for overflow-bucket ranks and 0.0
+        for an empty histogram.
+        """
+        with self._lock:
+            if not self._total:
+                return 0.0
+            rank = min(self._total - 1, max(0, int(fraction * self._total)))
+            cumulative = 0
+            for index, count in enumerate(self._counts):
+                cumulative += count
+                if rank < cumulative:
+                    return self.bounds[min(index, len(self.bounds) - 1)]
+        return self.bounds[-1]
+
+    def counts(self) -> List[int]:
+        """Bucket counts (last entry is the overflow bucket)."""
+        with self._lock:
+            return list(self._counts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form: bounds, per-bucket counts, total and mean."""
+        with self._lock:
+            return {
+                "bounds": list(self.bounds),
+                "counts": list(self._counts),
+                "count": self._total,
+                "mean": self._sum / self._total if self._total else 0.0,
+            }
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, bounds={self.bounds})"

@@ -1,0 +1,424 @@
+"""Read, validate and summarize JSONL telemetry logs.
+
+The offline half of the telemetry subsystem, backing the ``h3dfact
+telemetry`` CLI and the CI log-validation gate:
+
+* :func:`read_events` parses a JSONL log (tolerating a torn final line -
+  a SIGKILL'd worker may die mid-write);
+* :func:`validate_events` checks the schema contract: known event types,
+  schema version, envelope fields, no duplicate ``(pid, lid, seq)``, and
+  monotonic per-trace lifecycle ordering (stage regressions are allowed
+  only at an episode reset - the client-retry-after-worker-loss path);
+* :func:`summarize` rolls a log up into event counts, per-trace lifecycle
+  completeness, batch/queue histograms, flush-reason counts and per-stage
+  latency percentiles;
+* :func:`trace_waterfall` renders one trace's events as a relative-time
+  waterfall.
+
+Percentiles use the same nearest-rank definition as the HTTP server's
+``/metrics`` payload, so ``h3dfact telemetry summarize`` over a server's
+log reproduces the server's own p50/p95 exactly (the acceptance test
+pins this).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.events import (
+    ENVELOPE_FIELDS,
+    EVENT_TYPES,
+    LIFECYCLE_STAGES,
+    RESET_STAGE_MAX,
+    SCHEMA_VERSION,
+)
+
+Event = Dict[str, Any]
+
+
+def nearest_rank(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of a *sorted* non-empty sample sequence.
+
+    Identical to the HTTP server's ``/metrics`` percentile definition -
+    sharing it is what makes log-derived and server-reported percentiles
+    comparable as exact floats.
+    """
+    rank = min(len(samples) - 1, max(0, int(fraction * len(samples))))
+    return samples[rank]
+
+
+def read_events(path: str) -> List[Event]:
+    """Parse a JSONL log into event dicts, in file order.
+
+    A torn final line (no trailing newline, truncated JSON) is skipped:
+    a killed worker can die mid-write and the rest of the log is still
+    valid.  A torn line anywhere else is a validation problem, surfaced
+    by :func:`validate_events` via the ``_parse_error`` marker event.
+    """
+    events: List[Event] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().split("\n")
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if index >= len(lines) - 2:  # torn tail (last content line)
+                continue
+            events.append({"event": "_parse_error", "line": index + 1})
+            continue
+        if isinstance(record, dict):
+            events.append(record)
+        else:
+            events.append({"event": "_parse_error", "line": index + 1})
+    return events
+
+
+def _order_key(event: Event) -> Tuple[float, int, int]:
+    """Stable cross-process ordering: wall clock, then producer sequence."""
+    return (
+        float(event.get("ts", 0.0)),
+        int(event.get("pid", 0)),
+        int(event.get("seq", 0)),
+    )
+
+
+def validate_events(events: Sequence[Event]) -> List[str]:
+    """Schema-contract violations in ``events``, as report strings.
+
+    Empty list = valid log.  Checked: parseability, known event types,
+    schema version, envelope completeness, unique ``(pid, lid, seq)``
+    per producer, and the per-trace lifecycle state machine (monotonic
+    stages, with resets allowed only at the transport-seam stages).
+    """
+    problems: List[str] = []
+    seen_seqs: Dict[Tuple[int, str], set] = {}
+    traces: Dict[str, List[Event]] = {}
+    for position, event in enumerate(events):
+        kind = event.get("event")
+        if kind == "_parse_error":
+            problems.append(f"line {event.get('line')}: unparseable JSON")
+            continue
+        if kind not in EVENT_TYPES:
+            problems.append(f"record {position}: unknown event type {kind!r}")
+            continue
+        missing = [name for name in ENVELOPE_FIELDS if name not in event]
+        if missing:
+            problems.append(
+                f"record {position} ({kind}): missing envelope fields {missing}"
+            )
+            continue
+        if event["v"] != SCHEMA_VERSION:
+            problems.append(
+                f"record {position} ({kind}): schema version {event['v']} "
+                f"!= {SCHEMA_VERSION}"
+            )
+        producer = (int(event["pid"]), str(event["lid"]))
+        seqs = seen_seqs.setdefault(producer, set())
+        seq = int(event["seq"])
+        if seq in seqs:
+            problems.append(
+                f"record {position} ({kind}): duplicate seq {seq} for "
+                f"producer pid={producer[0]} lid={producer[1]}"
+            )
+        seqs.add(seq)
+        if kind in LIFECYCLE_STAGES and event.get("trace_id") is not None:
+            traces.setdefault(str(event["trace_id"]), []).append(event)
+    for trace_id, trace_events in traces.items():
+        stage = -1
+        for event in sorted(trace_events, key=_order_key):
+            this = LIFECYCLE_STAGES[event["event"]]
+            # Seam stages (accepted/dispatched) may open a fresh episode
+            # (client retry after a worker loss); any other regression is
+            # a broken lifecycle.
+            if this > RESET_STAGE_MAX and this < stage:
+                problems.append(
+                    f"trace {trace_id}: stage regression "
+                    f"{event['event']} after stage {stage}"
+                )
+            stage = this
+    return problems
+
+
+@dataclass
+class StageLatency:
+    """Latency rollup for one named stage (seconds in, ms out)."""
+
+    stage: str
+    samples: List[float] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        """Number of samples."""
+        return len(self.samples)
+
+    def percentile_ms(self, fraction: float) -> float:
+        """Nearest-rank percentile in milliseconds (0.0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return 1e3 * nearest_rank(sorted(self.samples), fraction)
+
+
+@dataclass
+class LogSummary:
+    """Rolled-up view of one telemetry log (see :func:`summarize`)."""
+
+    #: Events per type, in the log.
+    event_counts: Dict[str, int]
+    #: Distinct lifecycle trace ids seen.
+    traces: int
+    #: Traces whose final episode reached ``request.completed``.
+    completed_traces: int
+    #: Batch sizes observed at ``batch.flush``.
+    batch_sizes: List[int]
+    #: Intake queue depths observed at ``batch.flush``.
+    queue_depths: List[int]
+    #: Flush reasons tally.
+    flush_reasons: Dict[str, int]
+    #: Per-stage latency rollups (``queue_wait``, ``engine``, ``client``
+    #: and one ``http:<path>`` entry per observed path).
+    stages: Dict[str, StageLatency]
+    #: Registry / cache hit-miss tallies keyed by counter name.
+    cache_counts: Dict[str, int]
+    #: Total events dropped by bounded queues (from ``telemetry.close``).
+    dropped: int
+    #: Worker lifecycle tallies (starts, deaths, restarts, replays).
+    worker_counts: Dict[str, int]
+
+    def http_percentiles(self, path: str) -> Dict[str, float]:
+        """p50/p95/p99 (ms) for one HTTP path's server-side latency."""
+        stage = self.stages.get(f"http:{path}")
+        if stage is None or not stage.count:
+            return {}
+        return {
+            "p50_ms": stage.percentile_ms(0.50),
+            "p95_ms": stage.percentile_ms(0.95),
+            "p99_ms": stage.percentile_ms(0.99),
+            "samples": stage.count,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (the CLI's ``--json`` output)."""
+        return {
+            "events": dict(self.event_counts),
+            "traces": self.traces,
+            "completed_traces": self.completed_traces,
+            "batch_size": _dist(self.batch_sizes),
+            "queue_depth": _dist(self.queue_depths),
+            "flush_reasons": dict(self.flush_reasons),
+            "stages": {
+                name: {
+                    "samples": stage.count,
+                    "p50_ms": stage.percentile_ms(0.50),
+                    "p95_ms": stage.percentile_ms(0.95),
+                    "p99_ms": stage.percentile_ms(0.99),
+                }
+                for name, stage in sorted(self.stages.items())
+            },
+            "caches": dict(self.cache_counts),
+            "workers": dict(self.worker_counts),
+            "dropped": self.dropped,
+        }
+
+    def render(self) -> str:
+        """Human-readable rollup."""
+        lines = ["h3dfact telemetry - event log summary"]
+        total = sum(self.event_counts.values())
+        lines.append(
+            f"  {total} events, {self.traces} traces "
+            f"({self.completed_traces} completed), {self.dropped} dropped"
+        )
+        for kind in sorted(self.event_counts):
+            lines.append(f"    {kind:<22s} {self.event_counts[kind]}")
+        if self.batch_sizes:
+            dist = _dist(self.batch_sizes)
+            lines.append(
+                f"  batch size: mean={dist['mean']:.2f} "
+                f"p50={dist['p50']:g} max={dist['max']:g} "
+                f"({dist['count']} batches)"
+            )
+        if self.queue_depths:
+            dist = _dist(self.queue_depths)
+            lines.append(
+                f"  queue depth at flush: mean={dist['mean']:.2f} "
+                f"p50={dist['p50']:g} max={dist['max']:g}"
+            )
+        if self.flush_reasons:
+            reasons = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.flush_reasons.items())
+            )
+            lines.append(f"  flush reasons: {reasons}")
+        for name, stage in sorted(self.stages.items()):
+            if not stage.count:
+                continue
+            lines.append(
+                f"  {name:<18s} p50={stage.percentile_ms(0.50):8.3f}ms "
+                f"p95={stage.percentile_ms(0.95):8.3f}ms "
+                f"p99={stage.percentile_ms(0.99):8.3f}ms "
+                f"({stage.count} samples)"
+            )
+        if self.cache_counts:
+            caches = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.cache_counts.items())
+            )
+            lines.append(f"  caches: {caches}")
+        if self.worker_counts:
+            workers = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.worker_counts.items())
+            )
+            lines.append(f"  workers: {workers}")
+        return "\n".join(lines)
+
+
+def _dist(values: Sequence[float]) -> Dict[str, float]:
+    """min/mean/p50/p95/max/count of a value list (JSON-safe)."""
+    if not values:
+        return {"count": 0}
+    ordered = sorted(values)
+    return {
+        "count": len(ordered),
+        "min": float(ordered[0]),
+        "mean": float(sum(ordered) / len(ordered)),
+        "p50": float(nearest_rank(ordered, 0.50)),
+        "p95": float(nearest_rank(ordered, 0.95)),
+        "max": float(ordered[-1]),
+    }
+
+
+def summarize(events: Sequence[Event]) -> LogSummary:
+    """Roll a parsed event list up into a :class:`LogSummary`."""
+    counts: TallyCounter = TallyCounter()
+    batch_sizes: List[int] = []
+    queue_depths: List[int] = []
+    flush_reasons: TallyCounter = TallyCounter()
+    stages: Dict[str, StageLatency] = {}
+    cache_counts: TallyCounter = TallyCounter()
+    worker_counts: TallyCounter = TallyCounter()
+    traces: Dict[str, bool] = {}
+    dropped = 0
+
+    def stage_for(name: str) -> StageLatency:
+        """The named stage's rollup, created on first use."""
+        if name not in stages:
+            stages[name] = StageLatency(stage=name)
+        return stages[name]
+
+    for event in events:
+        kind = event.get("event", "_parse_error")
+        counts[kind] += 1
+        trace_id = event.get("trace_id")
+        if trace_id is not None and kind in LIFECYCLE_STAGES:
+            done = traces.get(str(trace_id), False)
+            if kind == "request.completed":
+                done = True
+            elif kind == "request.failed":
+                done = False
+            traces[str(trace_id)] = done
+        if kind == "batch.flush":
+            if event.get("size") is not None:
+                batch_sizes.append(int(event["size"]))
+            if event.get("queue_depth") is not None:
+                queue_depths.append(int(event["queue_depth"]))
+            flush_reasons[str(event.get("reason", "unknown"))] += 1
+        elif kind == "request.completed":
+            if event.get("queue_wait_s") is not None:
+                stage_for("queue_wait").samples.append(
+                    float(event["queue_wait_s"])
+                )
+            if event.get("engine_s") is not None:
+                stage_for("engine").samples.append(float(event["engine_s"]))
+        elif kind == "http.request":
+            if event.get("seconds") is not None:
+                stage_for(f"http:{event.get('path')}").samples.append(
+                    float(event["seconds"])
+                )
+        elif kind == "client.request":
+            if event.get("seconds") is not None:
+                stage_for("client").samples.append(float(event["seconds"]))
+        elif kind in ("registry.hit", "registry.miss", "registry.eviction"):
+            cache_counts[kind] += 1
+        elif kind in ("cache.hit", "cache.miss", "cache.eviction"):
+            cache_counts[f"{kind}:{event.get('cache', 'unknown')}"] += 1
+        elif kind.startswith("worker."):
+            worker_counts[kind] += 1
+        elif kind == "telemetry.close":
+            dropped += int(event.get("dropped", 0))
+    return LogSummary(
+        event_counts=dict(counts),
+        traces=len(traces),
+        completed_traces=sum(1 for done in traces.values() if done),
+        batch_sizes=batch_sizes,
+        queue_depths=queue_depths,
+        flush_reasons=dict(flush_reasons),
+        stages=stages,
+        cache_counts=dict(cache_counts),
+        dropped=dropped,
+        worker_counts=dict(worker_counts),
+    )
+
+
+def trace_waterfall(
+    events: Sequence[Event], trace_id: str
+) -> List[str]:
+    """One trace's events as relative-time waterfall lines.
+
+    Events are ordered by wall clock (all processes share the machine
+    clock), offsets are milliseconds since the trace's first event, and
+    each line names the emitting pid plus the event's most informative
+    attributes.
+    """
+    mine = sorted(
+        (
+            event
+            for event in events
+            if str(event.get("trace_id")) == str(trace_id)
+        ),
+        key=_order_key,
+    )
+    if not mine:
+        return [f"trace {trace_id}: no events"]
+    origin = float(mine[0].get("ts", 0.0))
+    lines = [f"trace {trace_id} ({len(mine)} events)"]
+    detail_keys = (
+        "request_id",
+        "endpoint",
+        "shard",
+        "batch_id",
+        "batch_size",
+        "queue_depth",
+        "outcome",
+        "iterations",
+        "queue_wait_s",
+        "engine_s",
+        "seconds",
+        "error",
+    )
+    for event in mine:
+        offset_ms = 1e3 * (float(event.get("ts", origin)) - origin)
+        details = " ".join(
+            f"{key}={event[key]}" for key in detail_keys if key in event
+        )
+        lines.append(
+            f"  +{offset_ms:9.3f}ms pid={event.get('pid', '?'):<7} "
+            f"{event.get('event', '?'):<20s} {details}".rstrip()
+        )
+    return lines
+
+
+__all__ = [
+    "Event",
+    "LogSummary",
+    "StageLatency",
+    "nearest_rank",
+    "read_events",
+    "summarize",
+    "trace_waterfall",
+    "validate_events",
+]

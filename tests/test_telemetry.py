@@ -1,0 +1,368 @@
+"""Unit tests for the telemetry primitives.
+
+Covers the JSONL :class:`~repro.telemetry.EventLog` (envelope schema,
+bounded-queue drop counting, close semantics), the fixed-bucket
+:class:`~repro.telemetry.Histogram` / :class:`~repro.telemetry.Counter`
+primitives, process-wide sink resolution (:func:`~repro.telemetry.get_log`
+via env var and :func:`~repro.telemetry.configure`), and the offline
+reader/validator/summarizer the ``h3dfact telemetry`` CLI is built on.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    ENVELOPE_FIELDS,
+    EVENT_TYPES,
+    NULL_LOG,
+    SCHEMA_VERSION,
+    TELEMETRY_ENV,
+    Counter,
+    EventLog,
+    Histogram,
+    configure,
+    get_log,
+    mint_trace_id,
+    read_events,
+    reset,
+    summarize,
+    trace_waterfall,
+    validate_events,
+)
+from repro.telemetry.summarize import nearest_rank
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry(monkeypatch):
+    """Every test starts and ends with telemetry disabled."""
+    monkeypatch.delenv(TELEMETRY_ENV, raising=False)
+    reset()
+    yield
+    reset()
+
+
+class TestEventLog:
+    def test_roundtrip_envelope_and_order(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(path)
+        log.emit("request.accepted", trace_id="t0", request_id="0")
+        log.emit("request.completed", trace_id="t0", outcome="converged")
+        log.close()
+        events = read_events(path)
+        # Two emitted events plus the close record.
+        assert [event["event"] for event in events] == [
+            "request.accepted",
+            "request.completed",
+            "telemetry.close",
+        ]
+        for event in events:
+            for name in ENVELOPE_FIELDS:
+                assert name in event
+            assert event["v"] == SCHEMA_VERSION
+            assert event["pid"] == os.getpid()
+        assert events[0]["trace_id"] == "t0"
+        assert events[0]["seq"] < events[1]["seq"] < events[2]["seq"]
+        assert events[1]["mono"] >= events[0]["mono"]
+
+    def test_close_record_carries_counters(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(path)
+        for index in range(5):
+            log.emit("batch.flush", batch_id=index)
+        log.close()
+        closing = read_events(path)[-1]
+        assert closing["event"] == "telemetry.close"
+        assert closing["emitted"] == 5
+        assert closing["dropped"] == 0
+
+    def test_bounded_queue_drops_and_counts(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        # No writer thread: the queue fills and further emits must drop
+        # without blocking (the hot path's contract).
+        log = EventLog(path, queue_capacity=4, autostart=False)
+        for index in range(10):
+            log.emit("batch.flush", batch_id=index)
+        assert log.dropped == 6
+        assert log.emitted == 4
+        log.close()  # drains synchronously
+        events = read_events(path)
+        assert [e["event"] for e in events].count("batch.flush") == 4
+        assert events[-1]["dropped"] == 6
+
+    def test_emit_after_close_is_noop(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(path)
+        log.close()
+        log.emit("batch.flush", batch_id=0)
+        assert len(read_events(path)) == 1  # just telemetry.close
+
+    def test_numpy_attributes_serialize(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(path)
+        log.emit("batch.flush", size=np.int64(3), engine_s=np.float64(0.5))
+        log.close()
+        event = read_events(path)[0]
+        assert event["size"] == 3
+        assert event["engine_s"] == 0.5
+
+    def test_null_log_is_disabled_noop(self):
+        assert NULL_LOG.enabled is False
+        NULL_LOG.emit("request.accepted", trace_id="x")  # must not raise
+        NULL_LOG.close()
+
+    def test_concurrent_emitters_unique_seqs(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(path)
+
+        def hammer():
+            for _ in range(50):
+                log.emit("batch.flush")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        log.close()
+        events = read_events(path)
+        assert validate_events(events) == []
+        seqs = [e["seq"] for e in events]
+        assert len(seqs) == len(set(seqs)) == 201  # 200 + close
+
+
+class TestSinkResolution:
+    def test_disabled_by_default(self):
+        assert get_log() is NULL_LOG
+
+    def test_env_var_enables(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "env.jsonl")
+        monkeypatch.setenv(TELEMETRY_ENV, path)
+        log = get_log()
+        assert log.enabled
+        assert get_log() is log  # stable across calls
+        log.emit("batch.flush")
+        reset()
+        assert read_events(path)[0]["event"] == "batch.flush"
+
+    def test_env_change_reresolves(self, tmp_path, monkeypatch):
+        first = str(tmp_path / "a.jsonl")
+        second = str(tmp_path / "b.jsonl")
+        monkeypatch.setenv(TELEMETRY_ENV, first)
+        log_a = get_log()
+        monkeypatch.setenv(TELEMETRY_ENV, second)
+        log_b = get_log()
+        assert log_a is not log_b
+        monkeypatch.delenv(TELEMETRY_ENV)
+        assert get_log() is NULL_LOG
+
+    def test_configure_wins_over_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TELEMETRY_ENV, str(tmp_path / "env.jsonl"))
+        explicit = str(tmp_path / "explicit.jsonl")
+        log = configure(explicit)
+        assert get_log() is log
+        configure(None)
+        assert get_log() is NULL_LOG  # explicit disable beats env
+        reset()
+        assert get_log().enabled  # back to env resolution
+
+    def test_mint_trace_id_format(self):
+        ids = {mint_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        for trace_id in ids:
+            assert len(trace_id) == 16
+            int(trace_id, 16)  # hex
+
+
+class TestHistogram:
+    def test_bucketing_and_stats(self):
+        histogram = Histogram((1, 2, 4))
+        for value in (0, 1, 2, 3, 5, 100):
+            histogram.observe(value)
+        counts = histogram.counts()
+        assert counts == [2, 1, 1, 2]  # <=1, <=2, <=4, overflow
+        assert histogram.count == 6
+        assert histogram.mean == pytest.approx(111 / 6)
+
+    def test_percentile_nearest_rank_bucket_bound(self):
+        histogram = Histogram((1, 2, 4, 8))
+        for value in (1, 1, 1, 3, 7):
+            histogram.observe(value)
+        assert histogram.percentile(0.50) == 1
+        assert histogram.percentile(0.95) == 8
+
+    def test_to_dict_json_safe(self):
+        histogram = Histogram((1, 2))
+        histogram.observe(1)
+        payload = json.loads(json.dumps(histogram.to_dict()))
+        assert payload["bounds"] == [1, 2]
+        assert payload["count"] == 1
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((2, 1))
+
+    def test_counter_thread_safe_increment(self):
+        counter = Counter()
+
+        def bump():
+            for _ in range(1000):
+                counter.increment()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 4000
+
+
+class TestReadValidate:
+    def _valid_event(self, kind, seq, **attrs):
+        event = {
+            "v": SCHEMA_VERSION,
+            "event": kind,
+            "ts": 1000.0 + seq,
+            "mono": float(seq),
+            "pid": 1,
+            "lid": "abcd1234",
+            "seq": seq,
+        }
+        event.update(attrs)
+        return event
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        good = json.dumps(self._valid_event("batch.flush", 0))
+        path.write_text(good + "\n" + '{"v": 1, "event": "batch')
+        events = read_events(str(path))
+        assert len(events) == 1
+        assert validate_events(events) == []
+
+    def test_mid_file_tear_is_a_problem(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        good = json.dumps(self._valid_event("batch.flush", 0))
+        path.write_text('{"broken\n' + good + "\n" + good + "\n")
+        events = read_events(str(path))
+        problems = validate_events(events)
+        assert any("unparseable" in problem for problem in problems)
+
+    def test_unknown_event_type_flagged(self):
+        problems = validate_events([self._valid_event("nonsense.kind", 0)])
+        assert any("unknown event type" in problem for problem in problems)
+
+    def test_missing_envelope_flagged(self):
+        event = self._valid_event("batch.flush", 0)
+        del event["lid"]
+        problems = validate_events([event])
+        assert any("missing envelope" in problem for problem in problems)
+
+    def test_duplicate_seq_flagged(self):
+        events = [
+            self._valid_event("batch.flush", 7),
+            self._valid_event("batch.flush", 7),
+        ]
+        problems = validate_events(events)
+        assert any("duplicate seq" in problem for problem in problems)
+
+    def test_lifecycle_regression_flagged(self):
+        events = [
+            self._valid_event("request.completed", 0, trace_id="t"),
+            self._valid_event("request.enqueued", 1, trace_id="t"),
+        ]
+        problems = validate_events(events)
+        assert any("stage regression" in problem for problem in problems)
+
+    def test_retry_episode_reset_allowed(self):
+        # completed -> accepted (a client retry) must NOT be a violation.
+        events = [
+            self._valid_event("request.accepted", 0, trace_id="t"),
+            self._valid_event("request.completed", 1, trace_id="t"),
+            self._valid_event("request.accepted", 2, trace_id="t"),
+            self._valid_event("request.completed", 3, trace_id="t"),
+        ]
+        assert validate_events(events) == []
+
+    def test_all_lifecycle_event_types_are_known(self):
+        for kind in (
+            "request.accepted",
+            "request.dispatched",
+            "request.enqueued",
+            "request.batched",
+            "request.completed",
+            "request.failed",
+        ):
+            assert kind in EVENT_TYPES
+
+
+class TestSummarize:
+    def test_rollup_counts_and_stages(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        log = EventLog(path)
+        log.emit("request.accepted", trace_id="t0")
+        log.emit("request.enqueued", trace_id="t0", queue_depth=1)
+        log.emit(
+            "batch.flush", batch_id=0, reason="size", size=2, queue_depth=3
+        )
+        log.emit(
+            "request.completed",
+            trace_id="t0",
+            queue_wait_s=0.002,
+            engine_s=0.010,
+        )
+        log.emit("request.accepted", trace_id="t1")
+        log.emit("request.failed", trace_id="t1", error="ServiceError")
+        log.emit("http.request", path="/eval", seconds=0.015)
+        log.emit("registry.hit", key="k")
+        log.emit("cache.miss", cache="conductance", key="k")
+        log.emit("worker.start", shard=0)
+        log.close()
+        summary = summarize(read_events(path))
+        assert summary.traces == 2
+        assert summary.completed_traces == 1
+        assert summary.batch_sizes == [2]
+        assert summary.queue_depths == [3]
+        assert summary.flush_reasons == {"size": 1}
+        assert summary.stages["queue_wait"].samples == [0.002]
+        assert summary.stages["engine"].samples == [0.010]
+        assert summary.stages["http:/eval"].samples == [0.015]
+        assert summary.cache_counts["registry.hit"] == 1
+        assert summary.cache_counts["cache.miss:conductance"] == 1
+        assert summary.worker_counts["worker.start"] == 1
+        rendered = summary.render()
+        assert "2 traces" in rendered and "flush reasons" in rendered
+        json.dumps(summary.to_dict())  # JSON-safe
+
+    def test_http_percentiles_nearest_rank(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        log = EventLog(path)
+        for seconds in (0.010, 0.020, 0.030, 0.040):
+            log.emit("http.request", path="/eval", seconds=seconds)
+        log.close()
+        summary = summarize(read_events(path))
+        percentiles = summary.http_percentiles("/eval")
+        ordered = [0.010, 0.020, 0.030, 0.040]
+        assert percentiles["p50_ms"] == 1e3 * nearest_rank(ordered, 0.50)
+        assert percentiles["p95_ms"] == 1e3 * nearest_rank(ordered, 0.95)
+        assert percentiles["samples"] == 4
+
+    def test_waterfall_orders_and_offsets(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        log = EventLog(path)
+        log.emit("request.accepted", trace_id="tw", request_id="9")
+        log.emit("request.completed", trace_id="tw", request_id="9")
+        log.emit("request.accepted", trace_id="other")
+        log.close()
+        lines = trace_waterfall(read_events(path), "tw")
+        assert lines[0].startswith("trace tw (2 events)")
+        assert "request.accepted" in lines[1]
+        assert "request.completed" in lines[2]
+        assert "other" not in "".join(lines)
+
+    def test_waterfall_unknown_trace(self):
+        assert trace_waterfall([], "missing") == ["trace missing: no events"]

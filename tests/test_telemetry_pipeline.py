@@ -1,0 +1,399 @@
+"""End-to-end telemetry across the serving stack.
+
+The acceptance criteria of the telemetry PR, as tests:
+
+* a seeded serve+loadgen run with telemetry enabled produces a JSONL log
+  that validates cleanly and where **every** client request id joins to a
+  complete server-side lifecycle (accepted -> dispatched -> enqueued ->
+  batched -> completed) with per-stage latency spans;
+* ``summarize`` over the log reproduces the HTTP server's ``/metrics``
+  p50/p95/p99 for ``/eval`` as **exact floats** (same samples, same
+  nearest-rank definition);
+* seeded results are **bit-identical** whether telemetry is on or off
+  (trace ids never feed seeds or batch keys);
+* a trace interrupted by a SIGKILL'd worker keeps its trace id across
+  the client retry: the log shows one trace with multiple episodes and a
+  ``worker.restarted`` event between first acceptance and completion;
+* the ``h3dfact telemetry`` / ``h3dfact loadgen --json`` CLI surfaces
+  work over a real log.
+
+Workers run as separate processes; they inherit ``H3DFACT_TELEMETRY``
+and append whole lines to the shared path, which is exactly the
+multi-process contract the validator checks.
+"""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.service import (
+    FactorizationRequest,
+    InProcessTransport,
+    ShardedWorkerPool,
+    WorkerPoolConfig,
+)
+from repro.service.http import H3DFactHTTPServer, HTTPTransport
+from repro.service.http.loadgen import LoadGenConfig, run_loadgen
+from repro.telemetry import (
+    TELEMETRY_ENV,
+    read_events,
+    reset,
+    summarize,
+    validate_events,
+)
+from repro.utils.rng import as_rng
+from repro.vsa.codebook import CodebookSet
+
+DIM = 128
+SIZE = 16
+FACTORS = 3
+BUDGET = 20
+
+LIFECYCLE = (
+    "request.accepted",
+    "request.dispatched",
+    "request.enqueued",
+    "request.batched",
+    "request.completed",
+)
+
+
+def telemetry_to(path):
+    """Point the process (and future child workers) at a JSONL sink."""
+    os.environ[TELEMETRY_ENV] = str(path)
+    reset()
+
+
+def telemetry_off():
+    os.environ.pop(TELEMETRY_ENV, None)
+    reset()
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry_off()
+    yield
+    telemetry_off()
+
+
+def events_by_trace(events):
+    traces = {}
+    for event in events:
+        trace_id = event.get("trace_id")
+        if trace_id is not None:
+            traces.setdefault(str(trace_id), []).append(event)
+    return traces
+
+
+# -- loadgen over HTTP + sharded pool ---------------------------------------
+
+
+@pytest.fixture(scope="module")
+def loadgen_run(tmp_path_factory):
+    """One telemetry-enabled loadgen sweep over HTTP with 2 shards.
+
+    Yields the parsed events, the server's /metrics payload captured
+    right after the sweep, and the loadgen report.
+    """
+    path = tmp_path_factory.mktemp("telemetry") / "loadgen.jsonl"
+    telemetry_to(path)
+    config = LoadGenConfig(
+        dim=DIM,
+        num_factors=FACTORS,
+        codebook_size=SIZE,
+        codebook_sets=2,
+        requests=12,
+        concurrency=(4,),
+        max_iterations=BUDGET,
+        seed=0,
+    )
+    try:
+        pool = ShardedWorkerPool(WorkerPoolConfig(shards=2))
+        try:
+            with H3DFactHTTPServer(pool) as server:
+                client = HTTPTransport(server.url)
+                report = run_loadgen(client, config)
+                metrics = client.metrics()
+        finally:
+            pool.close()
+    finally:
+        telemetry_off()  # closes the frontend log -> flushes JSONL
+    return {
+        "events": read_events(str(path)),
+        "metrics": metrics,
+        "report": report,
+        "config": config,
+    }
+
+
+class TestLoadgenLifecycle:
+    def test_log_validates(self, loadgen_run):
+        assert validate_events(loadgen_run["events"]) == []
+
+    def test_every_request_joins_complete_lifecycle(self, loadgen_run):
+        traces = events_by_trace(loadgen_run["events"])
+        for index in range(loadgen_run["config"].requests):
+            trace_id = f"t0-{index}"
+            kinds = {event["event"] for event in traces.get(trace_id, [])}
+            for stage in LIFECYCLE:
+                assert stage in kinds, f"{trace_id} missing {stage}: {kinds}"
+            # The client-side row joins on the same trace id.
+            assert "client.request" in kinds
+
+    def test_completed_events_carry_stage_spans(self, loadgen_run):
+        completed = [
+            event
+            for event in loadgen_run["events"]
+            if event["event"] == "request.completed"
+        ]
+        assert completed
+        for event in completed:
+            assert event["queue_wait_s"] >= 0.0
+            assert event["engine_s"] > 0.0
+            assert event["batch_id"] >= 0
+
+    def test_worker_and_batch_events(self, loadgen_run):
+        summary = summarize(loadgen_run["events"])
+        assert summary.worker_counts["worker.start"] == 2
+        assert summary.worker_counts["worker.stop"] == 2
+        assert summary.batch_sizes and summary.flush_reasons
+        assert set(summary.flush_reasons) <= {
+            "size", "deadline", "flush", "close", "coalesced"
+        }
+        assert sum(summary.batch_sizes) >= loadgen_run["config"].requests
+        assert summary.dropped == 0
+
+    def test_metrics_endpoint_percentile_parity(self, loadgen_run):
+        """/metrics p50/p95/p99 for /eval == summarize's, as exact floats."""
+        server_side = loadgen_run["metrics"]["latency_by_path"]["/eval"]
+        log_side = summarize(loadgen_run["events"]).http_percentiles("/eval")
+        assert server_side["samples"] == log_side["samples"]
+        assert server_side["p50_ms"] == log_side["p50_ms"]
+        assert server_side["p95_ms"] == log_side["p95_ms"]
+        assert server_side["p99_ms"] == log_side["p99_ms"]
+
+    def test_metrics_endpoint_reports_telemetry_and_caches(self, loadgen_run):
+        metrics = loadgen_run["metrics"]
+        assert metrics["telemetry"]["enabled"] is True
+        assert metrics["transport"]["telemetry_emitted"] > 0
+        shards = metrics["transport"]["shards"]
+        assert len(shards) == 2
+        assert sum(s["batch_size_histogram"]["count"] for s in shards) > 0
+        assert sum(s["queue_depth_histogram"]["count"] for s in shards) > 0
+        for shard in shards:
+            assert "conductance" in shard["caches"]
+            assert "packed_codebook" in shard["caches"]
+        assert sum(
+            s["registry_hits"] + s["registry_misses"] for s in shards
+        ) > 0
+
+    def test_loadgen_solved_and_digest(self, loadgen_run):
+        level = loadgen_run["report"].levels[0]
+        assert level.errors == 0
+        assert level.requests == loadgen_run["config"].requests
+
+
+class TestBitIdentity:
+    def test_results_identical_with_telemetry_on_and_off(self, tmp_path):
+        config = LoadGenConfig(
+            dim=DIM,
+            num_factors=FACTORS,
+            codebook_size=SIZE,
+            codebook_sets=2,
+            requests=8,
+            concurrency=(4,),
+            max_iterations=BUDGET,
+            seed=3,
+        )
+        telemetry_off()
+        with InProcessTransport() as transport:
+            baseline = run_loadgen(transport, config)
+        path = tmp_path / "identity.jsonl"
+        telemetry_to(path)
+        try:
+            with InProcessTransport() as transport:
+                traced = run_loadgen(transport, config)
+        finally:
+            telemetry_off()
+        assert traced.levels[0].digest == baseline.levels[0].digest
+        assert traced.levels[0].solved == baseline.levels[0].solved
+        # ... and the traced run really did log a validating lifecycle.
+        events = read_events(str(path))
+        assert validate_events(events) == []
+        assert summarize(events).completed_traces == config.requests
+
+
+# -- trace propagation across a SIGKILL worker restart -----------------------
+
+
+def make_keyed_workload(sets=2, requests=24):
+    """Seeded keyed-style workload with deterministic trace ids."""
+    codebook_sets = [
+        CodebookSet.random(dim=DIM, sizes=(SIZE,) * FACTORS, rng=as_rng(60 + i))
+        for i in range(sets)
+    ]
+    stream = []
+    for index in range(requests):
+        codebooks = codebook_sets[index % sets]
+        rng = as_rng(800 + index)
+        indices = tuple(int(rng.integers(0, SIZE)) for _ in range(FACTORS))
+        stream.append(
+            FactorizationRequest(
+                product=codebooks.compose(indices),
+                codebooks=codebooks,
+                seed=5000 + index,
+                max_iterations=BUDGET,
+                true_indices=indices,
+                request_id=f"f{index}",
+                trace_id=f"kill-{index}",
+            )
+        )
+    return stream
+
+
+class TestKillRestartTracePropagation:
+    def test_trace_id_survives_worker_restart(self, tmp_path):
+        path = tmp_path / "faults.jsonl"
+        telemetry_to(path)
+        try:
+            pool = ShardedWorkerPool(WorkerPoolConfig(shards=2))
+            try:
+                with H3DFactHTTPServer(pool) as server:
+                    client = HTTPTransport(server.url)
+                    stream = make_keyed_workload()
+                    killer = threading.Timer(
+                        0.05, pool.kill_shard, args=(0,)
+                    )
+                    killer.start()
+                    try:
+                        responses = client.evaluate_batch(stream)
+                    finally:
+                        killer.cancel()
+                    assert len(responses) == len(stream)
+                    assert pool.stats.worker_losses >= 1
+                    deadline = time.monotonic() + 10.0
+                    while pool.stats.restarts < 1:
+                        assert time.monotonic() < deadline
+                        time.sleep(0.02)
+            finally:
+                pool.close()
+        finally:
+            telemetry_off()
+        events = read_events(str(path))
+        assert validate_events(events) == []
+        restarts = [e for e in events if e["event"] == "worker.restarted"]
+        deaths = [e for e in events if e["event"] == "worker.death"]
+        assert restarts and deaths
+        restart_ts = min(float(e["ts"]) for e in restarts)
+        traces = events_by_trace(events)
+        # Every request completed under its original trace id.
+        for request in make_keyed_workload():
+            kinds = {e["event"] for e in traces[request.trace_id]}
+            assert "request.completed" in kinds
+        # At least one trace was dispatched more than once (the client
+        # retried it after the kill) - same trace id both times, with the
+        # worker restart falling between first acceptance and completion.
+        retried = [
+            trace_id
+            for trace_id, trace_events in traces.items()
+            if sum(
+                1 for e in trace_events if e["event"] == "request.dispatched"
+            ) >= 2
+        ]
+        assert retried, "no trace saw a second dispatch after the kill"
+        for trace_id in retried:
+            trace_events = traces[trace_id]
+            first_accept = min(
+                float(e["ts"])
+                for e in trace_events
+                if e["event"] == "request.accepted"
+            )
+            last_complete = max(
+                float(e["ts"])
+                for e in trace_events
+                if e["event"] == "request.completed"
+            )
+            assert first_accept <= restart_ts <= last_complete
+
+
+# -- CLI surfaces ------------------------------------------------------------
+
+
+class TestTelemetryCLI:
+    def _run(self, capsys, argv):
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    @pytest.fixture()
+    def log_path(self, tmp_path, capsys):
+        """A real log produced by ``h3dfact loadgen --telemetry``."""
+        path = tmp_path / "cli.jsonl"
+        out = self._run(
+            capsys,
+            [
+                "loadgen",
+                "--dim", str(DIM),
+                "--size", str(SIZE),
+                "--sets", "2",
+                "--requests", "6",
+                "--concurrency", "2",
+                "--iterations", str(BUDGET),
+                "--telemetry", str(path),
+            ],
+        )
+        assert "loadgen" in out
+        assert path.exists()
+        return path
+
+    def test_summarize_and_validate(self, capsys, log_path):
+        out = self._run(capsys, ["telemetry", str(log_path)])
+        assert "event log summary" in out
+        assert "request.completed" in out
+        out = self._run(capsys, ["telemetry", str(log_path), "--validate"])
+        assert "valid (" in out and "0 problems" in out
+
+    def test_summarize_json(self, capsys, log_path):
+        out = self._run(capsys, ["telemetry", str(log_path), "--json"])
+        payload = json.loads(out)
+        assert payload["traces"] == 6
+        assert payload["completed_traces"] == 6
+        assert payload["dropped"] == 0
+
+    def test_waterfall(self, capsys, log_path):
+        out = self._run(capsys, ["telemetry", str(log_path), "--trace", "t0-0"])
+        assert out.startswith("trace t0-0")
+        assert "request.completed" in out
+
+    def test_validate_flags_corrupt_log(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"v": 1, "event": "bogus.kind", "ts": 1.0, "mono": 0.0, '
+            '"pid": 1, "lid": "x", "seq": 0}\n'
+        )
+        with pytest.raises(SystemExit):
+            main(["telemetry", str(path), "--validate"])
+
+    def test_loadgen_json_output(self, tmp_path, capsys):
+        out = self._run(
+            capsys,
+            [
+                "loadgen",
+                "--dim", str(DIM),
+                "--size", str(SIZE),
+                "--sets", "2",
+                "--requests", "6",
+                "--concurrency", "2",
+                "--iterations", str(BUDGET),
+                "--json",
+            ],
+        )
+        payload = json.loads(out)
+        assert payload["kind"] == "loadgen"
+        assert payload["workload"]["requests"] == 6
+        assert payload["levels"][0]["kind"] == "metrics"
+        assert payload["levels"][0]["errors"] == 0
+        assert payload["digest_identical"] is True

@@ -11,13 +11,14 @@ tier-1 suite (``tests/test_docs.py``):
   the README / ARCHITECTURE cross-references.
 * **Docstring coverage** - every module, public class and public
   function/method under ``src/repro/cim`` (including the packed SRAM
-  tier-1 kernels in ``repro.cim.sram``), ``src/repro/core`` and
+  tier-1 kernels in ``repro.cim.sram``), ``src/repro/core``,
   ``src/repro/service`` (including the HTTP serving tier in
-  ``repro.service.http``) must carry a docstring.  These packages are
-  the hardware-model and serving-contract boundaries where units
-  (conductance in uS, energy in fJ), bit-layout invariants,
-  wire-format/retryability semantics and paper-equation pointers live,
-  so regressions there are treated as failures rather than style nits.
+  ``repro.service.http``) and ``src/repro/telemetry`` must carry a
+  docstring.  These packages are the hardware-model, serving-contract
+  and observability boundaries where units (conductance in uS, energy
+  in fJ), bit-layout invariants, wire-format/retryability semantics,
+  event-schema guarantees and paper-equation pointers live, so
+  regressions there are treated as failures rather than style nits.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
@@ -34,6 +35,7 @@ DOCSTRING_ROOTS = [
     REPO_ROOT / "src" / "repro" / "cim",
     REPO_ROOT / "src" / "repro" / "core",
     REPO_ROOT / "src" / "repro" / "service",
+    REPO_ROOT / "src" / "repro" / "telemetry",
 ]
 SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
 
@@ -112,7 +114,7 @@ def main() -> int:
         return 1
     print(
         "docs OK: markdown links resolve, repro.cim + repro.core + "
-        "repro.service fully docstringed"
+        "repro.service + repro.telemetry fully docstringed"
     )
     return 0
 
