@@ -162,6 +162,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "cluster", help="multi-host serving control plane (repro.cluster)"
+    )
+    csub = p.add_subparsers(dest="cluster_command", required=True)
+
+    c = csub.add_parser(
+        "serve",
+        help="run a coordinator (optionally self-hosting N serving nodes)",
+    )
+    _add_common(c)
+    c.add_argument("--host", default="127.0.0.1")
+    c.add_argument("--port", type=int, default=8374, help="0 = ephemeral")
+    c.add_argument(
+        "--nodes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also fork N serving node processes that join this "
+        "coordinator (0 = coordinator only; nodes join from outside)",
+    )
+    c.add_argument(
+        "--shards-per-node",
+        type=int,
+        default=0,
+        help="worker processes inside each self-hosted node "
+        "(0 = in-process scheduler per node)",
+    )
+    c.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=5.0,
+        help="seconds of heartbeat silence before a node is expired",
+    )
+    c.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="append JSONL lifecycle events to PATH (sets "
+        "H3DFACT_TELEMETRY so node processes inherit it)",
+    )
+
+    c = csub.add_parser(
+        "status",
+        help="fleet view: membership + merged node metrics "
+        "(counters summed, histograms merged bucket-wise)",
+    )
+    c.add_argument("url", help="coordinator base URL (http://host:port)")
+    c.add_argument(
+        "--json",
+        action="store_true",
+        help="print the merged fleet metrics as JSON",
+    )
+
+    p = sub.add_parser(
         "loadgen", help="closed-loop load generator (latency/throughput)"
     )
     _add_common(p)
@@ -175,6 +228,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="self-hosted worker processes (0 = in-process; ignored with --url)",
+    )
+    p.add_argument(
+        "--cluster",
+        type=int,
+        default=None,
+        metavar="N",
+        help="self-host an N-node cluster (subprocess nodes + coordinator) "
+        "and drive it through the routing ClusterClient",
+    )
+    p.add_argument(
+        "--cluster-url",
+        default=None,
+        metavar="URL",
+        help="drive an already-running cluster via its coordinator URL",
+    )
+    p.add_argument(
+        "--replication",
+        type=int,
+        default=2,
+        help="codebook replica fan-out R for cluster runs",
     )
     p.add_argument(
         "--concurrency",
@@ -374,6 +447,136 @@ def _run_serve(args: argparse.Namespace) -> str:
     return "h3dfact serve: stopped"
 
 
+def _run_cluster(args: argparse.Namespace) -> str:
+    """``h3dfact cluster serve|status``: control plane + fleet view."""
+    import json as _json
+
+    if args.cluster_command == "serve":
+        from repro.cluster import ClusterCoordinator, LocalCluster
+        from repro.service.http import H3DFactHTTPServer
+
+        _enable_telemetry(args.telemetry)
+        if args.nodes > 0:
+            cluster = LocalCluster(
+                args.nodes,
+                processes=True,
+                shards_per_node=args.shards_per_node,
+                heartbeat_timeout=args.heartbeat_timeout,
+                host=args.host,
+                port=args.port,
+            )
+            print(
+                f"h3dfact cluster: coordinator on {cluster.coordinator_url} "
+                f"with {args.nodes} node(s) (ctrl-C to stop)"
+            )
+            try:
+                cluster.coordinator_server._thread.join()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                cluster.close()
+            return "h3dfact cluster: stopped"
+        coordinator = ClusterCoordinator(
+            heartbeat_timeout=args.heartbeat_timeout
+        )
+        server = H3DFactHTTPServer(
+            None, host=args.host, port=args.port, coordinator=coordinator
+        )
+        print(
+            f"h3dfact cluster: coordinator on {server.url} "
+            "(nodes join via /cluster/register; ctrl-C to stop)"
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.close()
+        return "h3dfact cluster: stopped"
+
+    # status: membership from the coordinator, /metrics from every node,
+    # merged into one fleet view.
+    from repro.cluster import ShardMap, merge_metrics
+    from repro.service.http import HTTPTransport, RetryPolicy
+
+    coordinator = HTTPTransport(
+        args.url, retry=RetryPolicy(max_attempts=2, backoff_seconds=(0.05,))
+    )
+    try:
+        membership = coordinator.request_json("GET", "/cluster/status")
+        shard_map = ShardMap.from_payload(
+            coordinator.request_json("GET", "/shardmap")
+        )
+    finally:
+        coordinator.close()
+    payloads, node_ids, unreachable = [], [], []
+    for node in shard_map.nodes:
+        transport = HTTPTransport(
+            node.url, retry=RetryPolicy(max_attempts=2, backoff_seconds=(0.05,))
+        )
+        try:
+            payloads.append(transport.request_json("GET", "/metrics"))
+            node_ids.append(node.node_id)
+        except Exception as error:
+            unreachable.append((node.node_id, str(error)))
+        finally:
+            transport.close()
+    merged = (
+        merge_metrics(payloads, node_ids=node_ids) if payloads else {}
+    )
+    if args.json:
+        return _json.dumps(
+            {
+                "membership": membership,
+                "fleet": merged,
+                "unreachable": [node_id for node_id, _ in unreachable],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    lines = [
+        f"h3dfact cluster status: epoch={membership['epoch']} "
+        f"nodes={len(membership['nodes'])} "
+        f"heartbeat_timeout={membership['heartbeat_timeout']}s"
+    ]
+    for entry in membership["nodes"]:
+        lines.append(
+            f"  {entry['node_id']}: {entry['url']} "
+            f"(last heartbeat {entry['age_seconds']:.1f}s ago)"
+        )
+    for node_id, error in unreachable:
+        lines.append(f"  {node_id}: UNREACHABLE ({error})")
+    counters = membership.get("counters", {})
+    lines.append(
+        "  membership: "
+        + " ".join(f"{key}={value}" for key, value in sorted(counters.items()))
+    )
+    if merged:
+        endpoints = merged.get("endpoints", {})
+        served = sum(
+            endpoints.get(path, 0) for path in ("/eval", "/batch_eval")
+        )
+        latency = merged.get("latency", {})
+        lines.append(
+            f"  fleet: served={served} requests across {len(node_ids)} "
+            "node(s) [counters summed]"
+        )
+        if latency.get("samples"):
+            lines.append(
+                f"  fleet latency (merged histogram): "
+                f"p50<={latency['p50_ms']:.0f}ms p95<={latency['p95_ms']:.0f}ms "
+                f"p99<={latency['p99_ms']:.0f}ms over {latency['samples']} "
+                "samples"
+            )
+        telemetry = merged.get("telemetry", {})
+        if telemetry:
+            lines.append(
+                f"  fleet telemetry: emitted={telemetry.get('emitted', 0)} "
+                f"dropped={telemetry.get('dropped', 0)}"
+            )
+    return "\n".join(lines)
+
+
 def _run_loadgen(args: argparse.Namespace) -> str:
     """``h3dfact loadgen``: sweep concurrency levels, report percentiles."""
     import json as _json
@@ -397,7 +600,32 @@ def _run_loadgen(args: argparse.Namespace) -> str:
         algebra=args.algebra,
         fidelity=args.fidelity,
     )
-    if args.url is not None:
+    cluster_n = getattr(args, "cluster", None)
+    cluster_url = getattr(args, "cluster_url", None)
+    if cluster_n is not None and cluster_url is not None:
+        raise SystemExit("h3dfact loadgen: pass --cluster OR --cluster-url")
+    if cluster_url is not None:
+        from repro.cluster import ClusterClient
+
+        client = ClusterClient(
+            cluster_url, replication=args.replication, jitter_seed=args.seed
+        )
+        try:
+            report = run_loadgen(client, config)
+        finally:
+            client.close()
+    elif cluster_n is not None:
+        from repro.cluster import LocalCluster
+
+        with LocalCluster(cluster_n, processes=True) as cluster:
+            client = cluster.client(
+                replication=args.replication, jitter_seed=args.seed
+            )
+            try:
+                report = run_loadgen(client, config)
+            finally:
+                client.close()
+    elif args.url is not None:
         report = run_loadgen(HTTPTransport(args.url), config)
     else:
         transport = _make_transport(args.shards, 32, 256, "block")
@@ -483,6 +711,8 @@ def _run_one(command: str, args: argparse.Namespace) -> str:
         ).render()
     if command == "serve":
         return _run_serve(args)
+    if command == "cluster":
+        return _run_cluster(args)
     if command == "loadgen":
         return _run_loadgen(args)
     if command == "telemetry":

@@ -1,0 +1,54 @@
+"""Multi-host serving: shard maps, membership, client-side routing.
+
+``repro.cluster`` turns N independent ``h3dfact serve`` processes into
+one logical service.  The pieces, smallest-first:
+
+* :mod:`~repro.cluster.shardmap` - the versioned routing contract: an
+  epoch, the member nodes, and consistent-hash placement of codebook
+  fingerprints (minimal key movement on membership churn);
+* :mod:`~repro.cluster.membership` - the coordinator (join / heartbeat /
+  expiry, epoch bumps) and the node-side heartbeat agent;
+* :mod:`~repro.cluster.replication` - client-side bookkeeping that fans
+  hot codebook registrations out to R replicas and replays them after
+  rebalances;
+* :mod:`~repro.cluster.client` - :class:`ClusterClient`, the Transport
+  that routes client-side, stamps epochs, and recovers from stale maps,
+  node deaths and moved codebooks by refresh + re-route;
+* :mod:`~repro.cluster.status` - fleet-wide ``/metrics`` merging
+  (counters summed, fixed-bucket histograms merged bucket-wise);
+* :mod:`~repro.cluster.local` - :class:`LocalCluster`, a whole cluster
+  on localhost ephemeral ports (threaded or real subprocesses).
+
+The invariant the whole package defends: a seeded workload's digest is
+**bit-identical** across in-process, single-node HTTP, and N-node
+cluster topologies - and across a node SIGKILL mid-load.  Routing decides
+*where* a request computes, never *what* it computes.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.client import ClusterClient, ClusterStats
+from repro.cluster.local import LocalCluster
+from repro.cluster.membership import ClusterCoordinator, ClusterNodeAgent
+from repro.cluster.replication import RegistrationLedger
+from repro.cluster.shardmap import KNOWN_FIDELITIES, NodeInfo, ShardMap
+from repro.cluster.status import (
+    histogram_percentiles,
+    merge_histograms,
+    merge_metrics,
+)
+
+__all__ = [
+    "ClusterClient",
+    "ClusterCoordinator",
+    "ClusterNodeAgent",
+    "ClusterStats",
+    "KNOWN_FIDELITIES",
+    "LocalCluster",
+    "NodeInfo",
+    "RegistrationLedger",
+    "ShardMap",
+    "histogram_percentiles",
+    "merge_histograms",
+    "merge_metrics",
+]

@@ -1,0 +1,246 @@
+"""Self-hosted localhost clusters: N nodes + coordinator in one call.
+
+:class:`LocalCluster` boots the whole control plane on 127.0.0.1
+ephemeral ports: a coordinator-only
+:class:`~repro.service.http.server.H3DFactHTTPServer` plus N serving
+nodes, each announcing itself and heartbeating.  Two node modes:
+
+* **threaded** (default): nodes are servers in this process - cheap,
+  fast to boot, right for protocol and determinism tests.  "Crashing" a
+  threaded node (:meth:`LocalCluster.kill_node`) closes its socket and
+  silences its heartbeat *without* a graceful leave, so the coordinator
+  must expire it - the same observable sequence as a real death.
+* **subprocess** (``processes=True``): each node is a forked process
+  running :func:`_node_main` - real parallelism across cores (the
+  cluster throughput bench needs this; threaded nodes share one GIL) and
+  real SIGKILL (the fault suite kills a node mid-load and asserts the
+  retrying client still returns exactly one response per request id).
+
+Node processes bind port 0 and *announce* their ephemeral URL, so no
+port coordination is needed; the parent just waits for membership to
+reach N.  ``h3dfact loadgen --cluster N`` is the CLI face of this class.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.membership import ClusterCoordinator, ClusterNodeAgent
+from repro.errors import ConfigurationError
+from repro.service.http.server import H3DFactHTTPServer
+
+
+def _build_transport(options: Dict[str, Any]):
+    """A node's serving transport from picklable options.
+
+    ``shards=0`` (the default) is the in-process scheduler - the right
+    choice for subprocess nodes, where the *node* is already the unit of
+    parallelism and nested worker pools would only multiply processes.
+    """
+    from repro.service.scheduler import BatchPolicy, FactorizationService
+    from repro.service.transport import InProcessTransport
+    from repro.service.workers import ShardedWorkerPool, WorkerPoolConfig
+
+    shards = int(options.get("shards", 0))
+    policy = dict(
+        max_batch_size=int(options.get("batch", 8)),
+        queue_capacity=int(options.get("capacity", 256)),
+        backpressure=str(options.get("backpressure", "block")),
+    )
+    if shards <= 0:
+        return InProcessTransport(FactorizationService(policy=BatchPolicy(**policy)))
+    return ShardedWorkerPool(WorkerPoolConfig(shards=shards, **policy))
+
+
+def _node_main(
+    node_id: str, coordinator_url: str, options: Dict[str, Any]
+) -> None:
+    """Entry point of one subprocess node (importable, so fork and spawn
+    start methods both work).
+
+    Builds the transport, binds an ephemeral port, announces the bound
+    URL to the coordinator, then serves until SIGTERM (graceful: leaves
+    the cluster) or SIGKILL (the fault tests' case: the coordinator must
+    notice via heartbeat expiry).
+    """
+    transport = _build_transport(options)
+    agent = ClusterNodeAgent(
+        node_id,
+        coordinator_url,
+        fidelities=tuple(options.get("fidelities", ())),
+        heartbeat_seconds=float(options.get("heartbeat_seconds", 0.25)),
+    )
+    server = H3DFactHTTPServer(
+        transport,
+        host=str(options.get("host", "127.0.0.1")),
+        own_transport=True,
+        node=agent,
+    )
+
+    def _terminate(signum: int, frame: Any) -> None:
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        agent.announce(server.url)
+        server.serve_forever()
+    except SystemExit:
+        pass
+    finally:
+        server.close()
+
+
+class _ThreadedNode:
+    """One in-process node: transport + server + membership agent."""
+
+    def __init__(
+        self, node_id: str, coordinator_url: str, options: Dict[str, Any]
+    ) -> None:
+        self.node_id = node_id
+        self.agent = ClusterNodeAgent(
+            node_id,
+            coordinator_url,
+            fidelities=tuple(options.get("fidelities", ())),
+            heartbeat_seconds=float(options.get("heartbeat_seconds", 0.25)),
+        )
+        self.server = H3DFactHTTPServer(
+            _build_transport(options),
+            host=str(options.get("host", "127.0.0.1")),
+            own_transport=True,
+            node=self.agent,
+        ).start()
+        self.agent.announce(self.server.url)
+
+    def crash(self) -> None:
+        """Die without saying goodbye: no /cluster/leave, socket closed."""
+        self.server.node = None  # the server must not leave on our behalf
+        self.agent.close(leave=False)
+        self.server.close()
+
+    def close(self) -> None:
+        """Graceful shutdown (the agent's leave rides server.close)."""
+        self.server.close()
+
+
+class _ProcessNode:
+    """One subprocess node (fork): holds the handle, kills by signal."""
+
+    def __init__(
+        self, node_id: str, coordinator_url: str, options: Dict[str, Any]
+    ) -> None:
+        self.node_id = node_id
+        context = multiprocessing.get_context("fork")
+        self.process = context.Process(
+            target=_node_main,
+            args=(node_id, coordinator_url, options),
+            name=f"h3dfact-node-{node_id}",
+            daemon=True,
+        )
+        self.process.start()
+
+    def crash(self) -> None:
+        """SIGKILL: no leave, no flush, no cleanup - the real failure mode."""
+        if self.process.pid is not None and self.process.is_alive():
+            os.kill(self.process.pid, signal.SIGKILL)
+        self.process.join(timeout=10.0)
+
+    def close(self) -> None:
+        """SIGTERM for a graceful exit; escalate if the node hangs."""
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=10.0)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=5.0)
+
+
+class LocalCluster:
+    """A coordinator plus N serving nodes on localhost ephemeral ports.
+
+    Parameters mirror the CLI: ``shards_per_node`` > 0 gives each node a
+    nested worker pool (threaded mode only makes sense there);
+    ``processes=True`` forks one OS process per node; ``port`` fixes the
+    coordinator's listen port (0 = ephemeral — nodes always bind
+    ephemerally and announce their URL).  ``node_options`` passes
+    through to every node (batch, capacity, backpressure, fidelities,
+    heartbeat_seconds).
+    """
+
+    def __init__(
+        self,
+        nodes: int = 3,
+        *,
+        processes: bool = False,
+        shards_per_node: int = 0,
+        heartbeat_timeout: float = 5.0,
+        vnodes: int = 64,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        node_options: Optional[Dict[str, Any]] = None,
+        boot_timeout: float = 30.0,
+    ) -> None:
+        if nodes <= 0:
+            raise ConfigurationError(f"nodes must be positive, got {nodes}")
+        options = dict(node_options or {})
+        options.setdefault("host", host)
+        options["shards"] = shards_per_node
+        self.coordinator = ClusterCoordinator(
+            heartbeat_timeout=heartbeat_timeout, vnodes=vnodes
+        )
+        self.coordinator_server = H3DFactHTTPServer(
+            None, host=host, port=port, coordinator=self.coordinator
+        ).start()
+        self.coordinator_url = self.coordinator_server.url
+        node_cls = _ProcessNode if processes else _ThreadedNode
+        self.nodes: List[Any] = [
+            node_cls(f"node{index}", self.coordinator_url, options)
+            for index in range(nodes)
+        ]
+        self._await_membership(nodes, boot_timeout)
+
+    def _await_membership(self, count: int, timeout: float) -> None:
+        """Block until ``count`` nodes joined (subprocess boots race us)."""
+        deadline = time.monotonic() + timeout
+        while len(self.coordinator.shard_map()) < count:
+            if time.monotonic() > deadline:
+                raise ConfigurationError(
+                    f"cluster boot timed out: "
+                    f"{len(self.coordinator.shard_map())}/{count} nodes "
+                    f"joined within {timeout}s"
+                )
+            time.sleep(0.02)
+
+    def client(self, **kwargs: Any) -> ClusterClient:
+        """A :class:`ClusterClient` pointed at this cluster's coordinator."""
+        return ClusterClient(self.coordinator_url, **kwargs)
+
+    def kill_node(self, index: int) -> str:
+        """Crash node ``index`` (SIGKILL / silent close); returns its id.
+
+        The node does *not* leave gracefully: the coordinator finds out
+        through heartbeat expiry, clients through connection errors -
+        exactly the sequence the fault-tolerance tests exercise.
+        """
+        node = self.nodes[index]
+        node.crash()
+        return node.node_id
+
+    def close(self) -> None:
+        """Stop every node, then the coordinator."""
+        for node in self.nodes:
+            try:
+                node.close()
+            except Exception:
+                pass
+        self.coordinator_server.close()
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,392 @@
+"""Cluster membership: the coordinator and the node-side heartbeat agent.
+
+Two halves of one protocol, both deliberately small:
+
+* :class:`ClusterCoordinator` is the control plane's only stateful piece:
+  a registry of live :class:`~repro.cluster.shardmap.NodeInfo` records
+  plus a monotonic epoch.  Nodes join via ``register``, prove liveness
+  via ``heartbeat``, and are expired after ``heartbeat_timeout`` seconds
+  of silence (checked lazily on every read - no reaper thread to leak).
+  Every membership change bumps the epoch; reads hand out the versioned
+  :class:`~repro.cluster.shardmap.ShardMap`.  The coordinator holds *no*
+  request-path state, so losing it stalls rebalances but never serving.
+* :class:`ClusterNodeAgent` runs inside each serving node: it announces
+  the node's URL to the coordinator, heartbeats on a daemon thread, and
+  tracks the newest epoch it has heard (from heartbeat answers *and* from
+  request bodies, so a node converges as fast as its busiest client).
+  The HTTP server consults :attr:`ClusterNodeAgent.epoch` to reject
+  requests routed with an older map (the ``stale_shardmap`` envelope).
+
+The coordinator can also be seeded statically
+(:meth:`ClusterCoordinator.static`) for fleets managed by external
+orchestration: expiry is disabled and the map is pinned at epoch 1.
+
+JSON-facing ``handle_*`` / ``*_payload`` methods let the HTTP layer
+dispatch coordinator routes without importing this package's types -
+the service tier stays cluster-agnostic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.cluster.shardmap import NodeInfo, ShardMap
+from repro.telemetry import get_log
+
+
+class _Member:
+    """Coordinator-side record: a node plus its last-heard timestamp."""
+
+    __slots__ = ("info", "last_seen")
+
+    def __init__(self, info: NodeInfo, last_seen: float) -> None:
+        self.info = info
+        self.last_seen = last_seen
+
+
+class ClusterCoordinator:
+    """Versioned membership registry behind ``/shardmap``.
+
+    Parameters
+    ----------
+    heartbeat_timeout:
+        Seconds of heartbeat silence after which a node is expired
+        (membership change, epoch bump).  ``None`` disables expiry - the
+        static seed-config mode.
+    vnodes:
+        Virtual nodes per member on the placement ring (forwarded into
+        every :class:`ShardMap` this coordinator hands out).
+    clock:
+        Monotonic time source; tests inject a fake to script expiry.
+    """
+
+    def __init__(
+        self,
+        *,
+        heartbeat_timeout: Optional[float] = 5.0,
+        vnodes: int = 64,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ConfigurationError(
+                f"heartbeat_timeout must be positive, got {heartbeat_timeout}"
+            )
+        self.heartbeat_timeout = heartbeat_timeout
+        self.vnodes = int(vnodes)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._members: Dict[str, _Member] = {}
+        self._epoch = 0
+        self._joins = 0
+        self._leaves = 0
+        self._expired = 0
+        self._heartbeats = 0
+
+    @classmethod
+    def static(
+        cls, nodes: Sequence[NodeInfo], *, vnodes: int = 64
+    ) -> "ClusterCoordinator":
+        """A coordinator pinned to a fixed membership (no expiry).
+
+        The seed-config mode: external orchestration owns the fleet, so
+        the map is epoch 1 forever and heartbeats are accepted but
+        meaningless.
+        """
+        coordinator = cls(heartbeat_timeout=None, vnodes=vnodes)
+        for info in nodes:
+            coordinator.register(info)
+        return coordinator
+
+    # -- internals (callers hold no lock) ------------------------------------
+
+    def _bump_locked(self) -> int:
+        self._epoch += 1
+        log = get_log()
+        if log.enabled:
+            log.emit(
+                "cluster.epoch",
+                epoch=self._epoch,
+                nodes=sorted(self._members),
+            )
+        return self._epoch
+
+    def _expire_locked(self, now: float) -> List[str]:
+        """Drop members whose heartbeat went silent; one epoch bump total."""
+        if self.heartbeat_timeout is None:
+            return []
+        stale = [
+            node_id
+            for node_id, member in self._members.items()
+            if now - member.last_seen > self.heartbeat_timeout
+        ]
+        if not stale:
+            return []
+        log = get_log()
+        for node_id in stale:
+            del self._members[node_id]
+            self._expired += 1
+            if log.enabled:
+                log.emit(
+                    "cluster.leave",
+                    node=node_id,
+                    epoch=self._epoch + 1,
+                    reason="expired",
+                )
+        self._bump_locked()
+        return stale
+
+    # -- protocol ------------------------------------------------------------
+
+    def register(self, info: NodeInfo) -> int:
+        """Join (or refresh) a node; returns the resulting epoch.
+
+        Re-registering an identical record only refreshes the liveness
+        timestamp - the epoch moves only when placement could change, so
+        a restart-happy node cannot stampede clients into refetch loops.
+        """
+        now = self._clock()
+        with self._lock:
+            self._expire_locked(now)
+            member = self._members.get(info.node_id)
+            changed = member is None or member.info != info
+            self._members[info.node_id] = _Member(info, now)
+            if changed:
+                self._joins += 1
+                log = get_log()
+                if log.enabled:
+                    log.emit(
+                        "cluster.join",
+                        node=info.node_id,
+                        url=info.url,
+                        epoch=self._epoch + 1,
+                    )
+                self._bump_locked()
+            return self._epoch
+
+    def heartbeat(self, node_id: str) -> Tuple[int, bool]:
+        """Record liveness; returns ``(epoch, known)``.
+
+        ``known=False`` tells an expired-but-alive node (e.g. one that
+        paused past the timeout) to re-register - heartbeats never
+        implicitly resurrect membership, so a resurrection is always a
+        visible epoch bump.
+        """
+        now = self._clock()
+        with self._lock:
+            self._expire_locked(now)
+            self._heartbeats += 1
+            member = self._members.get(node_id)
+            if member is None:
+                return self._epoch, False
+            member.last_seen = now
+            return self._epoch, True
+
+    def leave(self, node_id: str, *, reason: str = "leave") -> int:
+        """Graceful departure; returns the resulting epoch."""
+        with self._lock:
+            self._expire_locked(self._clock())
+            if node_id in self._members:
+                del self._members[node_id]
+                self._leaves += 1
+                log = get_log()
+                if log.enabled:
+                    log.emit(
+                        "cluster.leave",
+                        node=node_id,
+                        epoch=self._epoch + 1,
+                        reason=reason,
+                    )
+                self._bump_locked()
+            return self._epoch
+
+    def shard_map(self) -> ShardMap:
+        """The current versioned map (expiry applied first)."""
+        with self._lock:
+            self._expire_locked(self._clock())
+            return ShardMap(
+                [member.info for member in self._members.values()],
+                epoch=self._epoch,
+                vnodes=self.vnodes,
+            )
+
+    @property
+    def epoch(self) -> int:
+        """Current membership epoch (0 until the first join)."""
+        with self._lock:
+            return self._epoch
+
+    # -- JSON facade (what the HTTP routes dispatch to) ----------------------
+
+    def shardmap_payload(self) -> Dict[str, Any]:
+        """GET ``/shardmap`` body."""
+        return self.shard_map().to_payload()
+
+    def handle_register(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """POST ``/cluster/register`` body -> ``{"epoch", "heartbeat_timeout"}``."""
+        epoch = self.register(NodeInfo.from_payload(payload))
+        return {"epoch": epoch, "heartbeat_timeout": self.heartbeat_timeout}
+
+    def handle_heartbeat(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """POST ``/cluster/heartbeat`` body -> ``{"epoch", "known"}``."""
+        node_id = payload.get("node_id")
+        if not node_id:
+            raise ConfigurationError("heartbeat body needs a 'node_id'")
+        epoch, known = self.heartbeat(str(node_id))
+        return {"epoch": epoch, "known": known}
+
+    def handle_leave(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """POST ``/cluster/leave`` body -> ``{"epoch"}``."""
+        node_id = payload.get("node_id")
+        if not node_id:
+            raise ConfigurationError("leave body needs a 'node_id'")
+        return {"epoch": self.leave(str(node_id))}
+
+    def status_payload(self) -> Dict[str, Any]:
+        """GET ``/cluster/status`` body: membership + protocol counters."""
+        now = self._clock()
+        with self._lock:
+            self._expire_locked(now)
+            return {
+                "epoch": self._epoch,
+                "heartbeat_timeout": self.heartbeat_timeout,
+                "nodes": [
+                    {
+                        **member.info.to_payload(),
+                        "age_seconds": now - member.last_seen,
+                    }
+                    for member in sorted(
+                        self._members.values(),
+                        key=lambda member: member.info.node_id,
+                    )
+                ],
+                "counters": {
+                    "joins": self._joins,
+                    "leaves": self._leaves,
+                    "expired": self._expired,
+                    "heartbeats": self._heartbeats,
+                },
+            }
+
+
+class ClusterNodeAgent:
+    """A serving node's membership half: announce, heartbeat, track epoch.
+
+    Constructed alongside the node's HTTP server and announced once the
+    server knows its bound URL.  The heartbeat loop runs on a daemon
+    thread; when the coordinator answers ``known=False`` (the node was
+    expired while alive, e.g. a long GC-like stall) the agent re-registers
+    itself - rejoining is automatic, but always epoch-visible.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        coordinator_url: str,
+        *,
+        fidelities: Sequence[str] = (),
+        heartbeat_seconds: float = 0.5,
+        transport_factory: Optional[Callable[[str], Any]] = None,
+    ) -> None:
+        if heartbeat_seconds <= 0:
+            raise ConfigurationError(
+                f"heartbeat_seconds must be positive, got {heartbeat_seconds}"
+            )
+        self.node_id = str(node_id)
+        self.coordinator_url = coordinator_url
+        self.fidelities = tuple(fidelities)
+        self.heartbeat_seconds = heartbeat_seconds
+        self.url: Optional[str] = None
+        self._epoch = 0
+        self._epoch_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        if transport_factory is None:
+            from repro.service.http.client import HTTPTransport, RetryPolicy
+
+            transport_factory = lambda url: HTTPTransport(  # noqa: E731
+                url, retry=RetryPolicy(max_attempts=2, jitter="none")
+            )
+        self._transport = transport_factory(coordinator_url)
+
+    @property
+    def epoch(self) -> int:
+        """Newest membership epoch this node has heard of."""
+        with self._epoch_lock:
+            return self._epoch
+
+    def observe_epoch(self, epoch: Optional[int]) -> None:
+        """Fast-forward from an epoch seen in a request body.
+
+        A client that refreshed before our heartbeat landed knows the
+        future; adopting its epoch immediately tightens the stale window
+        to one round trip.  Epochs never move backwards.
+        """
+        if epoch is None:
+            return
+        with self._epoch_lock:
+            if epoch > self._epoch:
+                self._epoch = int(epoch)
+
+    def info(self) -> NodeInfo:
+        """This node's membership record (requires :meth:`announce`)."""
+        if self.url is None:
+            raise ConfigurationError(
+                f"node {self.node_id!r} has not announced a url yet"
+            )
+        return NodeInfo(self.node_id, self.url, self.fidelities)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _register(self) -> None:
+        answer = self._transport.request_json(
+            "POST", "/cluster/register", self.info().to_payload()
+        )
+        self.observe_epoch(answer.get("epoch"))
+
+    def announce(self, url: str) -> "ClusterNodeAgent":
+        """Register ``url`` with the coordinator and start heartbeating."""
+        self.url = url
+        self._register()
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name=f"h3dfact-heartbeat-{self.node_id}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_seconds):
+            try:
+                answer = self._transport.request_json(
+                    "POST", "/cluster/heartbeat", {"node_id": self.node_id}
+                )
+            except Exception:
+                # Coordinator unreachable: keep serving, keep trying.  The
+                # data plane never depends on the control plane being up.
+                continue
+            self.observe_epoch(answer.get("epoch"))
+            if not answer.get("known", True):
+                try:
+                    self._register()
+                except Exception:
+                    continue
+
+    def close(self, *, leave: bool = True) -> None:
+        """Stop heartbeating and (best-effort) deregister."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if leave:
+            try:
+                self._transport.request_json(
+                    "POST", "/cluster/leave", {"node_id": self.node_id}
+                )
+            except Exception:
+                pass
+        self._transport.close()

@@ -1,0 +1,103 @@
+"""Hot-codebook replication bookkeeping for the cluster client.
+
+Programming a codebook set onto a node is the expensive, amortized step
+(the crossbar-programming analogy the serving tier is built around), so
+the cluster must both *fan it out* - registering a hot set on R replica
+nodes at registration time - and *replay* it after rebalances, when the
+ring hands a fingerprint's arc to a node that has never seen the set.
+
+:class:`RegistrationLedger` is the client-side memory that makes both
+idempotent and minimal: it remembers every codebook set the client has
+registered (key -> :class:`~repro.vsa.codebook.CodebookSet`) and which
+node ids already hold each one.  After a shard-map refresh,
+:meth:`missing` diffs the desired placement (the new map's replica sets)
+against that memory and returns only the programming calls actually
+required - an unchanged map replays nothing.
+
+Registration on the server side is content-addressed (the key *is* the
+fingerprint), so replaying to a node that silently already holds the set
+is harmless; the ledger exists to avoid the wire cost, not for
+correctness.  A node id that drops out of the map keeps its ledger entry:
+if the same id rejoins (process restart), :meth:`forget_node` must be
+called to force reprogramming, and the
+:class:`~repro.cluster.client.ClusterClient` does exactly that on every
+refresh for ids that left the map.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Set, Tuple
+
+from repro.cluster.shardmap import ShardMap
+from repro.vsa.codebook import CodebookSet
+
+
+class RegistrationLedger:
+    """What has been registered where (client-side, thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sets: Dict[str, CodebookSet] = {}
+        self._placed: Dict[str, Set[str]] = {}
+
+    def remember(self, key: str, codebooks: CodebookSet) -> None:
+        """Record a codebook set the client wants resident in the cluster."""
+        with self._lock:
+            self._sets[key] = codebooks
+            self._placed.setdefault(key, set())
+
+    def record(self, key: str, node_id: str) -> None:
+        """Mark ``key`` as programmed onto ``node_id``."""
+        with self._lock:
+            self._placed.setdefault(key, set()).add(node_id)
+
+    def placed(self, key: str) -> Tuple[str, ...]:
+        """Node ids currently believed to hold ``key`` (sorted)."""
+        with self._lock:
+            return tuple(sorted(self._placed.get(key, ())))
+
+    def keys(self) -> Tuple[str, ...]:
+        """All remembered codebook keys (sorted)."""
+        with self._lock:
+            return tuple(sorted(self._sets))
+
+    def codebooks(self, key: str) -> CodebookSet:
+        """The remembered set for ``key`` (raises ``KeyError`` if unknown)."""
+        with self._lock:
+            return self._sets[key]
+
+    def forget_node(self, node_id: str) -> None:
+        """Drop all placement claims on ``node_id``.
+
+        Called when a node leaves the map: if the same id later rejoins
+        it is a fresh process with an empty registry, so everything it
+        should hold must be reprogrammed.
+        """
+        with self._lock:
+            for placed in self._placed.values():
+                placed.discard(node_id)
+
+    def missing(
+        self, shard_map: ShardMap, factor: int
+    ) -> List[Tuple[str, str]]:
+        """The programming calls a new map requires: ``(key, node_id)`` pairs.
+
+        For every remembered key, diff its replica set under ``shard_map``
+        against the nodes already holding it.  Pairs come back sorted so
+        replay order is deterministic (and so tests can pin it).
+        """
+        with self._lock:
+            wanted = []
+            for key in sorted(self._sets):
+                placed = self._placed.get(key, set())
+                for node in shard_map.replicas(key, factor):
+                    if node.node_id not in placed:
+                        wanted.append((key, node.node_id))
+            return wanted
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    def __repr__(self) -> str:
+        return f"RegistrationLedger(keys={len(self._sets)})"

@@ -1,0 +1,246 @@
+"""Versioned shard maps: who owns which codebook fingerprints, fleet-wide.
+
+A :class:`ShardMap` is the cluster's routing contract: an **epoch**
+(monotonic version, bumped by the coordinator on every membership
+change), the member :class:`NodeInfo` records (node id, base URL,
+fidelity capabilities), and the consistent-hash placement rule built on
+:class:`~repro.service.sharding.ConsistentHashRing` over the node *ids*.
+Hashing ids rather than dense indices is what makes membership churn
+minimal-movement: a node that joins or leaves moves only the keys on its
+own ring arcs, ~1/N of the key space (the property test in
+``tests/test_service_sharding.py`` pins this).
+
+The map is a pure value: two parties holding equal maps route every key
+identically, which is what lets routing live *client-side* (no proxy
+hop) - the :class:`~repro.cluster.client.ClusterClient` fetches the map
+from the coordinator's ``/shardmap`` endpoint, routes each request by
+codebook fingerprint locally, and refreshes only when a node answers
+with the typed ``stale_shardmap`` envelope.
+
+Replication rides the same ring: :meth:`ShardMap.replicas` returns the
+first R *distinct* nodes clockwise of a key, so a hot codebook set is
+programmed onto R nodes and its traffic spreads over all of them (one
+hot set is no longer one node's problem).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.service.sharding import ConsistentHashRing
+
+#: Fidelity names a node may advertise (mirrors the serving profiles).
+KNOWN_FIDELITIES = ("baseline", "statistical", "crossbar", "sram", "hybrid")
+
+
+@dataclass(frozen=True)
+class NodeInfo:
+    """One serving node's identity, address and capabilities."""
+
+    #: Stable node identifier (hashes onto the ring; survives remaps).
+    node_id: str
+    #: Base URL of the node's HTTP serving tier (``http://host:port``).
+    url: str
+    #: Fidelity profiles this node can execute; empty tuple = all of them
+    #: (a homogeneous fleet never needs to spell them out).
+    fidelities: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise ConfigurationError("node_id must be non-empty")
+        if not self.url:
+            raise ConfigurationError(f"node {self.node_id!r} needs a url")
+        object.__setattr__(
+            self, "fidelities", tuple(str(f) for f in self.fidelities)
+        )
+        for fidelity in self.fidelities:
+            if fidelity not in KNOWN_FIDELITIES:
+                raise ConfigurationError(
+                    f"node {self.node_id!r} advertises unknown fidelity "
+                    f"{fidelity!r} (known: {KNOWN_FIDELITIES})"
+                )
+
+    def supports(self, fidelity: Optional[str]) -> bool:
+        """True when this node can execute ``fidelity`` requests.
+
+        ``None`` (the request did not name a profile) and an empty
+        capability tuple (the node did not restrict itself) both mean
+        "anything goes".
+        """
+        if fidelity is None or not self.fidelities:
+            return True
+        return fidelity in self.fidelities
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe form (the ``/shardmap`` wire format)."""
+        return {
+            "node_id": self.node_id,
+            "url": self.url,
+            "fidelities": list(self.fidelities),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "NodeInfo":
+        """Invert :meth:`to_payload` (re-runs validation)."""
+        try:
+            return cls(
+                node_id=str(payload["node_id"]),
+                url=str(payload["url"]),
+                fidelities=tuple(payload.get("fidelities") or ()),
+            )
+        except (KeyError, TypeError) as error:
+            raise ConfigurationError(
+                f"malformed node payload: {error}"
+            ) from None
+
+
+class ShardMap:
+    """Immutable, versioned placement of codebook keys onto nodes.
+
+    Routing is a pure function of ``(epoch is irrelevant, nodes, vnodes)``
+    - the epoch only *names* the version so nodes can reject requests
+    routed with an older map (the ``stale_shardmap`` protocol).  Nodes
+    are kept sorted by id so two maps built from the same membership in
+    any order compare equal.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[NodeInfo],
+        *,
+        epoch: int = 1,
+        vnodes: int = 64,
+    ) -> None:
+        if epoch < 0:
+            raise ConfigurationError(f"epoch must be >= 0, got {epoch}")
+        ordered = tuple(sorted(nodes, key=lambda node: node.node_id))
+        ids = [node.node_id for node in ordered]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate node ids: {ids}")
+        self.epoch = int(epoch)
+        self.nodes = ordered
+        self.vnodes = int(vnodes)
+        self._by_id = {node.node_id: node for node in ordered}
+        # Rings are built lazily per fidelity-eligible subset and cached:
+        # a homogeneous fleet builds exactly one.
+        self._rings: Dict[Tuple[str, ...], ConsistentHashRing] = {}
+
+    # -- membership ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._by_id
+
+    def node(self, node_id: str) -> NodeInfo:
+        """The member with ``node_id`` (raises on unknown ids)."""
+        try:
+            return self._by_id[node_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"no node {node_id!r} in shard map epoch {self.epoch}"
+            ) from None
+
+    def node_ids(self) -> Tuple[str, ...]:
+        """All member ids, sorted."""
+        return tuple(node.node_id for node in self.nodes)
+
+    # -- routing -------------------------------------------------------------
+
+    def _ring_for(self, fidelity: Optional[str]) -> ConsistentHashRing:
+        """The ring over nodes eligible to serve ``fidelity``."""
+        eligible = tuple(
+            node.node_id for node in self.nodes if node.supports(fidelity)
+        )
+        if not eligible:
+            raise ConfigurationError(
+                f"no node in shard map epoch {self.epoch} supports "
+                f"fidelity {fidelity!r}"
+            )
+        ring = self._rings.get(eligible)
+        if ring is None:
+            ring = ConsistentHashRing(eligible, vnodes=self.vnodes)
+            self._rings[eligible] = ring
+        return ring
+
+    def route(self, key: str, *, fidelity: Optional[str] = None) -> NodeInfo:
+        """The primary owner of ``key`` among ``fidelity``-capable nodes."""
+        if not self.nodes:
+            raise ConfigurationError(
+                f"shard map epoch {self.epoch} has no nodes"
+            )
+        return self._by_id[self._ring_for(fidelity).route(key)]
+
+    def replicas(
+        self, key: str, factor: int, *, fidelity: Optional[str] = None
+    ) -> List[NodeInfo]:
+        """The replica set of ``key``: the first ``factor`` distinct owners.
+
+        Entry 0 is the primary (identical to :meth:`route`); the factor
+        is clamped to the number of eligible nodes, so a single-node
+        cluster with R=2 degrades gracefully to one replica.
+        """
+        if not self.nodes:
+            raise ConfigurationError(
+                f"shard map epoch {self.epoch} has no nodes"
+            )
+        ring = self._ring_for(fidelity)
+        return [self._by_id[owner] for owner in ring.successors(key, factor)]
+
+    @staticmethod
+    def spread(key: str, salt: str, count: int) -> int:
+        """Deterministic replica pick in ``[0, count)`` for one request.
+
+        Hashing ``key`` with a per-request ``salt`` (the request id or
+        seed) spreads a hot codebook's traffic uniformly over its replica
+        set while staying a pure function of the request - so two
+        identically-seeded load generators route identically and the
+        digest contract holds.
+        """
+        if count <= 1:
+            return 0
+        digest = hashlib.sha256(f"{key}|{salt}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % count
+
+    # -- codec ---------------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe form: the GET ``/shardmap`` response body."""
+        return {
+            "epoch": self.epoch,
+            "vnodes": self.vnodes,
+            "nodes": [node.to_payload() for node in self.nodes],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ShardMap":
+        """Invert :meth:`to_payload` (re-runs validation)."""
+        try:
+            return cls(
+                [NodeInfo.from_payload(entry) for entry in payload["nodes"]],
+                epoch=int(payload["epoch"]),
+                vnodes=int(payload.get("vnodes", 64)),
+            )
+        except (KeyError, TypeError) as error:
+            raise ConfigurationError(
+                f"malformed shard map payload: {error}"
+            ) from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShardMap):
+            return NotImplemented
+        return (
+            self.epoch == other.epoch
+            and self.nodes == other.nodes
+            and self.vnodes == other.vnodes
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardMap(epoch={self.epoch}, nodes={list(self.node_ids())}, "
+            f"vnodes={self.vnodes})"
+        )

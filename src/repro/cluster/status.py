@@ -1,0 +1,182 @@
+"""Fleet-wide metrics aggregation: one view over N ``/metrics`` payloads.
+
+The serving tier's ``/metrics`` endpoint is per-process by design; a
+cluster operator wants the fleet.  This module merges node payloads into
+one view with the only rules that are statistically honest:
+
+* **counters** (ints) sum;
+* **fixed-bucket histograms** (the ``{"bounds", "counts", "count",
+  "mean"}`` shape of :meth:`repro.telemetry.metrics.Histogram.to_dict`)
+  merge bucket-wise - counts add exactly, the mean recombines weighted
+  by count, and percentiles are re-derived from the merged buckets;
+* **non-additive scalars** (means, percentile samples, rates, uptimes)
+  are *dropped*, not averaged - averaging per-node percentiles is the
+  classic aggregation lie, and the merged histogram already answers the
+  question correctly.
+
+This is why the HTTP server grew a fixed-bucket latency histogram next
+to its percentile window: the window is more precise per node, but only
+the histogram survives aggregation.  ``h3dfact cluster status`` is the
+CLI face of :func:`merge_metrics`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Scalar keys that cannot be merged by addition (dropped from the
+#: fleet view; read them per node instead).
+_NON_ADDITIVE = re.compile(r"(^|_)(mean|p\d+|rate|uptime|age|timeout)")
+
+_HISTOGRAM_KEYS = frozenset(("bounds", "counts", "count", "mean"))
+
+#: Sentinel distinguishing "drop this key" from a legitimate ``None``.
+_DROP = object()
+
+
+def _is_histogram(value: Any) -> bool:
+    """True for the JSON form of a fixed-bucket histogram."""
+    return isinstance(value, dict) and _HISTOGRAM_KEYS.issubset(value.keys())
+
+
+def merge_histograms(payloads: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge histogram dicts bucket-wise (bounds must match exactly).
+
+    Counts add, the total adds, and the mean recombines as a
+    count-weighted average - all exact, because the buckets are fixed at
+    construction fleet-wide (:data:`~repro.telemetry.metrics.LATENCY_MS_BUCKETS`
+    and friends are constants, not per-node choices).
+    """
+    if not payloads:
+        raise ConfigurationError("no histograms to merge")
+    bounds = list(payloads[0]["bounds"])
+    counts = [0] * len(payloads[0]["counts"])
+    total = 0
+    weighted = 0.0
+    for payload in payloads:
+        if list(payload["bounds"]) != bounds:
+            raise ConfigurationError(
+                f"histogram bounds differ across nodes: {bounds} vs "
+                f"{payload['bounds']}"
+            )
+        if len(payload["counts"]) != len(counts):
+            raise ConfigurationError("histogram bucket counts differ in length")
+        for index, count in enumerate(payload["counts"]):
+            counts[index] += int(count)
+        total += int(payload["count"])
+        weighted += float(payload["mean"]) * int(payload["count"])
+    return {
+        "bounds": bounds,
+        "counts": counts,
+        "count": total,
+        "mean": weighted / total if total else 0.0,
+    }
+
+
+def histogram_percentiles(
+    histogram: Dict[str, Any],
+    fractions: Sequence[float] = (0.50, 0.95, 0.99),
+) -> Dict[str, float]:
+    """Nearest-rank percentile estimates from a histogram's JSON form.
+
+    Mirrors :meth:`repro.telemetry.metrics.Histogram.percentile`: each
+    estimate is the upper bound of the bucket holding the ranked
+    observation (the last finite bound for overflow ranks).  Keys are
+    ``p50`` / ``p95`` / ... plus ``samples``.
+    """
+    bounds = histogram["bounds"]
+    counts = histogram["counts"]
+    total = int(histogram["count"])
+    answer: Dict[str, float] = {"samples": total}
+    for fraction in fractions:
+        name = f"p{int(round(fraction * 100))}"
+        if not total:
+            answer[name] = 0.0
+            continue
+        rank = min(total - 1, max(0, int(fraction * total)))
+        cumulative = 0
+        value = float(bounds[-1])
+        for index, count in enumerate(counts):
+            cumulative += count
+            if rank < cumulative:
+                value = float(bounds[min(index, len(bounds) - 1)])
+                break
+        answer[name] = value
+    return answer
+
+
+def _merge_values(key: str, values: List[Any]) -> Any:
+    """Merge one key's values across nodes (``_DROP`` = omit the key)."""
+    present = [value for value in values if value is not None]
+    if not present:
+        return None
+    if all(_is_histogram(value) for value in present):
+        return merge_histograms(present)
+    if all(isinstance(value, dict) for value in present):
+        merged = {}
+        for child in sorted({name for value in present for name in value}):
+            outcome = _merge_values(
+                child, [value.get(child) for value in present]
+            )
+            if outcome is not _DROP:
+                merged[child] = outcome
+        return merged
+    if all(isinstance(value, bool) for value in present):
+        return any(present)
+    if all(isinstance(value, int) for value in present):
+        return sum(present)
+    if all(isinstance(value, (int, float)) for value in present):
+        if _NON_ADDITIVE.search(key):
+            return _DROP
+        return sum(float(value) for value in present)
+    if all(isinstance(value, str) for value in present):
+        distinct = sorted(set(present))
+        return distinct[0] if len(distinct) == 1 else distinct
+    # Lists (e.g. per-shard detail) and mixed types do not aggregate.
+    return _DROP
+
+
+def merge_metrics(
+    payloads: Sequence[Dict[str, Any]],
+    *,
+    node_ids: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """One fleet view over per-node ``/metrics`` payloads.
+
+    Generic counter/histogram merging via :func:`_merge_values`, plus the
+    latency special case: the per-node percentile windows (``latency``,
+    ``latency_by_path``) are replaced by percentiles re-derived from the
+    merged ``latency_histogram``, the only latency statistic that
+    aggregates without lying.
+    """
+    if not payloads:
+        raise ConfigurationError("no node metrics to merge")
+    merged = {}
+    for key in sorted({name for payload in payloads for name in payload}):
+        if key in ("latency", "latency_by_path", "node"):
+            continue
+        if key == "epoch":
+            # Node epochs converge via heartbeat; the fleet view reports
+            # the newest (summing version numbers would be nonsense).
+            merged["epoch"] = max(
+                int(payload.get("epoch", 0)) for payload in payloads
+            )
+            continue
+        outcome = _merge_values(
+            key, [payload.get(key) for payload in payloads]
+        )
+        if outcome is not _DROP:
+            merged[key] = outcome
+    histogram = merged.get("latency_histogram")
+    if _is_histogram(histogram):
+        merged["latency"] = {
+            f"{name}_ms" if name.startswith("p") else name: value
+            for name, value in histogram_percentiles(histogram).items()
+        }
+    merged["nodes"] = (
+        sorted(node_ids) if node_ids is not None else len(payloads)
+    )
+    return merged

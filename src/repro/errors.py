@@ -69,6 +69,27 @@ class RequestTimeoutError(ServiceError):
     """
 
 
+class TransportError(ServiceError):
+    """A connection-level failure exhausted the HTTP client's retries.
+
+    Distinguished from other :class:`ServiceError` subclasses so the
+    cluster client can recognise "this *node* is unreachable" (fail over
+    to a replica after refreshing the shard map) without string-matching;
+    the server never produces this type, so it has no wire envelope.
+    """
+
+
+class StaleShardMapError(ServiceError):
+    """A cluster request carried a shard-map epoch older than the node's.
+
+    Retryable after a refresh: the client fetches the current shard map
+    from the coordinator, re-routes (and re-replicates registrations the
+    rebalance moved), and resubmits.  Seeded requests are idempotent, so
+    the refreshed retry returns the same bit-identical response the old
+    topology would have.
+    """
+
+
 class UnknownCodebookError(ServiceError):
     """A request referenced a codebook key the serving shard has not programmed.
 

@@ -4,16 +4,25 @@
 that speaks to a remote :class:`~repro.service.http.server.H3DFactHTTPServer`.
 Connections are per-thread keep-alive :class:`http.client.HTTPConnection`
 objects, so the closed-loop load generator's worker threads each hold one
-socket.  Failures retry on a *deterministic* backoff ladder
-(:class:`RetryPolicy` - no jitter, so test runs are reproducible) in two
-cases:
+socket.  Failures retry on a :class:`RetryPolicy` backoff ladder with
+*full jitter* by default (each sleep is uniform in ``[0, rung]``, so a
+fleet of clients knocked loose by the same node death does not
+thundering-herd back in lockstep); pass ``jitter_seed`` for a
+deterministic jitter stream, or ``jitter="none"`` for the bare ladder.
+Retries fire in two cases:
 
 * **connection-level** errors (reset, refused, dropped keep-alive) -
   always retryable: the request may not have reached a worker, and
   seeded requests are idempotent so a duplicate execution is harmless
-  *and* bit-identical;
+  *and* bit-identical; final failure raises the typed
+  :class:`~repro.errors.TransportError` so cluster callers can tell
+  "node unreachable" from server-side errors;
 * **typed retryable envelopes** (backpressure, worker lost,
   unknown-codebook races) - the server said "try again".
+
+The exception is :data:`repro.service.wire.REFRESH_FIRST_ERRORS`
+(``stale_shardmap``): retrying the *same* node cannot help, so those
+surface immediately for the cluster client to refresh its shard map.
 
 Scatter calls resubmit only the failed positions, so a mid-load worker
 kill costs retries, never lost or duplicated responses - the
@@ -24,6 +33,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import threading
 import time
@@ -31,7 +41,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 from urllib.parse import urlsplit
 
-from repro.errors import ConfigurationError, ServiceError
+from repro.errors import ConfigurationError, ServiceError, TransportError
 from repro.service import wire
 from repro.service.request import FactorizationRequest, FactorizationResponse
 from repro.service.transport import ResponseOrError, Transport
@@ -41,12 +51,24 @@ from repro.vsa.codebook import CodebookSet
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Deterministic retry ladder for retryable failures."""
+    """Retry ladder for retryable failures, with optional full jitter.
+
+    The ladder caps the sleep; ``jitter="full"`` (the default) draws each
+    actual sleep uniformly from ``[0, rung]`` - the AWS "full jitter"
+    scheme, which desynchronises a fleet of clients that all saw the same
+    failure at the same instant.  ``jitter="none"`` sleeps the bare rung.
+    Determinism is the *caller's* choice of RNG: :meth:`backoff` with no
+    ``rng`` is jitter-free, and :class:`HTTPTransport` seeds its RNG from
+    ``jitter_seed`` when reproducible timing matters (results are
+    bit-identical either way - jitter only moves sleeps).
+    """
 
     #: Total attempts per request (first try included).
     max_attempts: int = 5
-    #: Sleep before retry k (clamped to the last rung).
+    #: Sleep cap before retry k (clamped to the last rung).
     backoff_seconds: Tuple[float, ...] = (0.02, 0.05, 0.1, 0.2, 0.5)
+    #: ``"full"`` = uniform in [0, rung]; ``"none"`` = exactly the rung.
+    jitter: str = "full"
 
     def __post_init__(self) -> None:
         if self.max_attempts <= 0:
@@ -55,11 +77,20 @@ class RetryPolicy:
             )
         if not self.backoff_seconds:
             raise ConfigurationError("backoff_seconds must not be empty")
+        if self.jitter not in ("full", "none"):
+            raise ConfigurationError(
+                f"jitter must be 'full' or 'none', got {self.jitter!r}"
+            )
 
-    def backoff(self, attempt: int) -> float:
+    def backoff(
+        self, attempt: int, rng: Optional[random.Random] = None
+    ) -> float:
         """Seconds to sleep before retry number ``attempt`` (1-based)."""
         index = min(attempt - 1, len(self.backoff_seconds) - 1)
-        return self.backoff_seconds[index]
+        rung = self.backoff_seconds[index]
+        if self.jitter == "full" and rng is not None:
+            return rng.uniform(0.0, rung)
+        return rung
 
 
 class _Connection(http.client.HTTPConnection):
@@ -95,6 +126,7 @@ class HTTPTransport(Transport):
         retry: Optional[RetryPolicy] = None,
         timeout: Optional[float] = None,
         socket_margin: float = 10.0,
+        jitter_seed: Optional[int] = None,
     ) -> None:
         parts = urlsplit(url)
         if parts.scheme not in ("http", "") or not parts.netloc and not parts.path:
@@ -110,9 +142,21 @@ class HTTPTransport(Transport):
         self.retry = retry if retry is not None else RetryPolicy()
         self.timeout = timeout
         self.socket_margin = socket_margin
+        #: Shard-map epoch stamped onto /eval and /batch_eval bodies when
+        #: set (the cluster client keeps it current; plain clients leave
+        #: it ``None`` and the server skips the staleness check).
+        self.epoch: Optional[int] = None
         self.stats = ClientStats()
         self._stats_lock = threading.Lock()
         self._local = threading.local()
+        self._rng = random.Random(jitter_seed)
+        self._rng_lock = threading.Lock()
+
+    def _sleep(self, attempt: int) -> None:
+        """Back off before retry ``attempt`` (jittered per the policy)."""
+        with self._rng_lock:
+            seconds = self.retry.backoff(attempt, self._rng)
+        time.sleep(seconds)
 
     # -- connection management ----------------------------------------------
 
@@ -186,26 +230,48 @@ class HTTPTransport(Transport):
                 )
             except (OSError, http.client.HTTPException) as error:
                 if attempt >= self.retry.max_attempts:
-                    raise ServiceError(
+                    raise TransportError(
                         f"{method} {path} failed after {attempt} attempts: "
                         f"{error}"
                     ) from error
                 with self._stats_lock:
                     self.stats.retries += 1
-                time.sleep(self.retry.backoff(attempt))
+                self._sleep(attempt)
                 continue
             if status < 400:
                 return payload
             error = wire.decode_error(payload)
-            retryable = (
-                isinstance(payload, dict)
-                and payload.get("error", {}).get("retryable", False)
+            envelope = (
+                payload.get("error", {}) if isinstance(payload, dict) else {}
             )
-            if not retryable or attempt >= self.retry.max_attempts:
+            # Refresh-first errors (stale shard map): retrying the same
+            # node cannot succeed, so surface immediately for the caller
+            # to refresh its routing state and go elsewhere.
+            if envelope.get("type") in wire.REFRESH_FIRST_ERRORS:
+                raise error
+            if not envelope.get("retryable", False) or (
+                attempt >= self.retry.max_attempts
+            ):
                 raise error
             with self._stats_lock:
                 self.stats.retries += 1
-            time.sleep(self.retry.backoff(attempt))
+            self._sleep(attempt)
+
+    def request_json(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        *,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """One JSON exchange with the standard retry/typed-error handling.
+
+        The public face of :meth:`_send` for endpoints outside the
+        transport seam - the cluster tier uses it for ``/shardmap`` and
+        the membership routes.
+        """
+        return self._send(method, path, body, timeout=timeout)
 
     # -- Transport implementation --------------------------------------------
 
@@ -220,6 +286,8 @@ class HTTPTransport(Transport):
         deadline = timeout if timeout is not None else self.timeout
         if deadline is not None:
             body["timeout"] = deadline
+        if self.epoch is not None:
+            body["epoch"] = self.epoch
         log = get_log()
         started = time.monotonic()
         payload = self._send("POST", "/eval", body, timeout=deadline)
@@ -257,6 +325,8 @@ class HTTPTransport(Transport):
             }
             if deadline is not None:
                 body["timeout"] = deadline
+            if self.epoch is not None:
+                body["epoch"] = self.epoch
             payload = self._send(
                 "POST", "/batch_eval", body, timeout=deadline
             )
@@ -274,15 +344,19 @@ class HTTPTransport(Transport):
                 envelope = item.get("error", {})
                 if (
                     envelope.get("retryable", False)
+                    and envelope.get("type") not in wire.REFRESH_FIRST_ERRORS
                     and attempt < self.retry.max_attempts
                 ):
                     retry_positions.append(position)
                 else:
+                    # Refresh-first errors land here on purpose: the
+                    # decoded exception fills the slot so a cluster
+                    # caller can re-route just that position.
                     results[position] = wire.decode_error(item)
             if retry_positions:
                 with self._stats_lock:
                     self.stats.resubmitted += len(retry_positions)
-                time.sleep(self.retry.backoff(attempt))
+                self._sleep(attempt)
             open_positions = retry_positions
         if log.enabled:
             log.emit(

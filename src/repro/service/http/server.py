@@ -23,6 +23,23 @@ Errors answer the typed envelope of :mod:`repro.service.wire` with its
 HTTP status mapping (400 bad request, 404 unknown codebook, 503
 backpressure / worker lost, 504 timeout), so the retrying client can
 decide retryability without string matching.
+
+**Cluster roles** (both optional, duck-typed so the service tier does not
+import :mod:`repro.cluster`):
+
+* ``coordinator=`` attaches a
+  :class:`~repro.cluster.membership.ClusterCoordinator` and adds the
+  control-plane routes ``GET /shardmap``, ``GET /cluster/status`` and
+  ``POST /cluster/register|heartbeat|leave``.  A coordinator-only server
+  may pass ``transport=None``.
+* ``node=`` attaches a
+  :class:`~repro.cluster.membership.ClusterNodeAgent`: eval bodies may
+  then carry the client's shard-map ``epoch``, and a request routed with
+  an *older* epoch is rejected with the typed retryable
+  ``stale_shardmap`` envelope (HTTP 409) before touching the transport -
+  newer epochs are accepted (the client may legitimately learn of a
+  membership change before this node's heartbeat does) and fast-forward
+  the node.  Responses are stamped with the serving node id.
 """
 
 from __future__ import annotations
@@ -34,11 +51,11 @@ from collections import Counter, deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Deque, Dict, Optional, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StaleShardMapError
 from repro.service import wire
 from repro.service.request import FactorizationRequest
 from repro.service.transport import Transport
-from repro.telemetry import get_log, mint_trace_id
+from repro.telemetry import LATENCY_MS_BUCKETS, Histogram, get_log, mint_trace_id
 
 #: Latency samples kept for the /metrics percentiles (bounded memory).
 _LATENCY_WINDOW = 4096
@@ -92,13 +109,18 @@ class _Handler(BaseHTTPRequestHandler):
     # -- endpoints -----------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
-        """Serve ``/health`` and ``/metrics``."""
+        """Serve ``/health``, ``/metrics`` and the coordinator map routes."""
         started = time.monotonic()
+        app = self.server.app
         try:
             if self.path == "/health":
-                self._reply(200, self.server.app.health_payload())
+                self._reply(200, app.health_payload())
             elif self.path == "/metrics":
-                self._reply(200, self.server.app.metrics_payload())
+                self._reply(200, app.metrics_payload())
+            elif self.path == "/shardmap" and app.coordinator is not None:
+                self._reply(200, app.coordinator.shardmap_payload())
+            elif self.path == "/cluster/status" and app.coordinator is not None:
+                self._reply(200, app.coordinator.status_payload())
             else:
                 self._reply(
                     404, {"error": {"type": "service",
@@ -108,18 +130,37 @@ class _Handler(BaseHTTPRequestHandler):
         except BaseException as error:
             self._reply_error(error)
         finally:
-            self.server.app.observe(self.path, time.monotonic() - started)
+            app.observe(self.path, time.monotonic() - started)
 
     def do_POST(self) -> None:  # noqa: N802 (http.server naming)
-        """Serve ``/eval``, ``/batch_eval`` and ``/codebooks``."""
+        """Serve eval/codebook routes plus the coordinator membership ops."""
         started = time.monotonic()
+        app = self.server.app
         try:
             if self.path == "/eval":
-                self._reply(200, self.server.app.eval_one(self._read_json()))
+                self._reply(200, app.eval_one(self._read_json()))
             elif self.path == "/batch_eval":
-                self._reply(200, self.server.app.eval_batch(self._read_json()))
+                self._reply(200, app.eval_batch(self._read_json()))
             elif self.path == "/codebooks":
-                self._reply(200, self.server.app.register(self._read_json()))
+                self._reply(200, app.register(self._read_json()))
+            elif (
+                self.path == "/cluster/register"
+                and app.coordinator is not None
+            ):
+                self._reply(
+                    200, app.coordinator.handle_register(self._read_json())
+                )
+            elif (
+                self.path == "/cluster/heartbeat"
+                and app.coordinator is not None
+            ):
+                self._reply(
+                    200, app.coordinator.handle_heartbeat(self._read_json())
+                )
+            elif self.path == "/cluster/leave" and app.coordinator is not None:
+                self._reply(
+                    200, app.coordinator.handle_leave(self._read_json())
+                )
             else:
                 self._reply(
                     404, {"error": {"type": "service",
@@ -129,7 +170,7 @@ class _Handler(BaseHTTPRequestHandler):
         except BaseException as error:
             self._reply_error(error)
         finally:
-            self.server.app.observe(self.path, time.monotonic() - started)
+            app.observe(self.path, time.monotonic() - started)
 
 
 class _Server(ThreadingHTTPServer):
@@ -147,17 +188,29 @@ class H3DFactHTTPServer:
     runs the accept loop on a daemon thread and :attr:`url` names the
     bound address.  With ``own_transport=True`` closing the server closes
     the transport too (the CLI uses that; tests usually share one).
+
+    ``coordinator`` / ``node`` attach the cluster roles described in the
+    module docstring.  ``transport=None`` is allowed only for a pure
+    coordinator; eval routes then answer a typed configuration error.
     """
 
     def __init__(
         self,
-        transport: Transport,
+        transport: Optional[Transport],
         *,
         host: str = "127.0.0.1",
         port: int = 0,
         own_transport: bool = False,
+        coordinator: Optional[Any] = None,
+        node: Optional[Any] = None,
     ) -> None:
+        if transport is None and coordinator is None:
+            raise ConfigurationError(
+                "a server without a transport must host a coordinator"
+            )
         self.transport = transport
+        self.coordinator = coordinator
+        self.node = node
         self._own_transport = own_transport
         self._httpd = _Server((host, port), _Handler)
         self._httpd.app = self
@@ -167,6 +220,16 @@ class H3DFactHTTPServer:
         self._endpoint_counts: Counter = Counter()
         self._latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
         self._latencies_by_path: Dict[str, Deque[float]] = {}
+        self._latency_histogram = Histogram(LATENCY_MS_BUCKETS)
+
+    def _serving_transport(self) -> Transport:
+        """The transport, or a typed error for coordinator-only servers."""
+        if self.transport is None:
+            raise ConfigurationError(
+                "this node is a cluster coordinator; it serves no "
+                "factorization traffic (route /eval to the serving nodes)"
+            )
+        return self.transport
 
     # -- address -------------------------------------------------------------
 
@@ -193,9 +256,18 @@ class H3DFactHTTPServer:
                 by_path = deque(maxlen=_LATENCY_WINDOW)
                 self._latencies_by_path[path] = by_path
             by_path.append(seconds)
+        self._latency_histogram.observe(seconds * 1e3)
         log = get_log()
         if log.enabled:
-            log.emit("http.request", path=path, seconds=seconds)
+            if self.node is not None:
+                log.emit(
+                    "http.request",
+                    path=path,
+                    seconds=seconds,
+                    node=self.node.node_id,
+                )
+            else:
+                log.emit("http.request", path=path, seconds=seconds)
 
     def _accept(self, request: FactorizationRequest) -> FactorizationRequest:
         """Telemetry seam: mint a trace id if absent, emit ``request.accepted``.
@@ -218,11 +290,22 @@ class H3DFactHTTPServer:
 
     def health_payload(self) -> Dict[str, Any]:
         """GET /health body."""
-        return {
+        payload = {
             "status": "ok",
             "uptime_seconds": time.monotonic() - self._started,
-            "transport": self.transport.health(),
+            "transport": (
+                self.transport.health()
+                if self.transport is not None
+                else {"transport": "none"}
+            ),
         }
+        if self.coordinator is not None:
+            payload["role"] = "coordinator"
+            payload["epoch"] = self.coordinator.epoch
+        if self.node is not None:
+            payload["node"] = self.node.node_id
+            payload["epoch"] = self.node.epoch
+        return payload
 
     def metrics_payload(self) -> Dict[str, Any]:
         """GET /metrics body: server percentiles + transport counters."""
@@ -252,28 +335,75 @@ class H3DFactHTTPServer:
             if values
         }
         log = get_log()
-        return {
+        payload = {
             "endpoints": counts,
             "latency": latency,
             "latency_by_path": latency_by_path,
-            "transport": self.transport.metrics(),
+            # Fixed buckets merge exactly across nodes, unlike the
+            # percentile windows above - `h3dfact cluster status` relies
+            # on this field for the fleet view.
+            "latency_histogram": self._latency_histogram.to_dict(),
+            "transport": (
+                self.transport.metrics() if self.transport is not None else {}
+            ),
             "telemetry": {
                 "enabled": log.enabled,
                 "emitted": getattr(log, "emitted", 0),
                 "dropped": getattr(log, "dropped", 0),
             },
         }
+        if self.node is not None:
+            payload["node"] = self.node.node_id
+            payload["epoch"] = self.node.epoch
+        return payload
+
+    def _check_epoch(self, body: Dict[str, Any]) -> None:
+        """Reject requests routed with a shard map older than this node's.
+
+        Only *older* epochs are stale: a client can legitimately hold a
+        newer map than this node has heard of (it refreshed first), and
+        such requests both succeed and fast-forward the node's view.
+        Plain (non-cluster) clients send no epoch and skip the check.
+        """
+        if self.node is None:
+            return
+        epoch = body.get("epoch")
+        if epoch is None:
+            return
+        epoch = int(epoch)
+        ours = self.node.epoch
+        if epoch < ours:
+            log = get_log()
+            if log.enabled:
+                log.emit(
+                    "cluster.stale",
+                    node=self.node.node_id,
+                    epoch=ours,
+                    request_epoch=epoch,
+                )
+            raise StaleShardMapError(
+                f"request routed with shard map epoch {epoch} but node "
+                f"{self.node.node_id!r} is at epoch {ours}; refresh the map"
+            )
+        self.node.observe_epoch(epoch)
+
+    def _stamp(self, response: Any) -> Any:
+        """Mark which cluster node served a response (no-op off-cluster)."""
+        if self.node is not None:
+            response.node = self.node.node_id
+        return response
 
     def eval_one(self, body: Dict[str, Any]) -> Dict[str, Any]:
         """POST /eval body -> response envelope (errors propagate typed)."""
         if "request" not in body:
             raise ConfigurationError("POST /eval body needs a 'request' field")
+        self._check_epoch(body)
         request = self._accept(wire.decode_request(body["request"]))
         timeout = body.get("timeout")
-        response = self.transport.evaluate(
+        response = self._serving_transport().evaluate(
             request, timeout=float(timeout) if timeout is not None else None
         )
-        return {"response": wire.encode_response(response)}
+        return {"response": wire.encode_response(self._stamp(response))}
 
     def eval_batch(self, body: Dict[str, Any]) -> Dict[str, Any]:
         """POST /batch_eval body -> per-item response/error envelopes.
@@ -286,6 +416,7 @@ class H3DFactHTTPServer:
             raise ConfigurationError(
                 "POST /batch_eval body needs a 'requests' list"
             )
+        self._check_epoch(body)
         timeout = body.get("timeout")
         requests = []
         decode_errors: Dict[int, BaseException] = {}
@@ -297,7 +428,7 @@ class H3DFactHTTPServer:
                 requests.append(None)
         valid = [request for request in requests if request is not None]
         outcomes = iter(
-            self.transport.evaluate_scatter(
+            self._serving_transport().evaluate_scatter(
                 valid,
                 timeout=float(timeout) if timeout is not None else None,
             )
@@ -313,7 +444,9 @@ class H3DFactHTTPServer:
             if isinstance(outcome, BaseException):
                 results.append(wire.encode_error(outcome))
             else:
-                results.append({"response": wire.encode_response(outcome)})
+                results.append(
+                    {"response": wire.encode_response(self._stamp(outcome))}
+                )
         return {"results": results}
 
     def register(self, body: Dict[str, Any]) -> Dict[str, Any]:
@@ -323,7 +456,11 @@ class H3DFactHTTPServer:
                 "POST /codebooks body needs a 'codebooks' field"
             )
         codebooks = wire.decode_codebooks(body["codebooks"])
-        return {"codebook_key": self.transport.register_codebooks(codebooks)}
+        return {
+            "codebook_key": self._serving_transport().register_codebooks(
+                codebooks
+            )
+        }
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -349,7 +486,9 @@ class H3DFactHTTPServer:
             self._thread.join(timeout=5.0)
             self._thread = None
         self._httpd.server_close()
-        if self._own_transport:
+        if self.node is not None:
+            self.node.close()
+        if self._own_transport and self.transport is not None:
             self.transport.close()
 
     def __enter__(self) -> "H3DFactHTTPServer":

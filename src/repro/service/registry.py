@@ -139,6 +139,16 @@ class CodebookRegistry:
             )
         return cached
 
+    def keys(self) -> Tuple[str, ...]:
+        """Registered content-hash keys, least- to most-recently used.
+
+        The cluster tier's replication replay reads this to decide which
+        sets a node already holds (re-registering a held key is a cheap
+        registry hit, so replay is idempotent).
+        """
+        with self._lock:
+            return tuple(self._entries.keys())
+
     def __contains__(self, key: str) -> bool:
         with self._lock:
             return key in self._entries

@@ -144,6 +144,9 @@ class FactorizationResponse:
     #: Index of the worker shard that served the request (``None`` for the
     #: single-process in-process path).
     shard: Optional[int] = None
+    #: Cluster node id that served the request (``None`` outside the
+    #: multi-host cluster tier - see :mod:`repro.cluster`).
+    node: Optional[str] = None
     #: Echo of the request's telemetry trace id (``None`` untraced).
     trace_id: Optional[str] = None
 

@@ -25,6 +25,7 @@ from repro.errors import (
     DimensionError,
     RequestTimeoutError,
     ServiceError,
+    StaleShardMapError,
     UnknownCodebookError,
     WorkerLostError,
 )
@@ -195,6 +196,7 @@ def encode_response(response: FactorizationResponse) -> Dict[str, Any]:
         "cache_hit": bool(response.cache_hit),
         "codebook_key": response.codebook_key,
         "shard": response.shard,
+        "node": response.node,
         "trace_id": response.trace_id,
     }
 
@@ -210,6 +212,7 @@ def decode_response(payload: Dict[str, Any]) -> FactorizationResponse:
             cache_hit=bool(payload["cache_hit"]),
             codebook_key=payload["codebook_key"],
             shard=payload.get("shard"),
+            node=payload.get("node"),
             trace_id=payload.get("trace_id"),
         )
     except (KeyError, TypeError, ValueError) as error:
@@ -225,6 +228,7 @@ def decode_response(payload: Dict[str, Any]) -> FactorizationResponse:
 _ERROR_TYPES: List[Any] = [
     ("backpressure", BackpressureError),
     ("worker_lost", WorkerLostError),
+    ("stale_shardmap", StaleShardMapError),
     ("timeout", RequestTimeoutError),
     ("unknown_codebook", UnknownCodebookError),
     ("dimension", DimensionError),
@@ -234,9 +238,17 @@ _ERROR_TYPES: List[Any] = [
 ]
 
 #: Error codes a client may safely retry: the failure is about serving
-#: capacity or a restartable worker, not about the request itself, and
-#: seeded requests are idempotent.
-RETRYABLE_ERRORS = frozenset({"backpressure", "worker_lost", "unknown_codebook"})
+#: capacity, a restartable worker, or a routing epoch the client can
+#: refresh - never about the request itself - and seeded requests are
+#: idempotent.
+RETRYABLE_ERRORS = frozenset(
+    {"backpressure", "worker_lost", "unknown_codebook", "stale_shardmap"}
+)
+
+#: Error codes retrying against the *same* node cannot fix: the client
+#: must refresh cluster state (the shard map) first.  The HTTP transport
+#: surfaces these immediately instead of burning its backoff ladder.
+REFRESH_FIRST_ERRORS = frozenset({"stale_shardmap"})
 
 #: Error code -> HTTP status for the serving tier's responses.
 HTTP_STATUS = {
@@ -244,6 +256,7 @@ HTTP_STATUS = {
     "dimension": 400,
     "codebook": 400,
     "unknown_codebook": 404,
+    "stale_shardmap": 409,
     "backpressure": 503,
     "worker_lost": 503,
     "timeout": 504,
@@ -345,5 +358,6 @@ __all__ = [
     "decode_error",
     "batch_digest",
     "RETRYABLE_ERRORS",
+    "REFRESH_FIRST_ERRORS",
     "HTTP_STATUS",
 ]

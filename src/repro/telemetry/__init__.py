@@ -40,9 +40,17 @@ from repro.telemetry.events import (
     SCHEMA_VERSION,
     mint_trace_id,
 )
-from repro.telemetry.log import NULL_LOG, EventLog, NullEventLog
+from repro.telemetry.log import (
+    NULL_LOG,
+    ROTATE_ENV,
+    EventLog,
+    NullEventLog,
+    rotation_segments,
+    segment_path,
+)
 from repro.telemetry.metrics import (
     BATCH_SIZE_BUCKETS,
+    LATENCY_MS_BUCKETS,
     QUEUE_DEPTH_BUCKETS,
     Counter,
     Histogram,
@@ -63,13 +71,16 @@ _explicit = False
 _env_path: Optional[str] = None
 
 
-def configure(path: Optional[str]) -> Union[EventLog, NullEventLog]:
+def configure(
+    path: Optional[str], *, max_segment_bytes: Optional[int] = None
+) -> Union[EventLog, NullEventLog]:
     """Install an explicit process-local sink (``None`` disables).
 
     Closes any previously active sink.  Explicit configuration wins over
     the environment variable in this process; child worker processes
     still read the environment, so callers that shard should set
-    :data:`TELEMETRY_ENV` instead (the CLI does).
+    :data:`TELEMETRY_ENV` (and, for long-soak rotation,
+    :data:`~repro.telemetry.log.ROTATE_ENV`) instead (the CLI does).
     """
     global _active, _explicit, _env_path
     if _active is not None and _active.pid == os.getpid():
@@ -78,7 +89,10 @@ def configure(path: Optional[str]) -> Union[EventLog, NullEventLog]:
     if path is None:
         _active, _explicit = None, True
         return NULL_LOG
-    _active, _explicit = EventLog(path), True
+    _active, _explicit = (
+        EventLog(path, max_segment_bytes=max_segment_bytes),
+        True,
+    )
     return _active
 
 
@@ -110,7 +124,14 @@ def get_log() -> Union[EventLog, NullEventLog]:
     if env != _env_path:
         if _active is not None:
             _active.close()
-        _active = EventLog(env) if env else None
+        if env:
+            rotate = os.environ.get(ROTATE_ENV) or None
+            _active = EventLog(
+                env,
+                max_segment_bytes=int(rotate) if rotate else None,
+            )
+        else:
+            _active = None
         _env_path = env
     return _active if _active is not None else NULL_LOG
 
@@ -127,6 +148,8 @@ __all__ = [
     "NULL_LOG",
     "NullEventLog",
     "QUEUE_DEPTH_BUCKETS",
+    "LATENCY_MS_BUCKETS",
+    "ROTATE_ENV",
     "SCHEMA_VERSION",
     "TELEMETRY_ENV",
     "configure",
@@ -134,6 +157,8 @@ __all__ = [
     "mint_trace_id",
     "read_events",
     "reset",
+    "rotation_segments",
+    "segment_path",
     "summarize",
     "trace_waterfall",
     "validate_events",

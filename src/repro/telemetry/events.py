@@ -39,10 +39,21 @@ event                   emitted by             key attributes
                                                ``exitcode``, ``in_flight``
 ``worker.restarted``    pool monitor           ``shard``, ``generation``
 ``worker.replay``       pool monitor           ``shard``, ``count``
-``http.request``        HTTP server            ``path``, ``seconds``
+``http.request``        HTTP server            ``path``, ``seconds``,
+                                               ``node``
 ``client.request``      HTTP client            ``trace_id``, ``request_id``,
                                                ``seconds``
 ``client.batch``        HTTP client            ``size``, ``seconds``
+``cluster.join``        cluster coordinator    ``node``, ``url``, ``epoch``
+``cluster.leave``       cluster coordinator    ``node``, ``epoch``,
+                                               ``reason`` (leave/expired)
+``cluster.epoch``       cluster coordinator    ``epoch``, ``nodes``
+``cluster.stale``       cluster node (HTTP)    ``node``, ``epoch``,
+                                               ``request_epoch``
+``cluster.refresh``     cluster client         ``epoch``, ``reason``
+``cluster.replicate``   cluster client         ``key``, ``nodes``, ``epoch``
+``cluster.route``       cluster client         ``trace_id``, ``node``,
+                                               ``epoch``, ``attempt``
 ``telemetry.close``     event log shutdown     ``emitted``, ``dropped``
 ======================  =====================  ===========================
 
@@ -87,6 +98,13 @@ EVENT_TYPES = frozenset(
         "http.request",
         "client.request",
         "client.batch",
+        "cluster.join",
+        "cluster.leave",
+        "cluster.epoch",
+        "cluster.stale",
+        "cluster.refresh",
+        "cluster.replicate",
+        "cluster.route",
         "telemetry.close",
     }
 )

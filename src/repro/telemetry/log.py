@@ -28,18 +28,62 @@ from __future__ import annotations
 import itertools
 import json
 import os
+import os.path
 import queue
 import threading
 import time
 import uuid
-from typing import Any, Optional
+from typing import Any, List, Optional, Tuple
 
 from repro.telemetry.events import SCHEMA_VERSION
 
 #: Default bound on buffered (unwritten) events per process.
 DEFAULT_QUEUE_CAPACITY = 8192
 
+#: Environment variable enabling size-based segment rotation (bytes per
+#: segment) for environment-configured logs; worker processes inherit it
+#: alongside :data:`repro.telemetry.TELEMETRY_ENV`.
+ROTATE_ENV = "H3DFACT_TELEMETRY_ROTATE_BYTES"
+
 _CLOSE = object()
+
+
+def segment_path(path: str, index: int) -> str:
+    """The ``index``-th rotation segment for ``path``.
+
+    ``events.jsonl`` rotates as ``events.0.jsonl``, ``events.1.jsonl``,
+    ... - the index sits before the extension so segments keep the
+    ``*.jsonl`` suffix tooling filters on.
+    """
+    root, ext = os.path.splitext(path)
+    return f"{root}.{index}{ext}"
+
+
+def rotation_segments(path: str) -> List[Tuple[int, str]]:
+    """Existing rotation segments of ``path`` as ``(index, path)`` pairs.
+
+    Sorted ascending by segment index.  Purely a directory scan, so the
+    reader and every concurrently-writing process agree on the newest
+    segment without coordination.
+    """
+    directory, filename = os.path.split(path)
+    root, ext = os.path.splitext(filename)
+    prefix = root + "."
+    try:
+        names = os.listdir(directory or ".")
+    except OSError:
+        return []
+    segments = []
+    for name in names:
+        if not (name.startswith(prefix) and name.endswith(ext)):
+            continue
+        middle = name[len(prefix):len(name) - len(ext)] if ext else name[
+            len(prefix):
+        ]
+        if middle.isdigit():
+            segments.append((int(middle), os.path.join(directory, name)))
+    segments.sort()
+    return segments
 
 
 def _coerce(value: Any) -> Any:
@@ -63,6 +107,15 @@ class EventLog:
     autostart:
         Start the writer thread immediately (tests pass ``False`` to
         exercise the queue synchronously via :meth:`close`).
+    max_segment_bytes:
+        ``None`` (default) appends to ``path`` forever.  A positive value
+        enables size-based rotation for long soaks: records go to the
+        newest ``<path-root>.<n><ext>`` segment instead, and once a
+        segment crosses the cap (checked after each drained burst, so a
+        segment may finish slightly over it) the writer rolls to the next
+        index.  Concurrent processes converge on the newest segment by
+        directory scan; :func:`repro.telemetry.read_events` reads all
+        segments in order.
     """
 
     def __init__(
@@ -71,12 +124,18 @@ class EventLog:
         *,
         queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
         autostart: bool = True,
+        max_segment_bytes: Optional[int] = None,
     ) -> None:
         if queue_capacity <= 0:
             raise ValueError(
                 f"queue_capacity must be positive, got {queue_capacity}"
             )
+        if max_segment_bytes is not None and max_segment_bytes <= 0:
+            raise ValueError(
+                f"max_segment_bytes must be positive, got {max_segment_bytes}"
+            )
         self.path = str(path)
+        self.max_segment_bytes = max_segment_bytes
         self.pid = os.getpid()
         #: Log instance id: distinguishes producers sharing one pid (a
         #: reconfigured log restarts ``seq``; the validator keys on it).
@@ -174,11 +233,43 @@ class EventLog:
         os.write(fd, b"".join(chunks))
         return open_
 
-    def _writer_loop(self) -> None:
-        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
-        try:
-            while self._drain(fd, block=True):
+    def _open_fd(self) -> int:
+        """Open the current write target: ``path``, or the newest segment.
+
+        With rotation on, the target is the highest-index existing
+        segment - unless that one is already at the cap, in which case
+        the next index opens (a fresh process resuming a rotated soak
+        must not re-bloat a full segment).
+        """
+        target = self.path
+        if self.max_segment_bytes is not None:
+            segments = rotation_segments(self.path)
+            index = segments[-1][0] if segments else 0
+            target = segment_path(self.path, index)
+            try:
+                if os.path.getsize(target) >= self.max_segment_bytes:
+                    target = segment_path(self.path, index + 1)
+            except OSError:
                 pass
+        return os.open(target, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+
+    def _maybe_rotate(self, fd: int) -> int:
+        """Roll to the next segment when the current one crossed the cap."""
+        if self.max_segment_bytes is None:
+            return fd
+        if os.fstat(fd).st_size < self.max_segment_bytes:
+            return fd
+        os.close(fd)
+        return self._open_fd()
+
+    def _writer_loop(self) -> None:
+        fd = self._open_fd()
+        try:
+            while True:
+                open_ = self._drain(fd, block=True)
+                if not open_:
+                    return
+                fd = self._maybe_rotate(fd)
         finally:
             os.close(fd)
 
@@ -196,7 +287,7 @@ class EventLog:
         # Never-started writer (autostart=False): drain synchronously.  The
         # queue may be full, so the close record is written directly rather
         # than routed through it (put() would block with no consumer).
-        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        fd = self._open_fd()
         try:
             chunks = []
             while True:

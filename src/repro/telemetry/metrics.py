@@ -21,6 +21,16 @@ BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 #: Default buckets for queue-depth distributions (0 = drained intake).
 QUEUE_DEPTH_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 
+#: Default buckets for request-latency distributions, in milliseconds
+#: (1 ms .. 30 s, roughly 1-2-5 per decade).  Unlike the percentile
+#: window the HTTP server also reports, bucket counts merge exactly
+#: across nodes - the basis of the cluster-aggregated ``/metrics`` view
+#: (``h3dfact cluster status`` sums them bucket-wise).
+LATENCY_MS_BUCKETS = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0, 10000.0, 30000.0,
+)
+
 
 class Counter:
     """Thread-safe monotonic counter (JSON-safe via :attr:`value`)."""

@@ -50,8 +50,8 @@ def nearest_rank(samples: Sequence[float], fraction: float) -> float:
     return samples[rank]
 
 
-def read_events(path: str) -> List[Event]:
-    """Parse a JSONL log into event dicts, in file order.
+def _read_one_file(path: str) -> List[Event]:
+    """Parse one JSONL file into event dicts, in file order.
 
     A torn final line (no trailing newline, truncated JSON) is skipped:
     a killed worker can die mid-write and the rest of the log is still
@@ -75,6 +75,31 @@ def read_events(path: str) -> List[Event]:
             events.append(record)
         else:
             events.append({"event": "_parse_error", "line": index + 1})
+    return events
+
+
+def read_events(path: str) -> List[Event]:
+    """Parse a JSONL log - rotation segments included - into event dicts.
+
+    ``path`` itself is read when it exists, then any rotation segments
+    (``<root>.0<ext>``, ``<root>.1<ext>``, ... - see
+    :func:`repro.telemetry.log.rotation_segments`) in index order, so a
+    rotated long-soak log summarizes and validates exactly like an
+    unrotated one.  Each file's torn tail is tolerated independently (any
+    segment may be the one a killed process was mid-write on).
+    """
+    import os.path
+
+    from repro.telemetry.log import rotation_segments
+
+    paths = [path] if os.path.exists(path) else []
+    paths.extend(segment for _, segment in rotation_segments(path))
+    if not paths:
+        # Preserve the plain-path error for a log that never existed.
+        return _read_one_file(path)
+    events: List[Event] = []
+    for target in paths:
+        events.extend(_read_one_file(target))
     return events
 
 

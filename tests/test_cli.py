@@ -61,6 +61,26 @@ class TestParser:
         assert args.concurrency == "1,4" and args.requests == 8
         assert args.fidelity == "sram" and args.url is None
 
+    def test_cluster_options(self):
+        serve = build_parser().parse_args(
+            ["cluster", "serve", "--nodes", "3", "--heartbeat-timeout", "2.5"]
+        )
+        assert serve.cluster_command == "serve"
+        assert serve.nodes == 3 and serve.heartbeat_timeout == 2.5
+        status = build_parser().parse_args(
+            ["cluster", "status", "http://127.0.0.1:8374", "--json"]
+        )
+        assert status.cluster_command == "status" and status.json
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster"])
+
+    def test_loadgen_cluster_options(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--cluster", "3", "--replication", "2", "--seed", "3"]
+        )
+        assert args.cluster == 3 and args.replication == 2
+        assert args.cluster_url is None
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

@@ -1,0 +1,379 @@
+"""Unit tests for the cluster control plane (no sockets).
+
+Covers the pure pieces of :mod:`repro.cluster`: the versioned
+:class:`~repro.cluster.shardmap.ShardMap` and its codec, the
+:class:`~repro.cluster.membership.ClusterCoordinator` epoch protocol
+(driven by an injected clock so expiry is scripted, not slept), the
+:class:`~repro.cluster.replication.RegistrationLedger` replay diff, and
+the fleet-metrics merger.  The HTTP-level behaviour lives in
+``tests/test_cluster_serving.py``.
+"""
+
+import pytest
+
+from repro.cluster import (
+    ClusterCoordinator,
+    NodeInfo,
+    RegistrationLedger,
+    ShardMap,
+    histogram_percentiles,
+    merge_histograms,
+    merge_metrics,
+)
+from repro.errors import ConfigurationError
+
+
+def fleet(count, fidelities=()):
+    return [
+        NodeInfo(f"node{index}", f"http://127.0.0.1:{9000 + index}", fidelities)
+        for index in range(count)
+    ]
+
+
+class FakeClock:
+    """Scriptable monotonic clock for expiry tests."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestNodeInfo:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NodeInfo("", "http://x")
+        with pytest.raises(ConfigurationError):
+            NodeInfo("a", "")
+        with pytest.raises(ConfigurationError):
+            NodeInfo("a", "http://x", fidelities=("warp-drive",))
+
+    def test_supports_semantics(self):
+        open_node = NodeInfo("a", "http://x")
+        sram_only = NodeInfo("b", "http://y", fidelities=("sram",))
+        # None (request named no profile) and empty caps both mean "any".
+        assert open_node.supports(None)
+        assert open_node.supports("crossbar")
+        assert sram_only.supports(None)
+        assert sram_only.supports("sram")
+        assert not sram_only.supports("crossbar")
+
+    def test_payload_roundtrip(self):
+        node = NodeInfo("a", "http://x:1", fidelities=("sram", "hybrid"))
+        assert NodeInfo.from_payload(node.to_payload()) == node
+        with pytest.raises(ConfigurationError):
+            NodeInfo.from_payload({"url": "http://x"})
+
+
+class TestShardMap:
+    def test_codec_roundtrip_and_order_independence(self):
+        nodes = fleet(3)
+        shard_map = ShardMap(nodes, epoch=7, vnodes=32)
+        assert ShardMap.from_payload(shard_map.to_payload()) == shard_map
+        # Node order at construction never matters: ids sort.
+        assert ShardMap(list(reversed(nodes)), epoch=7, vnodes=32) == shard_map
+        assert shard_map.node_ids() == ("node0", "node1", "node2")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShardMap(fleet(2), epoch=-1)
+        with pytest.raises(ConfigurationError):
+            ShardMap([fleet(1)[0], fleet(1)[0]])
+        with pytest.raises(ConfigurationError):
+            ShardMap([]).route("key")
+        with pytest.raises(ConfigurationError):
+            ShardMap(fleet(2)).node("ghost")
+
+    def test_route_is_primary_replica(self):
+        shard_map = ShardMap(fleet(4))
+        for index in range(64):
+            key = f"fingerprint-{index}"
+            replicas = shard_map.replicas(key, 3)
+            assert replicas[0] == shard_map.route(key)
+            ids = [node.node_id for node in replicas]
+            assert len(set(ids)) == len(ids) == 3
+
+    def test_replicas_clamped_to_fleet(self):
+        shard_map = ShardMap(fleet(2))
+        assert len(shard_map.replicas("key", 5)) == 2
+
+    def test_fidelity_filtering(self):
+        nodes = [
+            NodeInfo("cpu", "http://a", fidelities=("baseline",)),
+            NodeInfo("sram", "http://b", fidelities=("sram",)),
+            NodeInfo("any", "http://c"),
+        ]
+        shard_map = ShardMap(nodes)
+        for index in range(32):
+            owner = shard_map.route(f"k{index}", fidelity="sram")
+            assert owner.node_id in ("sram", "any")
+        # Nobody advertises crossbar except the unrestricted node.
+        for index in range(32):
+            assert shard_map.route(f"k{index}", fidelity="crossbar").node_id == "any"
+
+    def test_fidelity_unservable_is_typed(self):
+        shard_map = ShardMap([NodeInfo("a", "http://x", ("sram",))])
+        with pytest.raises(ConfigurationError):
+            shard_map.route("key", fidelity="crossbar")
+
+    def test_spread_deterministic_and_bounded(self):
+        picks = [ShardMap.spread("key", str(salt), 3) for salt in range(200)]
+        assert picks == [
+            ShardMap.spread("key", str(salt), 3) for salt in range(200)
+        ]
+        assert set(picks) == {0, 1, 2}  # 200 salts cover 3 slots
+        assert ShardMap.spread("key", "salt", 1) == 0
+        assert ShardMap.spread("key", "salt", 0) == 0
+
+
+class TestClusterCoordinator:
+    def test_register_bumps_epoch_once_per_change(self):
+        clock = FakeClock()
+        coordinator = ClusterCoordinator(clock=clock)
+        node = fleet(1)[0]
+        assert coordinator.epoch == 0
+        assert coordinator.register(node) == 1
+        # Identical re-registration refreshes liveness, not the epoch.
+        assert coordinator.register(node) == 1
+        # A changed record (new URL after restart) is a membership change.
+        moved = NodeInfo(node.node_id, "http://127.0.0.1:9999")
+        assert coordinator.register(moved) == 2
+        assert coordinator.shard_map().node("node0").url == moved.url
+
+    def test_heartbeat_keeps_member_alive(self):
+        clock = FakeClock()
+        coordinator = ClusterCoordinator(heartbeat_timeout=5.0, clock=clock)
+        coordinator.register(fleet(1)[0])
+        for _ in range(4):
+            clock.advance(4.0)
+            epoch, known = coordinator.heartbeat("node0")
+            assert (epoch, known) == (1, True)
+        assert coordinator.shard_map().node_ids() == ("node0",)
+
+    def test_expiry_drops_silent_nodes_with_one_bump(self):
+        clock = FakeClock()
+        coordinator = ClusterCoordinator(heartbeat_timeout=5.0, clock=clock)
+        for node in fleet(3):
+            coordinator.register(node)
+        assert coordinator.epoch == 3
+        clock.advance(2.0)
+        coordinator.heartbeat("node1")
+        clock.advance(4.0)  # node0/node2 silent for 6s, node1 for 4s
+        shard_map = coordinator.shard_map()
+        assert shard_map.node_ids() == ("node1",)
+        # Two expiries in one sweep cost one epoch bump, not two.
+        assert shard_map.epoch == 4
+        status = coordinator.status_payload()
+        assert status["counters"]["expired"] == 2
+
+    def test_heartbeat_never_resurrects(self):
+        clock = FakeClock()
+        coordinator = ClusterCoordinator(heartbeat_timeout=1.0, clock=clock)
+        node = fleet(1)[0]
+        coordinator.register(node)
+        clock.advance(2.0)
+        epoch, known = coordinator.heartbeat("node0")
+        assert not known  # expired: the node must visibly re-register
+        assert "node0" not in coordinator.shard_map()
+        rejoin_epoch = coordinator.register(node)
+        assert rejoin_epoch > epoch
+
+    def test_leave_and_unknown_leave(self):
+        coordinator = ClusterCoordinator(heartbeat_timeout=None)
+        for node in fleet(2):
+            coordinator.register(node)
+        assert coordinator.leave("node0") == 3
+        assert coordinator.leave("ghost") == 3  # no-op, no bump
+        assert coordinator.shard_map().node_ids() == ("node1",)
+
+    def test_static_mode_never_expires(self):
+        coordinator = ClusterCoordinator.static(fleet(3))
+        assert coordinator.heartbeat_timeout is None
+        assert len(coordinator.shard_map()) == 3
+        # No clock injection needed: expiry is disabled outright.
+        assert coordinator.shard_map().epoch == 3
+
+    def test_json_facade_validation(self):
+        coordinator = ClusterCoordinator()
+        with pytest.raises(ConfigurationError):
+            coordinator.handle_heartbeat({})
+        with pytest.raises(ConfigurationError):
+            coordinator.handle_leave({})
+        answer = coordinator.handle_register(fleet(1)[0].to_payload())
+        assert answer["epoch"] == 1
+        assert coordinator.handle_heartbeat({"node_id": "node0"}) == {
+            "epoch": 1,
+            "known": True,
+        }
+        payload = coordinator.shardmap_payload()
+        assert ShardMap.from_payload(payload).node_ids() == ("node0",)
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterCoordinator(heartbeat_timeout=0.0)
+
+
+class TestRegistrationLedger:
+    def make_set(self, seed):
+        from repro.utils.rng import as_rng
+        from repro.vsa.codebook import CodebookSet
+
+        return CodebookSet.random(dim=64, sizes=(8, 8), rng=as_rng(seed))
+
+    def test_missing_diffs_desired_vs_placed(self):
+        ledger = RegistrationLedger()
+        shard_map = ShardMap(fleet(3))
+        ledger.remember("key-a", self.make_set(1))
+        wanted = ledger.missing(shard_map, 2)
+        expected = [
+            ("key-a", node.node_id)
+            for node in shard_map.replicas("key-a", 2)
+        ]
+        assert sorted(wanted) == sorted(expected)
+        for key, node_id in wanted:
+            ledger.record(key, node_id)
+        # Fully placed: an unchanged map replays nothing.
+        assert ledger.missing(shard_map, 2) == []
+
+    def test_forget_node_forces_reprogramming(self):
+        ledger = RegistrationLedger()
+        shard_map = ShardMap(fleet(3))
+        ledger.remember("key-a", self.make_set(1))
+        for key, node_id in ledger.missing(shard_map, 2):
+            ledger.record(key, node_id)
+        victim = shard_map.replicas("key-a", 2)[0].node_id
+        ledger.forget_node(victim)
+        assert ledger.missing(shard_map, 2) == [("key-a", victim)]
+        assert victim not in ledger.placed("key-a")
+
+    def test_rebalance_replay_is_minimal(self):
+        ledger = RegistrationLedger()
+        before = ShardMap(fleet(4))
+        keys = [f"key-{index}" for index in range(16)]
+        for index, key in enumerate(keys):
+            ledger.remember(key, self.make_set(index))
+        for key, node_id in ledger.missing(before, 2):
+            ledger.record(key, node_id)
+        # node3 leaves: only placements that moved onto survivors replay.
+        after = ShardMap(fleet(3), epoch=2)
+        replay = ledger.missing(after, 2)
+        assert replay == sorted(replay)  # deterministic order
+        for key, node_id in replay:
+            assert node_id != "node3"
+            assert node_id in (
+                node.node_id for node in after.replicas(key, 2)
+            )
+        # Keys whose replica set never touched node3 replay nothing.
+        untouched = [
+            key
+            for key in keys
+            if all(
+                node.node_id != "node3"
+                for node in before.replicas(key, 2)
+            )
+        ]
+        replayed_keys = {key for key, _ in replay}
+        assert not replayed_keys.intersection(untouched)
+
+
+class TestMergeMetrics:
+    def histogram(self, counts, mean):
+        return {
+            "bounds": [1.0, 10.0, 100.0],
+            "counts": list(counts),
+            "count": sum(counts),
+            "mean": mean,
+        }
+
+    def test_counters_sum_and_histograms_merge(self):
+        left = {
+            "served": 10,
+            "latency_histogram": self.histogram([8, 2, 0], 2.0),
+            "transport": "in-process",
+        }
+        right = {
+            "served": 5,
+            "latency_histogram": self.histogram([0, 0, 5], 50.0),
+            "transport": "in-process",
+        }
+        merged = merge_metrics([left, right], node_ids=["b", "a"])
+        assert merged["served"] == 15
+        assert merged["latency_histogram"]["counts"] == [8, 2, 5]
+        assert merged["latency_histogram"]["count"] == 15
+        expected_mean = (2.0 * 10 + 50.0 * 5) / 15
+        assert merged["latency_histogram"]["mean"] == pytest.approx(
+            expected_mean
+        )
+        assert merged["transport"] == "in-process"
+        assert merged["nodes"] == ["a", "b"]
+        # Percentiles come from the merged histogram, not per-node windows.
+        assert merged["latency"]["samples"] == 15
+
+    def test_non_additive_scalars_dropped(self):
+        merged = merge_metrics(
+            [
+                {"served": 1, "uptime_seconds": 10.5, "hit_rate": 0.5},
+                {"served": 2, "uptime_seconds": 99.5, "hit_rate": 0.9},
+            ]
+        )
+        assert merged["served"] == 3
+        assert "uptime_seconds" not in merged
+        assert "hit_rate" not in merged
+
+    def test_epoch_reports_newest_not_sum(self):
+        merged = merge_metrics([{"epoch": 3}, {"epoch": 5}, {"epoch": 5}])
+        assert merged["epoch"] == 5
+
+    def test_node_identity_and_latency_windows_skipped(self):
+        merged = merge_metrics(
+            [
+                {"node": "a", "latency": {"p95_ms": 3.0}, "served": 1},
+                {"node": "b", "latency": {"p95_ms": 9.0}, "served": 1},
+            ]
+        )
+        assert "node" not in merged
+        assert "latency" not in merged  # no histogram to re-derive from
+
+    def test_bounds_mismatch_is_typed(self):
+        with pytest.raises(ConfigurationError):
+            merge_histograms(
+                [
+                    self.histogram([1, 0, 0], 1.0),
+                    {
+                        "bounds": [5.0, 50.0],
+                        "counts": [1, 0],
+                        "count": 1,
+                        "mean": 1.0,
+                    },
+                ]
+            )
+        with pytest.raises(ConfigurationError):
+            merge_histograms([])
+        with pytest.raises(ConfigurationError):
+            merge_metrics([])
+
+    def test_string_disagreement_keeps_both(self):
+        merged = merge_metrics(
+            [{"transport": "in-process"}, {"transport": "sharded"}]
+        )
+        assert merged["transport"] == ["in-process", "sharded"]
+
+    def test_histogram_percentiles_nearest_rank(self):
+        histogram = {
+            "bounds": [1.0, 10.0, 100.0],
+            "counts": [90, 9, 1],
+            "count": 100,
+            "mean": 2.0,
+        }
+        stats = histogram_percentiles(histogram)
+        assert stats["p50"] == 1.0
+        assert stats["p95"] == 10.0
+        assert stats["p99"] == 100.0
+        empty = histogram_percentiles(
+            {"bounds": [1.0], "counts": [0], "count": 0, "mean": 0.0}
+        )
+        assert empty["p50"] == 0.0

@@ -1,0 +1,337 @@
+"""Multi-node serving suite: digest parity, failover, epoch protocol.
+
+The cluster tier's contract extends the wire-determinism suite one level
+up: a seeded workload answers **bit-identically** whether it runs
+in-process, against one HTTP node, or across an N-node cluster - and a
+node death mid-load changes *where* requests compute, never *what* they
+return.  Threaded :class:`~repro.cluster.LocalCluster` nodes cover the
+protocol tests cheaply; the subprocess SIGKILL test (real processes,
+real signal) is marked slow like the other process-spawning tests.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster import ClusterClient, LocalCluster, ShardMap
+from repro.errors import ConfigurationError, StaleShardMapError
+from repro.service import InProcessTransport, wire
+from repro.service.http import H3DFactHTTPServer, HTTPTransport, RetryPolicy
+from repro.service.http.loadgen import LoadGenConfig, run_loadgen
+
+CONFIG = LoadGenConfig(
+    dim=128,
+    num_factors=3,
+    codebook_size=16,
+    codebook_sets=3,
+    requests=24,
+    concurrency=(8,),
+    max_iterations=20,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def reference_digest():
+    """The in-process answer every topology must reproduce bit for bit."""
+    with InProcessTransport() as transport:
+        report = run_loadgen(transport, CONFIG)
+    level = report.levels[0]
+    assert level.errors == 0
+    return level.digest
+
+
+class TestDigestParity:
+    def test_three_node_cluster_matches_in_process(self, reference_digest):
+        with LocalCluster(3, heartbeat_timeout=5.0) as cluster:
+            client = cluster.client(replication=2, jitter_seed=CONFIG.seed)
+            try:
+                report = run_loadgen(client, CONFIG, timeout=60.0)
+                level = report.levels[0]
+                assert level.errors == 0
+                assert level.digest == reference_digest
+                # Routing spread: traffic left the primary node.
+                per_node = client.stats.per_node
+                assert sum(per_node.values()) == CONFIG.requests
+                assert set(per_node) <= set(client.shard_map.node_ids())
+                assert len(per_node) >= 2
+            finally:
+                client.close()
+
+    def test_single_node_cluster_matches_in_process(self, reference_digest):
+        """R=2 on a 1-node cluster degrades gracefully to one replica."""
+        with LocalCluster(1) as cluster:
+            client = cluster.client(replication=2)
+            try:
+                report = run_loadgen(client, CONFIG, timeout=60.0)
+                assert report.levels[0].errors == 0
+                assert report.levels[0].digest == reference_digest
+            finally:
+                client.close()
+
+
+class TestFailover:
+    def test_node_crash_mid_stream_reroutes_without_errors(
+        self, reference_digest
+    ):
+        """Kill a threaded node between waves: every request still answers.
+
+        The dead node stays in the shard map until heartbeat expiry, so
+        requests routed to it hit connection errors; the client must ban
+        it, refresh, and rotate to the surviving replica - results
+        unchanged.
+        """
+        from repro.service.http.loadgen import _keyed, build_workload
+
+        sets, requests = build_workload(CONFIG)
+        with LocalCluster(3, heartbeat_timeout=60.0) as cluster:
+            client = cluster.client(replication=2)
+            try:
+                keys = [client.register_codebooks(s) for s in sets]
+                keyed = _keyed(requests, keys)
+                first = client.evaluate_scatter(keyed[:8])
+                dead = cluster.kill_node(1)
+                second = client.evaluate_scatter(keyed[8:])
+                responses = list(first) + list(second)
+                assert not any(
+                    isinstance(r, BaseException) for r in responses
+                )
+                # Exactly one response per request id, in request order.
+                assert [r.request_id for r in responses] == [
+                    r.request_id for r in keyed
+                ]
+                assert wire.batch_digest(responses) == reference_digest
+                # The crash was silent: recovery went through the ban +
+                # rotate path, never through a graceful membership change.
+                assert dead == "node1"
+                served_after = {
+                    node_id
+                    for r in second
+                    if r.node is not None
+                    for node_id in [r.node]
+                }
+                assert dead not in served_after
+            finally:
+                client.close()
+
+    def test_expiry_shrinks_map_and_replays_registrations(self):
+        with LocalCluster(
+            2,
+            heartbeat_timeout=0.6,
+            node_options={"heartbeat_seconds": 0.2},
+        ) as cluster:
+            client = cluster.client(replication=2)
+            try:
+                sets, _ = build_workload_sets()
+                key = client.register_codebooks(sets[0])
+                assert client._ledger.placed(key) == ("node0", "node1")
+                cluster.kill_node(1)
+                deadline = time.monotonic() + 10.0
+                while "node1" in client.refresh().node_ids():
+                    assert time.monotonic() < deadline, (
+                        "coordinator never expired the killed node"
+                    )
+                    time.sleep(0.1)
+                assert client.shard_map.node_ids() == ("node0",)
+                # The replay diff re-placed the set on the survivor only.
+                assert client._ledger.placed(key) == ("node0",)
+            finally:
+                client.close()
+
+
+def build_workload_sets():
+    from repro.service.http.loadgen import build_workload
+
+    return build_workload(CONFIG)
+
+
+class TestEpochProtocol:
+    def test_stale_request_rejected_and_fresh_accepted(self):
+        with LocalCluster(1, heartbeat_timeout=60.0) as cluster:
+            node = cluster.nodes[0]
+            sets, requests = build_workload_sets()
+            direct = HTTPTransport(
+                node.server.url, retry=RetryPolicy(max_attempts=1)
+            )
+            try:
+                key = direct.register_codebooks(sets[0])
+                request = requests[0]
+                # The node joined at epoch 1; an older map must bounce.
+                direct.epoch = 0
+                with pytest.raises(StaleShardMapError):
+                    direct.evaluate(request)
+                # A *newer* epoch is accepted and fast-forwards the node
+                # (clients can know the future; nodes converge on contact).
+                direct.epoch = 5
+                response = direct.evaluate(request)
+                assert response.result is not None
+                assert node.agent.epoch == 5
+                direct.epoch = 4
+                with pytest.raises(StaleShardMapError):
+                    direct.evaluate(request)
+            finally:
+                direct.close()
+
+    def test_client_recovers_from_membership_change(self):
+        """An old map + a changed cluster = one refresh, then success."""
+        with LocalCluster(
+            2,
+            heartbeat_timeout=60.0,
+            node_options={"heartbeat_seconds": 0.1},
+        ) as cluster:
+            client = cluster.client(replication=1)
+            sets, requests = build_workload_sets()
+            try:
+                keys = [client.register_codebooks(s) for s in sets]
+                stale_epoch = client.epoch
+                # Membership changes behind the client's back: node1
+                # leaves gracefully, the survivor hears the new epoch.
+                cluster.nodes[1].close()
+                deadline = time.monotonic() + 10.0
+                while cluster.nodes[0].agent.epoch <= stale_epoch:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.05)
+                from repro.service.http.loadgen import _keyed
+
+                outcomes = client.evaluate_scatter(_keyed(requests, keys))
+                assert not any(
+                    isinstance(r, BaseException) for r in outcomes
+                )
+                assert client.epoch > stale_epoch
+                assert client.stats.rerouted > 0
+            finally:
+                client.close()
+
+
+class TestCoordinatorEndpoints:
+    def test_shardmap_and_status_served(self):
+        with LocalCluster(2) as cluster:
+            transport = HTTPTransport(cluster.coordinator_url)
+            try:
+                payload = transport.request_json("GET", "/shardmap")
+                shard_map = ShardMap.from_payload(payload)
+                assert shard_map.node_ids() == ("node0", "node1")
+                status = transport.request_json("GET", "/cluster/status")
+                assert status["epoch"] == shard_map.epoch
+                assert [n["node_id"] for n in status["nodes"]] == [
+                    "node0",
+                    "node1",
+                ]
+                assert status["counters"]["joins"] == 2
+            finally:
+                transport.close()
+
+    def test_coordinator_only_server_refuses_eval(self):
+        sets, requests = build_workload_sets()
+        from repro.cluster import ClusterCoordinator
+
+        with H3DFactHTTPServer(
+            None, coordinator=ClusterCoordinator()
+        ) as server:
+            transport = HTTPTransport(
+                server.url, retry=RetryPolicy(max_attempts=1)
+            )
+            try:
+                with pytest.raises(ConfigurationError):
+                    transport.evaluate(requests[0])
+            finally:
+                transport.close()
+
+    def test_serving_node_has_no_coordinator_routes(self):
+        with LocalCluster(1) as cluster:
+            transport = HTTPTransport(
+                cluster.nodes[0].server.url,
+                retry=RetryPolicy(max_attempts=1),
+            )
+            try:
+                with pytest.raises(Exception) as info:
+                    transport.request_json("GET", "/shardmap")
+                assert "no route" in str(info.value)
+            finally:
+                transport.close()
+
+    def test_server_needs_a_role(self):
+        with pytest.raises(ConfigurationError):
+            H3DFactHTTPServer(None)
+
+
+class TestClusterClientSurface:
+    def test_requires_coordinator_or_static_map(self):
+        with pytest.raises(ConfigurationError):
+            ClusterClient()
+        with pytest.raises(ConfigurationError):
+            ClusterClient("http://127.0.0.1:1", replication=0)
+
+    def test_health_and_metrics_shape(self):
+        with LocalCluster(2) as cluster:
+            client = cluster.client()
+            sets, requests = build_workload_sets()
+            try:
+                key = client.register_codebooks(sets[0])
+                from repro.service.http.loadgen import _keyed
+
+                client.evaluate(_keyed(requests[:1], [key])[0])
+                health = client.health()
+                assert health["status"] == "ok"
+                assert set(health["nodes"]) == {"node0", "node1"}
+                metrics = client.metrics()
+                assert metrics["transport"] == "cluster"
+                assert metrics["client"]["routed"] == 1
+                fleet = metrics["fleet"]
+                assert fleet["nodes"] == ["node0", "node1"]
+                assert fleet["epoch"] == client.epoch
+            finally:
+                client.close()
+
+
+@pytest.mark.slow
+class TestSubprocessFaults:
+    def test_sigkill_mid_load_preserves_digest(self):
+        """SIGKILL one of three real node processes under load.
+
+        The strictest acceptance check: exactly one response per request
+        id, bit-identical digest, and the coordinator eventually expires
+        the corpse from the map.
+        """
+        import threading
+
+        config = LoadGenConfig(
+            dim=128,
+            num_factors=3,
+            codebook_size=16,
+            codebook_sets=3,
+            requests=96,
+            concurrency=(1,),
+            max_iterations=20,
+            seed=7,
+        )
+        with InProcessTransport() as transport:
+            reference = run_loadgen(transport, config).levels[0].digest
+
+        from repro.service.http.loadgen import _keyed, build_workload
+
+        sets, requests = build_workload(config)
+        with LocalCluster(
+            3, processes=True, heartbeat_timeout=1.0
+        ) as cluster:
+            client = cluster.client(replication=2)
+            try:
+                keys = [client.register_codebooks(s) for s in sets]
+                keyed = _keyed(requests, keys)
+                killer = threading.Timer(
+                    0.15, lambda: cluster.kill_node(1)
+                )
+                killer.start()
+                responses = [client.evaluate(request) for request in keyed]
+                killer.join()
+                assert [r.request_id for r in responses] == [
+                    r.request_id for r in keyed
+                ]
+                assert wire.batch_digest(responses) == reference
+                deadline = time.monotonic() + 15.0
+                while "node1" in client.refresh().node_ids():
+                    assert time.monotonic() < deadline
+                    time.sleep(0.2)
+                assert client.shard_map.node_ids() == ("node0", "node2")
+            finally:
+                client.close()

@@ -408,3 +408,58 @@ class TestConsistentHashRing:
             ConsistentHashRing(0)
         with pytest.raises(ConfigurationError):
             ConsistentHashRing(2, vnodes=0)
+
+
+class TestRetryJitter:
+    """Full-jitter backoff: bounded by the rung, deterministic by seed."""
+
+    def test_full_jitter_bounded_and_seed_deterministic(self):
+        import random
+
+        policy = RetryPolicy(backoff_seconds=(0.02, 0.05, 0.1))
+        first = [
+            RetryPolicy(backoff_seconds=(0.02, 0.05, 0.1)).backoff(
+                attempt, random.Random(123)
+            )
+            for attempt in (1, 2, 3, 4)
+        ]
+        rng_a, rng_b = random.Random(7), random.Random(7)
+        seq_a = [policy.backoff(k, rng_a) for k in (1, 2, 3, 4)]
+        seq_b = [policy.backoff(k, rng_b) for k in (1, 2, 3, 4)]
+        assert seq_a == seq_b  # same seed, same sleeps
+        for attempt, sleep in zip((1, 2, 3, 4), seq_a):
+            rung = policy.backoff_seconds[
+                min(attempt - 1, len(policy.backoff_seconds) - 1)
+            ]
+            assert 0.0 <= sleep <= rung
+        # Different seeds draw different sleeps (vanishingly unlikely to
+        # collide across four uniform draws).
+        assert seq_a != first
+
+    def test_no_rng_and_jitter_none_sleep_the_bare_rung(self):
+        full = RetryPolicy(backoff_seconds=(0.02, 0.05))
+        plain = RetryPolicy(backoff_seconds=(0.02, 0.05), jitter="none")
+        import random
+
+        assert full.backoff(1) == 0.02  # no rng = no jitter
+        assert full.backoff(9) == 0.05  # ladder clamps to the last rung
+        assert plain.backoff(2, random.Random(1)) == 0.05
+
+    def test_jitter_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter="half")
+
+    def test_transport_jitter_seed_accepted(self, stream):
+        """jitter_seed changes timing only - results stay bit-identical."""
+        with H3DFactHTTPServer(InProcessTransport(), own_transport=True) as server:
+            seeded = HTTPTransport(server.url, jitter_seed=42)
+            plain = HTTPTransport(server.url)
+            try:
+                request = stream[0]
+                left = seeded.evaluate(request)
+                right = plain.evaluate(request)
+                assert left.result.indices == right.result.indices
+                assert left.result.iterations == right.result.iterations
+            finally:
+                seeded.close()
+                plain.close()

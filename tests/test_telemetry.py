@@ -366,3 +366,105 @@ class TestSummarize:
 
     def test_waterfall_unknown_trace(self):
         assert trace_waterfall([], "missing") == ["trace missing: no events"]
+
+
+class TestRotation:
+    """Size-based segment rotation for long-soak logs."""
+
+    def wait_for(self, predicate, timeout=5.0):
+        import time
+
+        deadline = time.monotonic() + timeout
+        while not predicate():
+            assert time.monotonic() < deadline, "telemetry flush timed out"
+            time.sleep(0.01)
+
+    def test_segment_naming_and_scan(self, tmp_path):
+        from repro.telemetry.log import rotation_segments, segment_path
+
+        path = str(tmp_path / "events.jsonl")
+        assert segment_path(path, 0) == str(tmp_path / "events.0.jsonl")
+        assert segment_path(path, 12) == str(tmp_path / "events.12.jsonl")
+        assert rotation_segments(path) == []
+        for index in (2, 0, 1):
+            with open(segment_path(path, index), "w"):
+                pass
+        assert [index for index, _ in rotation_segments(path)] == [0, 1, 2]
+
+    def test_rotating_log_writes_segments_not_base_path(self, tmp_path):
+        import os.path
+
+        from repro.telemetry.log import segment_path
+
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(path, max_segment_bytes=64)
+        log.emit("request.accepted", trace_id="t0", request_id="0")
+        log.close()
+        assert not os.path.exists(path)
+        assert os.path.exists(segment_path(path, 0))
+
+    def test_writer_rolls_past_the_cap(self, tmp_path):
+        import os.path
+
+        from repro.telemetry.log import rotation_segments, segment_path
+
+        path = str(tmp_path / "events.jsonl")
+        # Cap below one record: every drained burst crosses it, so each
+        # flush-then-emit round lands in a fresh segment.
+        log = EventLog(path, max_segment_bytes=1)
+        for index in range(3):
+            log.emit("request.accepted", trace_id=f"t{index}")
+            # Wait until this record was flushed (its segment appeared)
+            # before emitting the next, so bursts cannot coalesce.
+            self.wait_for(
+                lambda: os.path.getsize(segment_path(path, index)) > 0
+                if os.path.exists(segment_path(path, index))
+                else False
+            )
+        log.close()
+        assert len(rotation_segments(path)) >= 2
+
+    def test_read_events_spans_segments_in_order(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(path, max_segment_bytes=1)
+        for index in range(20):
+            log.emit("request.accepted", trace_id=f"t{index}")
+        log.close()
+        events = read_events(path)
+        # Everything survives rotation: 20 events plus the close record,
+        # in producer order, and the validator sees one coherent log.
+        assert len(events) == 21
+        assert [e["seq"] for e in events] == list(range(21))
+        assert events[-1]["event"] == "telemetry.close"
+        assert validate_events(events) == []
+
+    def test_resumed_process_skips_full_segments(self, tmp_path):
+        from repro.telemetry.log import rotation_segments
+
+        path = str(tmp_path / "events.jsonl")
+        first = EventLog(path, max_segment_bytes=64)
+        first.emit("request.accepted", trace_id="t0")
+        first.close()
+        segments_before = [p for _, p in rotation_segments(path)]
+        # A fresh process resuming the soak must not re-bloat the full
+        # segment: its records open the next index.
+        second = EventLog(path, max_segment_bytes=64)
+        second.emit("request.accepted", trace_id="t1")
+        second.close()
+        segments_after = rotation_segments(path)
+        assert len(segments_after) == len(segments_before) + 1
+        assert len(read_events(path)) == 4  # 2 events + 2 close records
+
+    def test_env_var_configures_rotation(self, tmp_path, monkeypatch):
+        from repro.telemetry import ROTATE_ENV
+
+        path = str(tmp_path / "events.jsonl")
+        monkeypatch.setenv(TELEMETRY_ENV, path)
+        monkeypatch.setenv(ROTATE_ENV, "4096")
+        log = get_log()
+        assert log.enabled
+        assert log.max_segment_bytes == 4096
+
+    def test_invalid_cap_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            EventLog(str(tmp_path / "e.jsonl"), max_segment_bytes=0)

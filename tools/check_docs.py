@@ -33,6 +33,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCSTRING_ROOTS = [
     REPO_ROOT / "src" / "repro" / "cim",
+    REPO_ROOT / "src" / "repro" / "cluster",
     REPO_ROOT / "src" / "repro" / "core",
     REPO_ROOT / "src" / "repro" / "service",
     REPO_ROOT / "src" / "repro" / "telemetry",
@@ -113,8 +114,8 @@ def main() -> int:
         print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
         return 1
     print(
-        "docs OK: markdown links resolve, repro.cim + repro.core + "
-        "repro.service + repro.telemetry fully docstringed"
+        "docs OK: markdown links resolve, repro.cim + repro.cluster + "
+        "repro.core + repro.service + repro.telemetry fully docstringed"
     )
     return 0
 
